@@ -1,0 +1,82 @@
+// Future-work ablation: burst sampling vs full instrumentation.
+//
+// Section VII: "we plan to apply sampling technique to reduce the overhead
+// of instrumentation". This bench quantifies what that buys: for a duty
+// -cycle ladder it reports the runtime slowdown relative to native, the
+// scaled communication-volume error against the full profile, and the
+// matrix-shape similarity (cosine) — showing that a ~1/8 duty cycle recovers
+// most of the overhead while preserving the pattern.
+#include "bench_common.hpp"
+
+#include <array>
+#include <memory>
+
+#include "instrument/sampling.hpp"
+#include "support/stats.hpp"
+
+namespace cb = commscope::bench;
+namespace cc = commscope::core;
+namespace ci = commscope::instrument;
+namespace cs = commscope::support;
+namespace cw = commscope::workloads;
+
+int main() {
+  const int threads = cs::env_threads(8);
+  const cs::Scale scale = cs::env_scale();
+  cb::banner("Future work: burst-sampling overhead/accuracy trade-off",
+             threads, scale);
+
+  commscope::threading::ThreadTeam team(threads);
+  const std::array<const char*, 3> apps{"ocean_ncp", "fft", "water_nsq"};
+
+  for (const char* app : apps) {
+    const cw::Workload* w = cw::find(app);
+    double native = 1e9;
+    for (int rep = 0; rep < 2; ++rep) {
+      native = std::min(native,
+                        cb::time_seconds([&] { w->run(scale, team, nullptr); }));
+    }
+
+    // Full profile = reference.
+    auto full = cb::make_profiler(threads);
+    const double full_time =
+        cb::time_seconds([&] { w->run(scale, team, full.get()); });
+    const auto full_matrix = full->communication_matrix();
+    const auto full_total = static_cast<double>(full_matrix.total());
+
+    cs::Table table({"duty cycle", "slowdown", "scaled volume error",
+                     "matrix cosine"});
+    table.add_row({"1 (full)", cs::Table::num(full_time / native, 1) + "x",
+                   "0.0%", "1.000"});
+
+    for (const std::uint32_t off : {1024u, 3072u, 7168u, 31744u}) {
+      auto prof = cb::make_profiler(threads);
+      ci::SamplingSink sampler(*prof, {.burst_on = 1024, .burst_off = off});
+      const double t =
+          cb::time_seconds([&] { w->run(scale, team, &sampler); });
+      const double scaled =
+          static_cast<double>(prof->communication_matrix().total()) *
+          sampler.scale_factor();
+      const double err =
+          full_total > 0 ? std::abs(scaled - full_total) / full_total : 0.0;
+      const double shape = cs::cosine_similarity(
+          full_matrix.normalized(), prof->communication_matrix().normalized());
+      table.add_row(
+          {"1/" + std::to_string((1024 + off) / 1024),
+           cs::Table::num(t / native, 1) + "x",
+           cs::Table::num(err * 100.0, 1) + "%", cs::Table::num(shape, 3)});
+    }
+    std::cout << app << ":\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout
+      << "Takeaway: overhead falls roughly with the duty cycle, and the\n"
+         "matrix *shape* (what pattern detection and thread mapping consume)\n"
+         "stays stable at 1/8 duty and below. Volume is biased low beyond\n"
+         "the duty-cycle correction because a dependency survives only when\n"
+         "its producing write AND first consuming read both land in\n"
+         "on-bursts — the error a production deployment would calibrate.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "core/profiler.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+#include "threading/thread_pool.hpp"
+#include "workloads/workload.hpp"
+
+namespace commscope::bench {
+
+/// Wall-clock seconds of `fn`.
+inline double time_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Fresh profiler with the bench-default configuration.
+inline std::unique_ptr<core::Profiler> make_profiler(
+    int threads, core::Backend backend = core::Backend::kAsymmetricSignature,
+    std::size_t slots = 1 << 20, double fp_rate = 0.001) {
+  core::ProfilerOptions o;
+  o.max_threads = threads;
+  o.backend = backend;
+  o.signature_slots = slots;
+  o.fp_rate = fp_rate;
+  return std::make_unique<core::Profiler>(o);
+}
+
+/// Standard bench banner with the effective configuration.
+inline void banner(const char* title, int threads, support::Scale scale) {
+  std::cout << "=== " << title << " ===\n"
+            << "threads=" << threads << " scale=" << support::to_string(scale)
+            << "  (override via COMMSCOPE_THREADS / COMMSCOPE_SCALE)\n\n";
+}
+
+}  // namespace commscope::bench

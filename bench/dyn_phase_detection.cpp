@@ -1,0 +1,162 @@
+// Section V.A.4 reproduction: dynamic-behaviour detection.
+//
+// Paper: "applications may transition into different phases of computation
+// at runtime ... Almost every previous approach[ ] ... provide[s] a static
+// pattern for overall program execution. This leads to wrong results when
+// the application contains more than one computational task. DiscoPoP on the
+// other hand fully supports this feature."
+//
+// The bench profiles fft (whose stages shift the butterfly span) and a
+// two-task composite (stencil sweeps then an all-to-all reduction), slices
+// the dependency stream into fixed-volume windows, and segments the windows
+// into phases. The reproduced claim: the composite's whole-run matrix blurs
+// two patterns that phase detection separates cleanly.
+#include "bench_common.hpp"
+
+#include <vector>
+
+#include "core/phase.hpp"
+#include "power/dvfs.hpp"
+#include "instrument/loop_scope.hpp"
+#include "patterns/classifier.hpp"
+#include "support/stats.hpp"
+
+namespace cb = commscope::bench;
+namespace cc = commscope::core;
+namespace ci = commscope::instrument;
+namespace cp = commscope::patterns;
+namespace cs = commscope::support;
+namespace ct = commscope::threading;
+namespace cw = commscope::workloads;
+
+namespace {
+
+/// Two-task composite: halo stencil sweeps, then an all-to-all gather.
+void run_composite(cc::Profiler& profiler, ct::ThreadTeam& team,
+                   std::size_t items, int sweeps) {
+  std::vector<double> field(items, 1.0);
+  std::vector<double> next(items, 0.0);
+  std::vector<double> partial(static_cast<std::size_t>(team.size()), 0.0);
+  team.run([&](int tid) {
+    profiler.on_thread_begin(tid);
+    ci::AccessSink& sink = profiler;
+    // Interleaved ownership (element i belongs to thread i % P): every
+    // neighbour read crosses a thread boundary, like SPLASH's
+    // non-contiguous partitions.
+    const auto parties = static_cast<std::size_t>(team.size());
+    for (int s = 0; s < sweeps; ++s) {
+      {
+        COMMSCOPE_LOOP(sink, tid, "composite", "stencil");
+        for (std::size_t i = static_cast<std::size_t>(tid); i < items;
+             i += parties) {
+          const std::size_t l = i == 0 ? items - 1 : i - 1;
+          const std::size_t r = i + 1 == items ? 0 : i + 1;
+          sink.read(tid, &field[l]);
+          sink.read(tid, &field[r]);
+          sink.write(tid, &next[i]);
+          next[i] = 0.5 * (field[l] + field[r]);
+        }
+      }
+      team.barrier().arrive_and_wait();
+      {
+        COMMSCOPE_LOOP(sink, tid, "composite", "copy");
+        for (std::size_t i = static_cast<std::size_t>(tid); i < items;
+             i += parties) {
+          sink.read(tid, &next[i]);
+          sink.write(tid, &field[i]);
+          field[i] = next[i];
+        }
+      }
+      team.barrier().arrive_and_wait();
+    }
+    {
+      COMMSCOPE_LOOP(sink, tid, "composite", "gather");
+      double sum = 0.0;
+      for (std::size_t i = 0; i < items; ++i) {
+        sink.read(tid, &field[i]);
+        sum += field[i];
+      }
+      partial[static_cast<std::size_t>(tid)] = sum;
+      sink.write(tid, &partial[static_cast<std::size_t>(tid)]);
+    }
+  });
+  profiler.finalize();
+}
+
+}  // namespace
+
+int main() {
+  const int threads = cs::env_threads(8);
+  cb::banner("Section V.A.4: dynamic behaviour / phase detection", threads,
+             cs::env_scale());
+
+  // --- composite program ----------------------------------------------------
+  cc::ProfilerOptions o;
+  o.max_threads = threads;
+  o.signature_slots = 1 << 18;
+  o.phase_window_bytes = 8 * 1024;
+  cc::Profiler profiler(o);
+  ct::ThreadTeam team(threads);
+  run_composite(profiler, team, 4096, 4);
+
+  const std::vector<cc::Matrix> windows = profiler.phase_timeline();
+  const std::vector<cc::Phase> phases = cc::detect_phases(windows, 0.75, cc::PhaseMetric::kOffsetCosine);
+  std::cout << "Composite (stencil -> all-to-all): " << windows.size()
+            << " windows, " << phases.size() << " phases detected\n";
+
+  cp::GeneratorOptions gen;
+  gen.threads = threads;
+  cp::NearestCentroidClassifier clf;
+  clf.train(cp::featurize(cp::make_corpus(40, gen, 42)));
+
+  cs::Table table({"phase", "windows", "volume", "classified as"});
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    const cc::Phase& ph = phases[p];
+    table.add_row({std::to_string(p + 1),
+                   std::to_string(ph.first_window) + ".." +
+                       std::to_string(ph.last_window),
+                   cs::Table::bytes(ph.pattern.total()),
+                   cp::to_string(clf.predict(ph.pattern.trimmed(threads)))});
+  }
+  const cc::Matrix whole = profiler.communication_matrix().trimmed(threads);
+  table.add_row({"whole-run (static baseline)", "-",
+                 cs::Table::bytes(whole.total()),
+                 cp::to_string(clf.predict(whole))});
+  table.print(std::cout);
+
+  // Phase-similarity structure: adjacent windows inside a phase are similar,
+  // across the boundary they are not.
+  double min_intra = 1.0;
+  double boundary = 1.0;
+  for (std::size_t w = 1; w < windows.size(); ++w) {
+    const double sim = cs::cosine_similarity(
+        cc::offset_signature(windows[w - 1]), cc::offset_signature(windows[w]));
+    bool same_phase = false;
+    for (const cc::Phase& ph : phases) {
+      if (w - 1 >= ph.first_window && w <= ph.last_window) same_phase = true;
+    }
+    if (same_phase) {
+      min_intra = std::min(min_intra, sim);
+    } else {
+      boundary = std::min(boundary, sim);
+    }
+  }
+  std::cout << "\nmin intra-phase window similarity: "
+            << cs::Table::num(min_intra, 3)
+            << ", phase-boundary similarity: " << cs::Table::num(boundary, 3)
+            << "\n";
+
+  // DVFS application (Section III.A): plan frequency levels per phase from
+  // communication intensity and report the projected energy saving.
+  const commscope::power::DvfsPlan dvfs = commscope::power::plan_dvfs(
+      windows, profiler.phase_window_accesses());
+  std::cout << "\nDVFS plan from the phase timeline:\n" << dvfs.to_string();
+  std::cout << "(paper cites ~30% power reduction from slowing the processor "
+               "during detected communication phases)\n";
+
+  const bool ok = phases.size() >= 2 && boundary < min_intra;
+  std::cout << "Reproduced: the run decomposes into distinct communication "
+               "phases that a whole-run matrix would blur -> "
+            << (ok ? "HOLDS" : "VIOLATED") << "\n";
+  return ok ? 0 : 1;
+}

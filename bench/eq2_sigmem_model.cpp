@@ -1,0 +1,80 @@
+// Eq. 2 reproduction: the signature-memory size model vs the actual
+// allocations of the implementation.
+//
+// Paper (Section V.A.2): SigMem(n,t) = n(4 + -t ln(FPRate) / (8 ln^2 2));
+// with n = 10^7, t = 32, FPRate = 0.001 "around 580MB could be sufficient to
+// perform the analysis for any program with moderate input sizes".
+//
+// The bench sweeps (n, t, FPRate), prints the model, and for tractable n
+// instantiates the real signatures with every slot's bloom filter forced
+// into existence to confirm the model's per-slot costs match the code.
+#include "bench_common.hpp"
+
+#include <array>
+
+#include "sigmem/read_signature.hpp"
+#include "sigmem/size_model.hpp"
+#include "sigmem/write_signature.hpp"
+
+namespace cs = commscope::support;
+namespace sg = commscope::sigmem;
+
+int main() {
+  std::cout << "=== Eq. 2: SigMem(n, t) = n(4 + -t*ln(p)/(8*ln^2 2)) ===\n\n";
+
+  cs::Table model_table({"slots n", "threads t", "FPRate p", "write bytes",
+                         "read bytes", "total", "note"});
+  struct Point {
+    std::size_t n;
+    int t;
+    double p;
+    const char* note;
+  };
+  const std::array<Point, 7> points{{{1'000'000, 32, 0.001, ""},
+                                     {4'000'000, 32, 0.001, ""},
+                                     {10'000'000, 32, 0.001,
+                                      "paper's ~580MB reference"},
+                                     {100'000'000, 32, 0.001, ""},
+                                     {10'000'000, 8, 0.001, "fewer threads"},
+                                     {10'000'000, 64, 0.001, "more threads"},
+                                     {10'000'000, 32, 0.01, "looser FPR"}}};
+  for (const Point& pt : points) {
+    const sg::SigMemModel m = sg::sigmem_model(pt.n, pt.t, pt.p);
+    model_table.add_row(
+        {std::to_string(pt.n), std::to_string(pt.t), cs::Table::num(pt.p, 4),
+         cs::Table::bytes(static_cast<std::uint64_t>(m.write_bytes)),
+         cs::Table::bytes(static_cast<std::uint64_t>(m.read_bytes)),
+         cs::Table::bytes(static_cast<std::uint64_t>(m.total())), pt.note});
+  }
+  model_table.print(std::cout);
+
+  // Validate the model against actual allocations at a tractable n: force
+  // every bloom filter live so the lazy implementation reaches the model's
+  // fully-populated bound.
+  std::cout << "\nModel vs implementation (fully populated signatures):\n";
+  cs::Table impl_table({"slots n", "threads t", "model total", "actual bytes",
+                        "actual/model"});
+  for (const std::size_t n : {std::size_t{4096}, std::size_t{65536}}) {
+    const int t = 32;
+    const double p = 0.001;
+    sg::WriteSignature ws(n);
+    sg::ReadSignature rs(n, t, p);
+    for (std::size_t s = 0; s < n; ++s) {
+      ws.record(s, 1);
+      rs.insert(s, 1);
+    }
+    const double model = sg::sigmem_model(n, t, p).total();
+    const double actual =
+        static_cast<double>(ws.byte_size() + rs.byte_size());
+    impl_table.add_row({std::to_string(n), std::to_string(t),
+                        cs::Table::bytes(static_cast<std::uint64_t>(model)),
+                        cs::Table::bytes(static_cast<std::uint64_t>(actual)),
+                        cs::Table::num(actual / model, 2)});
+  }
+  impl_table.print(std::cout);
+  std::cout << "\nThe implementation adds first-level pointers (8B/slot) and "
+               "bloom headers the closed-form model omits; the ratio is the "
+               "constant-factor overhead of the lazy two-level design, and "
+               "both scale identically in n, t and ln(1/p).\n";
+  return 0;
+}

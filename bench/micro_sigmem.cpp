@@ -1,0 +1,100 @@
+// Signature-memory microbenches and design ablations (google-benchmark).
+//
+// Measures the per-access cost of the asymmetric-signature detector against
+// the exact (perfect-signature) backend — the accuracy/overhead trade-off at
+// the heart of the paper — and the cost split between read and write paths,
+// plus bloom hash-count sensitivity.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/raw_detector.hpp"
+#include "sigmem/exact_signature.hpp"
+#include "support/bloom.hpp"
+
+namespace cc = commscope::core;
+namespace cs = commscope::support;
+namespace sg = commscope::sigmem;
+
+namespace {
+
+std::vector<std::uintptr_t> make_addresses(std::size_t n) {
+  std::vector<std::uintptr_t> addrs(n);
+  std::uint64_t state = 12345;
+  for (std::size_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    addrs[i] = 0x10000000 + (state >> 30) % (n * 4) * 8;
+  }
+  return addrs;
+}
+
+void BM_AsymmetricDetector_ReadPath(benchmark::State& state) {
+  cc::AsymmetricDetector det(1 << 20, 32, 0.001);
+  const auto addrs = make_addresses(4096);
+  for (const std::uintptr_t a : addrs) det.on_write(a, 0);
+  int tid = 1;
+  for (auto _ : state) {
+    for (const std::uintptr_t a : addrs) {
+      benchmark::DoNotOptimize(det.on_read(a, tid));
+    }
+    tid = (tid % 31) + 1;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(addrs.size()));
+}
+
+void BM_AsymmetricDetector_WritePath(benchmark::State& state) {
+  cc::AsymmetricDetector det(1 << 20, 32, 0.001);
+  const auto addrs = make_addresses(4096);
+  for (auto _ : state) {
+    for (const std::uintptr_t a : addrs) det.on_write(a, 3);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(addrs.size()));
+}
+
+void BM_ExactSignature_ReadPath(benchmark::State& state) {
+  sg::ExactSignature det(32);
+  const auto addrs = make_addresses(4096);
+  for (const std::uintptr_t a : addrs) det.on_write(a, 0);
+  int tid = 1;
+  for (auto _ : state) {
+    for (const std::uintptr_t a : addrs) {
+      benchmark::DoNotOptimize(det.on_read(a, tid));
+    }
+    tid = (tid % 31) + 1;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(addrs.size()));
+}
+
+void BM_ExactSignature_WritePath(benchmark::State& state) {
+  sg::ExactSignature det(32);
+  const auto addrs = make_addresses(4096);
+  for (auto _ : state) {
+    for (const std::uintptr_t a : addrs) det.on_write(a, 3);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(addrs.size()));
+}
+
+/// Bloom insert cost vs configured FP rate (more hash probes per op).
+void BM_BloomInsert(benchmark::State& state) {
+  const double fp = 1.0 / static_cast<double>(state.range(0));
+  cs::BloomFilter bf(32, fp);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.insert(key));
+    key = (key + 1) % 32;
+  }
+  state.counters["hashes"] = bf.hash_count();
+  state.counters["bits"] = static_cast<double>(bf.bit_count());
+}
+
+}  // namespace
+
+BENCHMARK(BM_AsymmetricDetector_ReadPath);
+BENCHMARK(BM_AsymmetricDetector_WritePath);
+BENCHMARK(BM_ExactSignature_ReadPath);
+BENCHMARK(BM_ExactSignature_WritePath);
+BENCHMARK(BM_BloomInsert)->Arg(10)->Arg(100)->Arg(1000)->Arg(100000);

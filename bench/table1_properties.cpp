@@ -1,0 +1,91 @@
+// Table I reproduction: the six profiler properties of Cruz et al. compared
+// across DiscoPoP (CommScope), TLB-based mapping, IPM and SD3.
+//
+// The qualitative rows are the paper's; the quantitative cells (memory,
+// runtime overhead, matrix availability) are *measured* by running the same
+// two workloads under the in-tree implementations of each architecture
+// (signature profiler, IPM-style log, SD3-style stride profiler; the TLB
+// approach is hardware/OS-bound and keeps the paper's qualitative entries).
+#include "bench_common.hpp"
+
+#include <stdexcept>
+
+#include "baseline/ipm_profiler.hpp"
+#include "baseline/sd3_profiler.hpp"
+
+namespace cb = commscope::bench;
+namespace cbl = commscope::baseline;
+namespace cs = commscope::support;
+namespace cw = commscope::workloads;
+
+int main() {
+  const int threads = cs::env_threads(8);
+  const cs::Scale scale = cs::env_scale();
+  cb::banner("Table I: profiler properties (Cruz et al.)", threads, scale);
+
+  commscope::threading::ThreadTeam team(threads);
+  const cw::Workload* fft = cw::find("fft");
+  const cw::Workload* radix = cw::find("radix");
+
+  // Measured cells.
+  double native = 0.0;
+  for (const cw::Workload* w : {fft, radix}) {
+    native += cb::time_seconds([&] {
+      if (!w->run(scale, team, nullptr).ok) throw std::runtime_error(w->name);
+    });
+  }
+
+  auto disco = cb::make_profiler(threads);
+  const double disco_time = cb::time_seconds([&] {
+    fft->run(scale, team, disco.get());
+    radix->run(scale, team, disco.get());
+  });
+  const std::uint64_t disco_mem = disco->memory_bytes();
+
+  cbl::IpmProfiler ipm(threads);
+  const double ipm_time = cb::time_seconds([&] {
+    fft->run(scale, team, &ipm);
+    radix->run(scale, team, &ipm);
+    ipm.finalize();
+  });
+  const std::uint64_t ipm_mem = ipm.memory_bytes();
+
+  cbl::Sd3Profiler sd3(threads);
+  const double sd3_time = cb::time_seconds([&] {
+    fft->run(scale, team, &sd3);
+    radix->run(scale, team, &sd3);
+    sd3.finalize();
+  });
+  const std::uint64_t sd3_mem = sd3.memory_bytes();
+
+  auto x = [&](double t) { return cs::Table::num(t / native, 1) + "x"; };
+
+  cs::Table table({"criteria", "DiscoPoP", "TLB", "IPM", "SD3"});
+  table.add_row({"Real-time detection", "Yes", "Yes", "No (post-mortem)",
+                 "Full support"});
+  table.add_row({"Memory overhead (measured)",
+                 cs::Table::bytes(disco_mem) + " fixed", "n/a (HW)",
+                 cs::Table::bytes(ipm_mem) + " grows w/ events",
+                 cs::Table::bytes(sd3_mem) + " grows w/ input"});
+  table.add_row({"Runtime overhead (measured)", x(disco_time), "~1x (HW ctrs)",
+                 x(ipm_time), x(sd3_time)});
+  table.add_row({"Pattern accuracy", "Precise*", "Approximate", "Precise",
+                 "n/a"});
+  table.add_row({"Dynamic behavior", "Yes (per-loop, phases)", "Partial", "No",
+                 "No"});
+  table.add_row({"Resiliency to FP communication", "Yes (first-touch)", "Yes",
+                 "n/a", "Yes"});
+  table.add_row({"Implementation independence", "LLVM-based instrumentation",
+                 "HW/OS dependent", "MPI applications only",
+                 "LLVM-based instrumentation"});
+  table.print(std::cout);
+  std::cout << "* with enough signature slots available (paper's footnote); "
+               "see the FPR bench for the degradation curve.\n\n";
+  std::cout << "Matrix availability: DiscoPoP had per-loop matrices DURING "
+               "the run; IPM produced its matrix only after finalize() "
+               "replayed " << ipm.record_count() << " logged records; SD3 "
+               "after stride intersection.\n";
+  std::cout << "Paper reference overheads: DiscoPoP 225x avg (full-IR "
+               "instrumentation), SD3 29x-289x, IPM n/a.\n";
+  return 0;
+}

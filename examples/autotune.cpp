@@ -1,0 +1,91 @@
+// Auto-tuner consumer of the thread-load metric (Eq. 1).
+//
+// Section IV.E: the communication metrics "could be directly fed into an
+// auto-tuner program in order to automatically tune the correspondent
+// parameters and increase the overall runtime performance. One of the
+// sources of bottlenecks in a parallel program could be uneven distribution
+// of workload among threads."
+//
+// This example tunes the thread count of a workload: it profiles the program
+// at several candidate counts, scores each configuration from the measured
+// communication volume and the thread-load imbalance (communication that
+// lands on few threads scales badly), and recommends the configuration with
+// the lowest projected cost. It also saves each profile via matrix_io so the
+// tuning evidence can be inspected offline.
+//
+//   ./build/examples/example_autotune [workload]      (default: radix)
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "core/matrix_io.hpp"
+#include "core/profiler.hpp"
+#include "core/thread_load.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+#include "threading/thread_pool.hpp"
+#include "workloads/workload.hpp"
+
+namespace cc = commscope::core;
+namespace cs = commscope::support;
+namespace ct = commscope::threading;
+namespace cw = commscope::workloads;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "radix";
+  const cw::Workload* w = cw::find(name);
+  if (w == nullptr) {
+    std::cerr << "unknown workload: " << name << "\n";
+    return 1;
+  }
+
+  std::cout << "Auto-tuning thread count for '" << name << "' from Eq. 1 "
+            << "thread loads\n\n";
+
+  cs::Table table({"threads", "comm volume", "imbalance", "active fraction",
+                   "score (lower=better)"});
+  int best_threads = 0;
+  double best_score = 0.0;
+
+  for (const int threads : {2, 4, 8, 16}) {
+    cc::ProfilerOptions opts;
+    opts.max_threads = threads;
+    opts.signature_slots = 1 << 20;
+    auto profiler = std::make_unique<cc::Profiler>(opts);
+    ct::ThreadTeam team(threads);
+    if (!w->run(cs::env_scale(), team, profiler.get()).ok) {
+      std::cerr << name << " failed verification at " << threads
+                << " threads\n";
+      return 1;
+    }
+    const cc::Matrix m = profiler->communication_matrix();
+    const std::vector<double> load = cc::involvement_load(m);
+    const double imbalance = cc::load_imbalance(load);
+    const double active = cc::active_fraction(load);
+    // Projected communication cost: total volume, amplified when the load
+    // concentrates on few threads (serialized consumers don't overlap).
+    const double per_thread =
+        static_cast<double>(m.total()) / static_cast<double>(threads);
+    const double score = per_thread * (1.0 + imbalance);
+
+    table.add_row({std::to_string(threads), cs::Table::bytes(m.total()),
+                   cs::Table::num(imbalance, 2), cs::Table::num(active, 2),
+                   cs::Table::num(score, 0)});
+    if (best_threads == 0 || score < best_score) {
+      best_threads = threads;
+      best_score = score;
+    }
+
+    const std::string path = "/tmp/commscope_" + name + "_t" +
+                             std::to_string(threads) + ".matrix";
+    std::ofstream out(path);
+    cc::write_matrix(out, m.trimmed(threads));
+  }
+
+  table.print(std::cout);
+  std::cout << "\nRecommendation: run '" << name << "' with " << best_threads
+            << " threads.\nPer-configuration matrices were saved to "
+               "/tmp/commscope_" << name << "_t*.matrix (matrix_io format) "
+               "for offline inspection.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Pattern explorer: profile every SPLASH-replica workload, classify the
+// whole-program and hotspot-loop communication matrices (Section VI of the
+// paper), and print one line per region with its detected pattern class.
+//
+//   ./build/examples/example_pattern_explorer [workload ...]
+//
+// With no arguments, all 14 workloads are explored at simdev scale. Set
+// COMMSCOPE_THREADS / COMMSCOPE_SCALE to change the configuration.
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/profiler.hpp"
+#include "core/thread_load.hpp"
+#include "patterns/classifier.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+#include "threading/thread_pool.hpp"
+#include "workloads/workload.hpp"
+
+namespace cc = commscope::core;
+namespace cp = commscope::patterns;
+namespace cs = commscope::support;
+namespace ct = commscope::threading;
+namespace cw = commscope::workloads;
+
+int main(int argc, char** argv) {
+  const int threads = cs::env_threads(8);
+  const cs::Scale scale = cs::env_scale();
+
+  // Train the classifier on a synthetic corpus matched to the thread count.
+  cp::GeneratorOptions gen;
+  gen.threads = threads;
+  gen.jitter = 0.25;
+  gen.background = 0.05;
+  cp::NearestCentroidClassifier classifier;
+  classifier.train(cp::featurize(cp::make_corpus(40, gen, 20260704)));
+
+  std::vector<std::string> names;
+  for (int a = 1; a < argc; ++a) names.emplace_back(argv[a]);
+  if (names.empty()) {
+    for (const cw::Workload& w : cw::registry()) names.push_back(w.name);
+  }
+
+  ct::ThreadTeam team(threads);
+  cs::Table table({"workload", "region", "comm volume", "imbalance",
+                   "detected pattern"});
+
+  for (const std::string& name : names) {
+    const cw::Workload* w = cw::find(name);
+    if (w == nullptr) {
+      std::cerr << "unknown workload: " << name << "\n";
+      return 1;
+    }
+    cc::ProfilerOptions opts;
+    opts.max_threads = threads;
+    opts.signature_slots = 1 << 20;
+    auto profiler = std::make_unique<cc::Profiler>(opts);
+    const cw::Result r = w->run(scale, team, profiler.get());
+    if (!r.ok) {
+      std::cerr << name << ": self-verification FAILED\n";
+      return 1;
+    }
+    profiler->finalize();
+
+    // Whole program first, then every hotspot region with real volume.
+    const cc::Matrix whole = profiler->communication_matrix().trimmed(threads);
+    table.add_row({name, "<program>", cs::Table::bytes(whole.total()),
+                   cs::Table::num(cc::load_imbalance(cc::thread_load(whole)), 2),
+                   cp::to_string(classifier.predict(whole))});
+    for (const cc::RegionNode* node : profiler->regions().preorder()) {
+      const cc::Matrix m = node->direct().trimmed(threads);
+      if (m.total() == 0 || node->parent() == nullptr) continue;
+      // Hotspots: regions carrying at least 5% of the program's traffic.
+      if (m.total() * 20 < whole.total()) continue;
+      table.add_row({name, node->label(), cs::Table::bytes(m.total()),
+                     cs::Table::num(cc::load_imbalance(cc::thread_load(m)), 2),
+                     cp::to_string(classifier.predict(m))});
+    }
+  }
+
+  std::cout << "Loop-level communication patterns (" << threads << " threads, "
+            << cs::to_string(scale) << " inputs)\n\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Quickstart: profile a small producer/consumer loop nest and print the
+// nested communication report.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+//
+// This is the minimal end-to-end use of the library:
+//   1. create a Profiler (the AccessSink every kernel feeds),
+//   2. run threads that annotate loops with COMMSCOPE_LOOP and report their
+//      shared-memory accesses through the sink,
+//   3. print the per-loop communication matrices and thread loads.
+#include <iostream>
+#include <vector>
+
+#include "core/profiler.hpp"
+#include "core/report.hpp"
+#include "core/thread_load.hpp"
+#include "instrument/loop_scope.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace cc = commscope::core;
+namespace ci = commscope::instrument;
+namespace ct = commscope::threading;
+
+int main() {
+  constexpr int kThreads = 4;
+  constexpr std::size_t kItems = 1024;
+
+  // 1. A profiler with the paper's asymmetric signature backend.
+  cc::ProfilerOptions options;
+  options.max_threads = kThreads;
+  options.signature_slots = 1 << 18;
+  options.fp_rate = 0.001;  // the paper's FPRate for accurate results
+  cc::Profiler profiler(options);
+
+  std::vector<double> data(kItems, 0.0);
+  ct::ThreadTeam team(kThreads);
+
+  // 2. A two-stage pipeline: stage "produce" fills the array in blocks;
+  //    stage "consume" reads blocks written by the *neighbouring* thread,
+  //    creating inter-thread RAW dependencies the profiler captures.
+  team.run([&](int tid) {
+    profiler.on_thread_begin(tid);
+    ci::AccessSink& sink = profiler;
+    const ct::Range mine = ct::block_partition(kItems, kThreads, tid);
+
+    {
+      COMMSCOPE_LOOP(sink, tid, "quickstart", "produce");
+      for (std::size_t i = mine.begin; i < mine.end; ++i) {
+        sink.write(tid, &data[i]);
+        data[i] = static_cast<double>(i);
+      }
+    }
+    team.barrier().arrive_and_wait();
+    {
+      COMMSCOPE_LOOP(sink, tid, "quickstart", "consume");
+      const ct::Range next =
+          ct::block_partition(kItems, kThreads, (tid + 1) % kThreads);
+      double sum = 0.0;
+      for (std::size_t i = next.begin; i < next.end; ++i) {
+        sink.read(tid, &data[i]);
+        sum += data[i];
+      }
+      (void)sum;
+    }
+  });
+  profiler.finalize();
+
+  // 3. The report: whole-program matrix, per-loop nesting, thread loads.
+  cc::ReportOptions ropts;
+  ropts.heatmap_top = 2;
+  cc::print_report(std::cout, profiler, ropts);
+
+  const cc::Matrix m = profiler.communication_matrix();
+  std::cout << "Thread loads (Eq. 1):\n";
+  const std::vector<double> load = cc::thread_load(m);
+  for (int t = 0; t < kThreads; ++t) {
+    std::cout << "  thread " << t << ": " << load[static_cast<std::size_t>(t)]
+              << " bytes\n";
+  }
+  std::cout << "\nEach 'consume' ring neighbour shows up as one off-diagonal "
+               "stripe in the matrix above.\n";
+  return 0;
+}

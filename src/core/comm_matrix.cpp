@@ -1,0 +1,87 @@
+#include "core/comm_matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace commscope::core {
+
+std::uint64_t Matrix::row_sum(int tid) const noexcept {
+  std::uint64_t s = 0;
+  for (int c = 0; c < n_; ++c) s += at(tid, c);
+  return s;
+}
+
+std::uint64_t Matrix::col_sum(int tid) const noexcept {
+  std::uint64_t s = 0;
+  for (int p = 0; p < n_; ++p) s += at(p, tid);
+  return s;
+}
+
+std::uint64_t Matrix::total() const noexcept {
+  std::uint64_t s = 0;
+  for (std::uint64_t v : cells_) s += v;
+  return s;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  if (other.n_ != n_) throw std::invalid_argument("matrix size mismatch");
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  return *this;
+}
+
+std::vector<double> Matrix::normalized() const {
+  std::vector<double> out(cells_.size(), 0.0);
+  const std::uint64_t maxv = cells_.empty()
+                                 ? 0
+                                 : *std::max_element(cells_.begin(), cells_.end());
+  if (maxv == 0) return out;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    out[i] = static_cast<double>(cells_[i]) / static_cast<double>(maxv);
+  }
+  return out;
+}
+
+Matrix Matrix::trimmed(int t) const {
+  t = std::min(t, n_);
+  Matrix m(t);
+  for (int p = 0; p < t; ++p) {
+    for (int c = 0; c < t; ++c) m.at(p, c) = at(p, c);
+  }
+  return m;
+}
+
+int Matrix::active_threads() const noexcept {
+  int active = 0;
+  for (int i = 0; i < n_; ++i) {
+    if (row_sum(i) > 0 || col_sum(i) > 0) active = i + 1;
+  }
+  return active;
+}
+
+CommMatrix::CommMatrix(int n)
+    : n_(n),
+      cells_(std::make_unique<std::atomic<std::uint64_t>[]>(
+          static_cast<std::size_t>(n) * static_cast<std::size_t>(n))) {
+  if (n < 1) throw std::invalid_argument("CommMatrix needs n >= 1");
+  reset();
+}
+
+Matrix CommMatrix::snapshot() const {
+  Matrix m(n_);
+  const std::size_t total = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+  for (std::size_t i = 0; i < total; ++i) {
+    m.at(static_cast<int>(i / static_cast<std::size_t>(n_)),
+         static_cast<int>(i % static_cast<std::size_t>(n_))) =
+        cells_[i].load(std::memory_order_relaxed);
+  }
+  return m;
+}
+
+void CommMatrix::reset() noexcept {
+  const std::size_t total = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+  for (std::size_t i = 0; i < total; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace commscope::core

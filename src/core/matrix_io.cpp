@@ -1,0 +1,49 @@
+#include "core/matrix_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace commscope::core {
+
+namespace {
+constexpr const char* kMagic = "commscope-matrix";
+constexpr int kVersion = 1;
+}  // namespace
+
+void write_matrix(std::ostream& os, const Matrix& m) {
+  os << kMagic << ' ' << kVersion << '\n' << m.size() << '\n';
+  for (int p = 0; p < m.size(); ++p) {
+    for (int c = 0; c < m.size(); ++c) {
+      os << m.at(p, c) << (c + 1 == m.size() ? '\n' : ' ');
+    }
+  }
+}
+
+Matrix read_matrix(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kMagic) {
+    throw std::runtime_error("matrix_io: bad magic");
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("matrix_io: unsupported version " +
+                             std::to_string(version));
+  }
+  int n = 0;
+  if (!(is >> n) || n < 1 || n > 4096) {
+    throw std::runtime_error("matrix_io: invalid matrix size");
+  }
+  Matrix m(n);
+  for (int p = 0; p < n; ++p) {
+    for (int c = 0; c < n; ++c) {
+      std::uint64_t v = 0;
+      if (!(is >> v)) throw std::runtime_error("matrix_io: truncated cells");
+      m.at(p, c) = v;
+    }
+  }
+  return m;
+}
+
+}  // namespace commscope::core

@@ -1,0 +1,24 @@
+// Matrix (de)serialization: a small stable text format so profiles can be
+// captured in one run and consumed offline (classification, mapping,
+// plotting) — the workflow the paper sketches for feeding an auto-tuner.
+//
+// Format ("commscope-matrix 1"):
+//   commscope-matrix 1
+//   <n>
+//   <n rows of n space-separated uint64 cells>
+#pragma once
+
+#include <iosfwd>
+
+#include "core/comm_matrix.hpp"
+
+namespace commscope::core {
+
+/// Writes `m` in the versioned text format.
+void write_matrix(std::ostream& os, const Matrix& m);
+
+/// Parses a matrix; throws std::runtime_error on malformed input (bad magic,
+/// unsupported version, non-positive size, truncated or non-numeric cells).
+[[nodiscard]] Matrix read_matrix(std::istream& is);
+
+}  // namespace commscope::core

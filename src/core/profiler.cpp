@@ -1,0 +1,133 @@
+#include "core/profiler.hpp"
+
+#include <stdexcept>
+
+namespace commscope::core {
+
+namespace {
+
+std::variant<AsymmetricDetector, sigmem::ExactSignature> make_backend(
+    const ProfilerOptions& o, support::MemoryTracker* tracker) {
+  if (o.backend == Backend::kAsymmetricSignature) {
+    return std::variant<AsymmetricDetector, sigmem::ExactSignature>(
+        std::in_place_type<AsymmetricDetector>, o.signature_slots,
+        o.max_threads, o.fp_rate, tracker);
+  }
+  return std::variant<AsymmetricDetector, sigmem::ExactSignature>(
+      std::in_place_type<sigmem::ExactSignature>, o.max_threads, tracker);
+}
+
+}  // namespace
+
+Profiler::Profiler(ProfilerOptions options)
+    : options_(options),
+      backend_(make_backend(options, &memory_)),
+      tree_(options.max_threads, &memory_, options.sparse_region_matrices),
+      phases_(options.max_threads, options.phase_window_bytes),
+      contexts_(std::make_unique<ThreadCtx[]>(
+          static_cast<std::size_t>(options.max_threads))) {
+  if (options.max_threads < 1 || options.max_threads > 64) {
+    throw std::invalid_argument("Profiler supports 1..64 threads");
+  }
+  for (int t = 0; t < options.max_threads; ++t) {
+    contexts_[static_cast<std::size_t>(t)].stack.reserve(16);
+  }
+}
+
+void Profiler::on_thread_begin(int tid) {
+  ThreadCtx& c = ctx(tid);
+  c.stack.clear();
+  c.stack.push_back(&tree_.root());
+}
+
+void Profiler::on_loop_enter(int tid, instrument::LoopId id) {
+  ThreadCtx& c = ctx(tid);
+  if (c.stack.empty()) c.stack.push_back(&tree_.root());
+  RegionNode* node = c.stack.back()->child(id);
+  node->count_entry();
+  c.stack.push_back(node);
+}
+
+void Profiler::on_loop_exit(int tid) {
+  ThreadCtx& c = ctx(tid);
+  if (c.stack.size() > 1) c.stack.pop_back();
+}
+
+void Profiler::on_access(int tid, std::uintptr_t addr, std::uint32_t size,
+                         instrument::AccessKind kind) {
+  ThreadCtx& c = ctx(tid);
+  if (c.stack.empty()) c.stack.push_back(&tree_.root());
+  ++c.accesses;
+  phases_.count_access();
+
+  if (kind == instrument::AccessKind::kWrite) {
+    ++c.writes;
+    if (options_.classify_dependences) {
+      sigmem::ExactSignature::WriteObservation obs;
+      if (auto* det = std::get_if<AsymmetricDetector>(&backend_)) {
+        obs = det->on_write_classified(addr, tid);
+      } else {
+        obs = std::get<sigmem::ExactSignature>(backend_).on_write_classified(
+            addr, tid);
+      }
+      if (obs.had_other_readers) ++c.war;
+      if (obs.prev_writer.has_value() && *obs.prev_writer != tid) ++c.waw;
+    } else if (auto* det = std::get_if<AsymmetricDetector>(&backend_)) {
+      det->on_write(addr, tid);
+    } else {
+      std::get<sigmem::ExactSignature>(backend_).on_write(addr, tid);
+    }
+    return;
+  }
+
+  ++c.reads;
+  std::optional<int> producer;
+  if (options_.classify_dependences) {
+    sigmem::ExactSignature::ReadObservation obs;
+    if (auto* det = std::get_if<AsymmetricDetector>(&backend_)) {
+      obs = det->on_read_classified(addr, tid);
+    } else {
+      obs = std::get<sigmem::ExactSignature>(backend_).on_read_classified(addr,
+                                                                          tid);
+    }
+    if (obs.rar) ++c.rar;
+    producer = obs.producer;
+  } else if (auto* det = std::get_if<AsymmetricDetector>(&backend_)) {
+    producer = det->on_read(addr, tid);
+  } else {
+    producer = std::get<sigmem::ExactSignature>(backend_).on_read(addr, tid);
+  }
+  if (producer.has_value()) {
+    ++c.dependencies;
+    c.stack.back()->matrix().add(*producer, tid, size);
+    phases_.add(*producer, tid, size);
+  }
+}
+
+void Profiler::finalize() { phases_.flush(); }
+
+DependenceCounts Profiler::dependence_counts() const {
+  DependenceCounts d;
+  for (int t = 0; t < options_.max_threads; ++t) {
+    const ThreadCtx& c = contexts_[static_cast<std::size_t>(t)];
+    d.raw += c.dependencies;
+    d.war += c.war;
+    d.waw += c.waw;
+    d.rar += c.rar;
+  }
+  return d;
+}
+
+ProfileStats Profiler::stats() const {
+  ProfileStats s;
+  for (int t = 0; t < options_.max_threads; ++t) {
+    const ThreadCtx& c = contexts_[static_cast<std::size_t>(t)];
+    s.accesses += c.accesses;
+    s.reads += c.reads;
+    s.writes += c.writes;
+    s.dependencies += c.dependencies;
+  }
+  return s;
+}
+
+}  // namespace commscope::core

@@ -1,0 +1,159 @@
+// The CommScope profiler — the paper's primary contribution assembled.
+//
+// An AccessSink that runs Algorithm 1 inline in the accessing threads,
+// attributes every detected inter-thread RAW dependency to the consuming
+// thread's innermost annotated loop region, and exposes:
+//   * the whole-program communication matrix,
+//   * the nested per-loop matrices (Figures 6/7),
+//   * the thread-load metric (Eq. 1, Figure 8),
+//   * the phase timeline (dynamic behaviour, Section V.A.4),
+//   * its own exact memory footprint (Figure 5) and event statistics.
+//
+// The detection backend is selectable: the bounded asymmetric signature
+// memory (the paper's design) or the exact perfect-signature baseline used
+// for ground truth in the FPR study.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "core/phase.hpp"
+#include "core/raw_detector.hpp"
+#include "core/region_tree.hpp"
+#include "instrument/sink.hpp"
+#include "sigmem/exact_signature.hpp"
+#include "support/memtrack.hpp"
+
+namespace commscope::core {
+
+/// Detection backend selector.
+enum class Backend {
+  kAsymmetricSignature,  ///< bounded memory, tunable FPR (the paper's design)
+  kExact,                ///< collision-free baseline (unbounded memory)
+};
+
+struct ProfilerOptions {
+  /// Matrix dimension and signature payload capacity t. The paper runs 32.
+  int max_threads = 32;
+  /// Signature slot count n (both read and write signatures). The paper's
+  /// reference configuration is 10'000'000; the default here is sized for
+  /// test-scale workloads. Ignored by the exact backend.
+  std::size_t signature_slots = 1u << 20;
+  /// Bloom-filter false-positive target (paper: 0.001).
+  double fp_rate = 0.001;
+  Backend backend = Backend::kAsymmetricSignature;
+  /// Phase-window volume in communicated bytes; 0 disables phase tracking.
+  std::uint64_t phase_window_bytes = 0;
+  /// Also classify WAR/WAW/RAR dependencies (the full DiscoPoP dependence
+  /// set, Section III.B). Exact with the exact backend; approximate with the
+  /// signature backend (bloom filters cannot enumerate readers — see
+  /// AsymmetricDetector::on_read_classified). Costs one extra bloom scan per
+  /// access, so it is off by default; Algorithm 1 needs RAW only.
+  bool classify_dependences = false;
+  /// Use sparse per-region matrices (Section VII future work): memory
+  /// proportional to communicating thread pairs instead of n^2 per region,
+  /// at the cost of a spinlocked update instead of one atomic add.
+  bool sparse_region_matrices = false;
+};
+
+/// Inter-thread dependence census when classify_dependences is enabled.
+/// `raw` duplicates ProfileStats::dependencies for convenience.
+struct DependenceCounts {
+  std::uint64_t raw = 0;
+  std::uint64_t war = 0;
+  std::uint64_t waw = 0;
+  std::uint64_t rar = 0;
+};
+
+/// Aggregate event statistics.
+struct ProfileStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t dependencies = 0;  ///< inter-thread RAW edges recorded
+};
+
+class Profiler final : public instrument::AccessSink {
+ public:
+  explicit Profiler(ProfilerOptions options);
+
+  [[nodiscard]] const ProfilerOptions& options() const noexcept {
+    return options_;
+  }
+
+  // --- AccessSink ----------------------------------------------------------
+  void on_thread_begin(int tid) override;
+  void on_loop_enter(int tid, instrument::LoopId id) override;
+  void on_loop_exit(int tid) override;
+  void on_access(int tid, std::uintptr_t addr, std::uint32_t size,
+                 instrument::AccessKind kind) override;
+  void finalize() override;
+
+  // --- results -------------------------------------------------------------
+
+  /// Whole-program communication matrix (aggregate over the region tree).
+  [[nodiscard]] Matrix communication_matrix() const {
+    return tree_.root().aggregate();
+  }
+
+  [[nodiscard]] const RegionTree& regions() const noexcept { return tree_; }
+
+  /// Phase timeline (empty unless phase_window_bytes was set).
+  [[nodiscard]] std::vector<Matrix> phase_timeline() const {
+    return phases_.timeline();
+  }
+
+  /// Raw-access counts per phase window, aligned with phase_timeline().
+  [[nodiscard]] std::vector<std::uint64_t> phase_window_accesses() const {
+    return phases_.window_accesses();
+  }
+
+  [[nodiscard]] ProfileStats stats() const;
+
+  /// Dependence census (all zeros unless classify_dependences was set).
+  [[nodiscard]] DependenceCounts dependence_counts() const;
+
+  /// Exact bytes held by profiler data structures (signatures + region tree
+  /// matrices) — the quantity Figure 5 plots.
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return memory_.current();
+  }
+  [[nodiscard]] const support::MemoryTracker& memory() const noexcept {
+    return memory_;
+  }
+
+  /// Direct access to the asymmetric detector (null for the exact backend).
+  [[nodiscard]] const AsymmetricDetector* signature_detector() const noexcept {
+    return std::get_if<AsymmetricDetector>(&backend_);
+  }
+
+ private:
+  /// Per-thread mutable state, cache-line padded.
+  struct alignas(64) ThreadCtx {
+    std::vector<RegionNode*> stack;
+    std::uint64_t accesses = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t dependencies = 0;
+    std::uint64_t war = 0;
+    std::uint64_t waw = 0;
+    std::uint64_t rar = 0;
+  };
+
+  ProfilerOptions options_;
+  support::MemoryTracker memory_;
+  std::variant<AsymmetricDetector, sigmem::ExactSignature> backend_;
+  RegionTree tree_;
+  PhaseTracker phases_;
+  std::unique_ptr<ThreadCtx[]> contexts_;
+
+  [[nodiscard]] ThreadCtx& ctx(int tid) noexcept {
+    return contexts_[static_cast<std::size_t>(tid)];
+  }
+};
+
+}  // namespace commscope::core

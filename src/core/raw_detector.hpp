@@ -1,0 +1,119 @@
+// Algorithm 1 of the paper: RAW thread-dependence detection over the
+// asymmetric signature memory.
+//
+//   for all memory access a in the program do
+//     if Type(a) is read access then
+//       if a in write signature then
+//         if a not in read signature & lastWrite.tid != a.tid then
+//           add RAW dependency to comm. matrix
+//       else
+//         insert a to read signature
+//     else  {a is write access}
+//       clear correspondent bloom filter in read signature
+//       insert a to write signature
+//
+// Two published-text ambiguities are resolved here (rationale in DESIGN.md
+// §1): the dependence condition uses lastWrite.tid != a.tid (the printed "="
+// is a typo — the matrix is *inter*-thread by definition), and a read found
+// in the write signature is still inserted into the read signature so each
+// (address, reader) pair is counted once per producing write, which is the
+// paper's own first-touch rule ("only first time access by a thread is
+// counted as a communication", Section V.A.5) — the mechanism that makes the
+// profiler resilient to false-positive communication.
+//
+// The detector is executed inline by the accessing application threads
+// themselves ("we use the same threads in the program ... without any need
+// to any extra threads"); all shared state is lock-free.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+
+#include "sigmem/exact_signature.hpp"
+#include "sigmem/read_signature.hpp"
+#include "sigmem/write_signature.hpp"
+#include "support/memtrack.hpp"
+
+namespace commscope::core {
+
+/// Backend concept shared by the asymmetric detector and the exact baseline:
+/// on_read returns the producer tid when the access completes a new
+/// inter-thread RAW dependency.
+template <typename B>
+concept RawBackend = requires(B& b, std::uintptr_t addr, int tid) {
+  { b.on_read(addr, tid) } -> std::same_as<std::optional<int>>;
+  b.on_write(addr, tid);
+};
+
+/// Algorithm 1 over the two signature memories of Figure 3.
+class AsymmetricDetector {
+ public:
+  AsymmetricDetector(std::size_t slots, int max_threads, double fp_rate,
+                     support::MemoryTracker* tracker = nullptr)
+      : read_sig_(slots, max_threads, fp_rate, tracker),
+        write_sig_(slots, tracker) {}
+
+  std::optional<int> on_read(std::uintptr_t addr, int tid) noexcept {
+    const std::size_t wslot = write_sig_.slot_of(addr);
+    const std::optional<int> last_writer = write_sig_.last_writer(wslot);
+    const std::size_t rslot = read_sig_.slot_of(addr);
+    if (last_writer.has_value()) {
+      // "a in write signature": the reader joins the read signature; the
+      // returned prior-membership bit is the "a not in read signature" test.
+      const bool already_reader = read_sig_.insert(rslot, tid);
+      if (!already_reader && *last_writer != tid) return last_writer;
+      return std::nullopt;
+    }
+    // "a not in write signature": insert a to read signature.
+    read_sig_.insert(rslot, tid);
+    return std::nullopt;
+  }
+
+  void on_write(std::uintptr_t addr, int tid) noexcept {
+    read_sig_.clear_slot(read_sig_.slot_of(addr));
+    write_sig_.record(write_sig_.slot_of(addr), tid);
+  }
+
+  /// Classified variants for the optional WAR/WAW/RAR extension. Bloom
+  /// filters cannot enumerate members, so "other readers" is approximated:
+  /// a RAR is reported when the slot already had readers and `tid` was not
+  /// among them; a WAR when the slot had any readers at all (which may be
+  /// the writer's own — an overcount the exact backend does not make).
+  [[nodiscard]] sigmem::ExactSignature::ReadObservation on_read_classified(
+      std::uintptr_t addr, int tid) noexcept {
+    sigmem::ExactSignature::ReadObservation obs;
+    const std::size_t rslot = read_sig_.slot_of(addr);
+    obs.rar = read_sig_.any(rslot) && !read_sig_.contains(rslot, tid);
+    obs.producer = on_read(addr, tid);
+    return obs;
+  }
+
+  sigmem::ExactSignature::WriteObservation on_write_classified(
+      std::uintptr_t addr, int tid) noexcept {
+    sigmem::ExactSignature::WriteObservation obs;
+    obs.had_other_readers = read_sig_.any(read_sig_.slot_of(addr));
+    obs.prev_writer = write_sig_.last_writer(write_sig_.slot_of(addr));
+    on_write(addr, tid);
+    return obs;
+  }
+
+  [[nodiscard]] const sigmem::ReadSignature& read_signature() const noexcept {
+    return read_sig_;
+  }
+  [[nodiscard]] const sigmem::WriteSignature& write_signature() const noexcept {
+    return write_sig_;
+  }
+
+  [[nodiscard]] std::uint64_t byte_size() const noexcept {
+    return read_sig_.byte_size() + write_sig_.byte_size();
+  }
+
+ private:
+  sigmem::ReadSignature read_sig_;
+  sigmem::WriteSignature write_sig_;
+};
+
+static_assert(RawBackend<AsymmetricDetector>);
+
+}  // namespace commscope::core

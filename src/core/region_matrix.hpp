@@ -1,0 +1,69 @@
+// RegionMatrix: the per-region accumulator behind RegionNode, selectable
+// between the dense lock-free CommMatrix (default) and the sparse
+// future-work representation (SparseCommMatrix). Both expose add/snapshot;
+// the choice is a pure space/time trade documented in sparse_matrix.hpp.
+#pragma once
+
+#include <variant>
+
+#include "core/comm_matrix.hpp"
+#include "core/sparse_matrix.hpp"
+
+namespace commscope::core {
+
+class RegionMatrix {
+ public:
+  RegionMatrix(int n, bool sparse, support::MemoryTracker* tracker)
+      : impl_(sparse ? Impl(std::in_place_type<SparseCommMatrix>, n, tracker)
+                     : Impl(std::in_place_type<CommMatrix>, n)),
+        tracker_(tracker) {
+    if (!sparse && tracker_ != nullptr) tracker_->add(CommMatrix::byte_size(n));
+  }
+
+  ~RegionMatrix() {
+    if (std::holds_alternative<CommMatrix>(impl_) && tracker_ != nullptr) {
+      tracker_->sub(CommMatrix::byte_size(std::get<CommMatrix>(impl_).size()));
+    }
+    // SparseCommMatrix settles its own per-cell accounting... on reset only;
+    // release the residue here.
+    if (auto* sp = std::get_if<SparseCommMatrix>(&impl_)) {
+      if (tracker_ != nullptr) tracker_->sub(sp->byte_size());
+    }
+  }
+
+  RegionMatrix(const RegionMatrix&) = delete;
+  RegionMatrix& operator=(const RegionMatrix&) = delete;
+
+  [[nodiscard]] int size() const noexcept {
+    if (const auto* dense = std::get_if<CommMatrix>(&impl_)) {
+      return dense->size();
+    }
+    return std::get<SparseCommMatrix>(impl_).size();
+  }
+
+  void add(int producer, int consumer, std::uint64_t bytes) {
+    if (auto* dense = std::get_if<CommMatrix>(&impl_)) {
+      dense->add(producer, consumer, bytes);
+    } else {
+      std::get<SparseCommMatrix>(impl_).add(producer, consumer, bytes);
+    }
+  }
+
+  [[nodiscard]] Matrix snapshot() const {
+    if (const auto* dense = std::get_if<CommMatrix>(&impl_)) {
+      return dense->snapshot();
+    }
+    return std::get<SparseCommMatrix>(impl_).snapshot();
+  }
+
+  [[nodiscard]] bool is_sparse() const noexcept {
+    return std::holds_alternative<SparseCommMatrix>(impl_);
+  }
+
+ private:
+  using Impl = std::variant<CommMatrix, SparseCommMatrix>;
+  Impl impl_;
+  support::MemoryTracker* tracker_;
+};
+
+}  // namespace commscope::core

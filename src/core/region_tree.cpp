@@ -1,0 +1,71 @@
+#include "core/region_tree.hpp"
+
+namespace commscope::core {
+
+RegionNode::RegionNode(instrument::LoopId loop, RegionNode* parent, int threads,
+                       support::MemoryTracker* tracker, bool sparse)
+    : loop_(loop),
+      parent_(parent),
+      threads_(threads),
+      tracker_(tracker),
+      sparse_(sparse),
+      matrix_(threads, sparse, tracker) {
+  if (tracker_ != nullptr) tracker_->add(sizeof(RegionNode));
+}
+
+RegionNode* RegionNode::child(instrument::LoopId id) {
+  std::lock_guard lock(children_mu_);
+  for (const auto& c : children_) {
+    if (c->loop() == id) return c.get();
+  }
+  children_.push_back(
+      std::make_unique<RegionNode>(id, this, threads_, tracker_, sparse_));
+  return children_.back().get();
+}
+
+std::vector<const RegionNode*> RegionNode::children() const {
+  std::lock_guard lock(children_mu_);
+  std::vector<const RegionNode*> out;
+  out.reserve(children_.size());
+  for (const auto& c : children_) out.push_back(c.get());
+  return out;
+}
+
+Matrix RegionNode::aggregate() const {
+  Matrix m = direct();
+  for (const RegionNode* c : children()) m += c->aggregate();
+  return m;
+}
+
+int RegionNode::depth() const noexcept {
+  int d = 0;
+  for (const RegionNode* p = parent_; p != nullptr; p = p->parent()) ++d;
+  return d;
+}
+
+std::string RegionNode::label() const {
+  if (loop_ == instrument::kNoLoop) return "<root>";
+  return instrument::LoopRegistry::instance().label(loop_);
+}
+
+RegionTree::RegionTree(int threads, support::MemoryTracker* tracker,
+                       bool sparse)
+    : root_(std::make_unique<RegionNode>(instrument::kNoLoop, nullptr, threads,
+                                         tracker, sparse)) {}
+
+namespace {
+void collect(const RegionNode* node, std::vector<const RegionNode*>& out) {
+  out.push_back(node);
+  for (const RegionNode* c : node->children()) collect(c, out);
+}
+}  // namespace
+
+std::vector<const RegionNode*> RegionTree::preorder() const {
+  std::vector<const RegionNode*> out;
+  collect(root_.get(), out);
+  return out;
+}
+
+std::size_t RegionTree::node_count() const { return preorder().size(); }
+
+}  // namespace commscope::core

@@ -1,0 +1,103 @@
+// Nested loop-region tree: one communication matrix per dynamic loop
+// nesting context.
+//
+// This is the paper's "multi-layer communication matrix for hotspot loops":
+// every annotated loop, in every nesting context it executes in, gets a node
+// holding its own communication matrix. Dependencies are attributed to the
+// *innermost* active region of the consuming thread, so a parent's aggregate
+// matrix is the sum of its own direct matrix and all descendants — the
+// paper's "the final communication matrix can be obtained by summing all its
+// child matrices together" (Section V.A.4).
+//
+// Node creation takes a per-parent spinlock (rare: once per distinct loop
+// per context); matrix accumulation is lock-free.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "core/region_matrix.hpp"
+#include "instrument/loop_registry.hpp"
+#include "support/memtrack.hpp"
+#include "threading/spinlock.hpp"
+
+namespace commscope::core {
+
+class RegionNode {
+ public:
+  RegionNode(instrument::LoopId loop, RegionNode* parent, int threads,
+             support::MemoryTracker* tracker, bool sparse = false);
+
+  [[nodiscard]] instrument::LoopId loop() const noexcept { return loop_; }
+  [[nodiscard]] RegionNode* parent() const noexcept { return parent_; }
+
+  /// Concurrent accumulator for dependencies attributed directly here
+  /// (dense lock-free by default; sparse when the tree was built with the
+  /// future-work sparse representation).
+  [[nodiscard]] RegionMatrix& matrix() noexcept { return matrix_; }
+  [[nodiscard]] const RegionMatrix& matrix() const noexcept { return matrix_; }
+
+  /// Child for loop `id`, created on first entry from this context (calling
+  /// purely for the creation side effect is fine, hence no [[nodiscard]]).
+  RegionNode* child(instrument::LoopId id);
+
+  /// Stable view of current children (append-only container).
+  [[nodiscard]] std::vector<const RegionNode*> children() const;
+
+  void count_entry() noexcept {
+    entries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t entries() const noexcept {
+    return entries_.load(std::memory_order_relaxed);
+  }
+
+  /// Direct matrix snapshot (dependencies attributed exactly here).
+  [[nodiscard]] Matrix direct() const { return matrix_.snapshot(); }
+
+  /// Aggregate = direct + sum over all descendants (the paper's parent-as-
+  /// sum-of-children property).
+  [[nodiscard]] Matrix aggregate() const;
+
+  /// Depth from the root (root = 0).
+  [[nodiscard]] int depth() const noexcept;
+
+  /// Human label: "function:loop" from the registry, "<root>" for the root.
+  [[nodiscard]] std::string label() const;
+
+ private:
+  instrument::LoopId loop_;
+  RegionNode* parent_;
+  int threads_;
+  support::MemoryTracker* tracker_;
+  bool sparse_;
+  RegionMatrix matrix_;
+  std::atomic<std::uint64_t> entries_{0};
+
+  mutable threading::Spinlock children_mu_;
+  std::vector<std::unique_ptr<RegionNode>> children_;
+};
+
+/// Owns the root region ("whole program", outside any annotated loop).
+class RegionTree {
+ public:
+  explicit RegionTree(int threads, support::MemoryTracker* tracker = nullptr,
+                      bool sparse = false);
+
+  [[nodiscard]] RegionNode& root() noexcept { return *root_; }
+  [[nodiscard]] const RegionNode& root() const noexcept { return *root_; }
+
+  /// All nodes, preorder.
+  [[nodiscard]] std::vector<const RegionNode*> preorder() const;
+
+  /// Total node count.
+  [[nodiscard]] std::size_t node_count() const;
+
+ private:
+  std::unique_ptr<RegionNode> root_;
+};
+
+}  // namespace commscope::core

@@ -1,0 +1,107 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+#include "core/thread_load.hpp"
+#include "support/table.hpp"
+
+namespace commscope::core {
+
+namespace {
+
+void collect_rows(const RegionNode* node, const ReportOptions& opts,
+                  std::vector<RegionRow>& rows,
+                  std::vector<const RegionNode*>& nodes) {
+  const Matrix direct = node->direct();
+  const Matrix aggregate = node->aggregate();
+  const bool quiet = direct.total() == 0 && node->children().empty();
+  if (!(opts.hide_quiet_regions && quiet && node->parent() != nullptr)) {
+    RegionRow row;
+    row.label = node->label();
+    row.depth = node->depth();
+    row.entries = node->entries();
+    row.direct_bytes = direct.total();
+    row.aggregate_bytes = aggregate.total();
+    const std::vector<double> load = thread_load(aggregate);
+    row.load_imbalance = load_imbalance(load);
+    row.active_fraction = active_fraction(load);
+    rows.push_back(std::move(row));
+    nodes.push_back(node);
+  }
+  for (const RegionNode* c : node->children()) {
+    collect_rows(c, opts, rows, nodes);
+  }
+}
+
+}  // namespace
+
+std::vector<RegionRow> region_rows(const RegionTree& tree,
+                                   const ReportOptions& opts) {
+  std::vector<RegionRow> rows;
+  std::vector<const RegionNode*> nodes;
+  collect_rows(&tree.root(), opts, rows, nodes);
+  return rows;
+}
+
+void print_report(std::ostream& os, const Profiler& profiler,
+                  const ReportOptions& opts) {
+  const ProfileStats stats = profiler.stats();
+  os << "=== CommScope profile ===\n";
+  os << "accesses: " << stats.accesses << " (reads " << stats.reads
+     << ", writes " << stats.writes << "), inter-thread RAW dependencies: "
+     << stats.dependencies << "\n";
+  os << "profiler memory: "
+     << support::Table::bytes(profiler.memory_bytes()) << "\n";
+  if (profiler.options().classify_dependences) {
+    const DependenceCounts d = profiler.dependence_counts();
+    os << "dependence census: RAW " << d.raw << ", WAR " << d.war << ", WAW "
+       << d.waw << ", RAR " << d.rar << "\n";
+  }
+  os << "\n";
+
+  std::vector<RegionRow> rows;
+  std::vector<const RegionNode*> nodes;
+  collect_rows(&profiler.regions().root(), opts, rows, nodes);
+
+  support::Table t({"region", "entries", "direct", "aggregate", "imbalance",
+                    "active"});
+  for (const RegionRow& r : rows) {
+    t.add_row({std::string(static_cast<std::size_t>(r.depth) * 2, ' ') + r.label,
+               std::to_string(r.entries), support::Table::bytes(r.direct_bytes),
+               support::Table::bytes(r.aggregate_bytes),
+               support::Table::num(r.load_imbalance, 2),
+               support::Table::num(r.active_fraction, 2)});
+  }
+  t.print(os);
+
+  if (opts.heatmap_top > 0) {
+    std::vector<std::size_t> order(nodes.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return rows[a].direct_bytes > rows[b].direct_bytes;
+    });
+    os << "\n";
+    const int top = std::min<int>(opts.heatmap_top,
+                                  static_cast<int>(order.size()));
+    for (int i = 0; i < top; ++i) {
+      const RegionNode* node = nodes[order[static_cast<std::size_t>(i)]];
+      Matrix m = node->direct();
+      if (m.total() == 0) continue;
+      if (opts.trim_to_active) m = m.trimmed(std::max(2, m.active_threads()));
+      support::print_heatmap(os, m.cells(), static_cast<std::size_t>(m.size()),
+                             node->label());
+    }
+  }
+}
+
+void write_csv(std::ostream& os, const RegionTree& tree) {
+  os << "label,depth,entries,direct_bytes,aggregate_bytes,imbalance,"
+        "active_fraction\n";
+  for (const RegionRow& r : region_rows(tree)) {
+    os << r.label << ',' << r.depth << ',' << r.entries << ','
+       << r.direct_bytes << ',' << r.aggregate_bytes << ','
+       << r.load_imbalance << ',' << r.active_fraction << '\n';
+  }
+}
+
+}  // namespace commscope::core

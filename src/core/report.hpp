@@ -1,0 +1,52 @@
+// Report generation: the "final report about all patterns found in each
+// stage of the application" (Section V.A.4).
+//
+// Renders the nested region structure as an indented per-loop index (loop
+// label, nesting depth, invocations, direct and aggregate communication
+// volume, thread-load imbalance), optional ASCII heatmaps for the hottest
+// regions (the Figure 6/7 view), and a machine-readable CSV export.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/profiler.hpp"
+#include "core/region_tree.hpp"
+
+namespace commscope::core {
+
+struct ReportOptions {
+  /// Render heatmaps for the `heatmap_top` regions with the largest direct
+  /// communication volume (0 = no heatmaps).
+  int heatmap_top = 0;
+  /// Trim matrices to the active thread count before rendering.
+  bool trim_to_active = true;
+  /// Only list regions with direct communication or with children.
+  bool hide_quiet_regions = false;
+};
+
+/// One row of the per-loop index (exposed for tests and custom renderers).
+struct RegionRow {
+  std::string label;
+  int depth = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t direct_bytes = 0;
+  std::uint64_t aggregate_bytes = 0;
+  double load_imbalance = 0.0;
+  double active_fraction = 0.0;
+};
+
+/// Flattens the region tree into report rows (preorder).
+[[nodiscard]] std::vector<RegionRow> region_rows(const RegionTree& tree,
+                                                 const ReportOptions& opts = {});
+
+/// Full human-readable report for a finished profile.
+void print_report(std::ostream& os, const Profiler& profiler,
+                  const ReportOptions& opts = {});
+
+/// CSV with one line per region: label,depth,entries,direct,aggregate,
+/// imbalance,active_fraction.
+void write_csv(std::ostream& os, const RegionTree& tree);
+
+}  // namespace commscope::core

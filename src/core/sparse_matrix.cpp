@@ -1,0 +1,57 @@
+#include "core/sparse_matrix.hpp"
+
+#include <stdexcept>
+
+namespace commscope::core {
+
+SparseCommMatrix::SparseCommMatrix(int n, support::MemoryTracker* tracker)
+    : n_(n), tracker_(tracker), shards_(std::make_unique<Shard[]>(kShards)) {
+  if (n < 1) throw std::invalid_argument("SparseCommMatrix needs n >= 1");
+}
+
+void SparseCommMatrix::add(int producer, int consumer, std::uint64_t bytes) {
+  const std::uint32_t k = key(producer, consumer);
+  Shard& s = shards_[k % kShards];
+  std::lock_guard lock(s.mu);
+  auto [it, inserted] = s.cells.try_emplace(k, 0);
+  it->second += bytes;
+  if (inserted && tracker_ != nullptr) tracker_->add(kCellBytes);
+}
+
+Matrix SparseCommMatrix::snapshot() const {
+  Matrix m(n_);
+  for (std::size_t sh = 0; sh < kShards; ++sh) {
+    const Shard& s = shards_[sh];
+    std::lock_guard lock(s.mu);
+    for (const auto& [k, bytes] : s.cells) {
+      m.at(static_cast<int>(k / static_cast<std::uint32_t>(n_)),
+           static_cast<int>(k % static_cast<std::uint32_t>(n_))) = bytes;
+    }
+  }
+  return m;
+}
+
+std::size_t SparseCommMatrix::cell_count() const {
+  std::size_t n = 0;
+  for (std::size_t sh = 0; sh < kShards; ++sh) {
+    std::lock_guard lock(shards_[sh].mu);
+    n += shards_[sh].cells.size();
+  }
+  return n;
+}
+
+std::uint64_t SparseCommMatrix::byte_size() const {
+  return cell_count() * kCellBytes;
+}
+
+void SparseCommMatrix::reset() {
+  for (std::size_t sh = 0; sh < kShards; ++sh) {
+    std::lock_guard lock(shards_[sh].mu);
+    if (tracker_ != nullptr) {
+      tracker_->sub(shards_[sh].cells.size() * kCellBytes);
+    }
+    shards_[sh].cells.clear();
+  }
+}
+
+}  // namespace commscope::core

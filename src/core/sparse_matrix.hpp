@@ -1,0 +1,70 @@
+// Sparse communication-matrix accumulator — the paper's second future-work
+// item ("use sparse matrices to reduce memory consumption even further",
+// Section VII).
+//
+// A dense CommMatrix costs n²·8 bytes per region node regardless of how many
+// thread pairs actually communicate; at 64 threads that is 32 KiB per node,
+// and deep region trees multiply it. Most loops touch only a band or a hub
+// of pairs, so SparseCommMatrix stores occupied cells in sharded hash maps:
+// memory is proportional to the number of communicating pairs, at the price
+// of a short spinlock per update instead of one atomic add. The profiler
+// selects the representation via ProfilerOptions::sparse_region_matrices;
+// bench/ablation_sparse quantifies the trade-off.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/comm_matrix.hpp"
+#include "support/memtrack.hpp"
+#include "threading/spinlock.hpp"
+
+namespace commscope::core {
+
+class SparseCommMatrix {
+ public:
+  explicit SparseCommMatrix(int n, support::MemoryTracker* tracker = nullptr);
+
+  SparseCommMatrix(const SparseCommMatrix&) = delete;
+  SparseCommMatrix& operator=(const SparseCommMatrix&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return n_; }
+
+  void add(int producer, int consumer, std::uint64_t bytes);
+
+  [[nodiscard]] Matrix snapshot() const;
+
+  /// Number of occupied (nonzero) cells.
+  [[nodiscard]] std::size_t cell_count() const;
+
+  /// Approximate bytes held by the sparse storage.
+  [[nodiscard]] std::uint64_t byte_size() const;
+
+  void reset();
+
+  /// Per-cell accounting cost used for byte_size()/tracker charging (key +
+  /// value + node overhead + bucket share of an unordered_map entry).
+  static constexpr std::size_t kCellBytes =
+      sizeof(std::uint32_t) + sizeof(std::uint64_t) + 32;
+
+ private:
+  static constexpr std::size_t kShards = 8;
+
+  struct Shard {
+    mutable threading::Spinlock mu;
+    std::unordered_map<std::uint32_t, std::uint64_t> cells;
+  };
+
+  [[nodiscard]] std::uint32_t key(int p, int c) const noexcept {
+    return static_cast<std::uint32_t>(p) * static_cast<std::uint32_t>(n_) +
+           static_cast<std::uint32_t>(c);
+  }
+
+  int n_;
+  support::MemoryTracker* tracker_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace commscope::core

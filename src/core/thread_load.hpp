@@ -1,0 +1,76 @@
+// Thread-load metric — Eq. 1 of the paper.
+//
+//   threadLoad_i = sum(dataCommunicationInBytes_i) / threads_count
+//
+// "The numerator denotes total bytes of communication for thread_i which can
+// be computed by summing all values on that thread's row in communication
+// matrix." (Section IV.E). The resulting vector quantifies how evenly a
+// loop's communication work is spread across threads (Figure 8); a high
+// imbalance index flags hotspots where part of the thread pool sits idle —
+// the quantity the paper proposes feeding into an auto-tuner.
+#pragma once
+
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "support/stats.hpp"
+
+namespace commscope::core {
+
+/// Per-thread load vector (Eq. 1). `threads_count` defaults to the matrix
+/// dimension, the paper's definition.
+[[nodiscard]] inline std::vector<double> thread_load(const Matrix& m,
+                                                     int threads_count = 0) {
+  const int n = m.size();
+  if (threads_count <= 0) threads_count = n;
+  std::vector<double> load(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    load[static_cast<std::size_t>(i)] = static_cast<double>(m.row_sum(i)) /
+                                        static_cast<double>(threads_count);
+  }
+  return load;
+}
+
+/// Dual of Eq. 1 on the consumer side: bytes consumed by each thread
+/// (column sums) over the thread count.
+[[nodiscard]] inline std::vector<double> consumer_load(const Matrix& m,
+                                                       int threads_count = 0) {
+  const int n = m.size();
+  if (threads_count <= 0) threads_count = n;
+  std::vector<double> load(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    load[static_cast<std::size_t>(i)] = static_cast<double>(m.col_sum(i)) /
+                                        static_cast<double>(threads_count);
+  }
+  return load;
+}
+
+/// Total communication involvement of each thread — bytes it produced plus
+/// bytes it consumed, over the thread count. This is the "load on each
+/// thread" view Figure 8 plots: a thread that neither produces nor consumes
+/// in the loop ("half of threads are accessing the memory") shows zero.
+[[nodiscard]] inline std::vector<double> involvement_load(const Matrix& m,
+                                                          int threads_count = 0) {
+  std::vector<double> load = thread_load(m, threads_count);
+  const std::vector<double> cons = consumer_load(m, threads_count);
+  for (std::size_t i = 0; i < load.size(); ++i) load[i] += cons[i];
+  return load;
+}
+
+/// Fraction of threads with nonzero load — Figure 8a's "half of threads are
+/// accessing the memory" observation as a number.
+[[nodiscard]] inline double active_fraction(const std::vector<double>& load) {
+  if (load.empty()) return 0.0;
+  std::size_t active = 0;
+  for (double v : load) {
+    if (v > 0.0) ++active;
+  }
+  return static_cast<double>(active) / static_cast<double>(load.size());
+}
+
+/// Load-imbalance index over the thread-load vector (max/mean - 1).
+[[nodiscard]] inline double load_imbalance(const std::vector<double>& load) {
+  return support::imbalance(load);
+}
+
+}  // namespace commscope::core

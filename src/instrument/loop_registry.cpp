@@ -1,0 +1,32 @@
+#include "instrument/loop_registry.hpp"
+
+namespace commscope::instrument {
+
+LoopRegistry& LoopRegistry::instance() {
+  static LoopRegistry registry;
+  return registry;
+}
+
+LoopId LoopRegistry::declare(std::string function, std::string name) {
+  std::lock_guard lock(mu_);
+  loops_.push_back(LoopInfo{std::move(function), std::move(name)});
+  return static_cast<LoopId>(loops_.size() - 1);
+}
+
+LoopInfo LoopRegistry::info(LoopId id) const {
+  std::lock_guard lock(mu_);
+  if (id < loops_.size()) return loops_[id];
+  return LoopInfo{"?", "?"};
+}
+
+std::string LoopRegistry::label(LoopId id) const {
+  const LoopInfo li = info(id);
+  return li.function + ":" + li.name;
+}
+
+std::size_t LoopRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return loops_.size();
+}
+
+}  // namespace commscope::instrument

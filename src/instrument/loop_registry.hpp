@@ -1,0 +1,60 @@
+// Loop-annotation registry — the runtime analogue of the paper's static
+// analysis pass.
+//
+// Section IV.B: "It analyzes the program and annotates each loop with a
+// unique identifier (UID) using LLVM metadata nodes. If the instrumented
+// memory access is inside a loop, the UID of the parent loop is fed into the
+// pattern detection for further analysis."
+//
+// Without an LLVM pass, UIDs are assigned once per loop site via
+// function-local statics inside the COMMSCOPE_LOOP macro (see
+// instrument/loop_scope.hpp): the declaration runs exactly once per program,
+// before any iteration executes — the same once-per-loop-site property the
+// compile-time metadata gives. The registry maps each UID back to its
+// (function, loop name) for reporting.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace commscope::instrument {
+
+/// Dense loop identifier, unique per annotated loop site.
+using LoopId = std::uint32_t;
+
+/// Sentinel for "not inside any annotated loop".
+inline constexpr LoopId kNoLoop = 0xffffffffU;
+
+/// Source metadata attached to a loop site at declaration time.
+struct LoopInfo {
+  std::string function;  ///< enclosing function name
+  std::string name;      ///< loop label (e.g. "daxpy", "INTERF")
+};
+
+/// Process-wide loop table. Thread-safe; declaration is rare (once per loop
+/// site), lookup is lock-free after a snapshot.
+class LoopRegistry {
+ public:
+  /// The process-wide registry instance.
+  [[nodiscard]] static LoopRegistry& instance();
+
+  /// Registers a loop site; returns its UID. Called once per site via
+  /// function-local static initialization.
+  [[nodiscard]] LoopId declare(std::string function, std::string name);
+
+  /// Metadata of `id`; returns a "?"-filled record for unknown ids.
+  [[nodiscard]] LoopInfo info(LoopId id) const;
+
+  /// "function:name" label of `id` for reports.
+  [[nodiscard]] std::string label(LoopId id) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LoopInfo> loops_;
+};
+
+}  // namespace commscope::instrument

@@ -1,0 +1,59 @@
+// RAII loop regions + the COMMSCOPE_LOOP annotation macro.
+//
+// A LoopScope brackets one dynamic execution of an annotated loop on one
+// thread: construction feeds the loop UID into the sink (the paper's "UID of
+// the parent loop is fed into the pattern detection"), destruction pops it.
+// Nesting LoopScopes produces the nested region structure from which the
+// profiler builds its multi-layer communication matrices (Figures 6/7).
+#pragma once
+
+#include <utility>
+
+#include "instrument/loop_registry.hpp"
+#include "instrument/sink.hpp"
+
+namespace commscope::instrument {
+
+template <SinkLike Sink>
+class LoopScope {
+ public:
+  LoopScope(Sink& sink, int tid, LoopId id) noexcept
+      : sink_(&sink), tid_(tid) {
+    sink_->on_loop_enter(tid_, id);
+  }
+
+  ~LoopScope() { sink_->on_loop_exit(tid_); }
+
+  LoopScope(const LoopScope&) = delete;
+  LoopScope& operator=(const LoopScope&) = delete;
+
+ private:
+  Sink* sink_;
+  int tid_;
+};
+
+/// NullSink specialization: compiles to nothing.
+template <>
+class LoopScope<NullSink> {
+ public:
+  LoopScope(NullSink&, int, LoopId) noexcept {}
+};
+
+}  // namespace commscope::instrument
+
+/// Annotates the loop that immediately follows. `sink` is the kernel's sink
+/// object, `tid` the dense thread id, `func` and `name` the labels reports
+/// show. The function-local static runs the registry declaration exactly once
+/// per loop site — the runtime analogue of the pass's one-time UID metadata.
+///
+///   COMMSCOPE_LOOP(sink, tid, "lu", "daxpy");
+///   for (...) { ... }
+#define COMMSCOPE_CAT2(a, b) a##b
+#define COMMSCOPE_CAT(a, b) COMMSCOPE_CAT2(a, b)
+
+#define COMMSCOPE_LOOP(sink, tid, func, name)                                  \
+  static const ::commscope::instrument::LoopId COMMSCOPE_CAT(                  \
+      commscope_uid_, __LINE__) =                                              \
+      ::commscope::instrument::LoopRegistry::instance().declare(func, name);   \
+  ::commscope::instrument::LoopScope COMMSCOPE_CAT(commscope_scope_, __LINE__)( \
+      sink, tid, COMMSCOPE_CAT(commscope_uid_, __LINE__))

@@ -1,0 +1,96 @@
+// Access-sink interfaces: the event stream between instrumentation and
+// profilers.
+//
+// Section IV.C: "We have changed the instrumentation module in DiscoPoP to
+// instrument each memory access with its access type, memory address,
+// function name, variable size, current Loop ID and parent Loop ID." The
+// sink receives exactly that event tuple (function name and parent loop id
+// are recoverable from the loop-region stack the sink maintains per thread).
+//
+// Two sink flavours exist:
+//  * AccessSink — the abstract interface every profiler (signature, exact,
+//    shadow, IPM-log, SD3) implements; one virtual call per access.
+//  * NullSink — a non-virtual, empty-inline sink. Workload kernels are
+//    templated on the sink type, so the native twin compiled against
+//    NullSink contains no instrumentation at all; Figure 4's slowdown is
+//    instrumented-vs-native over the same kernel code.
+#pragma once
+
+#include <cstdint>
+
+#include "instrument/loop_registry.hpp"
+
+namespace commscope::instrument {
+
+/// Memory-access type. The paper's detector consumes reads and writes; RAR
+/// and WAR classification are handled inside DiscoPoP proper and are out of
+/// scope ("we only need RAW dependency for extracting communication pattern").
+enum class AccessKind : std::uint8_t { kRead, kWrite };
+
+/// Abstract profiler-facing event sink.
+class AccessSink {
+ public:
+  virtual ~AccessSink() = default;
+
+  /// Announces a worker thread with dense id `tid` before its first event.
+  virtual void on_thread_begin(int tid) = 0;
+
+  /// Pushes annotated loop `id` onto `tid`'s region stack.
+  virtual void on_loop_enter(int tid, LoopId id) = 0;
+
+  /// Pops the innermost loop from `tid`'s region stack.
+  virtual void on_loop_exit(int tid) = 0;
+
+  /// One memory access: `kind` at `addr` touching `size` bytes by `tid`.
+  virtual void on_access(int tid, std::uintptr_t addr, std::uint32_t size,
+                         AccessKind kind) = 0;
+
+  /// Marks the end of profiling; post-mortem profilers (IPM, SD3) build
+  /// their matrices here.
+  virtual void finalize() {}
+
+  // --- convenience wrappers used by instrumented kernels -------------------
+
+  template <typename T>
+  void read(int tid, const T* p) {
+    on_access(tid, reinterpret_cast<std::uintptr_t>(p),
+              static_cast<std::uint32_t>(sizeof(T)), AccessKind::kRead);
+  }
+
+  template <typename T>
+  void write(int tid, const T* p) {
+    on_access(tid, reinterpret_cast<std::uintptr_t>(p),
+              static_cast<std::uint32_t>(sizeof(T)), AccessKind::kWrite);
+  }
+};
+
+/// Zero-cost sink for the uninstrumented native twin. Not derived from
+/// AccessSink on purpose: calls through it must inline to nothing.
+struct NullSink {
+  static void on_thread_begin(int) noexcept {}
+  static void on_loop_enter(int, LoopId) noexcept {}
+  static void on_loop_exit(int) noexcept {}
+  static void on_access(int, std::uintptr_t, std::uint32_t,
+                        AccessKind) noexcept {}
+
+  template <typename T>
+  static void read(int, const T*) noexcept {}
+  template <typename T>
+  static void write(int, const T*) noexcept {}
+};
+
+/// Concept satisfied by both AccessSink-derived profilers and NullSink;
+/// workload kernels constrain their sink template parameter with it.
+template <typename S>
+concept SinkLike = requires(S& s, int tid, std::uintptr_t a, std::uint32_t n,
+                            AccessKind k, LoopId id) {
+  s.on_thread_begin(tid);
+  s.on_loop_enter(tid, id);
+  s.on_loop_exit(tid);
+  s.on_access(tid, a, n, k);
+};
+
+static_assert(SinkLike<NullSink>);
+static_assert(SinkLike<AccessSink>);
+
+}  // namespace commscope::instrument

@@ -1,0 +1,137 @@
+#include "instrument/trace.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace commscope::instrument {
+
+void TraceRecorder::on_thread_begin(int tid) {
+  std::lock_guard lock(mu_);
+  events_.push_back(TraceEvent{TraceEvent::Kind::kThreadBegin, 0,
+                               static_cast<std::uint16_t>(tid), 0, 0});
+}
+
+void TraceRecorder::on_loop_enter(int tid, LoopId id) {
+  std::lock_guard lock(mu_);
+  events_.push_back(TraceEvent{TraceEvent::Kind::kLoopEnter, 0,
+                               static_cast<std::uint16_t>(tid), 0,
+                               static_cast<std::uint64_t>(id)});
+}
+
+void TraceRecorder::on_loop_exit(int tid) {
+  std::lock_guard lock(mu_);
+  events_.push_back(TraceEvent{TraceEvent::Kind::kLoopExit, 0,
+                               static_cast<std::uint16_t>(tid), 0, 0});
+}
+
+void TraceRecorder::on_access(int tid, std::uintptr_t addr, std::uint32_t size,
+                              AccessKind kind) {
+  std::lock_guard lock(mu_);
+  events_.push_back(TraceEvent{TraceEvent::Kind::kAccess,
+                               static_cast<std::uint8_t>(kind),
+                               static_cast<std::uint16_t>(tid), size,
+                               static_cast<std::uint64_t>(addr)});
+}
+
+void replay(const std::vector<TraceEvent>& events, AccessSink& sink) {
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kThreadBegin:
+        sink.on_thread_begin(e.tid);
+        break;
+      case TraceEvent::Kind::kLoopEnter:
+        sink.on_loop_enter(e.tid, static_cast<LoopId>(e.payload));
+        break;
+      case TraceEvent::Kind::kLoopExit:
+        sink.on_loop_exit(e.tid);
+        break;
+      case TraceEvent::Kind::kAccess:
+        sink.on_access(e.tid, static_cast<std::uintptr_t>(e.payload), e.size,
+                       static_cast<AccessKind>(e.access));
+        break;
+    }
+  }
+  sink.finalize();
+}
+
+namespace {
+constexpr const char* kMagic = "commscope-trace";
+constexpr int kVersion = 1;
+}  // namespace
+
+void write_trace(std::ostream& os, const std::vector<TraceEvent>& events) {
+  os << kMagic << ' ' << kVersion << '\n' << events.size() << '\n';
+  for (const TraceEvent& e : events) {
+    os << static_cast<int>(e.kind) << ' ' << static_cast<int>(e.access) << ' '
+       << e.tid << ' ' << e.size << ' ' << e.payload << '\n';
+  }
+  // Loop-name table for the UIDs this trace references.
+  std::map<std::uint64_t, LoopInfo> loops;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::kLoopEnter && !loops.count(e.payload)) {
+      loops[e.payload] =
+          LoopRegistry::instance().info(static_cast<LoopId>(e.payload));
+    }
+  }
+  os << "loops " << loops.size() << '\n';
+  for (const auto& [uid, info] : loops) {
+    os << uid << ' ' << info.function << ' ' << info.name << '\n';
+  }
+}
+
+std::vector<TraceEvent> read_trace(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kMagic) {
+    throw std::runtime_error("trace: bad magic");
+  }
+  if (version != kVersion) throw std::runtime_error("trace: bad version");
+  std::size_t count = 0;
+  if (!(is >> count)) throw std::runtime_error("trace: missing count");
+  std::vector<TraceEvent> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    int kind = 0;
+    int access = 0;
+    TraceEvent e;
+    if (!(is >> kind >> access >> e.tid >> e.size >> e.payload)) {
+      throw std::runtime_error("trace: truncated events");
+    }
+    if (kind < 0 || kind > 3 || access < 0 || access > 1) {
+      throw std::runtime_error("trace: invalid event");
+    }
+    e.kind = static_cast<TraceEvent::Kind>(kind);
+    e.access = static_cast<std::uint8_t>(access);
+    events.push_back(e);
+  }
+
+  // Optional loop-name table (absent in hand-built traces): re-declare each
+  // loop locally and remap the events' UIDs.
+  std::string section;
+  if (is >> section) {
+    if (section != "loops") throw std::runtime_error("trace: bad section");
+    std::size_t nloops = 0;
+    if (!(is >> nloops)) throw std::runtime_error("trace: bad loop count");
+    std::map<std::uint64_t, LoopId> remap;
+    for (std::size_t i = 0; i < nloops; ++i) {
+      std::uint64_t uid = 0;
+      std::string function;
+      std::string name;
+      if (!(is >> uid >> function >> name)) {
+        throw std::runtime_error("trace: truncated loop table");
+      }
+      remap[uid] = LoopRegistry::instance().declare(function, name);
+    }
+    for (TraceEvent& e : events) {
+      if (e.kind != TraceEvent::Kind::kLoopEnter) continue;
+      const auto it = remap.find(e.payload);
+      if (it != remap.end()) e.payload = it->second;
+    }
+  }
+  return events;
+}
+
+}  // namespace commscope::instrument

@@ -1,0 +1,61 @@
+// TracedSpan: a span view whose element accesses are instrumented.
+//
+// Kernel code that indexes shared arrays through a TracedSpan emits the same
+// (type, address, size) events the paper's pass would insert at each IR
+// load/store, while reading like ordinary array code:
+//
+//   TracedSpan a(matrix, sink, tid);
+//   double x = a[i];        // read event, then the load
+//   a.store(i, x * 2.0);    // write event, then the store
+//
+// Only the shared structures that can carry inter-thread communication are
+// wrapped — mirroring the paper's selective instrumentation of "code that has
+// to be analyzed", which is where its analysis speedup comes from.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "instrument/sink.hpp"
+
+namespace commscope::instrument {
+
+template <typename T, SinkLike Sink>
+class TracedSpan {
+ public:
+  TracedSpan(std::span<T> data, Sink& sink, int tid) noexcept
+      : data_(data), sink_(&sink), tid_(tid) {}
+
+  /// Instrumented load.
+  [[nodiscard]] T operator[](std::size_t i) const {
+    sink_->read(tid_, &data_[i]);
+    return data_[i];
+  }
+
+  /// Instrumented load (explicit form, for symmetry with store).
+  [[nodiscard]] T load(std::size_t i) const { return (*this)[i]; }
+
+  /// Instrumented store.
+  void store(std::size_t i, const T& v) {
+    sink_->write(tid_, &data_[i]);
+    data_[i] = v;
+  }
+
+  /// Instrumented read-modify-write (counts as a read then a write).
+  template <typename F>
+  void update(std::size_t i, F&& f) {
+    sink_->read(tid_, &data_[i]);
+    sink_->write(tid_, &data_[i]);
+    data_[i] = f(data_[i]);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::span<T> raw() const noexcept { return data_; }
+
+ private:
+  std::span<T> data_;
+  Sink* sink_;
+  int tid_;
+};
+
+}  // namespace commscope::instrument

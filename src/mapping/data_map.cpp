@@ -1,0 +1,103 @@
+#include "mapping/data_map.hpp"
+
+#include <stdexcept>
+
+namespace commscope::mapping {
+
+PageCensus::PageCensus(int max_threads, std::size_t page_bytes)
+    : max_threads_(max_threads), page_bytes_(page_bytes) {
+  if (max_threads < 1) throw std::invalid_argument("PageCensus: threads >= 1");
+  if (page_bytes == 0 || (page_bytes & (page_bytes - 1)) != 0) {
+    throw std::invalid_argument("PageCensus: page size must be a power of 2");
+  }
+}
+
+void PageCensus::count(int tid, std::uintptr_t addr, std::uint32_t size) {
+  const std::uintptr_t page = addr & ~(page_bytes_ - 1);
+  auto [it, inserted] = census_.try_emplace(page);
+  PageStats& ps = it->second;
+  if (inserted) {
+    ps.per_thread.assign(static_cast<std::size_t>(max_threads_), 0);
+    ps.first_toucher = tid;
+  }
+  ps.per_thread[static_cast<std::size_t>(tid)] += size;
+  total_ += size;
+}
+
+PageCensus PageCensus::from_trace(
+    const std::vector<instrument::TraceEvent>& events, int max_threads,
+    std::size_t page_bytes) {
+  PageCensus census(max_threads, page_bytes);
+  for (const instrument::TraceEvent& e : events) {
+    if (e.kind != instrument::TraceEvent::Kind::kAccess) continue;
+    census.count(e.tid, static_cast<std::uintptr_t>(e.payload), e.size);
+  }
+  return census;
+}
+
+std::vector<PageCensus::Placement> PageCensus::plan(
+    const Topology& topo, const Mapping& mapping) const {
+  std::vector<Placement> out;
+  out.reserve(census_.size());
+  for (const auto& [page, ps] : census_) {
+    std::vector<std::uint64_t> per_socket(
+        static_cast<std::size_t>(topo.sockets()), 0);
+    std::uint64_t page_total = 0;
+    for (int t = 0; t < max_threads_ && t < static_cast<int>(mapping.size());
+         ++t) {
+      const std::uint64_t v = ps.per_thread[static_cast<std::size_t>(t)];
+      per_socket[static_cast<std::size_t>(
+          topo.socket_of(mapping[static_cast<std::size_t>(t)]))] += v;
+      page_total += v;
+    }
+    Placement p;
+    p.page = page;
+    for (int s = 1; s < topo.sockets(); ++s) {
+      if (per_socket[static_cast<std::size_t>(s)] >
+          per_socket[static_cast<std::size_t>(p.home_socket)]) {
+        p.home_socket = s;
+      }
+    }
+    p.local_fraction =
+        page_total ? static_cast<double>(
+                         per_socket[static_cast<std::size_t>(p.home_socket)]) /
+                         static_cast<double>(page_total)
+                   : 1.0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+PageCensus::Report PageCensus::evaluate(const Topology& topo,
+                                        const Mapping& mapping) const {
+  Report rep;
+  for (const auto& [page, ps] : census_) {
+    std::vector<std::uint64_t> per_socket(
+        static_cast<std::size_t>(topo.sockets()), 0);
+    for (int t = 0; t < max_threads_ && t < static_cast<int>(mapping.size());
+         ++t) {
+      per_socket[static_cast<std::size_t>(
+          topo.socket_of(mapping[static_cast<std::size_t>(t)]))] +=
+          ps.per_thread[static_cast<std::size_t>(t)];
+    }
+    std::uint64_t page_total = 0;
+    std::uint64_t best_local = 0;
+    for (const std::uint64_t v : per_socket) {
+      page_total += v;
+      best_local = std::max(best_local, v);
+    }
+    rep.total += page_total;
+    rep.remote_planned += page_total - best_local;
+
+    const int ft_socket =
+        ps.first_toucher >= 0 &&
+                ps.first_toucher < static_cast<int>(mapping.size())
+            ? topo.socket_of(mapping[static_cast<std::size_t>(ps.first_toucher)])
+            : 0;
+    rep.remote_first_touch +=
+        page_total - per_socket[static_cast<std::size_t>(ft_socket)];
+  }
+  return rep;
+}
+
+}  // namespace commscope::mapping

@@ -1,0 +1,83 @@
+// NUMA data-mapping companion to thread mapping.
+//
+// The paper's motivation (Section III.A, after Cruz et al. and Molina da
+// Cruz et al.) is "thread and data mapping": besides placing communicating
+// threads near each other, pages should live on the NUMA node of the
+// threads that touch them — "the remote access imposes high overhead".
+//
+// PageCensus aggregates the profiler's access stream (live, or replayed from
+// a TraceRecorder) into per-page, per-thread touch counts, then:
+//  * plan() homes each page on the socket whose threads touch it most
+//    (given a thread->hardware mapping),
+//  * evaluate() scores the plan against the OS first-touch policy by the
+//    fraction of accesses that would be NUMA-remote under each.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "instrument/trace.hpp"
+#include "mapping/topology.hpp"
+
+namespace commscope::mapping {
+
+class PageCensus {
+ public:
+  explicit PageCensus(int max_threads, std::size_t page_bytes = 4096);
+
+  /// Accumulates one access.
+  void count(int tid, std::uintptr_t addr, std::uint32_t size);
+
+  /// Builds a census from a recorded trace (access events only).
+  [[nodiscard]] static PageCensus from_trace(
+      const std::vector<instrument::TraceEvent>& events, int max_threads,
+      std::size_t page_bytes = 4096);
+
+  [[nodiscard]] std::size_t pages() const noexcept { return census_.size(); }
+  [[nodiscard]] std::uint64_t total_accesses() const noexcept {
+    return total_;
+  }
+
+  /// Placement of one page.
+  struct Placement {
+    std::uintptr_t page = 0;
+    int home_socket = 0;
+    double local_fraction = 0.0;  ///< accesses from the home socket
+  };
+
+  /// Homes every touched page on its dominant-accessor socket under
+  /// `mapping` (thread -> hardware thread) on `topo`.
+  [[nodiscard]] std::vector<Placement> plan(const Topology& topo,
+                                            const Mapping& mapping) const;
+
+  /// Remote-access comparison: first-touch (page lives where its first
+  /// toucher ran) vs the dominant-accessor plan.
+  struct Report {
+    std::uint64_t total = 0;
+    std::uint64_t remote_first_touch = 0;
+    std::uint64_t remote_planned = 0;
+    [[nodiscard]] double first_touch_remote_fraction() const {
+      return total ? static_cast<double>(remote_first_touch) / total : 0.0;
+    }
+    [[nodiscard]] double planned_remote_fraction() const {
+      return total ? static_cast<double>(remote_planned) / total : 0.0;
+    }
+  };
+
+  [[nodiscard]] Report evaluate(const Topology& topo,
+                                const Mapping& mapping) const;
+
+ private:
+  struct PageStats {
+    std::vector<std::uint64_t> per_thread;  ///< touch counts
+    int first_toucher = -1;
+  };
+
+  int max_threads_;
+  std::size_t page_bytes_;
+  std::uint64_t total_ = 0;
+  std::map<std::uintptr_t, PageStats> census_;
+};
+
+}  // namespace commscope::mapping

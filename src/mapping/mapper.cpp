@@ -1,0 +1,257 @@
+#include "mapping/mapper.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace commscope::mapping {
+
+namespace {
+
+void require_fit(int threads, const Topology& topo) {
+  if (threads > topo.hardware_threads()) {
+    throw std::invalid_argument("more threads than hardware threads");
+  }
+}
+
+}  // namespace
+
+Mapping identity_mapping(int threads, const Topology& topo) {
+  require_fit(threads, topo);
+  Mapping m(static_cast<std::size_t>(threads));
+  std::iota(m.begin(), m.end(), 0);
+  return m;
+}
+
+Mapping scatter_mapping(int threads, const Topology& topo) {
+  require_fit(threads, topo);
+  // Order hardware threads socket-round-robin: s0c0, s1c0, s0c1, s1c1, ...
+  const int per_socket = topo.cores_per_socket() * topo.smt();
+  Mapping m;
+  m.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; m.size() < static_cast<std::size_t>(threads); ++i) {
+    const int socket = i % topo.sockets();
+    const int slot = i / topo.sockets();
+    m.push_back(socket * per_socket + slot);
+  }
+  return m;
+}
+
+Mapping random_mapping(int threads, const Topology& topo,
+                       support::SplitMix64& rng) {
+  require_fit(threads, topo);
+  std::vector<int> hw(static_cast<std::size_t>(topo.hardware_threads()));
+  std::iota(hw.begin(), hw.end(), 0);
+  // Fisher–Yates with the deterministic RNG.
+  for (std::size_t i = hw.size(); i > 1; --i) {
+    std::swap(hw[i - 1], hw[rng.next_below(i)]);
+  }
+  hw.resize(static_cast<std::size_t>(threads));
+  return hw;
+}
+
+Mapping greedy_mapping(const core::Matrix& matrix, const Topology& topo) {
+  const int n = matrix.size();
+  require_fit(n, topo);
+
+  // Symmetrized communication weight per unordered pair, heaviest first.
+  struct Pair {
+    int a;
+    int b;
+    std::uint64_t w;
+  };
+  std::vector<Pair> pairs;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const std::uint64_t w = matrix.at(a, b) + matrix.at(b, a);
+      if (w > 0) pairs.push_back({a, b, w});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& x, const Pair& y) { return x.w > y.w; });
+
+  Mapping m(static_cast<std::size_t>(n), -1);
+  std::vector<bool> hw_used(static_cast<std::size_t>(topo.hardware_threads()),
+                            false);
+
+  auto nearest_free = [&](int anchor_hw) {
+    int best = -1;
+    double best_d = 0.0;
+    for (int hw = 0; hw < topo.hardware_threads(); ++hw) {
+      if (hw_used[static_cast<std::size_t>(hw)]) continue;
+      const double d = anchor_hw < 0 ? 0.0 : topo.distance(anchor_hw, hw);
+      if (best < 0 || d < best_d) {
+        best = hw;
+        best_d = d;
+      }
+    }
+    return best;
+  };
+
+  auto place = [&](int tid, int hw) {
+    m[static_cast<std::size_t>(tid)] = hw;
+    hw_used[static_cast<std::size_t>(hw)] = true;
+  };
+
+  for (const Pair& p : pairs) {
+    const bool a_placed = m[static_cast<std::size_t>(p.a)] >= 0;
+    const bool b_placed = m[static_cast<std::size_t>(p.b)] >= 0;
+    if (a_placed && b_placed) continue;
+    if (!a_placed && !b_placed) {
+      const int hw_a = nearest_free(-1);
+      place(p.a, hw_a);
+      place(p.b, nearest_free(hw_a));
+    } else if (a_placed) {
+      place(p.b, nearest_free(m[static_cast<std::size_t>(p.a)]));
+    } else {
+      place(p.a, nearest_free(m[static_cast<std::size_t>(p.b)]));
+    }
+  }
+
+  // Threads with no recorded communication: fill remaining slots in order.
+  for (int tid = 0; tid < n; ++tid) {
+    if (m[static_cast<std::size_t>(tid)] < 0) place(tid, nearest_free(-1));
+  }
+  return m;
+}
+
+namespace {
+
+/// Weight between two thread groups under the symmetrized matrix.
+std::uint64_t pair_weight(const core::Matrix& m, int a, int b) {
+  return m.at(a, b) + m.at(b, a);
+}
+
+/// Kernighan–Lin-flavoured balanced bisection of `threads`: start from an
+/// even split, then greedily swap cross-half pairs while the cut shrinks.
+void bisect(const core::Matrix& m, const std::vector<int>& threads,
+            std::vector<int>& left, std::vector<int>& right) {
+  const std::size_t half = threads.size() / 2;
+  left.assign(threads.begin(), threads.begin() + static_cast<std::ptrdiff_t>(half));
+  right.assign(threads.begin() + static_cast<std::ptrdiff_t>(half),
+               threads.end());
+
+  auto cut = [&] {
+    std::uint64_t c = 0;
+    for (int a : left) {
+      for (int b : right) c += pair_weight(m, a, b);
+    }
+    return c;
+  };
+
+  std::uint64_t best = cut();
+  bool improved = true;
+  int rounds = 0;
+  while (improved && rounds++ < 16) {
+    improved = false;
+    for (std::size_t i = 0; i < left.size(); ++i) {
+      for (std::size_t j = 0; j < right.size(); ++j) {
+        std::swap(left[i], right[j]);
+        const std::uint64_t c = cut();
+        if (c < best) {
+          best = c;
+          improved = true;
+        } else {
+          std::swap(left[i], right[j]);
+        }
+      }
+    }
+  }
+}
+
+/// Recursively assigns `threads` to the hardware-thread range
+/// [hw_begin, hw_begin + threads.size()) by repeated bisection. The
+/// hardware range is contiguous, so halving it descends the topology
+/// hierarchy (sockets, then cores, then SMT siblings).
+void assign_recursive(const core::Matrix& m, const std::vector<int>& threads,
+                      int hw_begin, Mapping& out) {
+  if (threads.size() <= 1) {
+    if (!threads.empty()) out[static_cast<std::size_t>(threads[0])] = hw_begin;
+    return;
+  }
+  std::vector<int> left;
+  std::vector<int> right;
+  bisect(m, threads, left, right);
+  assign_recursive(m, left, hw_begin, out);
+  assign_recursive(m, right, hw_begin + static_cast<int>(left.size()), out);
+}
+
+}  // namespace
+
+Mapping bisection_mapping(const core::Matrix& matrix, const Topology& topo) {
+  const int n = matrix.size();
+  require_fit(n, topo);
+  std::vector<int> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  Mapping out(static_cast<std::size_t>(n), 0);
+  assign_recursive(matrix, all, 0, out);
+  return out;
+}
+
+Mapping refine_mapping(const core::Matrix& matrix, const Topology& topo,
+                       Mapping start, int max_rounds) {
+  const int n = static_cast<int>(start.size());
+  double cost = mapping_cost(matrix, topo, start);
+
+  std::vector<bool> used(static_cast<std::size_t>(topo.hardware_threads()),
+                         false);
+  for (int hw : start) used[static_cast<std::size_t>(hw)] = true;
+
+  for (int round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    // Pairwise swaps between threads.
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        std::swap(start[static_cast<std::size_t>(a)],
+                  start[static_cast<std::size_t>(b)]);
+        const double c = mapping_cost(matrix, topo, start);
+        if (c + 1e-9 < cost) {
+          cost = c;
+          improved = true;
+        } else {
+          std::swap(start[static_cast<std::size_t>(a)],
+                    start[static_cast<std::size_t>(b)]);
+        }
+      }
+    }
+    // Relocations onto unused hardware threads (needed when threads <
+    // hardware threads: swaps alone can never reach a free slot).
+    for (int a = 0; a < n; ++a) {
+      for (int hw = 0; hw < topo.hardware_threads(); ++hw) {
+        if (used[static_cast<std::size_t>(hw)]) continue;
+        const int old_hw = start[static_cast<std::size_t>(a)];
+        start[static_cast<std::size_t>(a)] = hw;
+        const double c = mapping_cost(matrix, topo, start);
+        if (c + 1e-9 < cost) {
+          cost = c;
+          improved = true;
+          used[static_cast<std::size_t>(old_hw)] = false;
+          used[static_cast<std::size_t>(hw)] = true;
+        } else {
+          start[static_cast<std::size_t>(a)] = old_hw;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return start;
+}
+
+Mapping best_mapping(const core::Matrix& matrix, const Topology& topo) {
+  const int n = matrix.size();
+  Mapping best = refine_mapping(matrix, topo, greedy_mapping(matrix, topo));
+  double best_cost = mapping_cost(matrix, topo, best);
+  for (Mapping candidate :
+       {identity_mapping(n, topo), scatter_mapping(n, topo),
+        bisection_mapping(matrix, topo)}) {
+    candidate = refine_mapping(matrix, topo, std::move(candidate));
+    const double c = mapping_cost(matrix, topo, candidate);
+    if (c < best_cost) {
+      best_cost = c;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace commscope::mapping

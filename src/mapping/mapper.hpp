@@ -1,0 +1,56 @@
+// Thread-mapping algorithms consuming CommScope matrices.
+//
+// The downstream use-case the paper names first: "one can apply most
+// suitable thread mapping to place most communicating thread[s] on the same
+// core for increasing data locality" (Section VI). Four placement strategies
+// are provided, from the OS-default strawman to a greedy communication-aware
+// packer plus a local-search refiner; examples/thread_mapping.cpp and the
+// mapping tests compare their costs on real profiled matrices.
+#pragma once
+
+#include <cstdint>
+
+#include "mapping/topology.hpp"
+#include "support/rng.hpp"
+
+namespace commscope::mapping {
+
+/// tid i -> hardware thread i (OS first-touch order).
+[[nodiscard]] Mapping identity_mapping(int threads, const Topology& topo);
+
+/// Round-robin across sockets (scatter), the common OS balancing policy.
+[[nodiscard]] Mapping scatter_mapping(int threads, const Topology& topo);
+
+/// Uniformly random valid placement (baseline for statistical comparisons).
+[[nodiscard]] Mapping random_mapping(int threads, const Topology& topo,
+                                     support::SplitMix64& rng);
+
+/// Greedy communication-aware packing (EagerMap-style): repeatedly take the
+/// heaviest unplaced communicating pair and co-locate it on the nearest
+/// available pair of hardware threads, then place stragglers next to their
+/// strongest already-placed partner.
+[[nodiscard]] Mapping greedy_mapping(const core::Matrix& matrix,
+                                     const Topology& topo);
+
+/// Recursive-bisection mapping (the classical topology-aware partitioner the
+/// EagerMap family refines): split the thread set into two halves that
+/// minimize cut communication (Kernighan–Lin-style refinement of a balanced
+/// seed), assign the halves to the two sockets, then recurse into each
+/// socket's cores. Captures hierarchy that greedy pair-packing misses on
+/// block-structured matrices.
+[[nodiscard]] Mapping bisection_mapping(const core::Matrix& matrix,
+                                        const Topology& topo);
+
+/// Local search from `start`: pairwise swaps plus relocations onto unused
+/// hardware threads; stops after `max_rounds` sweeps or at a local minimum.
+[[nodiscard]] Mapping refine_mapping(const core::Matrix& matrix,
+                                     const Topology& topo, Mapping start,
+                                     int max_rounds = 8);
+
+/// The production mapper: refined greedy packing, cross-checked against
+/// refined identity and scatter starts; returns the cheapest. Never worse
+/// than any of the three baseline placements.
+[[nodiscard]] Mapping best_mapping(const core::Matrix& matrix,
+                                   const Topology& topo);
+
+}  // namespace commscope::mapping

@@ -1,0 +1,56 @@
+#include "mapping/topology.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace commscope::mapping {
+
+Topology::Topology(int sockets, int cores_per_socket, int smt,
+                   TopologyCosts costs)
+    : sockets_(sockets),
+      cores_(cores_per_socket),
+      smt_(smt),
+      total_(sockets * cores_per_socket * smt),
+      costs_(costs) {
+  if (sockets < 1 || cores_per_socket < 1 || smt < 1) {
+    throw std::invalid_argument("Topology dimensions must be >= 1");
+  }
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << sockets_ << " socket(s) x " << cores_ << " core(s) x " << smt_
+     << " SMT = " << total_ << " hardware threads";
+  return os.str();
+}
+
+bool is_valid_mapping(const Mapping& m, const Topology& topo) {
+  std::vector<bool> used(static_cast<std::size_t>(topo.hardware_threads()),
+                         false);
+  for (int hw : m) {
+    if (hw < 0 || hw >= topo.hardware_threads()) return false;
+    if (used[static_cast<std::size_t>(hw)]) return false;
+    used[static_cast<std::size_t>(hw)] = true;
+  }
+  return true;
+}
+
+double mapping_cost(const core::Matrix& matrix, const Topology& topo,
+                    const Mapping& m) {
+  const int n = std::min<int>(matrix.size(), static_cast<int>(m.size()));
+  double cost = 0.0;
+  for (int p = 0; p < n; ++p) {
+    for (int c = 0; c < n; ++c) {
+      if (p == c) continue;
+      const auto v = static_cast<double>(matrix.at(p, c));
+      if (v > 0.0) {
+        cost += v * topo.distance(m[static_cast<std::size_t>(p)],
+                                  m[static_cast<std::size_t>(c)]);
+      }
+    }
+  }
+  return cost;
+}
+
+}  // namespace commscope::mapping

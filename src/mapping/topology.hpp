@@ -1,0 +1,75 @@
+// Hierarchical machine-topology model for the thread-mapping application.
+//
+// The paper motivates communication matrices with thread mapping:
+// "exploiting communication patterns can improve performance by mapping
+// threads that communicate a lot to nearby cores on the memory hierarchy"
+// (Section III.A, after Cruz et al.). This model captures the hierarchy that
+// statement refers to: hardware threads grouped into cores, cores into
+// sockets, with a communication cost per level (SMT siblings share L1,
+// same-socket cores share LLC, cross-socket traffic crosses the
+// interconnect). The paper's own testbed (2 sockets x 8 cores) is the
+// default.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+
+namespace commscope::mapping {
+
+struct TopologyCosts {
+  double same_core = 1.0;     ///< SMT siblings (shared L1)
+  double same_socket = 10.0;  ///< shared last-level cache
+  double cross_socket = 50.0; ///< interconnect hop (NUMA remote)
+};
+
+class Topology {
+ public:
+  /// `sockets` x `cores_per_socket` x `smt` hardware threads.
+  Topology(int sockets, int cores_per_socket, int smt = 1,
+           TopologyCosts costs = {});
+
+  /// The paper's evaluation machine: 2 sockets x 8 cores, no SMT.
+  [[nodiscard]] static Topology paper_testbed() { return {2, 8, 1}; }
+
+  [[nodiscard]] int hardware_threads() const noexcept { return total_; }
+  [[nodiscard]] int sockets() const noexcept { return sockets_; }
+  [[nodiscard]] int cores_per_socket() const noexcept { return cores_; }
+  [[nodiscard]] int smt() const noexcept { return smt_; }
+
+  [[nodiscard]] int socket_of(int hw) const noexcept {
+    return hw / (cores_ * smt_);
+  }
+  [[nodiscard]] int core_of(int hw) const noexcept { return hw / smt_; }
+
+  /// Per-byte communication cost between two hardware threads.
+  [[nodiscard]] double distance(int hw_a, int hw_b) const noexcept {
+    if (hw_a == hw_b || core_of(hw_a) == core_of(hw_b)) return costs_.same_core;
+    if (socket_of(hw_a) == socket_of(hw_b)) return costs_.same_socket;
+    return costs_.cross_socket;
+  }
+
+  [[nodiscard]] const TopologyCosts& costs() const noexcept { return costs_; }
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  int sockets_;
+  int cores_;
+  int smt_;
+  int total_;
+  TopologyCosts costs_;
+};
+
+/// A placement: mapping[tid] = hardware thread. Valid iff it is injective
+/// and within range.
+using Mapping = std::vector<int>;
+
+[[nodiscard]] bool is_valid_mapping(const Mapping& m, const Topology& topo);
+
+/// Total weighted communication cost of `m` under `topo`:
+///   sum over (p, c) of matrix(p, c) * distance(m[p], m[c]).
+[[nodiscard]] double mapping_cost(const core::Matrix& matrix, const Topology& topo,
+                                  const Mapping& m);
+
+}  // namespace commscope::mapping

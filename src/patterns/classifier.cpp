@@ -1,0 +1,131 @@
+#include "patterns/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace commscope::patterns {
+
+std::vector<Example> featurize(const std::vector<LabelledMatrix>& corpus) {
+  std::vector<Example> out;
+  out.reserve(corpus.size());
+  for (const LabelledMatrix& lm : corpus) {
+    out.push_back(Example{extract_features(lm.matrix), lm.label});
+  }
+  return out;
+}
+
+void FeatureScaler::fit(const std::vector<Example>& train) {
+  mean_.fill(0.0);
+  stddev_.fill(0.0);
+  if (train.empty()) return;
+  for (const Example& e : train) {
+    for (int i = 0; i < kFeatureCount; ++i) {
+      mean_[static_cast<std::size_t>(i)] += e.features[static_cast<std::size_t>(i)];
+    }
+  }
+  for (double& m : mean_) m /= static_cast<double>(train.size());
+  for (const Example& e : train) {
+    for (int i = 0; i < kFeatureCount; ++i) {
+      const double d = e.features[static_cast<std::size_t>(i)] -
+                       mean_[static_cast<std::size_t>(i)];
+      stddev_[static_cast<std::size_t>(i)] += d * d;
+    }
+  }
+  for (double& s : stddev_) {
+    s = std::sqrt(s / static_cast<double>(train.size()));
+    if (s < 1e-12) s = 1.0;  // constant feature: leave centred, unscaled
+  }
+}
+
+FeatureVector FeatureScaler::transform(const FeatureVector& f) const {
+  FeatureVector out{};
+  for (int i = 0; i < kFeatureCount; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    out[s] = (f[s] - mean_[s]) / stddev_[s];
+  }
+  return out;
+}
+
+void NearestCentroidClassifier::train(const std::vector<Example>& train) {
+  scaler_.fit(train);
+  std::map<PatternClass, std::pair<FeatureVector, int>> acc;
+  for (const Example& e : train) {
+    auto& [sum, count] = acc[e.label];
+    const FeatureVector z = scaler_.transform(e.features);
+    for (int i = 0; i < kFeatureCount; ++i) {
+      sum[static_cast<std::size_t>(i)] += z[static_cast<std::size_t>(i)];
+    }
+    ++count;
+  }
+  centroids_.clear();
+  for (auto& [label, sc] : acc) {
+    auto& [sum, count] = sc;
+    for (double& v : sum) v /= static_cast<double>(count);
+    centroids_.emplace_back(label, sum);
+  }
+}
+
+PatternClass NearestCentroidClassifier::predict(const FeatureVector& f) const {
+  const FeatureVector z = scaler_.transform(f);
+  PatternClass best = PatternClass::kNBody;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const auto& [label, centroid] : centroids_) {
+    const double d = feature_distance(z, centroid);
+    if (d < best_d) {
+      best_d = d;
+      best = label;
+    }
+  }
+  margin_ = best_d;
+  return best;
+}
+
+void KnnClassifier::train(const std::vector<Example>& train) {
+  scaler_.fit(train);
+  train_.clear();
+  train_.reserve(train.size());
+  for (const Example& e : train) {
+    train_.push_back(Example{scaler_.transform(e.features), e.label});
+  }
+}
+
+PatternClass KnnClassifier::predict(const FeatureVector& f) const {
+  const FeatureVector z = scaler_.transform(f);
+  std::vector<std::pair<double, PatternClass>> dists;
+  dists.reserve(train_.size());
+  for (const Example& e : train_) {
+    dists.emplace_back(feature_distance(z, e.features), e.label);
+  }
+  const auto k = static_cast<std::size_t>(
+      std::min<std::size_t>(static_cast<std::size_t>(k_), dists.size()));
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(k),
+                    dists.end());
+  std::map<PatternClass, int> votes;
+  for (std::size_t i = 0; i < k; ++i) votes[dists[i].second]++;
+  PatternClass best = PatternClass::kNBody;
+  int best_votes = -1;
+  for (const auto& [label, v] : votes) {
+    if (v > best_votes) {
+      best_votes = v;
+      best = label;
+    }
+  }
+  return best;
+}
+
+std::string Evaluation::to_string() const {
+  std::ostringstream os;
+  os << "accuracy " << accuracy * 100.0 << "%\n";
+  os << "confusion (rows = actual, cols = predicted):\n";
+  for (std::size_t a = 0; a < confusion.size(); ++a) {
+    os << "  " << patterns::to_string(static_cast<PatternClass>(a)) << ":";
+    for (int v : confusion[a]) os << ' ' << v;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace commscope::patterns

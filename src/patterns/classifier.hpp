@@ -1,0 +1,113 @@
+// Supervised pattern classifiers over communication-matrix features.
+//
+// Section VI: "We succeeded to detect these pattern[s] with more than 97%
+// accuracy with the aid of algorithmic methods and supervised learning. We
+// also found out that the negative effect of false positives could be
+// compensated by using machine learning classification methods."
+//
+// Two classical supervised learners are provided — nearest-centroid (the
+// "algorithmic" half: one prototype per class in standardized feature space)
+// and k-nearest-neighbours (the instance-based half). Both train on the
+// synthetic corpus from generators.hpp; bench/pattern_classification
+// reproduces the accuracy claim, including the noise-robustness experiment
+// where training on noisy (false-positive-contaminated) matrices recovers
+// accuracy on clean ones and vice versa.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "patterns/features.hpp"
+#include "patterns/generators.hpp"
+
+namespace commscope::patterns {
+
+/// One training/evaluation example.
+struct Example {
+  FeatureVector features;
+  PatternClass label;
+};
+
+/// Converts a labelled-matrix corpus to feature examples.
+[[nodiscard]] std::vector<Example> featurize(
+    const std::vector<LabelledMatrix>& corpus);
+
+/// Per-feature standardization (z-score) fitted on a training set.
+class FeatureScaler {
+ public:
+  void fit(const std::vector<Example>& train);
+  [[nodiscard]] FeatureVector transform(const FeatureVector& f) const;
+
+ private:
+  FeatureVector mean_{};
+  FeatureVector stddev_{};
+};
+
+/// Nearest-centroid classifier in standardized feature space.
+class NearestCentroidClassifier {
+ public:
+  void train(const std::vector<Example>& train);
+  [[nodiscard]] PatternClass predict(const FeatureVector& f) const;
+  [[nodiscard]] PatternClass predict(const core::Matrix& m) const {
+    return predict(extract_features(m));
+  }
+
+  /// Distance to the winning centroid — a confidence proxy (smaller is
+  /// more confident); nullopt before training.
+  [[nodiscard]] std::optional<double> last_margin() const noexcept {
+    return margin_;
+  }
+
+ private:
+  FeatureScaler scaler_;
+  std::vector<std::pair<PatternClass, FeatureVector>> centroids_;
+  mutable std::optional<double> margin_;
+};
+
+/// k-nearest-neighbours (majority vote, distance ties broken by the nearer
+/// neighbour set).
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(int k = 5) : k_(k) {}
+
+  void train(const std::vector<Example>& train);
+  [[nodiscard]] PatternClass predict(const FeatureVector& f) const;
+  [[nodiscard]] PatternClass predict(const core::Matrix& m) const {
+    return predict(extract_features(m));
+  }
+
+ private:
+  int k_;
+  FeatureScaler scaler_;
+  std::vector<Example> train_;
+};
+
+/// Accuracy + per-class confusion counts of `predict` over `test`.
+struct Evaluation {
+  double accuracy = 0.0;
+  /// confusion[actual][predicted], indexed by PatternClass order.
+  std::vector<std::vector<int>> confusion;
+  [[nodiscard]] std::string to_string() const;
+};
+
+template <typename Classifier>
+[[nodiscard]] Evaluation evaluate(const Classifier& clf,
+                                  const std::vector<Example>& test) {
+  constexpr int k = static_cast<int>(std::size(kAllPatternClasses));
+  Evaluation ev;
+  ev.confusion.assign(k, std::vector<int>(k, 0));
+  int correct = 0;
+  for (const Example& e : test) {
+    const PatternClass got = clf.predict(e.features);
+    ev.confusion[static_cast<std::size_t>(e.label)]
+                [static_cast<std::size_t>(got)]++;
+    if (got == e.label) ++correct;
+  }
+  ev.accuracy = test.empty()
+                    ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(test.size());
+  return ev;
+}
+
+}  // namespace commscope::patterns

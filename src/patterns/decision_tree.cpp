@@ -1,0 +1,155 @@
+#include "patterns/decision_tree.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace commscope::patterns {
+
+namespace {
+
+constexpr int kClasses = static_cast<int>(std::size(kAllPatternClasses));
+
+/// Gini impurity of a class-count histogram.
+double gini(const std::array<int, kClasses>& counts, int total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (int c : counts) {
+    const double p = static_cast<double>(c) / total;
+    g -= p * p;
+  }
+  return g;
+}
+
+PatternClass majority(const std::array<int, kClasses>& counts) {
+  int best = 0;
+  for (int k = 1; k < kClasses; ++k) {
+    if (counts[static_cast<std::size_t>(k)] >
+        counts[static_cast<std::size_t>(best)]) {
+      best = k;
+    }
+  }
+  return static_cast<PatternClass>(best);
+}
+
+std::array<int, kClasses> histogram(const std::vector<const Example*>& xs) {
+  std::array<int, kClasses> counts{};
+  for (const Example* e : xs) counts[static_cast<std::size_t>(e->label)]++;
+  return counts;
+}
+
+}  // namespace
+
+void DecisionTreeClassifier::train(const std::vector<Example>& train) {
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<const Example*> ptrs;
+  ptrs.reserve(train.size());
+  for (const Example& e : train) ptrs.push_back(&e);
+  root_ = ptrs.empty() ? -1 : build(ptrs, 0);
+}
+
+int DecisionTreeClassifier::build(std::vector<const Example*>& examples,
+                                  int depth) {
+  depth_ = std::max(depth_, depth);
+  const auto counts = histogram(examples);
+  const int total = static_cast<int>(examples.size());
+  const double parent_gini = gini(counts, total);
+
+  Node node;
+  node.label = majority(counts);
+
+  const bool stop = depth >= options_.max_depth ||
+                    total < 2 * options_.min_leaf || parent_gini == 0.0;
+  if (!stop) {
+    // Exhaustive split search: every feature, thresholds at midpoints of
+    // consecutive distinct sorted values.
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    for (int f = 0; f < kFeatureCount; ++f) {
+      std::sort(examples.begin(), examples.end(),
+                [f](const Example* a, const Example* b) {
+                  return a->features[static_cast<std::size_t>(f)] <
+                         b->features[static_cast<std::size_t>(f)];
+                });
+      std::array<int, kClasses> left{};
+      std::array<int, kClasses> right = counts;
+      for (int i = 0; i + 1 < total; ++i) {
+        const auto cls =
+            static_cast<std::size_t>(examples[static_cast<std::size_t>(i)]->label);
+        left[cls]++;
+        right[cls]--;
+        const double lo =
+            examples[static_cast<std::size_t>(i)]->features[static_cast<std::size_t>(f)];
+        const double hi = examples[static_cast<std::size_t>(i) + 1]
+                              ->features[static_cast<std::size_t>(f)];
+        if (hi <= lo) continue;  // not a valid threshold position
+        const int nl = i + 1;
+        const int nr = total - nl;
+        if (nl < options_.min_leaf || nr < options_.min_leaf) continue;
+        const double split_gini =
+            (nl * gini(left, nl) + nr * gini(right, nr)) / total;
+        const double gain = parent_gini - split_gini;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_threshold = 0.5 * (lo + hi);
+        }
+      }
+    }
+    if (best_feature >= 0) {
+      std::vector<const Example*> left_set;
+      std::vector<const Example*> right_set;
+      for (const Example* e : examples) {
+        (e->features[static_cast<std::size_t>(best_feature)] < best_threshold
+             ? left_set
+             : right_set)
+            .push_back(e);
+      }
+      node.leaf = false;
+      node.feature = best_feature;
+      node.threshold = best_threshold;
+      node.left = build(left_set, depth + 1);
+      node.right = build(right_set, depth + 1);
+    }
+  }
+
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+PatternClass DecisionTreeClassifier::predict(const FeatureVector& f) const {
+  if (root_ < 0) return PatternClass::kNBody;
+  int n = root_;
+  for (;;) {
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    if (node.leaf) return node.label;
+    n = f[static_cast<std::size_t>(node.feature)] < node.threshold ? node.left
+                                                                   : node.right;
+  }
+}
+
+void DecisionTreeClassifier::render(int node, int indent,
+                                    std::string& out) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (n.leaf) {
+    out += pad + "-> " + patterns::to_string(n.label) + "\n";
+    return;
+  }
+  const auto names = feature_names();
+  out += pad + "if " + std::string(names[static_cast<std::size_t>(n.feature)]) +
+         " < " + std::to_string(n.threshold) + ":\n";
+  render(n.left, indent + 1, out);
+  out += pad + "else:\n";
+  render(n.right, indent + 1, out);
+}
+
+std::string DecisionTreeClassifier::to_string() const {
+  std::string out;
+  if (root_ >= 0) render(root_, 0, out);
+  return out;
+}
+
+}  // namespace commscope::patterns

@@ -1,0 +1,65 @@
+// CART decision tree over communication-matrix features — the third
+// supervised learner in the Section VI toolbox (alongside nearest-centroid
+// and kNN). Trees give human-readable decision rules ("if neighbour_band >
+// 0.6 -> structured-grid"), which matters when the classifier output feeds
+// an auto-tuner that must be auditable.
+//
+// Standard CART: binary splits on one feature against a threshold, chosen to
+// maximize Gini-impurity reduction; growth stops at max_depth, at min_leaf
+// examples, or on purity. No pruning — the synthetic corpus is large
+// relative to the 12-dimensional feature space, and tests cover held-out
+// generalization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "patterns/classifier.hpp"
+
+namespace commscope::patterns {
+
+class DecisionTreeClassifier {
+ public:
+  struct Options {
+    int max_depth = 10;
+    int min_leaf = 2;
+  };
+
+  DecisionTreeClassifier() = default;
+  explicit DecisionTreeClassifier(Options options) : options_(options) {}
+
+  void train(const std::vector<Example>& train);
+
+  [[nodiscard]] PatternClass predict(const FeatureVector& f) const;
+  [[nodiscard]] PatternClass predict(const core::Matrix& m) const {
+    return predict(extract_features(m));
+  }
+
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+
+  /// Indented if/else rendering of the learned rules.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    PatternClass label = PatternClass::kNBody;
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;   // feature < threshold
+    int right = -1;  // feature >= threshold
+  };
+
+  int build(std::vector<const Example*>& examples, int depth);
+  void render(int node, int indent, std::string& out) const;
+
+  Options options_{};
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  int depth_ = 0;
+};
+
+}  // namespace commscope::patterns

@@ -1,0 +1,107 @@
+#include "patterns/features.hpp"
+
+#include <cmath>
+
+namespace commscope::patterns {
+
+std::array<std::string_view, kFeatureCount> feature_names() {
+  return {"neighbour_band", "near_band",  "pow2_offsets", "symmetry",
+          "directionality", "row_entropy", "col_entropy",  "hub0_mass",
+          "coverage",        "max_share",  "tree_mass",    "lower_panel"};
+}
+
+namespace {
+
+bool is_pow2_ge2(int d) { return d >= 2 && (d & (d - 1)) == 0; }
+
+/// Normalized Shannon entropy of a nonnegative vector (0 when concentrated
+/// on one element, 1 when uniform, 0 for an all-zero vector).
+double norm_entropy(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (double x : xs) total += x;
+  if (total <= 0.0 || xs.size() < 2) return 0.0;
+  double h = 0.0;
+  for (double x : xs) {
+    if (x > 0.0) {
+      const double p = x / total;
+      h -= p * std::log(p);
+    }
+  }
+  return h / std::log(static_cast<double>(xs.size()));
+}
+
+}  // namespace
+
+FeatureVector extract_features(const core::Matrix& m) {
+  FeatureVector f{};
+  const int n = m.size();
+  const auto total = static_cast<double>(m.total());
+  if (n < 2 || total <= 0.0) return f;
+
+  double neighbour = 0.0;
+  double near_band = 0.0;
+  double pow2 = 0.0;
+  double sym = 0.0;
+  double upper = 0.0;
+  double lower = 0.0;
+  double hub0 = 0.0;
+  double nonzero = 0.0;
+  double maxcell = 0.0;
+  double tree = 0.0;
+  double panel = 0.0;
+
+  for (int p = 0; p < n; ++p) {
+    for (int c = 0; c < n; ++c) {
+      if (p == c) continue;
+      const auto v = static_cast<double>(m.at(p, c));
+      const int d = std::abs(p - c);
+      if (v > 0.0) nonzero += 1.0;
+      if (d == 1) neighbour += v;
+      if (d >= 2 && d <= 3) near_band += v;
+      if (is_pow2_ge2(d)) pow2 += v;
+      sym += 0.5 * std::min(v, static_cast<double>(m.at(c, p)));
+      if (c > p) {
+        upper += v;
+        panel += v * (1.0 - static_cast<double>(p) / static_cast<double>(n));
+      } else {
+        lower += v;
+      }
+      if (p == 0 || c == 0) hub0 += v;
+      if ((p > 0 && c == (p - 1) / 2) || (c > 0 && p == (c - 1) / 2)) tree += v;
+      maxcell = std::max(maxcell, v);
+    }
+  }
+
+  std::vector<double> rows(static_cast<std::size_t>(n));
+  std::vector<double> cols(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rows[static_cast<std::size_t>(i)] = static_cast<double>(m.row_sum(i));
+    cols[static_cast<std::size_t>(i)] = static_cast<double>(m.col_sum(i));
+  }
+
+  const double offdiag_cells = static_cast<double>(n) * (n - 1);
+  f[0] = neighbour / total;
+  f[1] = near_band / total;
+  f[2] = pow2 / total;
+  f[3] = 2.0 * sym / total;  // sym counted each unordered pair once
+  f[4] = (upper - lower) / total;
+  f[5] = norm_entropy(rows);
+  f[6] = norm_entropy(cols);
+  f[7] = hub0 / total;
+  f[8] = nonzero / offdiag_cells;
+  f[9] = maxcell / total;
+  f[10] = tree / total;
+  f[11] = panel / total;
+  return f;
+}
+
+double feature_distance(const FeatureVector& a, const FeatureVector& b) {
+  double sq = 0.0;
+  for (int i = 0; i < kFeatureCount; ++i) {
+    const double d = a[static_cast<std::size_t>(i)] - b[static_cast<std::size_t>(i)];
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+}  // namespace commscope::patterns

@@ -1,0 +1,44 @@
+// Scale-invariant features extracted from a communication matrix.
+//
+// Section VI detects pattern classes "with the aid of algorithmic methods and
+// supervised learning"; the algorithmic half is this feature extraction.
+// Every feature is a ratio over the matrix's own mass or a normalized
+// entropy, so matrices from different input sizes and thread counts are
+// comparable — the property that lets a classifier trained on synthetic
+// 16-thread instances label real 8..32-thread profiles.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "core/comm_matrix.hpp"
+
+namespace commscope::patterns {
+
+inline constexpr int kFeatureCount = 12;
+using FeatureVector = std::array<double, kFeatureCount>;
+
+/// Human-readable feature names, index-aligned with FeatureVector.
+[[nodiscard]] std::array<std::string_view, kFeatureCount> feature_names();
+
+/// Extracts the feature vector; an all-zero matrix yields all-zero features.
+///
+///  0 neighbour_band   mass at |p-c| == 1
+///  1 near_band        mass at 2 <= |p-c| <= 3
+///  2 pow2_offsets     mass at |p-c| in {2,4,8,...} (butterfly signature)
+///  3 symmetry         sum(min(m[p][c], m[c][p])) / total
+///  4 directionality   (upper-triangle - lower-triangle) / total
+///  5 row_entropy      mean normalized entropy of producer rows
+///  6 col_entropy      mean normalized entropy of consumer columns
+///  7 hub0_mass        mass in row 0 + column 0 (master/worker signature)
+///  8 coverage         fraction of nonzero off-diagonal cells
+///  9 max_share        largest cell / total
+/// 10 tree_mass        mass on binary-tree edges (c == (p-1)/2 or inverse)
+/// 11 lower_panel      mass with c > p weighted by producer rank (LU panels)
+[[nodiscard]] FeatureVector extract_features(const core::Matrix& m);
+
+/// Euclidean distance between feature vectors.
+[[nodiscard]] double feature_distance(const FeatureVector& a,
+                                      const FeatureVector& b);
+
+}  // namespace commscope::patterns

@@ -1,0 +1,116 @@
+#include "patterns/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace commscope::patterns {
+
+const char* to_string(PatternClass c) noexcept {
+  switch (c) {
+    case PatternClass::kLinearAlgebra:
+      return "linear-algebra";
+    case PatternClass::kSpectral:
+      return "spectral";
+    case PatternClass::kNBody:
+      return "n-body";
+    case PatternClass::kStructuredGrid:
+      return "structured-grid";
+    case PatternClass::kMasterWorker:
+      return "master-worker";
+    case PatternClass::kPipeline:
+      return "pipeline";
+    case PatternClass::kBarrier:
+      return "barrier";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Structural template value for cell (p, c) of class `cls`, in [0, 1].
+double structure(PatternClass cls, int p, int c, int n) {
+  if (p == c) return 0.0;  // RAW matrices have no self-communication
+  const int d = std::abs(p - c);
+  switch (cls) {
+    case PatternClass::kStructuredGrid:
+      // halo exchange with immediate neighbours (plus weak wrap-around)
+      if (d == 1) return 1.0;
+      if (d == n - 1) return 0.3;
+      return 0.0;
+    case PatternClass::kSpectral: {
+      // butterfly: partners at power-of-two distances, higher stages lighter
+      for (int k = 0; (1 << k) < n; ++k) {
+        if (d == (1 << k)) return 1.0 / (1.0 + 0.3 * k);
+      }
+      return 0.0;
+    }
+    case PatternClass::kNBody: {
+      // everyone reads everyone, gentle locality decay
+      return 1.0 / (1.0 + 0.08 * d);
+    }
+    case PatternClass::kLinearAlgebra: {
+      // panel owner broadcasts to later ranks: owner o sends to all c > o;
+      // early panels (small p) carry the most volume, giving a lower-
+      // triangular producer structure (consumers above the diagonal).
+      if (c > p) {
+        return (1.0 - static_cast<double>(p) / static_cast<double>(n)) *
+               (0.5 + 0.5 / (1.0 + 0.2 * d));
+      }
+      return 0.1 / (1.0 + 0.5 * d);  // light feedback from updates
+    }
+    case PatternClass::kMasterWorker:
+      if (p == 0) return 1.0;   // master distributes work/data
+      if (c == 0) return 0.6;   // workers return results
+      return 0.0;
+    case PatternClass::kPipeline:
+      if (c == p + 1) return 1.0;  // stage handoff
+      return 0.0;
+    case PatternClass::kBarrier: {
+      // binary combining tree: child 2i+1/2i+2 -> parent i and back
+      if (c == (p - 1) / 2 && p > 0) return 1.0;
+      if (p == (c - 1) / 2 && c > 0) return 0.8;
+      return 0.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+core::Matrix generate(PatternClass cls, const GeneratorOptions& opts,
+                      support::SplitMix64& rng) {
+  const int n = opts.threads;
+  core::Matrix m(n);
+  for (int p = 0; p < n; ++p) {
+    for (int c = 0; c < n; ++c) {
+      if (p == c) continue;
+      const double s = structure(cls, p, c, n);
+      double v = 0.0;
+      if (s > 0.0) {
+        const double jitter = 1.0 + opts.jitter * (2.0 * rng.next_double() - 1.0);
+        v = s * jitter * opts.volume;
+      } else if (rng.next_double() < opts.background) {
+        v = opts.background_level * opts.volume * rng.next_double();
+      }
+      m.at(p, c) = static_cast<std::uint64_t>(std::max(0.0, v));
+    }
+  }
+  return m;
+}
+
+std::vector<LabelledMatrix> make_corpus(int per_class,
+                                        const GeneratorOptions& opts,
+                                        std::uint64_t seed) {
+  support::SplitMix64 rng(seed);
+  std::vector<LabelledMatrix> corpus;
+  corpus.reserve(static_cast<std::size_t>(per_class) *
+                 std::size(kAllPatternClasses));
+  for (const PatternClass cls : kAllPatternClasses) {
+    for (int i = 0; i < per_class; ++i) {
+      corpus.push_back(LabelledMatrix{generate(cls, opts, rng), cls});
+    }
+  }
+  return corpus;
+}
+
+}  // namespace commscope::patterns

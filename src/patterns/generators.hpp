@@ -1,0 +1,65 @@
+// Synthetic communication-matrix generators for the seven parallel-pattern
+// classes Section VI reports detecting from DiscoPoP matrices:
+// "Linear algebra, spectral methods, n-body, structured grids, master/worker,
+// pipeline and synchronization barriers were among the patterns we could
+// identify". Each generator produces the canonical communication topology of
+// its class (the "unique communication topology between each
+// processor/thread" the paper builds on), with controllable noise so a
+// training corpus of realistic, non-identical instances can be produced.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "support/rng.hpp"
+
+namespace commscope::patterns {
+
+enum class PatternClass {
+  kLinearAlgebra,   ///< blocked panel broadcasts (LU/Cholesky-like)
+  kSpectral,        ///< butterfly / hypercube exchanges (FFT-like)
+  kNBody,           ///< dense all-to-all with mild locality decay
+  kStructuredGrid,  ///< nearest-neighbour band (stencil halos)
+  kMasterWorker,    ///< row/column 0 dominated
+  kPipeline,        ///< directed superdiagonal chain
+  kBarrier,         ///< binary reduction/broadcast tree
+};
+
+inline constexpr PatternClass kAllPatternClasses[] = {
+    PatternClass::kLinearAlgebra, PatternClass::kSpectral,
+    PatternClass::kNBody,         PatternClass::kStructuredGrid,
+    PatternClass::kMasterWorker,  PatternClass::kPipeline,
+    PatternClass::kBarrier,
+};
+
+[[nodiscard]] const char* to_string(PatternClass c) noexcept;
+
+struct GeneratorOptions {
+  int threads = 16;
+  /// Multiplicative jitter amplitude on every structural cell (0..1).
+  double jitter = 0.2;
+  /// Probability of spurious background traffic per off-structure cell —
+  /// emulates the false-positive communication a small signature introduces.
+  double background = 0.05;
+  /// Magnitude of background traffic relative to structural cells.
+  double background_level = 0.1;
+  /// Base volume per structural edge, in bytes.
+  double volume = 1 << 16;
+};
+
+/// Generates one noisy instance of `cls`.
+[[nodiscard]] core::Matrix generate(PatternClass cls, const GeneratorOptions& opts,
+                                    support::SplitMix64& rng);
+
+/// A labelled corpus: `per_class` instances of every class.
+struct LabelledMatrix {
+  core::Matrix matrix;
+  PatternClass label;
+};
+
+[[nodiscard]] std::vector<LabelledMatrix> make_corpus(int per_class,
+                                                      const GeneratorOptions& opts,
+                                                      std::uint64_t seed);
+
+}  // namespace commscope::patterns

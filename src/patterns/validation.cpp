@@ -1,0 +1,45 @@
+#include "patterns/validation.hpp"
+
+namespace commscope::patterns {
+
+std::vector<ClassMetrics> class_metrics(const Evaluation& ev) {
+  const int k = static_cast<int>(ev.confusion.size());
+  std::vector<ClassMetrics> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    ClassMetrics m;
+    m.label = static_cast<PatternClass>(c);
+    int tp = ev.confusion[static_cast<std::size_t>(c)][static_cast<std::size_t>(c)];
+    int actual = 0;
+    int predicted = 0;
+    for (int other = 0; other < k; ++other) {
+      actual += ev.confusion[static_cast<std::size_t>(c)]
+                            [static_cast<std::size_t>(other)];
+      predicted += ev.confusion[static_cast<std::size_t>(other)]
+                               [static_cast<std::size_t>(c)];
+    }
+    m.support = actual;
+    m.precision = predicted > 0 ? static_cast<double>(tp) / predicted : 0.0;
+    m.recall = actual > 0 ? static_cast<double>(tp) / actual : 0.0;
+    m.f1 = (m.precision + m.recall) > 0
+               ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+               : 0.0;
+    out.push_back(m);
+  }
+  return out;
+}
+
+double macro_f1(const Evaluation& ev) {
+  const std::vector<ClassMetrics> ms = class_metrics(ev);
+  double sum = 0.0;
+  int counted = 0;
+  for (const ClassMetrics& m : ms) {
+    if (m.support > 0) {
+      sum += m.f1;
+      ++counted;
+    }
+  }
+  return counted > 0 ? sum / counted : 0.0;
+}
+
+}  // namespace commscope::patterns

@@ -1,0 +1,84 @@
+#include "sigmem/exact_signature.hpp"
+
+#include <stdexcept>
+
+namespace commscope::sigmem {
+
+namespace {
+// Approximate per-entry cost of an unordered_map node (key + value + node
+// overhead + bucket share); used for the memory-scaling comparisons.
+constexpr std::size_t kMapEntryBytes =
+    sizeof(std::uintptr_t) + sizeof(std::int32_t) + sizeof(std::uint64_t) + 32;
+}  // namespace
+
+ExactSignature::ExactSignature(int max_threads, support::MemoryTracker* tracker)
+    : max_threads_(max_threads),
+      shards_(std::make_unique<Shard[]>(kShards)),
+      tracker_(tracker) {
+  if (max_threads < 1 || max_threads > 64) {
+    throw std::invalid_argument("ExactSignature supports 1..64 threads");
+  }
+}
+
+ExactSignature::ReadObservation ExactSignature::on_read_classified(
+    std::uintptr_t addr, int tid) {
+  Shard& s = shard_of(addr);
+  std::lock_guard lock(s.mu);
+  auto [it, inserted] = s.cells.try_emplace(addr);
+  if (inserted && tracker_ != nullptr) tracker_->add(kMapEntryBytes);
+  Cell& c = it->second;
+  const std::uint64_t bit = 1ULL << static_cast<unsigned>(tid);
+  ReadObservation obs;
+  obs.rar = (c.readers & ~bit) != 0;
+  if (c.writer >= 0 && (c.readers & bit) == 0 && c.writer != tid) {
+    obs.producer = c.writer;
+  }
+  c.readers |= bit;
+  return obs;
+}
+
+ExactSignature::WriteObservation ExactSignature::on_write_classified(
+    std::uintptr_t addr, int tid) {
+  Shard& s = shard_of(addr);
+  std::lock_guard lock(s.mu);
+  auto [it, inserted] = s.cells.try_emplace(addr);
+  if (inserted && tracker_ != nullptr) tracker_->add(kMapEntryBytes);
+  Cell& c = it->second;
+  const std::uint64_t bit = 1ULL << static_cast<unsigned>(tid);
+  WriteObservation obs;
+  if (c.writer >= 0) obs.prev_writer = c.writer;
+  obs.had_other_readers = (c.readers & ~bit) != 0;
+  c.readers = 0;
+  c.writer = tid;
+  return obs;
+}
+
+std::uint64_t ExactSignature::byte_size() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::lock_guard lock(shards_[i].mu);
+    total += shards_[i].cells.size() * kMapEntryBytes;
+  }
+  return total;
+}
+
+std::size_t ExactSignature::tracked_addresses() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::lock_guard lock(shards_[i].mu);
+    n += shards_[i].cells.size();
+  }
+  return n;
+}
+
+void ExactSignature::clear() {
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::lock_guard lock(shards_[i].mu);
+    if (tracker_ != nullptr) {
+      tracker_->sub(shards_[i].cells.size() * kMapEntryBytes);
+    }
+    shards_[i].cells.clear();
+  }
+}
+
+}  // namespace commscope::sigmem

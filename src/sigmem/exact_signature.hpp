@@ -1,0 +1,99 @@
+// Perfect (collision-free) signature memory.
+//
+// Section V.A.3 evaluates the asymmetric signature's false-positive rate "by
+// implementing a perfect signature memory without any collision to be the
+// baseline for FPR comparison". This is that baseline: the same last-writer /
+// reader-set semantics as the asymmetric signature, but keyed exactly by
+// address in a sharded hash map, so membership answers are never wrong.
+// Memory grows with the number of distinct addresses touched — the very
+// trade-off the bounded signature avoids.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "support/hash.hpp"
+#include "support/memtrack.hpp"
+
+namespace commscope::sigmem {
+
+class ExactSignature {
+ public:
+  /// `max_threads` bounds reader-set width (<= 64 supported; the replicas and
+  /// the paper's testbed both run at most 64 threads).
+  explicit ExactSignature(int max_threads,
+                          support::MemoryTracker* tracker = nullptr);
+
+  ExactSignature(const ExactSignature&) = delete;
+  ExactSignature& operator=(const ExactSignature&) = delete;
+
+  /// Classified read outcome: the RAW producer (if this read completes a new
+  /// inter-thread RAW dependency) plus whether another thread had already
+  /// read the location since its last write (a RAR observation, which
+  /// DiscoPoP proper also tracks).
+  struct ReadObservation {
+    std::optional<int> producer;
+    bool rar = false;
+  };
+
+  /// Classified write outcome: the previous writer (WAW when it is another
+  /// thread) and whether any *other* thread had read the location since that
+  /// write (WAR).
+  struct WriteObservation {
+    std::optional<int> prev_writer;
+    bool had_other_readers = false;
+  };
+
+  /// Processes a read by `tid` at `addr` per Algorithm 1 semantics: returns
+  /// the producing thread id if this read completes a *new* inter-thread RAW
+  /// dependency (first read by this thread since the last write, writer is a
+  /// different thread), else nullopt. The reader is inserted into the
+  /// address's reader set either way.
+  [[nodiscard]] std::optional<int> on_read(std::uintptr_t addr, int tid) {
+    return on_read_classified(addr, tid).producer;
+  }
+
+  /// Processes a write: resets the reader set, records `tid` as last writer.
+  void on_write(std::uintptr_t addr, int tid) {
+    (void)on_write_classified(addr, tid);
+  }
+
+  /// Read with full WAR/RAR-capable classification (exact).
+  [[nodiscard]] ReadObservation on_read_classified(std::uintptr_t addr, int tid);
+
+  /// Write with full classification (exact).
+  WriteObservation on_write_classified(std::uintptr_t addr, int tid);
+
+  /// Bytes held by the backing maps (tracked cells + bucket arrays).
+  [[nodiscard]] std::uint64_t byte_size() const;
+
+  /// Number of distinct addresses tracked.
+  [[nodiscard]] std::size_t tracked_addresses() const;
+
+  void clear();
+
+ private:
+  struct Cell {
+    std::int32_t writer = -1;       // -1 = no write recorded yet
+    std::uint64_t readers = 0;      // bitmask of reader tids
+  };
+
+  static constexpr std::size_t kShards = 64;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uintptr_t, Cell> cells;
+  };
+
+  [[nodiscard]] Shard& shard_of(std::uintptr_t addr) noexcept {
+    return shards_[support::murmur_mix64(addr) % kShards];
+  }
+
+  int max_threads_;
+  std::unique_ptr<Shard[]> shards_;
+  support::MemoryTracker* tracker_;
+};
+
+}  // namespace commscope::sigmem

@@ -1,0 +1,79 @@
+#include "sigmem/read_signature.hpp"
+
+#include <stdexcept>
+
+namespace commscope::sigmem {
+
+ReadSignature::ReadSignature(std::size_t slots, int max_threads, double fp_rate,
+                             support::MemoryTracker* tracker)
+    : slots_(slots),
+      max_threads_(max_threads),
+      fp_rate_(fp_rate),
+      bloom_params_(
+          support::bloom_params(static_cast<std::size_t>(max_threads), fp_rate)),
+      level1_(std::make_unique<std::atomic<support::BloomFilter*>[]>(slots)),
+      tracker_(tracker) {
+  if (slots == 0) throw std::invalid_argument("ReadSignature needs >= 1 slot");
+  if (max_threads < 1) throw std::invalid_argument("max_threads must be >= 1");
+  for (std::size_t i = 0; i < slots_; ++i) {
+    level1_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  if (tracker_ != nullptr) {
+    tracker_->add(slots_ * sizeof(std::atomic<support::BloomFilter*>));
+  }
+}
+
+ReadSignature::~ReadSignature() {
+  for (std::size_t i = 0; i < slots_; ++i) {
+    delete level1_[i].load(std::memory_order_relaxed);
+  }
+  if (tracker_ != nullptr) tracker_->sub(byte_size());
+}
+
+support::BloomFilter* ReadSignature::get_or_create(std::size_t slot) noexcept {
+  support::BloomFilter* bf = level1_[slot].load(std::memory_order_acquire);
+  if (bf != nullptr) return bf;
+  auto fresh = std::make_unique<support::BloomFilter>(bloom_params_);
+  support::BloomFilter* expected = nullptr;
+  if (level1_[slot].compare_exchange_strong(expected, fresh.get(),
+                                            std::memory_order_acq_rel)) {
+    allocated_.fetch_add(1, std::memory_order_relaxed);
+    if (tracker_ != nullptr) {
+      tracker_->add(sizeof(support::BloomFilter) + fresh->byte_size());
+    }
+    return fresh.release();  // ownership transferred to level1_
+  }
+  return expected;  // another thread won the race; `fresh` is discarded
+}
+
+bool ReadSignature::insert(std::size_t slot, int tid) noexcept {
+  return get_or_create(slot)->insert(static_cast<std::uint64_t>(tid));
+}
+
+bool ReadSignature::contains(std::size_t slot, int tid) const noexcept {
+  const support::BloomFilter* bf = level1_[slot].load(std::memory_order_acquire);
+  return bf != nullptr && bf->contains(static_cast<std::uint64_t>(tid));
+}
+
+bool ReadSignature::any(std::size_t slot) const noexcept {
+  const support::BloomFilter* bf = level1_[slot].load(std::memory_order_acquire);
+  return bf != nullptr && !bf->empty();
+}
+
+void ReadSignature::clear_slot(std::size_t slot) noexcept {
+  support::BloomFilter* bf = level1_[slot].load(std::memory_order_acquire);
+  if (bf != nullptr) bf->clear();
+}
+
+void ReadSignature::clear() noexcept {
+  for (std::size_t i = 0; i < slots_; ++i) clear_slot(i);
+}
+
+std::size_t ReadSignature::byte_size() const noexcept {
+  const std::size_t per_filter =
+      sizeof(support::BloomFilter) + bloom_params_.bits / 8;
+  return slots_ * sizeof(std::atomic<support::BloomFilter*>) +
+         allocated_.load(std::memory_order_relaxed) * per_filter;
+}
+
+}  // namespace commscope::sigmem

@@ -1,0 +1,91 @@
+// Two-level read signature (Figure 3a of the paper).
+//
+// "Two-level signature memory is designed for 'Read Signature' because we
+// need to store the list of all threads which have accessed the correspondent
+// memory location. It uses a fixed-length array of size n ... in combination
+// with an efficient MurmurHash function that maps memory addresses to array
+// indexes. The first-level array stores the pointers to the second-level
+// arrays which are actually bloom filters."
+//
+// First level: n atomic BloomFilter pointers. Second level: a bloom filter of
+// reader thread ids, sized from (thread count, FPRate) exactly as Eq. 2
+// prescribes. Bloom filters are allocated lazily on first insertion into a
+// slot ("If the element is empty, a pointer to the second array will be
+// allocated"), CAS-published so concurrent first readers agree on one filter,
+// and recycled (cleared, not freed) when a write invalidates the slot —
+// keeping the memory footprint bounded by the slot count regardless of
+// program input size, the property Figure 5 demonstrates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "support/bloom.hpp"
+#include "support/hash.hpp"
+#include "support/memtrack.hpp"
+
+namespace commscope::sigmem {
+
+class ReadSignature {
+ public:
+  /// `slots`: first-level array length. `max_threads`: bloom capacity t.
+  /// `fp_rate`: bloom false-positive target (paper default 0.001).
+  ReadSignature(std::size_t slots, int max_threads, double fp_rate,
+                support::MemoryTracker* tracker = nullptr);
+  ~ReadSignature();
+
+  ReadSignature(const ReadSignature&) = delete;
+  ReadSignature& operator=(const ReadSignature&) = delete;
+
+  [[nodiscard]] std::size_t slot_of(std::uintptr_t addr) const noexcept {
+    return support::murmur_mix64(static_cast<std::uint64_t>(addr)) % slots_;
+  }
+
+  /// Inserts reader `tid` into `slot`'s bloom filter (allocating it on first
+  /// use). Returns true if the tid was (apparently) already present — the
+  /// "a not in read signature" test of Algorithm 1 in one atomic pass.
+  bool insert(std::size_t slot, int tid) noexcept;
+
+  /// Membership query without insertion.
+  [[nodiscard]] bool contains(std::size_t slot, int tid) const noexcept;
+
+  /// True if any reader has been recorded in `slot` since its last clear.
+  /// Used by the approximate WAR/RAR classification extension.
+  [[nodiscard]] bool any(std::size_t slot) const noexcept;
+
+  /// Clears `slot`'s reader set — Algorithm 1's response to a write ("clear
+  /// correspondent bloom filter in read signature"). The filter's storage is
+  /// retained for reuse.
+  void clear_slot(std::size_t slot) noexcept;
+
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t slots() const noexcept { return slots_; }
+  [[nodiscard]] int max_threads() const noexcept { return max_threads_; }
+  [[nodiscard]] double fp_rate() const noexcept { return fp_rate_; }
+  [[nodiscard]] support::BloomParams bloom_params() const noexcept {
+    return bloom_params_;
+  }
+
+  /// Number of slots whose bloom filter has been allocated.
+  [[nodiscard]] std::size_t allocated_filters() const noexcept {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+
+  /// Actual bytes held: first-level pointer array + allocated filters.
+  [[nodiscard]] std::size_t byte_size() const noexcept;
+
+ private:
+  std::size_t slots_;
+  int max_threads_;
+  double fp_rate_;
+  support::BloomParams bloom_params_;
+  std::unique_ptr<std::atomic<support::BloomFilter*>[]> level1_;
+  std::atomic<std::size_t> allocated_{0};
+  support::MemoryTracker* tracker_;
+
+  [[nodiscard]] support::BloomFilter* get_or_create(std::size_t slot) noexcept;
+};
+
+}  // namespace commscope::sigmem

@@ -1,0 +1,37 @@
+#include "sigmem/write_signature.hpp"
+
+#include <stdexcept>
+
+namespace commscope::sigmem {
+
+WriteSignature::WriteSignature(std::size_t slots,
+                               support::MemoryTracker* tracker)
+    : slots_(slots),
+      cells_(std::make_unique<std::atomic<std::uint32_t>[]>(slots)),
+      tracker_(tracker) {
+  if (slots == 0) throw std::invalid_argument("WriteSignature needs >= 1 slot");
+  for (std::size_t i = 0; i < slots_; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+  if (tracker_ != nullptr) tracker_->add(byte_size());
+}
+
+WriteSignature::~WriteSignature() {
+  if (tracker_ != nullptr) tracker_->sub(byte_size());
+}
+
+void WriteSignature::clear() noexcept {
+  for (std::size_t i = 0; i < slots_; ++i) {
+    cells_[i].store(0, std::memory_order_release);
+  }
+}
+
+std::size_t WriteSignature::occupancy() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < slots_; ++i) {
+    if (cells_[i].load(std::memory_order_relaxed) != 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace commscope::sigmem

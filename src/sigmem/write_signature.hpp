@@ -1,0 +1,70 @@
+// One-level write signature (Figure 3b of the paper).
+//
+// "One-level signature memory tries to only store source thread numbers and
+// is used for representing 'Write Signature'. In every situation, the values
+// stored in the elements of this signature represent the last thread number
+// which accessed the relevant memory location."
+//
+// Each slot is one lock-free 32-bit atomic holding `tid + 1` (0 = empty), so
+// a slot is simultaneously an occupancy flag and the last-writer id —
+// matching the 4-bytes-per-slot term of Eq. 2. Addresses map to slots with
+// MurmurHash; distinct addresses may collide, which is the signature's
+// designed-in approximation (Section IV.D.2 discusses the accuracy/memory
+// trade-off the slot count controls).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "support/hash.hpp"
+#include "support/memtrack.hpp"
+
+namespace commscope::sigmem {
+
+class WriteSignature {
+ public:
+  /// Creates a signature with `slots` elements; allocation is charged to
+  /// `tracker` when provided.
+  explicit WriteSignature(std::size_t slots,
+                          support::MemoryTracker* tracker = nullptr);
+  ~WriteSignature();
+
+  WriteSignature(const WriteSignature&) = delete;
+  WriteSignature& operator=(const WriteSignature&) = delete;
+
+  /// Maps a memory address to its slot index.
+  [[nodiscard]] std::size_t slot_of(std::uintptr_t addr) const noexcept {
+    return support::murmur_mix64(static_cast<std::uint64_t>(addr)) % slots_;
+  }
+
+  /// Records thread `tid` as the last writer of `slot`.
+  void record(std::size_t slot, int tid) noexcept {
+    cells_[slot].store(static_cast<std::uint32_t>(tid) + 1,
+                       std::memory_order_release);
+  }
+
+  /// Last writer of `slot`, or nullopt if no write has been recorded.
+  [[nodiscard]] std::optional<int> last_writer(std::size_t slot) const noexcept {
+    const std::uint32_t v = cells_[slot].load(std::memory_order_acquire);
+    if (v == 0) return std::nullopt;
+    return static_cast<int>(v - 1);
+  }
+
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t slots() const noexcept { return slots_; }
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return slots_ * sizeof(std::uint32_t);
+  }
+  /// Number of occupied slots (diagnostics / fill-rate tests).
+  [[nodiscard]] std::size_t occupancy() const noexcept;
+
+ private:
+  std::size_t slots_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> cells_;
+  support::MemoryTracker* tracker_;
+};
+
+}  // namespace commscope::sigmem

@@ -1,0 +1,61 @@
+// Minimal command-line flag parser for the commscope CLI tool.
+//
+// Grammar: positional arguments interleaved with flags; a flag is
+// `--name=value`, `--name value` (when `name` is not a declared boolean and
+// the next token is not itself a flag), or a bare boolean `--name`. Boolean
+// flag names are declared up front so they never consume a following
+// positional. Unknown flags are collected so the caller can reject them with
+// a useful message.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace commscope::support {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv,
+            std::set<std::string> bool_flags = {});
+  explicit ArgParser(const std::vector<std::string>& args,
+                     std::set<std::string> bool_flags = {});
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return flags_.count(name) != 0;
+  }
+
+  /// String value of `--name`; `fallback` when absent; the empty string for
+  /// bare boolean flags.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = "") const;
+
+  /// Integer value; `fallback` when absent or non-numeric.
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+
+  /// Floating-point value; `fallback` when absent or non-numeric.
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// Flag names seen that are not in `known` (for error reporting).
+  [[nodiscard]] std::vector<std::string> unknown_flags(
+      const std::vector<std::string>& known) const;
+
+ private:
+  void parse(const std::vector<std::string>& args);
+
+  std::set<std::string> bool_flags_;
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace commscope::support

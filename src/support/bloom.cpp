@@ -1,0 +1,12 @@
+#include "support/bloom.hpp"
+
+namespace commscope::support {
+
+double BloomFilter::estimated_fpr() const noexcept {
+  if (params_.bits == 0) return 1.0;
+  const double fill = static_cast<double>(bits_.count()) /
+                      static_cast<double>(params_.bits);
+  return std::pow(fill, static_cast<double>(params_.hashes));
+}
+
+}  // namespace commscope::support

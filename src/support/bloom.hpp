@@ -1,0 +1,101 @@
+// Concurrent bloom filter, auto-sized from capacity and target false-positive
+// rate per the paper's Eq. 2 sizing law.
+//
+// The read signature's second level is "a bloom filter [used] to save the
+// list of threads which accessed the same memory address" (Section IV.D.2).
+// Because the element universe is thread ids, capacity is the program's
+// thread count t; the bit count m and hash count k are derived from the
+// standard bloom formulas the paper plugs into Eq. 2:
+//
+//   m = -t * ln(FPRate) / ln^2(2)        (bits)
+//   k =  (m / t) * ln(2)                 (hash functions)
+//
+// Hashes come from Kirsch–Mitzenmacher double hashing over one Murmur
+// evaluation ("a linear combination of hash functions ... to automatically
+// adjust the number of hash functions according to the false positive rate
+// required by the user").
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "support/bitset.hpp"
+#include "support/hash.hpp"
+
+namespace commscope::support {
+
+/// Sizing parameters derived from (capacity, fp_rate).
+struct BloomParams {
+  std::size_t bits = 0;    ///< m, rounded up to a multiple of 64
+  std::uint32_t hashes = 0;  ///< k, at least 1
+};
+
+/// Computes bloom parameters for `capacity` expected insertions at target
+/// false-positive rate `fp_rate` (clamped to a sane range).
+[[nodiscard]] inline BloomParams bloom_params(std::size_t capacity,
+                                              double fp_rate) noexcept {
+  if (capacity == 0) capacity = 1;
+  if (fp_rate <= 0.0) fp_rate = 1e-9;
+  if (fp_rate >= 1.0) fp_rate = 0.5;
+  const double ln2 = std::log(2.0);
+  const double m =
+      -static_cast<double>(capacity) * std::log(fp_rate) / (ln2 * ln2);
+  const double k = m / static_cast<double>(capacity) * ln2;
+  BloomParams p;
+  p.bits = ((static_cast<std::size_t>(std::ceil(m)) + 63) / 64) * 64;
+  p.hashes = static_cast<std::uint32_t>(std::lround(std::max(1.0, k)));
+  return p;
+}
+
+/// Thread-safe bloom filter over 64-bit keys.
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+
+  BloomFilter(std::size_t capacity, double fp_rate)
+      : params_(bloom_params(capacity, fp_rate)), bits_(params_.bits) {}
+
+  explicit BloomFilter(BloomParams params) : params_(params), bits_(params.bits) {}
+
+  /// Inserts `key`; returns true if the key was (apparently) already present,
+  /// i.e. every probed bit was already set.
+  bool insert(std::uint64_t key) noexcept {
+    const HashPair hp = split_hash(murmur_mix64(key));
+    bool all_set = true;
+    for (std::uint32_t i = 0; i < params_.hashes; ++i) {
+      all_set &= bits_.set(km_hash(hp.h1, hp.h2, i) % params_.bits);
+    }
+    return all_set;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
+    const HashPair hp = split_hash(murmur_mix64(key));
+    for (std::uint32_t i = 0; i < params_.hashes; ++i) {
+      if (!bits_.test(km_hash(hp.h1, hp.h2, i) % params_.bits)) return false;
+    }
+    return true;
+  }
+
+  void clear() noexcept { bits_.clear(); }
+
+  [[nodiscard]] std::size_t bit_count() const noexcept { return params_.bits; }
+  [[nodiscard]] std::uint32_t hash_count() const noexcept {
+    return params_.hashes;
+  }
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return bits_.byte_size();
+  }
+  [[nodiscard]] std::size_t popcount() const noexcept { return bits_.count(); }
+  [[nodiscard]] bool empty() const noexcept { return !bits_.any(); }
+
+  /// Measured false-positive probability given the current fill level:
+  /// (popcount/m)^k. Used by tests to validate the sizing law.
+  [[nodiscard]] double estimated_fpr() const noexcept;
+
+ private:
+  BloomParams params_{};
+  AtomicBitset bits_;
+};
+
+}  // namespace commscope::support

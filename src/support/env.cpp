@@ -1,0 +1,45 @@
+#include "support/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace commscope::support {
+
+const char* to_string(Scale s) noexcept {
+  switch (s) {
+    case Scale::kDev:
+      return "simdev";
+    case Scale::kSmall:
+      return "simsmall";
+    case Scale::kLarge:
+      return "simlarge";
+  }
+  return "?";
+}
+
+Scale env_scale() {
+  const std::string v = env_str("COMMSCOPE_SCALE", "dev");
+  if (v == "small" || v == "simsmall") return Scale::kSmall;
+  if (v == "large" || v == "simlarge") return Scale::kLarge;
+  return Scale::kDev;
+}
+
+int env_threads(int fallback) {
+  const auto v = static_cast<int>(env_int("COMMSCOPE_THREADS", fallback));
+  return std::clamp(v, 2, 64);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end != nullptr && end != v) ? parsed : fallback;
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
+}
+
+}  // namespace commscope::support

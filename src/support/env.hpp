@@ -1,0 +1,30 @@
+// Environment-variable configuration shared by all bench binaries.
+//
+// Every experiment binary honours:
+//   COMMSCOPE_SCALE    = dev | small | large   (workload input scale)
+//   COMMSCOPE_THREADS  = N                     (logical thread count)
+// so the full `for b in build/bench/*` sweep stays fast by default yet can be
+// pushed to paper-scale inputs on a bigger machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace commscope::support {
+
+/// Workload input scale, mirroring SPLASH's simdev/simsmall/simlarge inputs.
+enum class Scale { kDev, kSmall, kLarge };
+
+[[nodiscard]] const char* to_string(Scale s) noexcept;
+
+/// Reads COMMSCOPE_SCALE; defaults to kDev (the scale Figure 4 uses).
+[[nodiscard]] Scale env_scale();
+
+/// Reads COMMSCOPE_THREADS; defaults to `fallback` (clamped to [2, 64]).
+[[nodiscard]] int env_threads(int fallback = 8);
+
+/// Generic helpers.
+[[nodiscard]] std::int64_t env_int(const char* name, std::int64_t fallback);
+[[nodiscard]] std::string env_str(const char* name, const std::string& fallback);
+
+}  // namespace commscope::support

@@ -1,0 +1,93 @@
+// Hash functions used throughout CommScope.
+//
+// The paper (Section IV.D.2) selects MurmurHash for mapping memory addresses
+// to signature slots "because it has much lower time complexity while having
+// less collisions in comparison with other hash functions". We implement
+// MurmurHash3 from the public-domain reference algorithm, plus the finalizer
+// mixers that are sufficient (and fastest) for the 8-byte pointer keys the
+// signature memories hash, and FNV-1a as the ablation comparator
+// (bench/micro_hash contrasts them).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace commscope::support {
+
+/// MurmurHash3 finalizer for 64-bit keys (fmix64). Full avalanche: every
+/// input bit affects every output bit. This is the hot-path hash for mapping
+/// memory addresses to signature-array indexes.
+[[nodiscard]] constexpr std::uint64_t murmur_mix64(std::uint64_t k) noexcept {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// MurmurHash3 finalizer for 32-bit keys (fmix32).
+[[nodiscard]] constexpr std::uint32_t murmur_mix32(std::uint32_t k) noexcept {
+  k ^= k >> 16;
+  k *= 0x85ebca6bU;
+  k ^= k >> 13;
+  k *= 0xc2b2ae35U;
+  k ^= k >> 16;
+  return k;
+}
+
+/// MurmurHash3 x86_32 over an arbitrary byte buffer (reference algorithm).
+[[nodiscard]] std::uint32_t murmur3_x86_32(const void* data, std::size_t len,
+                                           std::uint32_t seed) noexcept;
+
+/// MurmurHash3 x64_128 over an arbitrary byte buffer, truncated to the low
+/// 64 bits, which is the customary way to obtain a 64-bit Murmur hash.
+[[nodiscard]] std::uint64_t murmur3_x64_64(const void* data, std::size_t len,
+                                           std::uint64_t seed) noexcept;
+
+/// Convenience overload hashing a string (loop names, function names).
+[[nodiscard]] inline std::uint64_t murmur3_x64_64(std::string_view s,
+                                                  std::uint64_t seed = 0) noexcept {
+  return murmur3_x64_64(s.data(), s.size(), seed);
+}
+
+/// FNV-1a 64-bit, the baseline hash in the hashing ablation bench.
+[[nodiscard]] constexpr std::uint64_t fnv1a_64(const void* data,
+                                               std::size_t len) noexcept {
+  auto p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Identity "hash" (low bits of the address) — the worst-case comparator in
+/// the collision ablation; real allocators cluster addresses, so this
+/// exhibits the collision pathology the paper avoids by using Murmur.
+[[nodiscard]] constexpr std::uint64_t identity_hash(std::uint64_t k) noexcept {
+  return k;
+}
+
+/// Kirsch–Mitzenmacher double hashing: derive the i-th of k hash values from
+/// two independent base hashes as h1 + i*h2. Used by the bloom filter to get
+/// an arbitrary number of hash functions from one Murmur evaluation
+/// ("a linear combination of hash functions", Section IV.D.2).
+[[nodiscard]] constexpr std::uint64_t km_hash(std::uint64_t h1, std::uint64_t h2,
+                                              std::uint32_t i) noexcept {
+  return h1 + static_cast<std::uint64_t>(i) * (h2 | 1U);  // h2 forced odd
+}
+
+/// Splits one 64-bit Murmur value into the (h1, h2) pair km_hash consumes.
+struct HashPair {
+  std::uint64_t h1;
+  std::uint64_t h2;
+};
+
+[[nodiscard]] constexpr HashPair split_hash(std::uint64_t h) noexcept {
+  return HashPair{h, murmur_mix64(h ^ 0x9e3779b97f4a7c15ULL)};
+}
+
+}  // namespace commscope::support

@@ -1,0 +1,49 @@
+// Internal byte accounting for profiler data structures.
+//
+// Figure 5 compares profiler memory consumption across tools. Process RSS on
+// a shared machine conflates the application's own footprint with the
+// profiler's, so every in-tree profiler charges its allocations to a
+// MemoryTracker and the bench reports those exact byte counts. The scaling
+// *shapes* (fixed signature vs footprint-proportional shadow vs
+// event-proportional log) are what the figure demonstrates.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace commscope::support {
+
+class MemoryTracker {
+ public:
+  void add(std::size_t bytes) noexcept {
+    current_.fetch_add(bytes, std::memory_order_relaxed);
+    std::uint64_t cur = current_.load(std::memory_order_relaxed);
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (cur > peak &&
+           !peak_.compare_exchange_weak(peak, cur, std::memory_order_relaxed)) {
+    }
+  }
+
+  void sub(std::size_t bytes) noexcept {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t current() const noexcept {
+    return current_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> current_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+}  // namespace commscope::support

@@ -1,0 +1,45 @@
+// Small descriptive-statistics helpers for the benchmark harnesses
+// (slowdown averages, FPR summaries, load-balance indices).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace commscope::support {
+
+/// Summary of a sample: n, min, max, mean, stddev (population), median.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Arithmetic mean; 0 for an empty sample.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Geometric mean; 0 for an empty sample or any non-positive element.
+[[nodiscard]] double geomean(std::span<const double> xs);
+
+/// p-th percentile (0..100) by linear interpolation; 0 for empty input.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Coefficient of variation (stddev/mean); 0 when mean is 0.
+[[nodiscard]] double cv(std::span<const double> xs);
+
+/// Load-imbalance index: max/mean - 1. Zero means perfectly balanced.
+/// Used with the paper's thread-load vector (Eq. 1) to quantify Figure 8's
+/// "half the threads idle" vs "evenly distributed" observation.
+[[nodiscard]] double imbalance(std::span<const double> xs);
+
+/// Cosine similarity of two equally-sized vectors; 1 for identical direction,
+/// 0 for orthogonal or empty input. Drives the phase-transition detector.
+[[nodiscard]] double cosine_similarity(std::span<const double> a,
+                                       std::span<const double> b);
+
+}  // namespace commscope::support

@@ -1,0 +1,108 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace commscope::support {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto line = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c])) << cell
+         << ' ';
+    }
+    os << "|\n";
+  };
+  line();
+  emit(header_);
+  line();
+  for (const auto& row : rows_) emit(row);
+  line();
+}
+
+std::string Table::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string Table::bytes(std::uint64_t b) {
+  char buf[64];
+  if (b >= 1ULL << 30) {
+    std::snprintf(buf, sizeof buf, "%.2f GB", static_cast<double>(b) / (1 << 30));
+  } else if (b >= 1ULL << 20) {
+    std::snprintf(buf, sizeof buf, "%.2f MB", static_cast<double>(b) / (1 << 20));
+  } else if (b >= 1ULL << 10) {
+    std::snprintf(buf, sizeof buf, "%.2f KB", static_cast<double>(b) / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+
+void print_heatmap(std::ostream& os, std::span<const std::uint64_t> matrix,
+                   std::size_t n, const std::string& label) {
+  static constexpr char shades[] = {' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'};
+  std::uint64_t maxv = 0;
+  for (std::uint64_t v : matrix) maxv = std::max(maxv, v);
+  os << label << " (" << n << "x" << n
+     << " communication matrix, max=" << maxv << " bytes)\n";
+  os << "     producer ->\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    os << (i == 0 ? "  c  " : (i == 1 ? "  o  " : (i == 2 ? "  n  " : "     ")));
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t v = matrix[i * n + j];
+      char ch = ' ';
+      if (maxv > 0 && v > 0) {
+        const auto idx = static_cast<std::size_t>(
+            static_cast<double>(v) / static_cast<double>(maxv) * 9.0);
+        ch = shades[std::min<std::size_t>(idx, 9)];
+      }
+      os << ch << ch;
+    }
+    os << "|\n";
+  }
+  os << "\n";
+}
+
+void print_bars(std::ostream& os, std::span<const double> values,
+                const std::string& label) {
+  double maxv = 0.0;
+  for (double v : values) maxv = std::max(maxv, v);
+  os << label << "\n";
+  constexpr int width = 50;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const int len =
+        maxv > 0 ? static_cast<int>(values[i] / maxv * width) : 0;
+    os << "  T" << std::setw(2) << i << " |" << std::string(len, '#')
+       << std::string(width - len, ' ') << "| " << Table::num(values[i], 1)
+       << "\n";
+  }
+  os << "\n";
+}
+
+}  // namespace commscope::support

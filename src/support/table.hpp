@@ -1,0 +1,46 @@
+// ASCII rendering for benchmark output: aligned tables (the paper's Table I
+// and per-figure data rows) and matrix heatmaps (the communication-matrix
+// figures 6/7 and the per-thread load bars of figure 8).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace commscope::support {
+
+/// Column-aligned plain-text table. Usage:
+///   Table t({"app", "native(ms)", "instrumented(ms)", "slowdown"});
+///   t.add_row({"fft", "12.1", "301.4", "24.9x"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  /// Formats a double with `prec` digits after the point.
+  [[nodiscard]] static std::string num(double v, int prec = 2);
+  /// Formats bytes as a human-readable KB/MB/GB string.
+  [[nodiscard]] static std::string bytes(std::uint64_t b);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an n×n matrix (row-major, length n*n) as a shaded ASCII heatmap,
+/// normalized to its max; `label` becomes the caption. Mirrors the grayscale
+/// communication-matrix plots of Figures 6 and 7.
+void print_heatmap(std::ostream& os, std::span<const std::uint64_t> matrix,
+                   std::size_t n, const std::string& label);
+
+/// Renders a horizontal bar chart of per-thread values (Figure 8's per-thread
+/// load diagrams).
+void print_bars(std::ostream& os, std::span<const double> values,
+                const std::string& label);
+
+}  // namespace commscope::support

@@ -1,0 +1,48 @@
+// Sense-reversing centralized barrier.
+//
+// SPLASH-style kernels synchronize phases with barriers; the replicas in
+// src/workloads do the same through this class. A sense-reversing barrier is
+// reusable without re-initialization and needs only one atomic counter plus a
+// per-thread sense flag, which lives in a thread_local here.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace commscope::threading {
+
+class Barrier {
+ public:
+  explicit Barrier(int parties) noexcept : parties_(parties) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all parties arrive. Implemented with a condition variable
+  /// rather than spinning: the test machine may have fewer cores than
+  /// parties, and spinning would deadlock-by-starvation under timesharing.
+  void arrive_and_wait() {
+    std::unique_lock lock(mu_);
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+  }
+
+  [[nodiscard]] int parties() const noexcept { return parties_; }
+
+ private:
+  const int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace commscope::threading

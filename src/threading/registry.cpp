@@ -1,0 +1,16 @@
+#include "threading/registry.hpp"
+
+namespace commscope::threading {
+
+std::atomic<int> ThreadRegistry::next_{0};
+
+int ThreadRegistry::current_tid() {
+  thread_local const int tid = next_.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+int ThreadRegistry::registered_count() noexcept {
+  return next_.load(std::memory_order_relaxed);
+}
+
+}  // namespace commscope::threading

@@ -1,0 +1,28 @@
+// Dense thread-id registry.
+//
+// The profiler indexes communication matrices and signature payloads by a
+// dense thread id in [0, max_threads). Workload kernels get their id from the
+// ThreadTeam; code using raw std::thread (examples, tests) can obtain one
+// from this registry, which assigns ids on first use and caches them in a
+// thread_local — the analogue of DiscoPoP's runtime thread bookkeeping.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace commscope::threading {
+
+class ThreadRegistry {
+ public:
+  /// Dense id of the calling thread, assigned on first call (process-wide
+  /// monotonically increasing, never reused).
+  [[nodiscard]] static int current_tid();
+
+  /// Number of distinct threads that have requested an id so far.
+  [[nodiscard]] static int registered_count() noexcept;
+
+ private:
+  static std::atomic<int> next_;
+};
+
+}  // namespace commscope::threading

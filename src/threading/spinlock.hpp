@@ -1,0 +1,33 @@
+// Minimal test-and-test-and-set spinlock.
+//
+// Used only on rare paths (region-tree node creation); all per-access
+// profiler state is lock-free atomics. Satisfies the Lockable requirements
+// so it composes with std::lock_guard / std::scoped_lock.
+#pragma once
+
+#include <atomic>
+
+namespace commscope::threading {
+
+class Spinlock {
+ public:
+  void lock() noexcept {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        // spin on the cached value to avoid cache-line ping-pong
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace commscope::threading

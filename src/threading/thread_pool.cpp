@@ -1,0 +1,66 @@
+#include "threading/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace commscope::threading {
+
+Range block_partition(std::size_t total, int parties, int tid) noexcept {
+  const auto p = static_cast<std::size_t>(parties);
+  const auto t = static_cast<std::size_t>(tid);
+  const std::size_t base = total / p;
+  const std::size_t rem = total % p;
+  Range r;
+  r.begin = t * base + std::min(t, rem);
+  r.end = r.begin + base + (t < rem ? 1 : 0);
+  return r;
+}
+
+ThreadTeam::ThreadTeam(int parties)
+    : parties_(parties), barrier_(std::make_unique<Barrier>(parties)) {
+  if (parties < 1) throw std::invalid_argument("ThreadTeam needs >= 1 worker");
+  workers_.reserve(static_cast<std::size_t>(parties));
+  for (int tid = 0; tid < parties; ++tid) {
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadTeam::run(const std::function<void(int)>& fn) {
+  std::unique_lock lock(mu_);
+  job_ = &fn;
+  done_ = 0;
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [&] { return done_ == parties_; });
+  job_ = nullptr;
+}
+
+void ThreadTeam::worker_loop(int tid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_start_.wait(lock, [&] { return generation_ != seen; });
+      seen = generation_;
+      if (stop_) return;
+      job = job_;
+    }
+    (*job)(tid);
+    {
+      std::lock_guard lock(mu_);
+      if (++done_ == parties_) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace commscope::threading

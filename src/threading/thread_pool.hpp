@@ -1,0 +1,69 @@
+// ThreadTeam: a persistent SPMD worker team.
+//
+// SPLASH programs run one function on P pthreads that synchronize with
+// barriers; the workload replicas mirror that execution model. A ThreadTeam
+// owns P worker threads for its whole lifetime; run(fn) executes fn(tid) on
+// every worker (tid dense in [0, P)) and returns when all are done. The team
+// also exposes a shared Barrier for intra-run phase synchronization and a
+// static work-partitioning helper.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "threading/barrier.hpp"
+
+namespace commscope::threading {
+
+/// Contiguous index range [begin, end) assigned to one thread.
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool empty() const noexcept { return begin >= end; }
+};
+
+/// Splits [0, total) into `parties` near-equal contiguous chunks; chunk `tid`
+/// is the static block partition SPLASH kernels use.
+[[nodiscard]] Range block_partition(std::size_t total, int parties,
+                                    int tid) noexcept;
+
+class ThreadTeam {
+ public:
+  /// Spawns `parties` persistent workers (>= 1).
+  explicit ThreadTeam(int parties);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  /// Runs fn(tid) on every worker; blocks until all finish. Exceptions thrown
+  /// by workers terminate (workload kernels are noexcept by construction).
+  void run(const std::function<void(int)>& fn);
+
+  /// Barrier spanning all workers, reusable across phases within one run().
+  [[nodiscard]] Barrier& barrier() noexcept { return *barrier_; }
+
+  [[nodiscard]] int size() const noexcept { return parties_; }
+
+ private:
+  void worker_loop(int tid);
+
+  const int parties_;
+  std::unique_ptr<Barrier> barrier_;
+  std::vector<std::thread> workers_;
+
+  // run() handshake: generation counter + completion count.
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int done_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace commscope::threading

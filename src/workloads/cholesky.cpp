@@ -1,0 +1,205 @@
+// cholesky — blocked Cholesky factorization (SPLASH-2 "cholesky").
+//
+// Right-looking blocked Cholesky (A = L·Lᵀ) of a symmetric positive-definite
+// matrix, lower triangle stored. Block ownership is 2D-scattered over the
+// thread grid. Regions: "init" (first touch), "cholesky" (driver), "factor"
+// (diagonal block, dpotrf-like), "solve" (sub-diagonal panel, dtrsm-like),
+// "update" (trailing symmetric update, dsyrk/dgemm-like).
+//
+// Self-check: reconstruct L·Lᵀ and compare against the generated SPD matrix.
+#include <cmath>
+#include <vector>
+
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace commscope::workloads {
+
+namespace {
+
+using detail::val01;
+
+constexpr std::uint64_t kSeed = 0xc401e51ULL;
+
+struct Config {
+  int n;
+  int bs;
+};
+
+Config config(Scale scale) {
+  switch (scale) {
+    case Scale::kDev:
+      return {64, 16};
+    case Scale::kSmall:
+      return {128, 16};
+    case Scale::kLarge:
+      return {256, 16};
+  }
+  return {64, 16};
+}
+
+/// SPD element: B·Bᵀ + n·I realized cheaply as a deterministic symmetric
+/// matrix with a dominant diagonal.
+double spd_element(int n, int i, int j) {
+  const int lo = std::min(i, j);
+  const int hi = std::max(i, j);
+  double v = val01(kSeed, static_cast<std::uint64_t>(lo) *
+                              static_cast<std::uint64_t>(n) +
+                          static_cast<std::uint64_t>(hi));
+  if (i == j) v += static_cast<double>(n);
+  return v;
+}
+
+template <instrument::SinkLike Sink>
+Result cholesky_impl(Scale scale, threading::ThreadTeam& team, Sink& sink) {
+  const auto [n, bs] = config(scale);
+  const int nb = n / bs;
+  const int parties = team.size();
+
+  std::vector<double> a(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  detail::SyncFlags sync(parties);
+
+  int pr = 1;
+  while ((pr + 1) * (pr + 1) <= parties) ++pr;
+  while (parties % pr != 0) --pr;
+  const int pc = parties / pr;
+
+  auto owner = [&](int bi, int bj) { return (bi % pr) * pc + (bj % pc); };
+  auto at = [&](int i, int j) -> double& {
+    return a[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(j)];
+  };
+
+  team.run([&](int tid) {
+    sink.on_thread_begin(tid);
+    auto rd = [&](const double& x) {
+      sink.read(tid, &x);
+      return x;
+    };
+    auto wr = [&](double& x, double v) {
+      sink.write(tid, &x);
+      x = v;
+    };
+
+    COMMSCOPE_LOOP(sink, tid, "cholesky", "cholesky");
+
+    {
+      COMMSCOPE_LOOP(sink, tid, "cholesky", "init");
+      for (int bi = 0; bi < nb; ++bi) {
+        for (int bj = 0; bj <= bi; ++bj) {
+          if (owner(bi, bj) != tid) continue;
+          for (int i = bi * bs; i < (bi + 1) * bs; ++i) {
+            for (int j = bj * bs; j < std::min((bj + 1) * bs, i + 1); ++j) {
+              wr(at(i, j), spd_element(n, i, j));
+            }
+          }
+        }
+      }
+    }
+    sync.wait(sink, team, tid);
+
+    for (int k = 0; k < nb; ++k) {
+      const int d = k * bs;
+
+      if (owner(k, k) == tid) {
+        // dpotrf on the diagonal block.
+        COMMSCOPE_LOOP(sink, tid, "cholesky", "factor");
+        for (int j = 0; j < bs; ++j) {
+          double diag = rd(at(d + j, d + j));
+          for (int p = 0; p < j; ++p) {
+            const double ljp = rd(at(d + j, d + p));
+            diag -= ljp * ljp;
+          }
+          diag = std::sqrt(diag);
+          wr(at(d + j, d + j), diag);
+          for (int i = j + 1; i < bs; ++i) {
+            double v = rd(at(d + i, d + j));
+            for (int p = 0; p < j; ++p) {
+              v -= rd(at(d + i, d + p)) * rd(at(d + j, d + p));
+            }
+            wr(at(d + i, d + j), v / diag);
+          }
+        }
+      }
+      sync.wait(sink, team, tid);
+
+      {
+        // dtrsm: panel blocks (i>k, k) consume the diagonal factor.
+        COMMSCOPE_LOOP(sink, tid, "cholesky", "solve");
+        for (int bi = k + 1; bi < nb; ++bi) {
+          if (owner(bi, k) != tid) continue;
+          for (int i = bi * bs; i < (bi + 1) * bs; ++i) {
+            for (int j = 0; j < bs; ++j) {
+              double v = rd(at(i, d + j));
+              for (int p = 0; p < j; ++p) {
+                v -= rd(at(i, d + p)) * rd(at(d + j, d + p));
+              }
+              wr(at(i, d + j), v / rd(at(d + j, d + j)));
+            }
+          }
+        }
+      }
+      sync.wait(sink, team, tid);
+
+      {
+        // dsyrk/dgemm trailing update consuming the panel.
+        COMMSCOPE_LOOP(sink, tid, "cholesky", "update");
+        for (int bi = k + 1; bi < nb; ++bi) {
+          for (int bj = k + 1; bj <= bi; ++bj) {
+            if (owner(bi, bj) != tid) continue;
+            for (int i = bi * bs; i < (bi + 1) * bs; ++i) {
+              for (int j = bj * bs; j < std::min((bj + 1) * bs, i + 1); ++j) {
+                double v = at(i, j);
+                for (int p = 0; p < bs; ++p) {
+                  v -= rd(at(i, d + p)) * rd(at(j, d + p));
+                }
+                wr(at(i, j), v);
+              }
+            }
+          }
+        }
+      }
+      sync.wait(sink, team, tid);
+    }
+  });
+
+  // Serial verification: L·Lᵀ == A within tolerance (lower triangle).
+  double max_err = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = 0.0;
+      for (int p = 0; p <= j; ++p) sum += at(i, p) * at(j, p);
+      max_err = std::max(max_err, std::abs(sum - spd_element(n, i, j)));
+    }
+  }
+
+  double checksum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) checksum += at(i, j);
+  }
+
+  Result r;
+  r.ok = max_err < 1e-6 * static_cast<double>(n);
+  r.checksum = checksum;
+  r.work_items = static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+  return r;
+}
+
+}  // namespace
+
+Workload make_cholesky() {
+  Workload w;
+  w.name = "cholesky";
+  w.description = "blocked Cholesky factorization of an SPD matrix";
+  w.run = [](Scale scale, threading::ThreadTeam& team,
+             instrument::AccessSink* sink) {
+    return detail::dispatch(
+        [](Scale s, threading::ThreadTeam& t, auto& sk) {
+          return cholesky_impl(s, t, sk);
+        },
+        scale, team, sink);
+  };
+  return w;
+}
+
+}  // namespace commscope::workloads

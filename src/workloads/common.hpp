@@ -1,0 +1,61 @@
+// Shared helpers for the SPLASH-replica kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "instrument/loop_scope.hpp"
+#include "instrument/sink.hpp"
+#include "support/hash.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace commscope::workloads::detail {
+
+/// Deterministic per-element value in [0, 1): the same (seed, index) always
+/// yields the same value, so parallel initialization is order-independent
+/// and checksums are bitwise reproducible across thread counts.
+[[nodiscard]] inline double val01(std::uint64_t seed, std::uint64_t index) noexcept {
+  return static_cast<double>(
+             support::murmur_mix64(seed ^ (index * 0x9e3779b97f4a7c15ULL)) >> 11) *
+         (1.0 / 9007199254740992.0);
+}
+
+/// Software combining barrier with instrumented synchronization traffic.
+///
+// SPLASH kernels synchronize through software barriers whose arrival flags
+// and release word are themselves shared-memory communication — Figure 6
+// explicitly shows a barrier() node in lu's nested pattern. This helper
+// emits that traffic (every thread writes its arrival flag; thread 0 reads
+// all flags and writes the release word; every other thread reads the
+// release word → the all-to-one/one-to-all synchronization pattern) and then
+// performs the actual wait on the team barrier.
+class SyncFlags {
+ public:
+  explicit SyncFlags(int parties)
+      : arrive_(static_cast<std::size_t>(parties), 0), go_(0) {}
+
+  template <instrument::SinkLike Sink>
+  void wait(Sink& sink, threading::ThreadTeam& team, int tid) {
+    {
+      COMMSCOPE_LOOP(sink, tid, "sync", "barrier");
+      arrive_[static_cast<std::size_t>(tid)] = 1;
+      sink.write(tid, &arrive_[static_cast<std::size_t>(tid)]);
+      if (tid == 0) {
+        for (std::size_t t = 0; t < arrive_.size(); ++t) {
+          sink.read(tid, &arrive_[t]);
+        }
+        ++go_;
+        sink.write(tid, &go_);
+      } else {
+        sink.read(tid, &go_);
+      }
+    }
+    team.barrier().arrive_and_wait();
+  }
+
+ private:
+  std::vector<std::uint8_t> arrive_;
+  std::uint64_t go_;
+};
+
+}  // namespace commscope::workloads::detail

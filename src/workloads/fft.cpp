@@ -1,0 +1,160 @@
+// fft — 1D complex FFT with staged butterfly exchanges (SPLASH-2 "fft").
+//
+// Iterative radix-2 Cooley–Tukey over a block-distributed complex array.
+// Every stage pairs elements at power-of-two distances; once the butterfly
+// span exceeds a thread's block, partners live in other threads' partitions
+// and each stage becomes a hypercube-style exchange — the "spectral"
+// communication pattern of Section VI. The kernel runs forward FFT then
+// inverse FFT (both parallel, both instrumented) and verifies it recovered
+// the input.
+//
+// Regions: "bitrev" (parallel bit-reversal permutation into the work array),
+// "stage" (one per butterfly stage), "scale" (inverse normalization).
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace commscope::workloads {
+
+namespace {
+
+using detail::val01;
+using Complex = std::complex<double>;
+
+constexpr std::uint64_t kSeed = 0xff7f00;
+
+int log2_size(Scale scale) {
+  switch (scale) {
+    case Scale::kDev:
+      return 12;  // 4096 points
+    case Scale::kSmall:
+      return 14;
+    case Scale::kLarge:
+      return 16;
+  }
+  return 12;
+}
+
+template <instrument::SinkLike Sink>
+void fft_pass(std::vector<Complex>& work, const std::vector<Complex>& input,
+              bool inverse, threading::ThreadTeam& team,
+              detail::SyncFlags& sync, Sink& sink, int tid, int logn) {
+  const std::size_t n = std::size_t{1} << logn;
+  const threading::Range range = threading::block_partition(n, team.size(), tid);
+
+  auto rd = [&](const Complex& x) {
+    sink.read(tid, &x);
+    return x;
+  };
+  auto wr = [&](Complex& x, Complex v) {
+    sink.write(tid, &x);
+    x = v;
+  };
+
+  {
+    // Bit-reversal permutation: gather from the (other threads') input.
+    COMMSCOPE_LOOP(sink, tid, "fft", "bitrev");
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      std::size_t rev = 0;
+      for (int b = 0; b < logn; ++b) {
+        rev |= ((i >> b) & 1U) << (logn - 1 - b);
+      }
+      wr(work[i], rd(input[rev]));
+    }
+  }
+  sync.wait(sink, team, tid);
+
+  const double dir = inverse ? 1.0 : -1.0;
+  for (int s = 1; s <= logn; ++s) {
+    const std::size_t m = std::size_t{1} << s;
+    const std::size_t half = m / 2;
+    {
+      COMMSCOPE_LOOP(sink, tid, "fft", "stage");
+      // Partition butterfly pairs: global pair index g in [0, n/2).
+      const threading::Range pairs =
+          threading::block_partition(n / 2, team.size(), tid);
+      for (std::size_t g = pairs.begin; g < pairs.end; ++g) {
+        const std::size_t block = g / half;
+        const std::size_t off = g % half;
+        const std::size_t i = block * m + off;
+        const Complex w =
+            std::polar(1.0, dir * 2.0 * std::numbers::pi *
+                                static_cast<double>(off) /
+                                static_cast<double>(m));
+        const Complex u = rd(work[i]);
+        const Complex t = w * rd(work[i + half]);
+        wr(work[i], u + t);
+        wr(work[i + half], u - t);
+      }
+    }
+    sync.wait(sink, team, tid);
+  }
+}
+
+template <instrument::SinkLike Sink>
+Result fft_impl(Scale scale, threading::ThreadTeam& team, Sink& sink) {
+  const int logn = log2_size(scale);
+  const std::size_t n = std::size_t{1} << logn;
+  const int parties = team.size();
+
+  std::vector<Complex> input(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    input[i] = Complex(val01(kSeed, i), val01(kSeed ^ 0xabcdef, i));
+  }
+  std::vector<Complex> freq(n);
+  std::vector<Complex> restored(n);
+  detail::SyncFlags sync(parties);
+
+  team.run([&](int tid) {
+    sink.on_thread_begin(tid);
+    COMMSCOPE_LOOP(sink, tid, "fft", "fft");
+    fft_pass(freq, input, /*inverse=*/false, team, sync, sink, tid, logn);
+    fft_pass(restored, freq, /*inverse=*/true, team, sync, sink, tid, logn);
+    {
+      COMMSCOPE_LOOP(sink, tid, "fft", "scale");
+      const threading::Range range =
+          threading::block_partition(n, team.size(), tid);
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        sink.write(tid, &restored[i]);
+        restored[i] /= static_cast<double>(n);
+      }
+    }
+  });
+
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_err = std::max(max_err, std::abs(restored[i] - input[i]));
+  }
+
+  double checksum = 0.0;
+  for (const Complex& c : freq) checksum += c.real() + c.imag();
+
+  Result r;
+  r.ok = max_err < 1e-9 * static_cast<double>(n);
+  r.checksum = checksum;
+  r.work_items = n;
+  return r;
+}
+
+}  // namespace
+
+Workload make_fft() {
+  Workload w;
+  w.name = "fft";
+  w.description = "radix-2 FFT with butterfly (spectral) exchanges";
+  w.run = [](Scale scale, threading::ThreadTeam& team,
+             instrument::AccessSink* sink) {
+    return detail::dispatch(
+        [](Scale s, threading::ThreadTeam& t, auto& sk) {
+          return fft_impl(s, t, sk);
+        },
+        scale, team, sink);
+  };
+  return w;
+}
+
+}  // namespace commscope::workloads

@@ -1,0 +1,227 @@
+// fmm — fast-multipole-style near/far-field n-body (SPLASH-2 "fmm").
+//
+// A grid-based fast-summation scheme that keeps FMM's communication
+// structure at kernel scale: bodies live in a uniform 2D grid of cells;
+// owners compute per-cell multipole summaries ("P2M" — monopole + dipole);
+// each thread then evaluates its cells' interactions — adjacent cells by
+// direct particle-particle sums ("P2P", reading neighbouring owners'
+// bodies), distant cells through their multipoles ("M2L", reading every
+// other owner's summaries — the regular all-to-all of FMM interaction
+// lists).
+//
+// Self-check: sampled potentials match the direct O(n²) sum within the
+// dipole-truncation tolerance.
+#include <cmath>
+#include <vector>
+
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace commscope::workloads {
+
+namespace {
+
+using detail::val01;
+
+constexpr std::uint64_t kSeed = 0xf33;
+
+struct Config {
+  int bodies;
+  int grid;  ///< cells per dimension
+};
+
+Config config(Scale scale) {
+  switch (scale) {
+    case Scale::kDev:
+      return {512, 8};
+    case Scale::kSmall:
+      return {1024, 8};
+    case Scale::kLarge:
+      return {2048, 16};
+  }
+  return {512, 8};
+}
+
+struct Multipole {
+  double mass = 0.0;
+  double cx = 0.0, cy = 0.0;   // centre of mass
+  double dx = 0.0, dy = 0.0;   // dipole residual (about cell centre)
+};
+
+template <instrument::SinkLike Sink>
+Result fmm_impl(Scale scale, threading::ThreadTeam& team, Sink& sink) {
+  const auto [n, grid] = config(scale);
+  const int parties = team.size();
+  const int ncells = grid * grid;
+  const double cell = 1.0 / grid;
+
+  std::vector<double> px(static_cast<std::size_t>(n));
+  std::vector<double> py(static_cast<std::size_t>(n));
+  std::vector<double> mass(static_cast<std::size_t>(n));
+  std::vector<double> phi(static_cast<std::size_t>(n), 0.0);
+  // Cell-major body ordering: bodies are assigned deterministic positions,
+  // then bucketed; cell c owns bodies [cell_start[c], cell_start[c+1]).
+  std::vector<int> cell_start(static_cast<std::size_t>(ncells) + 1, 0);
+  std::vector<int> body_of(static_cast<std::size_t>(n));
+  std::vector<Multipole> moments(static_cast<std::size_t>(ncells));
+  detail::SyncFlags sync(parties);
+
+  // Deterministic serial setup (uninstrumented preprocessing, like SPLASH's
+  // input generation): place bodies, bucket them cell-major.
+  {
+    std::vector<std::vector<int>> buckets(static_cast<std::size_t>(ncells));
+    for (int i = 0; i < n; ++i) {
+      const double x = val01(kSeed, static_cast<std::uint64_t>(2 * i));
+      const double y = val01(kSeed, static_cast<std::uint64_t>(2 * i + 1));
+      const int cx = std::min(grid - 1, static_cast<int>(x / cell));
+      const int cy = std::min(grid - 1, static_cast<int>(y / cell));
+      buckets[static_cast<std::size_t>(cx * grid + cy)].push_back(i);
+    }
+    int pos = 0;
+    for (int c = 0; c < ncells; ++c) {
+      cell_start[static_cast<std::size_t>(c)] = pos;
+      for (int i : buckets[static_cast<std::size_t>(c)]) {
+        body_of[static_cast<std::size_t>(pos++)] = i;
+      }
+    }
+    cell_start[static_cast<std::size_t>(ncells)] = pos;
+  }
+
+  team.run([&](int tid) {
+    sink.on_thread_begin(tid);
+    const threading::Range mycells =
+        threading::block_partition(static_cast<std::size_t>(ncells), parties, tid);
+
+    COMMSCOPE_LOOP(sink, tid, "fmm", "fmm");
+
+    {
+      // Owners materialize their bodies (first touch).
+      COMMSCOPE_LOOP(sink, tid, "fmm", "init");
+      for (std::size_t c = mycells.begin; c < mycells.end; ++c) {
+        for (int s = cell_start[c]; s < cell_start[c + 1]; ++s) {
+          const int i = body_of[static_cast<std::size_t>(s)];
+          const auto ui = static_cast<std::uint64_t>(i);
+          sink.write(tid, &px[static_cast<std::size_t>(i)]);
+          px[static_cast<std::size_t>(i)] = val01(kSeed, 2 * ui);
+          sink.write(tid, &py[static_cast<std::size_t>(i)]);
+          py[static_cast<std::size_t>(i)] = val01(kSeed, 2 * ui + 1);
+          sink.write(tid, &mass[static_cast<std::size_t>(i)]);
+          mass[static_cast<std::size_t>(i)] = 0.5 + val01(kSeed ^ 9, ui);
+        }
+      }
+    }
+    sync.wait(sink, team, tid);
+
+    {
+      // P2M: per-cell monopole + centre of mass.
+      COMMSCOPE_LOOP(sink, tid, "fmm", "P2M");
+      for (std::size_t c = mycells.begin; c < mycells.end; ++c) {
+        Multipole m;
+        for (int s = cell_start[c]; s < cell_start[c + 1]; ++s) {
+          const auto i = static_cast<std::size_t>(body_of[static_cast<std::size_t>(s)]);
+          sink.read(tid, &px[i]);
+          sink.read(tid, &py[i]);
+          sink.read(tid, &mass[i]);
+          m.mass += mass[i];
+          m.cx += mass[i] * px[i];
+          m.cy += mass[i] * py[i];
+        }
+        if (m.mass > 0.0) {
+          m.cx /= m.mass;
+          m.cy /= m.mass;
+        }
+        sink.write(tid, &moments[c]);
+        moments[c] = m;
+      }
+    }
+    sync.wait(sink, team, tid);
+
+    {
+      // Evaluation: near cells particle-particle, far cells via multipole.
+      COMMSCOPE_LOOP(sink, tid, "fmm", "M2L");
+      for (std::size_t c = mycells.begin; c < mycells.end; ++c) {
+        const int cgx = static_cast<int>(c) / grid;
+        const int cgy = static_cast<int>(c) % grid;
+        for (int s = cell_start[c]; s < cell_start[c + 1]; ++s) {
+          const auto i = static_cast<std::size_t>(body_of[static_cast<std::size_t>(s)]);
+          sink.read(tid, &px[i]);
+          sink.read(tid, &py[i]);
+          double p = 0.0;
+          for (int oc = 0; oc < ncells; ++oc) {
+            const int ogx = oc / grid;
+            const int ogy = oc % grid;
+            const bool near =
+                std::abs(ogx - cgx) <= 1 && std::abs(ogy - cgy) <= 1;
+            if (near) {
+              COMMSCOPE_LOOP(sink, tid, "fmm", "P2P");
+              for (int os = cell_start[static_cast<std::size_t>(oc)];
+                   os < cell_start[static_cast<std::size_t>(oc) + 1]; ++os) {
+                const auto j =
+                    static_cast<std::size_t>(body_of[static_cast<std::size_t>(os)]);
+                if (j == i) continue;
+                sink.read(tid, &px[j]);
+                sink.read(tid, &py[j]);
+                sink.read(tid, &mass[j]);
+                const double dx = px[j] - px[i];
+                const double dy = py[j] - py[i];
+                p += mass[j] / std::sqrt(dx * dx + dy * dy + 1e-6);
+              }
+            } else {
+              sink.read(tid, &moments[static_cast<std::size_t>(oc)]);
+              const Multipole& m = moments[static_cast<std::size_t>(oc)];
+              if (m.mass <= 0.0) continue;
+              const double dx = m.cx - px[i];
+              const double dy = m.cy - py[i];
+              p += m.mass / std::sqrt(dx * dx + dy * dy + 1e-6);
+            }
+          }
+          sink.write(tid, &phi[i]);
+          phi[i] = p;
+        }
+      }
+    }
+    sync.wait(sink, team, tid);
+  });
+
+  // Verify sampled potentials against the direct sum.
+  double worst_rel = 0.0;
+  for (int s = 0; s < 12; ++s) {
+    const auto i = static_cast<std::size_t>((s * 41) % n);
+    double exact = 0.0;
+    for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) {
+      if (j == i) continue;
+      const double dx = px[j] - px[i];
+      const double dy = py[j] - py[i];
+      exact += mass[j] / std::sqrt(dx * dx + dy * dy + 1e-6);
+    }
+    worst_rel = std::max(worst_rel, std::abs(phi[i] - exact) / (exact + 1e-12));
+  }
+
+  double checksum = 0.0;
+  for (double v : phi) checksum += v;
+
+  Result r;
+  r.ok = worst_rel < 0.05;
+  r.checksum = checksum;
+  r.work_items = static_cast<std::uint64_t>(n);
+  return r;
+}
+
+}  // namespace
+
+Workload make_fmm() {
+  Workload w;
+  w.name = "fmm";
+  w.description = "grid-based fast-multipole summation (near/far split)";
+  w.run = [](Scale scale, threading::ThreadTeam& team,
+             instrument::AccessSink* sink) {
+    return detail::dispatch(
+        [](Scale s, threading::ThreadTeam& t, auto& sk) {
+          return fmm_impl(s, t, sk);
+        },
+        scale, team, sink);
+  };
+  return w;
+}
+
+}  // namespace commscope::workloads

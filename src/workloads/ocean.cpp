@@ -1,0 +1,196 @@
+// ocean_cp / ocean_ncp — iterative 5-point stencil relaxation (SPLASH-2
+// "ocean", contiguous and non-contiguous partitions).
+//
+// Jacobi relaxation of a Poisson-like system on a square grid with fixed
+// boundary, double-buffered. The variants differ only in the row partition:
+//   * ocean_cp  — contiguous row blocks: only the two boundary rows of each
+//     block touch another thread's data → thin nearest-neighbour halo
+//     traffic (the structured-grid pattern),
+//   * ocean_ncp — round-robin interleaved rows: *every* row's vertical
+//     neighbours belong to the adjacent threads → the same ±1 topology but a
+//     partition-width communication volume, reproducing the contiguous/non-
+//     contiguous contrast SPLASH's two ocean versions exist to show.
+//
+// Regions: "init" (first touch), "relax" (per-sweep stencil), "reduce"
+// (residual reduction: workers publish partial sums, thread 0 combines).
+// Self-check: residual decreases monotonically across sweeps.
+#include <cmath>
+#include <vector>
+
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace commscope::workloads {
+
+namespace {
+
+using detail::val01;
+
+constexpr std::uint64_t kSeed = 0x0cea4;
+
+struct Config {
+  int g;       ///< interior grid dimension (plus 2 halo rows/cols)
+  int sweeps;
+};
+
+Config config(Scale scale) {
+  switch (scale) {
+    case Scale::kDev:
+      return {64, 8};
+    case Scale::kSmall:
+      return {128, 10};
+    case Scale::kLarge:
+      return {256, 12};
+  }
+  return {64, 8};
+}
+
+template <instrument::SinkLike Sink>
+Result ocean_impl(bool contiguous, Scale scale, threading::ThreadTeam& team,
+                  Sink& sink) {
+  const auto [g, sweeps] = config(scale);
+  const int dim = g + 2;  // with boundary
+  const int parties = team.size();
+
+  std::vector<double> grid_a(static_cast<std::size_t>(dim) * dim, 0.0);
+  std::vector<double> grid_b(static_cast<std::size_t>(dim) * dim, 0.0);
+  std::vector<double> partial(static_cast<std::size_t>(parties), 0.0);
+  std::vector<double> residuals(static_cast<std::size_t>(sweeps), 0.0);
+  detail::SyncFlags sync(parties);
+
+  auto row_owner = [&](int row) {  // interior rows are 1..g
+    const int r = row - 1;
+    if (contiguous) {
+      const threading::Range chunk =
+          threading::block_partition(static_cast<std::size_t>(g), parties, 0);
+      (void)chunk;
+      // block partition: find owner by chunk arithmetic
+      for (int t = 0; t < parties; ++t) {
+        const threading::Range c =
+            threading::block_partition(static_cast<std::size_t>(g), parties, t);
+        if (static_cast<std::size_t>(r) >= c.begin &&
+            static_cast<std::size_t>(r) < c.end) {
+          return t;
+        }
+      }
+      return parties - 1;
+    }
+    return r % parties;
+  };
+
+  team.run([&](int tid) {
+    sink.on_thread_begin(tid);
+    auto idx = [&](int i, int j) {
+      return static_cast<std::size_t>(i) * static_cast<std::size_t>(dim) +
+             static_cast<std::size_t>(j);
+    };
+    auto rd = [&](const std::vector<double>& v, int i, int j) {
+      sink.read(tid, &v[idx(i, j)]);
+      return v[idx(i, j)];
+    };
+    auto wr = [&](std::vector<double>& v, int i, int j, double x) {
+      sink.write(tid, &v[idx(i, j)]);
+      v[idx(i, j)] = x;
+    };
+
+    COMMSCOPE_LOOP(sink, tid, "ocean", "ocean");
+
+    {
+      COMMSCOPE_LOOP(sink, tid, "ocean", "init");
+      for (int i = 1; i <= g; ++i) {
+        if (row_owner(i) != tid) continue;
+        for (int j = 1; j <= g; ++j) {
+          wr(grid_a, i, j, val01(kSeed, idx(i, j)));
+        }
+      }
+      if (tid == 0) {
+        // Fixed hot boundary drives the system.
+        for (int j = 0; j < dim; ++j) {
+          wr(grid_a, 0, j, 1.0);
+          wr(grid_b, 0, j, 1.0);
+        }
+      }
+    }
+    sync.wait(sink, team, tid);
+
+    std::vector<double>* src = &grid_a;
+    std::vector<double>* dst = &grid_b;
+    for (int s = 0; s < sweeps; ++s) {
+      double local_res = 0.0;
+      {
+        COMMSCOPE_LOOP(sink, tid, "ocean", "relax");
+        for (int i = 1; i <= g; ++i) {
+          if (row_owner(i) != tid) continue;
+          for (int j = 1; j <= g; ++j) {
+            const double v = 0.25 * (rd(*src, i - 1, j) + rd(*src, i + 1, j) +
+                                     rd(*src, i, j - 1) + rd(*src, i, j + 1));
+            local_res += std::abs(v - rd(*src, i, j));
+            wr(*dst, i, j, v);
+          }
+        }
+      }
+      {
+        COMMSCOPE_LOOP(sink, tid, "ocean", "reduce");
+        partial[static_cast<std::size_t>(tid)] = local_res;
+        sink.write(tid, &partial[static_cast<std::size_t>(tid)]);
+      }
+      sync.wait(sink, team, tid);
+      if (tid == 0) {
+        COMMSCOPE_LOOP(sink, tid, "ocean", "reduce");
+        double total = 0.0;
+        for (int t = 0; t < parties; ++t) {
+          sink.read(tid, &partial[static_cast<std::size_t>(t)]);
+          total += partial[static_cast<std::size_t>(t)];
+        }
+        residuals[static_cast<std::size_t>(s)] = total;
+      }
+      sync.wait(sink, team, tid);
+      std::swap(src, dst);
+    }
+  });
+
+  bool decreasing = true;
+  for (std::size_t s = 1; s < residuals.size(); ++s) {
+    if (residuals[s] > residuals[s - 1] * 1.0001) decreasing = false;
+  }
+
+  const std::vector<double>& final_grid = (sweeps % 2 == 0) ? grid_a : grid_b;
+  double checksum = 0.0;
+  for (double v : final_grid) checksum += v;
+
+  Result r;
+  r.ok = decreasing && residuals.back() < residuals.front();
+  r.checksum = checksum;
+  r.work_items = static_cast<std::uint64_t>(g) * static_cast<std::uint64_t>(g) *
+                 static_cast<std::uint64_t>(sweeps);
+  return r;
+}
+
+Workload make_ocean(bool contiguous, const char* name, const char* desc) {
+  Workload w;
+  w.name = name;
+  w.description = desc;
+  w.run = [contiguous](Scale scale, threading::ThreadTeam& team,
+                       instrument::AccessSink* sink) {
+    return detail::dispatch(
+        [contiguous](Scale s, threading::ThreadTeam& t, auto& sk) {
+          return ocean_impl(contiguous, s, t, sk);
+        },
+        scale, team, sink);
+  };
+  return w;
+}
+
+}  // namespace
+
+Workload make_ocean_cp() {
+  return make_ocean(true, "ocean_cp",
+                    "5-point Jacobi stencil, contiguous row-block partition");
+}
+
+Workload make_ocean_ncp() {
+  return make_ocean(false, "ocean_ncp",
+                    "5-point Jacobi stencil, interleaved row partition");
+}
+
+}  // namespace commscope::workloads

@@ -1,0 +1,164 @@
+// radix — parallel LSD radix sort (SPLASH-2 "radix").
+//
+// Sorts 32-bit keys in four 8-bit-digit passes. Each pass:
+//   "hist"    — every thread histograms its block of the current source
+//               array (whose elements were scattered there by *other*
+//               threads in the previous pass → cross-thread RAW reads),
+//   "prefix"  — thread 0 alone combines all local histograms into global
+//               scatter offsets (the all-to-one/one-from-all hotspot whose
+//               thread-load vector Figure 8a shows as "half of threads are
+//               accessing the memory ... may lead to performance
+//               inefficiency"),
+//   "permute" — every thread scatters its keys using the offsets thread 0
+//               produced (one-to-all reads + all-to-all writes).
+//
+// Self-check: output sorted and a permutation of the input (sum preserved).
+#include <algorithm>
+#include <vector>
+
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace commscope::workloads {
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0x5ad1c5;
+constexpr int kRadixBits = 8;
+constexpr int kBuckets = 1 << kRadixBits;
+constexpr int kPasses = 32 / kRadixBits;
+
+std::size_t key_count(Scale scale) {
+  switch (scale) {
+    case Scale::kDev:
+      return 1u << 15;  // 32K keys
+    case Scale::kSmall:
+      return 1u << 17;
+    case Scale::kLarge:
+      return 1u << 19;
+  }
+  return 1u << 15;
+}
+
+template <instrument::SinkLike Sink>
+Result radix_impl(Scale scale, threading::ThreadTeam& team, Sink& sink) {
+  const std::size_t n = key_count(scale);
+  const int parties = team.size();
+
+  std::vector<std::uint32_t> src(n);
+  std::vector<std::uint32_t> dst(n);
+  std::uint64_t input_sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    src[i] = static_cast<std::uint32_t>(
+        support::murmur_mix64(kSeed ^ (i * 0x9e3779b97f4a7c15ULL)));
+    input_sum += src[i];
+  }
+
+  // hist[t][b]: thread t's local count for bucket b.
+  // offs[t][b]: thread t's scatter base for bucket b, computed by thread 0.
+  std::vector<std::uint32_t> hist(static_cast<std::size_t>(parties) * kBuckets);
+  std::vector<std::uint32_t> offs(static_cast<std::size_t>(parties) * kBuckets);
+  detail::SyncFlags sync(parties);
+
+  team.run([&](int tid) {
+    sink.on_thread_begin(tid);
+    COMMSCOPE_LOOP(sink, tid, "radix", "sort");
+    const threading::Range range = threading::block_partition(n, parties, tid);
+
+    for (int pass = 0; pass < kPasses; ++pass) {
+      const unsigned shift = static_cast<unsigned>(pass) * kRadixBits;
+      std::uint32_t* const my_hist =
+          hist.data() + static_cast<std::size_t>(tid) * kBuckets;
+
+      {
+        COMMSCOPE_LOOP(sink, tid, "radix", "hist");
+        for (int b = 0; b < kBuckets; ++b) {
+          sink.write(tid, &my_hist[b]);
+          my_hist[b] = 0;
+        }
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          sink.read(tid, &src[i]);
+          const std::uint32_t b = (src[i] >> shift) & (kBuckets - 1);
+          sink.write(tid, &my_hist[b]);
+          ++my_hist[b];
+        }
+      }
+      sync.wait(sink, team, tid);
+
+      if (tid == 0) {
+        // Global exclusive prefix over (bucket, thread) in bucket-major
+        // order: the serial hotspot.
+        COMMSCOPE_LOOP(sink, tid, "radix", "prefix");
+        std::uint32_t running = 0;
+        for (int b = 0; b < kBuckets; ++b) {
+          for (int t = 0; t < parties; ++t) {
+            const std::size_t idx =
+                static_cast<std::size_t>(t) * kBuckets + static_cast<std::size_t>(b);
+            sink.read(tid, &hist[idx]);
+            sink.write(tid, &offs[idx]);
+            offs[idx] = running;
+            running += hist[idx];
+          }
+        }
+      }
+      sync.wait(sink, team, tid);
+
+      {
+        COMMSCOPE_LOOP(sink, tid, "radix", "permute");
+        std::uint32_t* const my_offs =
+            offs.data() + static_cast<std::size_t>(tid) * kBuckets;
+        // Local working copy of the scatter cursors (reads offsets thread 0
+        // wrote — the one-to-all distribution).
+        std::vector<std::uint32_t> cursor(kBuckets);
+        for (int b = 0; b < kBuckets; ++b) {
+          sink.read(tid, &my_offs[b]);
+          cursor[static_cast<std::size_t>(b)] = my_offs[b];
+        }
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          sink.read(tid, &src[i]);
+          const std::uint32_t key = src[i];
+          const std::uint32_t b = (key >> shift) & (kBuckets - 1);
+          const std::uint32_t pos = cursor[b]++;
+          sink.write(tid, &dst[pos]);
+          dst[pos] = key;
+        }
+      }
+      sync.wait(sink, team, tid);
+
+      if (tid == 0) std::swap(src, dst);
+      sync.wait(sink, team, tid);
+    }
+  });
+
+  bool sorted = true;
+  std::uint64_t output_sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    output_sum += src[i];
+    if (i > 0 && src[i - 1] > src[i]) sorted = false;
+  }
+
+  Result r;
+  r.ok = sorted && output_sum == input_sum;
+  r.checksum = static_cast<double>(output_sum);
+  r.work_items = n;
+  return r;
+}
+
+}  // namespace
+
+Workload make_radix() {
+  Workload w;
+  w.name = "radix";
+  w.description = "parallel LSD radix sort with serial global prefix";
+  w.run = [](Scale scale, threading::ThreadTeam& team,
+             instrument::AccessSink* sink) {
+    return detail::dispatch(
+        [](Scale s, threading::ThreadTeam& t, auto& sk) {
+          return radix_impl(s, t, sk);
+        },
+        scale, team, sink);
+  };
+  return w;
+}
+
+}  // namespace commscope::workloads

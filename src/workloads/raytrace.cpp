@@ -1,0 +1,188 @@
+// raytrace — tiled Whitted-style ray caster (SPLASH-2 "raytrace").
+//
+// Thread 0 builds the sphere scene ("buildscene" — one producer whose data
+// all workers consume), then all threads pull 16x16 image tiles from a
+// shared work counter (the dynamic master/worker distribution of the
+// original) and trace primary + shadow rays ("trace"), writing disjoint
+// pixels. The resulting pattern combines one-to-all scene reads with the
+// counter handoff — the master/worker signature of Section VI.
+//
+// Self-check: the image is deterministic (tile assignment may vary across
+// runs but pixel values cannot), all pixels written, checksum stable.
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace commscope::workloads {
+
+namespace {
+
+using detail::val01;
+
+constexpr std::uint64_t kSeed = 0x4a15;
+constexpr int kTile = 16;
+constexpr int kSpheres = 24;
+
+int image_dim(Scale scale) {
+  switch (scale) {
+    case Scale::kDev:
+      return 64;
+    case Scale::kSmall:
+      return 128;
+    case Scale::kLarge:
+      return 192;
+  }
+  return 64;
+}
+
+struct Sphere {
+  double x = 0.0, y = 0.0, z = 0.0, r = 1.0;
+  double shade = 1.0;
+};
+
+/// Ray/sphere intersection: returns the nearest positive t or +inf.
+double hit(const Sphere& s, double ox, double oy, double oz, double dx,
+           double dy, double dz) {
+  const double cx = ox - s.x;
+  const double cy = oy - s.y;
+  const double cz = oz - s.z;
+  const double b = cx * dx + cy * dy + cz * dz;
+  const double c = cx * cx + cy * cy + cz * cz - s.r * s.r;
+  const double disc = b * b - c;
+  if (disc < 0.0) return std::numeric_limits<double>::infinity();
+  const double sq = std::sqrt(disc);
+  const double t0 = -b - sq;
+  if (t0 > 1e-6) return t0;
+  const double t1 = -b + sq;
+  if (t1 > 1e-6) return t1;
+  return std::numeric_limits<double>::infinity();
+}
+
+template <instrument::SinkLike Sink>
+Result raytrace_impl(Scale scale, threading::ThreadTeam& team, Sink& sink) {
+  const int dim = image_dim(scale);
+  const int parties = team.size();
+  const int tiles_per_dim = dim / kTile;
+  const int tiles = tiles_per_dim * tiles_per_dim;
+
+  std::vector<Sphere> scene(kSpheres);
+  std::vector<double> image(static_cast<std::size_t>(dim) * dim, -1.0);
+  std::atomic<int> next_tile{0};
+  detail::SyncFlags sync(parties);
+
+  team.run([&](int tid) {
+    sink.on_thread_begin(tid);
+    COMMSCOPE_LOOP(sink, tid, "raytrace", "raytrace");
+
+    if (tid == 0) {
+      COMMSCOPE_LOOP(sink, tid, "raytrace", "buildscene");
+      for (int s = 0; s < kSpheres; ++s) {
+        const auto us = static_cast<std::uint64_t>(s);
+        sink.write(tid, &scene[static_cast<std::size_t>(s)]);
+        Sphere& sp = scene[static_cast<std::size_t>(s)];
+        sp.x = 4.0 * (val01(kSeed, 4 * us) - 0.5);
+        sp.y = 4.0 * (val01(kSeed, 4 * us + 1) - 0.5);
+        sp.z = 3.0 + 4.0 * val01(kSeed, 4 * us + 2);
+        sp.r = 0.3 + 0.5 * val01(kSeed, 4 * us + 3);
+        sp.shade = 0.2 + 0.8 * val01(kSeed ^ 11, us);
+      }
+    }
+    sync.wait(sink, team, tid);
+
+    {
+      COMMSCOPE_LOOP(sink, tid, "raytrace", "trace");
+      for (;;) {
+        const int tile = next_tile.fetch_add(1, std::memory_order_relaxed);
+        if (tile >= tiles) break;
+        const int tx = (tile % tiles_per_dim) * kTile;
+        const int ty = (tile / tiles_per_dim) * kTile;
+        for (int yy = ty; yy < ty + kTile; ++yy) {
+          for (int xx = tx; xx < tx + kTile; ++xx) {
+            // Primary ray through the pixel.
+            const double dx = (xx + 0.5) / dim - 0.5;
+            const double dy = (yy + 0.5) / dim - 0.5;
+            const double dz = 1.0;
+            const double inv = 1.0 / std::sqrt(dx * dx + dy * dy + dz * dz);
+            double best = std::numeric_limits<double>::infinity();
+            int best_s = -1;
+            for (int s = 0; s < kSpheres; ++s) {
+              sink.read(tid, &scene[static_cast<std::size_t>(s)]);
+              const double t = hit(scene[static_cast<std::size_t>(s)], 0.0, 0.0,
+                                   0.0, dx * inv, dy * inv, dz * inv);
+              if (t < best) {
+                best = t;
+                best_s = s;
+              }
+            }
+            double colour = 0.05;  // background
+            if (best_s >= 0) {
+              const Sphere& sp = scene[static_cast<std::size_t>(best_s)];
+              // Lambert shading from a fixed light + shadow ray.
+              const double hx = best * dx * inv;
+              const double hy = best * dy * inv;
+              const double hz = best * dz * inv;
+              double nx = (hx - sp.x) / sp.r;
+              double ny = (hy - sp.y) / sp.r;
+              double nz = (hz - sp.z) / sp.r;
+              const double lx = -0.5, ly = -1.0, lz = -0.5;
+              const double ll = 1.0 / std::sqrt(lx * lx + ly * ly + lz * lz);
+              double lambert = -(nx * lx + ny * ly + nz * lz) * ll;
+              if (lambert < 0.0) lambert = 0.0;
+              bool shadowed = false;
+              for (int s = 0; s < kSpheres && !shadowed; ++s) {
+                if (s == best_s) continue;
+                sink.read(tid, &scene[static_cast<std::size_t>(s)]);
+                shadowed = std::isfinite(
+                    hit(scene[static_cast<std::size_t>(s)], hx, hy, hz, -lx * ll,
+                        -ly * ll, -lz * ll));
+              }
+              colour = sp.shade * (0.15 + (shadowed ? 0.0 : 0.85 * lambert));
+            }
+            const std::size_t pix = static_cast<std::size_t>(yy) *
+                                        static_cast<std::size_t>(dim) +
+                                    static_cast<std::size_t>(xx);
+            sink.write(tid, &image[pix]);
+            image[pix] = colour;
+          }
+        }
+      }
+    }
+    sync.wait(sink, team, tid);
+  });
+
+  bool all_written = true;
+  double checksum = 0.0;
+  for (double v : image) {
+    if (v < 0.0) all_written = false;
+    checksum += v;
+  }
+
+  Result r;
+  r.ok = all_written && checksum > 0.0;
+  r.checksum = checksum;
+  r.work_items = static_cast<std::uint64_t>(dim) * static_cast<std::uint64_t>(dim);
+  return r;
+}
+
+}  // namespace
+
+Workload make_raytrace() {
+  Workload w;
+  w.name = "raytrace";
+  w.description = "tiled sphere ray caster with dynamic work distribution";
+  w.run = [](Scale scale, threading::ThreadTeam& team,
+             instrument::AccessSink* sink) {
+    return detail::dispatch(
+        [](Scale s, threading::ThreadTeam& t, auto& sk) {
+          return raytrace_impl(s, t, sk);
+        },
+        scale, team, sink);
+  };
+  return w;
+}
+
+}  // namespace commscope::workloads

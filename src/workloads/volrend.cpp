@@ -1,0 +1,159 @@
+// volrend — volumetric ray marching (SPLASH-2 "volrend").
+//
+// Renders a procedural 3D density field by front-to-back ray marching with
+// early opacity termination. The volume is materialized in parallel with a
+// z-slab partition ("voxelize"); rendering partitions the image into
+// contiguous row bands ("render"), so each rendered ray reads voxels written
+// by *every* slab owner it crosses — the many-producers-per-consumer pattern
+// that makes volrend's communication diffuse in the original study.
+//
+// Self-check: every pixel written, opacity within [0, 1], checksum stable.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace commscope::workloads {
+
+namespace {
+
+using detail::val01;
+
+constexpr std::uint64_t kSeed = 0x701e4d;
+
+struct Config {
+  int vox;  ///< voxels per dimension
+  int img;  ///< image dimension
+};
+
+Config config(Scale scale) {
+  switch (scale) {
+    case Scale::kDev:
+      return {32, 48};
+    case Scale::kSmall:
+      return {48, 96};
+    case Scale::kLarge:
+      return {64, 128};
+  }
+  return {32, 48};
+}
+
+/// Procedural density: a few soft blobs, deterministic in the voxel index.
+double density_at(int v, int x, int y, int z) {
+  double d = 0.0;
+  for (int blob = 0; blob < 4; ++blob) {
+    const auto ub = static_cast<std::uint64_t>(blob);
+    const double bx = v * val01(kSeed, 3 * ub);
+    const double by = v * val01(kSeed, 3 * ub + 1);
+    const double bz = v * val01(kSeed, 3 * ub + 2);
+    const double r2 = (x - bx) * (x - bx) + (y - by) * (y - by) +
+                      (z - bz) * (z - bz);
+    d += std::exp(-r2 / (0.02 * v * v));
+  }
+  return std::min(1.0, d);
+}
+
+template <instrument::SinkLike Sink>
+Result volrend_impl(Scale scale, threading::ThreadTeam& team, Sink& sink) {
+  const auto [vox, img] = config(scale);
+  const int parties = team.size();
+
+  std::vector<float> volume(static_cast<std::size_t>(vox) * vox * vox, 0.0f);
+  std::vector<double> image(static_cast<std::size_t>(img) * img, -1.0);
+  detail::SyncFlags sync(parties);
+
+  auto vidx = [vox](int x, int y, int z) {
+    return (static_cast<std::size_t>(z) * static_cast<std::size_t>(vox) +
+            static_cast<std::size_t>(y)) *
+               static_cast<std::size_t>(vox) +
+           static_cast<std::size_t>(x);
+  };
+
+  team.run([&](int tid) {
+    sink.on_thread_begin(tid);
+    COMMSCOPE_LOOP(sink, tid, "volrend", "volrend");
+
+    {
+      // z-slab partition of the volume build.
+      COMMSCOPE_LOOP(sink, tid, "volrend", "voxelize");
+      const threading::Range slabs =
+          threading::block_partition(static_cast<std::size_t>(vox), parties, tid);
+      for (std::size_t z = slabs.begin; z < slabs.end; ++z) {
+        for (int y = 0; y < vox; ++y) {
+          for (int x = 0; x < vox; ++x) {
+            const std::size_t i = vidx(x, y, static_cast<int>(z));
+            sink.write(tid, &volume[i]);
+            volume[i] =
+                static_cast<float>(density_at(vox, x, y, static_cast<int>(z)));
+          }
+        }
+      }
+    }
+    sync.wait(sink, team, tid);
+
+    {
+      // Row-band partition of the image; rays march along +z through every
+      // slab.
+      COMMSCOPE_LOOP(sink, tid, "volrend", "render");
+      const threading::Range rows =
+          threading::block_partition(static_cast<std::size_t>(img), parties, tid);
+      for (std::size_t yy = rows.begin; yy < rows.end; ++yy) {
+        for (int xx = 0; xx < img; ++xx) {
+          const double fx = static_cast<double>(xx) / img * (vox - 1);
+          const double fy = static_cast<double>(yy) / img * (vox - 1);
+          const int x0 = static_cast<int>(fx);
+          const int y0 = static_cast<int>(fy);
+          double colour = 0.0;
+          double transparency = 1.0;
+          for (int z = 0; z < vox && transparency > 0.02; ++z) {
+            const std::size_t i = vidx(x0, y0, z);
+            sink.read(tid, &volume[i]);
+            const double d = volume[i];
+            const double alpha = 0.25 * d;
+            colour += transparency * alpha * (0.3 + 0.7 * d);
+            transparency *= 1.0 - alpha;
+          }
+          const std::size_t pix =
+              yy * static_cast<std::size_t>(img) + static_cast<std::size_t>(xx);
+          sink.write(tid, &image[pix]);
+          image[pix] = colour;
+        }
+      }
+    }
+    sync.wait(sink, team, tid);
+  });
+
+  bool ok = true;
+  double checksum = 0.0;
+  for (double v : image) {
+    if (v < 0.0 || v > 1.0) ok = false;
+    checksum += v;
+  }
+
+  Result r;
+  r.ok = ok && checksum > 0.0;
+  r.checksum = checksum;
+  r.work_items = static_cast<std::uint64_t>(img) * static_cast<std::uint64_t>(img);
+  return r;
+}
+
+}  // namespace
+
+Workload make_volrend() {
+  Workload w;
+  w.name = "volrend";
+  w.description = "front-to-back volume ray marching with early termination";
+  w.run = [](Scale scale, threading::ThreadTeam& team,
+             instrument::AccessSink* sink) {
+    return detail::dispatch(
+        [](Scale s, threading::ThreadTeam& t, auto& sk) {
+          return volrend_impl(s, t, sk);
+        },
+        scale, team, sink);
+  };
+  return w;
+}
+
+}  // namespace commscope::workloads

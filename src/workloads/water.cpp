@@ -1,0 +1,284 @@
+// water_nsq / water_spat — molecular-dynamics kernels (SPLASH-2
+// "water-nsquared" and "water-spatial").
+//
+// A Lennard-Jones-like fluid integrated with velocity-Verlet-style explicit
+// steps. The two variants reproduce their namesakes' communication contrast:
+//   * water_nsq  — O(n²) pairwise interactions: every thread's force loop
+//     reads *all* positions (n-body all-to-all traffic),
+//   * water_spat — spatial cell lists: interactions only with molecules in
+//     the 27 neighbouring cells, with cells block-partitioned → structured,
+//     neighbour-dominated traffic.
+//
+// The annotated regions use the actual SPLASH water function names shown in
+// Figure 7: MDMAIN (outer time-step driver), INTERF (intermolecular
+// forces), POTENG (potential-energy reduction), plus "integrate".
+// Self-check: the total force over all molecules stays near zero (Newton's
+// third law: the pair forces cancel in exact arithmetic) and energies stay
+// finite.
+#include <cmath>
+#include <vector>
+
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace commscope::workloads {
+
+namespace {
+
+using detail::val01;
+
+constexpr std::uint64_t kSeed = 0x3a7e4;
+
+struct Config {
+  int molecules;
+  int steps;
+};
+
+Config config(Scale scale, bool spatial) {
+  // The spatial variant affords more molecules at the same cost.
+  switch (scale) {
+    case Scale::kDev:
+      return spatial ? Config{256, 3} : Config{96, 3};
+    case Scale::kSmall:
+      return spatial ? Config{512, 4} : Config{192, 4};
+    case Scale::kLarge:
+      return spatial ? Config{1024, 5} : Config{384, 5};
+  }
+  return {96, 3};
+}
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+Vec3 operator*(double s, Vec3 a) { return {s * a.x, s * a.y, s * a.z}; }
+
+template <instrument::SinkLike Sink>
+Result water_impl(bool spatial, Scale scale, threading::ThreadTeam& team,
+                  Sink& sink) {
+  const auto [n, steps] = config(scale, spatial);
+  const int parties = team.size();
+  const double box = 10.0;
+  const double cutoff = 2.5;
+  const double cutoff2 = cutoff * cutoff;
+  const double dt = 1e-4;
+
+  std::vector<Vec3> pos(static_cast<std::size_t>(n));
+  std::vector<Vec3> vel(static_cast<std::size_t>(n));
+  std::vector<Vec3> force(static_cast<std::size_t>(n));
+  std::vector<double> poteng(static_cast<std::size_t>(parties), 0.0);
+  detail::SyncFlags sync(parties);
+
+  // Spatial decomposition: cells of edge >= cutoff.
+  const int cells_per_dim = std::max(3, static_cast<int>(box / cutoff));
+  const double cell_edge = box / cells_per_dim;
+  const int ncells = cells_per_dim * cells_per_dim * cells_per_dim;
+  std::vector<std::vector<int>> cell_members(static_cast<std::size_t>(ncells));
+
+  auto cell_of = [&](const Vec3& p) {
+    auto clampi = [&](double v) {
+      int c = static_cast<int>(v / cell_edge);
+      if (c < 0) c = 0;
+      if (c >= cells_per_dim) c = cells_per_dim - 1;
+      return c;
+    };
+    return (clampi(p.x) * cells_per_dim + clampi(p.y)) * cells_per_dim +
+           clampi(p.z);
+  };
+
+  team.run([&](int tid) {
+    sink.on_thread_begin(tid);
+    const threading::Range mine =
+        threading::block_partition(static_cast<std::size_t>(n), parties, tid);
+
+    auto rd_pos = [&](std::size_t i) {
+      sink.read(tid, &pos[i]);
+      return pos[i];
+    };
+
+    COMMSCOPE_LOOP(sink, tid, "water", "MDMAIN");
+
+    {
+      // Jittered-lattice placement in z-major index order: consecutive
+      // molecule indices are spatial neighbours, so the block partition maps
+      // threads to spatial slabs — the layout SPLASH's spatial version
+      // assumes, and what gives the cell-list variant its rank-local
+      // communication.
+      COMMSCOPE_LOOP(sink, tid, "water", "init");
+      int side = 1;
+      while (side * side * side < n) ++side;
+      const double spacing = box / side;
+      for (std::size_t i = mine.begin; i < mine.end; ++i) {
+        const auto iz = static_cast<int>(i) / (side * side);
+        const auto iy = (static_cast<int>(i) / side) % side;
+        const auto ix = static_cast<int>(i) % side;
+        auto coord = [&](int cell, double jitter) {
+          return (cell + 0.5 + 0.6 * (jitter - 0.5)) * spacing;
+        };
+        sink.write(tid, &pos[i]);
+        pos[i] = Vec3{coord(ix, val01(kSeed, 3 * i)),
+                      coord(iy, val01(kSeed, 3 * i + 1)),
+                      coord(iz, val01(kSeed, 3 * i + 2))};
+        sink.write(tid, &vel[i]);
+        vel[i] = Vec3{val01(kSeed ^ 1, i) - 0.5, val01(kSeed ^ 2, i) - 0.5,
+                      val01(kSeed ^ 3, i) - 0.5};
+      }
+    }
+    sync.wait(sink, team, tid);
+
+    for (int step = 0; step < steps; ++step) {
+      // Rebuild cell lists serially on thread 0 (spatial variant): the
+      // tree/owner-structure producer every other thread then consumes.
+      if (spatial && tid == 0) {
+        COMMSCOPE_LOOP(sink, tid, "water", "cells");
+        for (auto& members : cell_members) members.clear();
+        for (int i = 0; i < n; ++i) {
+          sink.read(tid, &pos[static_cast<std::size_t>(i)]);
+          auto& members =
+              cell_members[static_cast<std::size_t>(cell_of(pos[static_cast<std::size_t>(i)]))];
+          members.push_back(i);
+          sink.write(tid, &members.back());
+        }
+      }
+      if (spatial) sync.wait(sink, team, tid);
+
+      double local_pot = 0.0;
+      {
+        COMMSCOPE_LOOP(sink, tid, "water", "INTERF");
+        for (std::size_t i = mine.begin; i < mine.end; ++i) {
+          Vec3 f{};
+          const Vec3 pi = rd_pos(i);
+          auto interact = [&](int j) {
+            if (static_cast<std::size_t>(j) == i) return;
+            const Vec3 pj = rd_pos(static_cast<std::size_t>(j));
+            const Vec3 d = pi - pj;
+            const double r2 = d.x * d.x + d.y * d.y + d.z * d.z;
+            if (r2 > cutoff2 || r2 < 1e-12) return;
+            // Soft LJ-like pair force, bounded near r -> 0.
+            const double inv = 1.0 / (r2 + 0.5);
+            const double inv3 = inv * inv * inv;
+            const double mag = 24.0 * inv3 * (2.0 * inv3 - 1.0) * inv;
+            f = f + mag * d;
+            local_pot += 4.0 * inv3 * (inv3 - 1.0);
+          };
+          if (spatial) {
+            const int c = cell_of(pi);
+            const int cz = c % cells_per_dim;
+            const int cy = (c / cells_per_dim) % cells_per_dim;
+            const int cx = c / (cells_per_dim * cells_per_dim);
+            for (int dx = -1; dx <= 1; ++dx) {
+              for (int dy = -1; dy <= 1; ++dy) {
+                for (int dz = -1; dz <= 1; ++dz) {
+                  const int nx = cx + dx, ny = cy + dy, nz = cz + dz;
+                  if (nx < 0 || ny < 0 || nz < 0 || nx >= cells_per_dim ||
+                      ny >= cells_per_dim || nz >= cells_per_dim) {
+                    continue;
+                  }
+                  const auto& members = cell_members[static_cast<std::size_t>(
+                      (nx * cells_per_dim + ny) * cells_per_dim + nz)];
+                  for (int j : members) {
+                    sink.read(tid, &members[0]);
+                    interact(j);
+                  }
+                }
+              }
+            }
+          } else {
+            for (int j = 0; j < n; ++j) interact(j);
+          }
+          sink.write(tid, &force[i]);
+          force[i] = f;
+        }
+      }
+      {
+        COMMSCOPE_LOOP(sink, tid, "water", "POTENG");
+        poteng[static_cast<std::size_t>(tid)] = local_pot;
+        sink.write(tid, &poteng[static_cast<std::size_t>(tid)]);
+        if (tid == 0) {
+          for (int t = 0; t < parties; ++t) {
+            sink.read(tid, &poteng[static_cast<std::size_t>(t)]);
+          }
+        }
+      }
+      sync.wait(sink, team, tid);
+
+      {
+        COMMSCOPE_LOOP(sink, tid, "water", "integrate");
+        for (std::size_t i = mine.begin; i < mine.end; ++i) {
+          sink.read(tid, &force[i]);
+          sink.write(tid, &vel[i]);
+          vel[i] = vel[i] + dt * force[i];
+          sink.write(tid, &pos[i]);
+          Vec3 p = pos[i] + dt * vel[i];
+          // Reflecting walls keep the system in the box.
+          auto reflect = [&](double& x, double& v) {
+            if (x < 0.0) {
+              x = -x;
+              v = -v;
+            } else if (x > box) {
+              x = 2.0 * box - x;
+              v = -v;
+            }
+          };
+          reflect(p.x, vel[i].x);
+          reflect(p.y, vel[i].y);
+          reflect(p.z, vel[i].z);
+          pos[i] = p;
+        }
+      }
+      sync.wait(sink, team, tid);
+    }
+  });
+
+  // Newton's-third-law check (n² variant computes every pair from both
+  // sides, so the global force sum cancels analytically).
+  Vec3 fsum{};
+  bool finite = true;
+  for (int i = 0; i < n; ++i) {
+    fsum = fsum + force[static_cast<std::size_t>(i)];
+    finite = finite && std::isfinite(pos[static_cast<std::size_t>(i)].x) &&
+             std::isfinite(vel[static_cast<std::size_t>(i)].x);
+  }
+  const double fmag =
+      std::sqrt(fsum.x * fsum.x + fsum.y * fsum.y + fsum.z * fsum.z);
+
+  double checksum = 0.0;
+  for (const Vec3& p : pos) checksum += p.x + p.y + p.z;
+
+  Result r;
+  r.ok = finite && fmag < 1e-6 * static_cast<double>(n);
+  r.checksum = checksum;
+  r.work_items = static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(steps);
+  return r;
+}
+
+Workload make_water(bool spatial, const char* name, const char* desc) {
+  Workload w;
+  w.name = name;
+  w.description = desc;
+  w.run = [spatial](Scale scale, threading::ThreadTeam& team,
+                    instrument::AccessSink* sink) {
+    return detail::dispatch(
+        [spatial](Scale s, threading::ThreadTeam& t, auto& sk) {
+          return water_impl(spatial, s, t, sk);
+        },
+        scale, team, sink);
+  };
+  return w;
+}
+
+}  // namespace
+
+Workload make_water_nsq() {
+  return make_water(false, "water_nsq",
+                    "O(n^2) pairwise molecular dynamics (all-to-all reads)");
+}
+
+Workload make_water_spat() {
+  return make_water(true, "water_spat",
+                    "cell-list molecular dynamics (neighbour-cell reads)");
+}
+
+}  // namespace commscope::workloads

@@ -1,0 +1,22 @@
+#include "workloads/workload.hpp"
+
+namespace commscope::workloads {
+
+const std::vector<Workload>& registry() {
+  static const std::vector<Workload> all = {
+      make_barnes(),   make_fmm(),       make_ocean_cp(), make_ocean_ncp(),
+      make_radiosity(), make_raytrace(), make_volrend(),  make_water_nsq(),
+      make_water_spat(), make_cholesky(), make_fft(),     make_lu_cb(),
+      make_lu_ncb(),   make_radix(),
+  };
+  return all;
+}
+
+const Workload* find(std::string_view name) {
+  for (const Workload& w : registry()) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace commscope::workloads

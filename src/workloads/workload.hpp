@@ -1,0 +1,80 @@
+// SPLASH-replica workload registry.
+//
+// Figure 4's x-axis: barnes, fmm, ocean_cp, ocean_ncp, radiosity, raytrace,
+// volrend, water_nsq, water_spat, cholesky, fft, lu_cb, lu_ncb, radix. Each
+// replica reproduces its namesake's algorithmic structure and communication
+// topology (DESIGN.md §1 documents the substitution), runs on a ThreadTeam
+// at simdev/simsmall/simlarge scales, self-verifies, and is templated on the
+// sink so the same kernel code compiles to a zero-instrumentation native
+// twin (NullSink) and an instrumented build (AccessSink) — the pair Figure
+// 4's slowdown compares.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "instrument/sink.hpp"
+#include "support/env.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace commscope::workloads {
+
+using support::Scale;
+
+/// Outcome of one workload run.
+struct Result {
+  bool ok = false;          ///< self-verification passed
+  double checksum = 0.0;    ///< deterministic result digest
+  std::uint64_t work_items = 0;  ///< problem-size indicator (elements, rays, ...)
+};
+
+/// A registered workload. `run` executes at `scale` on `team`; a null sink
+/// selects the native (uninstrumented) twin.
+struct Workload {
+  std::string name;
+  std::string description;
+  std::function<Result(Scale, threading::ThreadTeam&, instrument::AccessSink*)>
+      run;
+};
+
+/// All 14 replicas, in Figure 4 order.
+[[nodiscard]] const std::vector<Workload>& registry();
+
+/// Lookup by name; nullptr if unknown.
+[[nodiscard]] const Workload* find(std::string_view name);
+
+// Factories (one per source file); registry() assembles them.
+[[nodiscard]] Workload make_barnes();
+[[nodiscard]] Workload make_fmm();
+[[nodiscard]] Workload make_ocean_cp();
+[[nodiscard]] Workload make_ocean_ncp();
+[[nodiscard]] Workload make_radiosity();
+[[nodiscard]] Workload make_raytrace();
+[[nodiscard]] Workload make_volrend();
+[[nodiscard]] Workload make_water_nsq();
+[[nodiscard]] Workload make_water_spat();
+[[nodiscard]] Workload make_cholesky();
+[[nodiscard]] Workload make_fft();
+[[nodiscard]] Workload make_lu_cb();
+[[nodiscard]] Workload make_lu_ncb();
+[[nodiscard]] Workload make_radix();
+
+namespace detail {
+
+/// Bridges the type-erased entry point to a kernel template: instantiates the
+/// kernel once for NullSink (native twin) and once for AccessSink (any
+/// profiler).
+template <typename KernelTemplate>
+Result dispatch(KernelTemplate&& kernel, Scale scale,
+                threading::ThreadTeam& team, instrument::AccessSink* sink) {
+  if (sink != nullptr) return kernel(scale, team, *sink);
+  instrument::NullSink null;
+  return kernel(scale, team, null);
+}
+
+}  // namespace detail
+
+}  // namespace commscope::workloads

@@ -1,0 +1,104 @@
+// Bloom-filter tests: Eq. 2 sizing law, no-false-negative guarantee, and a
+// parameterized sweep verifying the realized FPR respects the configured
+// target across (capacity, fp_rate) operating points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "support/bloom.hpp"
+
+namespace cs = commscope::support;
+
+TEST(BloomParams, MatchesEq2Formula) {
+  // m = -t ln(p) / ln^2(2); the paper's reference point t=32, p=0.001
+  // gives ~460 bits (rounded up to a 64-bit word multiple).
+  const cs::BloomParams p = cs::bloom_params(32, 0.001);
+  const double ln2 = std::log(2.0);
+  const double m = -32.0 * std::log(0.001) / (ln2 * ln2);
+  EXPECT_NEAR(static_cast<double>(p.bits), m, 64.0);
+  EXPECT_EQ(p.bits % 64, 0u);
+  // k = m/t * ln 2 ~ 10 hash functions at p = 0.001.
+  EXPECT_NEAR(p.hashes, 10u, 1u);
+}
+
+TEST(BloomParams, DegenerateInputsAreClamped) {
+  EXPECT_GE(cs::bloom_params(0, 0.001).bits, 64u);
+  EXPECT_GE(cs::bloom_params(8, -1.0).hashes, 1u);
+  EXPECT_GE(cs::bloom_params(8, 2.0).hashes, 1u);
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+  cs::BloomFilter bf(64, 0.01);
+  for (std::uint64_t k = 0; k < 64; ++k) bf.insert(k * 977 + 13);
+  for (std::uint64_t k = 0; k < 64; ++k) EXPECT_TRUE(bf.contains(k * 977 + 13));
+}
+
+TEST(BloomFilter, EmptyFilterContainsNothing) {
+  cs::BloomFilter bf(32, 0.001);
+  EXPECT_TRUE(bf.empty());
+  for (std::uint64_t k = 0; k < 100; ++k) EXPECT_FALSE(bf.contains(k));
+}
+
+TEST(BloomFilter, InsertReportsPriorMembership) {
+  cs::BloomFilter bf(32, 0.001);
+  EXPECT_FALSE(bf.insert(7));  // first insertion: not previously present
+  EXPECT_TRUE(bf.insert(7));   // second: already present
+}
+
+TEST(BloomFilter, ClearResets) {
+  cs::BloomFilter bf(32, 0.001);
+  bf.insert(1);
+  bf.insert(2);
+  ASSERT_FALSE(bf.empty());
+  bf.clear();
+  EXPECT_TRUE(bf.empty());
+  EXPECT_FALSE(bf.contains(1));
+  EXPECT_FALSE(bf.contains(2));
+}
+
+TEST(BloomFilter, ByteSizeMatchesParams) {
+  cs::BloomFilter bf(32, 0.001);
+  EXPECT_EQ(bf.byte_size(), bf.bit_count() / 8);
+}
+
+TEST(BloomFilter, EstimatedFprGrowsWithFill) {
+  cs::BloomFilter bf(16, 0.01);
+  const double before = bf.estimated_fpr();
+  for (std::uint64_t k = 0; k < 16; ++k) bf.insert(k);
+  EXPECT_LT(before, bf.estimated_fpr());
+  EXPECT_LE(bf.estimated_fpr(), 1.0);
+}
+
+// Parameterized sweep: fill to capacity, then measure the false-positive
+// rate on 20000 keys never inserted; it must stay within ~4x of the target
+// (the standard bloom bound is asymptotic; small filters wobble).
+class BloomFprSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(BloomFprSweep, RealizedFprRespectsTarget) {
+  const auto [capacity, target] = GetParam();
+  cs::BloomFilter bf(capacity, target);
+  for (std::uint64_t k = 0; k < capacity; ++k) {
+    bf.insert(0xabcd0000 + k * 3);
+  }
+  int fp = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (bf.contains(0x99990000 + static_cast<std::uint64_t>(i) * 7 + 1)) ++fp;
+  }
+  const double realized = static_cast<double>(fp) / kProbes;
+  EXPECT_LE(realized, std::max(4.0 * target, 8e-4))
+      << "capacity=" << capacity << " target=" << target
+      << " realized=" << realized;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BloomFprSweep,
+    ::testing::Values(std::make_tuple(std::size_t{8}, 0.01),
+                      std::make_tuple(std::size_t{16}, 0.01),
+                      std::make_tuple(std::size_t{32}, 0.001),
+                      std::make_tuple(std::size_t{32}, 0.01),
+                      std::make_tuple(std::size_t{64}, 0.001),
+                      std::make_tuple(std::size_t{64}, 0.1),
+                      std::make_tuple(std::size_t{128}, 0.001)));

@@ -1,0 +1,131 @@
+// Integration tests for the `commscope` CLI binary. The binary path arrives
+// as the first non-gtest argument (wired in tests/CMakeLists.txt); each test
+// shells out and checks exit codes and output files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string g_cli;  // set in main()
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_cli(const std::string& args) {
+  const std::string cmd = g_cli + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  RunResult r;
+  if (pipe == nullptr) return r;
+  char buf[512];
+  while (fgets(buf, sizeof buf, pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+}  // namespace
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const RunResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, ListShowsAllWorkloads) {
+  const RunResult r = run_cli("list");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* name : {"barnes", "radix", "water_nsq", "lu_ncb"}) {
+    EXPECT_NE(r.output.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, RunProducesReport) {
+  const RunResult r = run_cli("run fft --threads=4");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("CommScope profile"), std::string::npos);
+  EXPECT_NE(r.output.find("fft:stage"), std::string::npos);
+}
+
+TEST(Cli, UnknownWorkloadFails) {
+  const RunResult r = run_cli("run nonesuch");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown workload"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  const RunResult r = run_cli("run fft --bogus=1");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown flag --bogus"), std::string::npos);
+}
+
+TEST(Cli, ClassifyRoundTripThroughSavedMatrix) {
+  const std::string matrix = "/tmp/commscope_cli_test.matrix";
+  const RunResult save =
+      run_cli("run ocean_cp --threads=4 --save-matrix=" + matrix);
+  ASSERT_EQ(save.exit_code, 0);
+  const RunResult classify = run_cli("classify " + matrix);
+  EXPECT_EQ(classify.exit_code, 0);
+  EXPECT_NE(classify.output.find("kNN:"), std::string::npos);
+  std::remove(matrix.c_str());
+}
+
+TEST(Cli, TraceRecordAndReplay) {
+  const std::string trace = "/tmp/commscope_cli_test.trace";
+  const RunResult save =
+      run_cli("run radix --threads=4 --save-trace=" + trace);
+  ASSERT_EQ(save.exit_code, 0);
+  EXPECT_NE(save.output.find("events written"), std::string::npos);
+  const RunResult replay = run_cli("replay " + trace + " --backend=exact");
+  EXPECT_EQ(replay.exit_code, 0);
+  EXPECT_NE(replay.output.find("replayed"), std::string::npos);
+  EXPECT_NE(replay.output.find("radix:permute"), std::string::npos);
+  std::remove(trace.c_str());
+}
+
+TEST(Cli, MapPlansPlacementFromMatrix) {
+  const std::string matrix = "/tmp/commscope_cli_map.matrix";
+  ASSERT_EQ(run_cli("run ocean_cp --threads=4 --save-matrix=" + matrix)
+                .exit_code,
+            0);
+  const RunResult map = run_cli("map " + matrix + " --sockets=2 --cores=2");
+  EXPECT_EQ(map.exit_code, 0);
+  EXPECT_NE(map.output.find("best mapping cost"), std::string::npos);
+  std::remove(matrix.c_str());
+}
+
+TEST(Cli, DvfsPlanFromPhases) {
+  const RunResult r =
+      run_cli("run ocean_ncp --threads=4 --phases=8192 --dvfs");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("phases detected:"), std::string::npos);
+  EXPECT_NE(r.output.find("DVFS plan:"), std::string::npos);
+  EXPECT_NE(r.output.find("GHz"), std::string::npos);
+}
+
+TEST(Cli, CsvExportHasSchema) {
+  const std::string csv = "/tmp/commscope_cli_test.csv";
+  ASSERT_EQ(run_cli("run lu_cb --threads=4 --csv=" + csv).exit_code, 0);
+  std::ifstream in(csv);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header.rfind("label,depth,entries", 0), 0u);
+  std::remove(csv.c_str());
+}
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc > 1) {
+    g_cli = argv[1];
+  } else {
+    g_cli = "./build/tools/commscope";  // manual-invocation fallback
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,90 @@
+// NUMA page-census / data-mapping tests.
+#include <gtest/gtest.h>
+
+#include "instrument/trace.hpp"
+#include "mapping/data_map.hpp"
+#include "threading/thread_pool.hpp"
+#include "workloads/workload.hpp"
+
+namespace ci = commscope::instrument;
+namespace cm = commscope::mapping;
+namespace ct = commscope::threading;
+namespace cw = commscope::workloads;
+
+namespace {
+
+const cm::Topology kTopo(2, 2);            // sockets {hw0,hw1} and {hw2,hw3}
+const cm::Mapping kMapping{0, 1, 2, 3};    // T0,T1 socket0; T2,T3 socket1
+
+}  // namespace
+
+TEST(PageCensus, CountsPagesAndBytes) {
+  cm::PageCensus census(4);
+  census.count(0, 0x10000, 8);
+  census.count(0, 0x10008, 8);  // same page
+  census.count(1, 0x20000, 4);  // new page
+  EXPECT_EQ(census.pages(), 2u);
+  EXPECT_EQ(census.total_accesses(), 20u);
+}
+
+TEST(PageCensus, RejectsBadConfig) {
+  EXPECT_THROW(cm::PageCensus(0), std::invalid_argument);
+  EXPECT_THROW(cm::PageCensus(4, 1000), std::invalid_argument);  // not pow2
+}
+
+TEST(PageCensus, PlanHomesPagesOnDominantSocket) {
+  cm::PageCensus census(4);
+  // Page A: touched mostly by socket-1 threads.
+  census.count(2, 0x10000, 800);
+  census.count(0, 0x10010, 100);
+  // Page B: exclusively socket-0.
+  census.count(1, 0x20000, 500);
+  const auto plan = census.plan(kTopo, kMapping);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].page, 0x10000u);
+  EXPECT_EQ(plan[0].home_socket, 1);
+  EXPECT_NEAR(plan[0].local_fraction, 800.0 / 900.0, 1e-12);
+  EXPECT_EQ(plan[1].home_socket, 0);
+  EXPECT_DOUBLE_EQ(plan[1].local_fraction, 1.0);
+}
+
+TEST(PageCensus, PlannedNeverWorseThanFirstTouch) {
+  // First touch by thread 0 (socket 0), but the page is then hammered by
+  // socket-1 threads: first-touch strands it remotely, the plan moves it.
+  cm::PageCensus census(4);
+  census.count(0, 0x30000, 8);       // first touch: socket 0
+  census.count(2, 0x30000, 10000);   // real owner: socket 1
+  census.count(3, 0x30000, 10000);
+  const auto rep = census.evaluate(kTopo, kMapping);
+  EXPECT_EQ(rep.total, 20008u);
+  EXPECT_EQ(rep.remote_first_touch, 20000u);
+  EXPECT_EQ(rep.remote_planned, 8u);
+  EXPECT_LT(rep.planned_remote_fraction(), rep.first_touch_remote_fraction());
+}
+
+TEST(PageCensus, PlannedEqualsFirstTouchWhenFirstToucherDominates) {
+  cm::PageCensus census(4);
+  census.count(1, 0x40000, 1000);
+  census.count(2, 0x40000, 10);
+  const auto rep = census.evaluate(kTopo, kMapping);
+  EXPECT_EQ(rep.remote_first_touch, rep.remote_planned);
+  EXPECT_EQ(rep.remote_planned, 10u);
+}
+
+TEST(PageCensus, FromTraceOfRealWorkload) {
+  ci::TraceRecorder rec;
+  ct::ThreadTeam team(4);
+  ASSERT_TRUE(cw::find("ocean_ncp")->run(cw::Scale::kDev, team, &rec).ok);
+  const cm::PageCensus census = cm::PageCensus::from_trace(rec.events(), 4);
+  EXPECT_GT(census.pages(), 10u);
+  EXPECT_GT(census.total_accesses(), 0u);
+
+  const auto rep = census.evaluate(kTopo, kMapping);
+  EXPECT_EQ(rep.total, census.total_accesses());
+  // The plan can never be worse than first touch (it picks the argmax
+  // socket per page), and on an interleaved-partition stencil it must leave
+  // some accesses remote (every page is shared across sockets).
+  EXPECT_LE(rep.remote_planned, rep.remote_first_touch);
+  EXPECT_GT(rep.remote_planned, 0u);
+  EXPECT_LT(rep.planned_remote_fraction(), 1.0);
+}

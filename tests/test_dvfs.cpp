@@ -1,0 +1,149 @@
+// DVFS-advisor tests: boundness estimation, level selection under a
+// slowdown budget, energy accounting, end-to-end from a real phase timeline.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/profiler.hpp"
+#include "power/dvfs.hpp"
+
+namespace cc = commscope::core;
+namespace ci = commscope::instrument;
+namespace cpw = commscope::power;
+
+namespace {
+
+/// Builds a synthetic timeline: `comm_windows` fully-communication-bound
+/// windows (few accesses per byte) followed by `compute_windows` nearly
+/// communication-free windows (many accesses per byte), with orthogonal
+/// patterns so they segment into two phases.
+void make_timeline(int comm_windows, int compute_windows,
+                   std::vector<cc::Matrix>& windows,
+                   std::vector<std::uint64_t>& accesses) {
+  for (int w = 0; w < comm_windows; ++w) {
+    cc::Matrix m(4);
+    for (int p = 0; p < 4; ++p) m.at(p, (p + 1) % 4) = 4096;  // ring
+    windows.push_back(m);
+    accesses.push_back(4096);  // ~4 bytes per access: heavily bound
+  }
+  for (int w = 0; w < compute_windows; ++w) {
+    cc::Matrix m(4);
+    for (int p = 0; p < 4; ++p) m.at(p, (p + 2) % 4) = 4096;  // offset-2 ring
+    windows.push_back(m);
+    accesses.push_back(4'000'000);  // ~0.004 B/access: compute-bound
+  }
+}
+
+}  // namespace
+
+TEST(DvfsPlan, CommPhasesDownclockComputePhasesDoNot) {
+  std::vector<cc::Matrix> windows;
+  std::vector<std::uint64_t> accesses;
+  make_timeline(3, 3, windows, accesses);
+  const cpw::DvfsPlan plan = cpw::plan_dvfs(windows, accesses);
+  ASSERT_EQ(plan.phases.size(), 2u);
+  const cpw::PhasePlan& comm = plan.phases[0];
+  const cpw::PhasePlan& compute = plan.phases[1];
+  EXPECT_GT(comm.boundness, 0.9);
+  EXPECT_LT(compute.boundness, 0.05);
+  // Communication phase drops to the lowest level; compute stays at the top.
+  EXPECT_LT(comm.chosen.ghz, compute.chosen.ghz);
+  EXPECT_DOUBLE_EQ(compute.chosen.ghz, 2.7);
+  EXPECT_DOUBLE_EQ(comm.chosen.ghz, 1.2);
+}
+
+TEST(DvfsPlan, SavingPositiveAndSlowdownWithinBudget) {
+  std::vector<cc::Matrix> windows;
+  std::vector<std::uint64_t> accesses;
+  make_timeline(4, 2, windows, accesses);
+  cpw::DvfsOptions opts;
+  opts.max_slowdown = 1.10;
+  const cpw::DvfsPlan plan = cpw::plan_dvfs(windows, accesses, opts);
+  EXPECT_GT(plan.saving_fraction, 0.0);
+  EXPECT_LE(plan.overall_slowdown, opts.max_slowdown + 1e-9);
+  for (const cpw::PhasePlan& pp : plan.phases) {
+    EXPECT_LE(pp.est_slowdown, opts.max_slowdown + 1e-9);
+  }
+  EXPECT_LT(plan.planned_energy, plan.baseline_energy);
+}
+
+TEST(DvfsPlan, FullyCommBoundTimelineApproachesPowerRatioSaving) {
+  // All windows fully bound -> the advisor can run everything at the lowest
+  // level with no slowdown; the saving equals 1 - watts_low/watts_high
+  // (~52% with the default table), comfortably covering the paper's quoted
+  // 30% for communication phases.
+  std::vector<cc::Matrix> windows;
+  std::vector<std::uint64_t> accesses;
+  make_timeline(5, 0, windows, accesses);
+  const cpw::DvfsPlan plan = cpw::plan_dvfs(windows, accesses);
+  EXPECT_NEAR(plan.saving_fraction, 1.0 - 62.0 / 130.0, 1e-9);
+  EXPECT_NEAR(plan.overall_slowdown, 1.0, 1e-9);
+  EXPECT_GE(plan.saving_fraction, 0.30);
+}
+
+TEST(DvfsPlan, TightBudgetKeepsComputePhasesFast) {
+  std::vector<cc::Matrix> windows;
+  std::vector<std::uint64_t> accesses;
+  make_timeline(0, 3, windows, accesses);
+  cpw::DvfsOptions opts;
+  opts.max_slowdown = 1.01;  // compute phases cannot afford any downclock
+  const cpw::DvfsPlan plan = cpw::plan_dvfs(windows, accesses, opts);
+  EXPECT_NEAR(plan.saving_fraction, 0.0, 1e-9);
+  for (const cpw::PhasePlan& pp : plan.phases) {
+    EXPECT_DOUBLE_EQ(pp.chosen.ghz, 2.7);
+  }
+}
+
+TEST(DvfsPlan, RejectsMalformedInput) {
+  std::vector<cc::Matrix> windows(2, cc::Matrix(4));
+  std::vector<std::uint64_t> accesses(1, 10);
+  EXPECT_THROW(cpw::plan_dvfs(windows, accesses), std::invalid_argument);
+  accesses.push_back(10);
+  cpw::DvfsOptions no_levels;
+  no_levels.levels.clear();
+  EXPECT_THROW(cpw::plan_dvfs(windows, accesses, no_levels),
+               std::invalid_argument);
+}
+
+TEST(DvfsPlan, EndToEndFromProfilerTimeline) {
+  // Real pipeline: profile a two-phase synthetic program, feed its timeline
+  // and access counts straight into the advisor.
+  cc::ProfilerOptions o;
+  o.max_threads = 4;
+  o.backend = cc::Backend::kExact;
+  o.phase_window_bytes = 2048;
+  auto prof = std::make_unique<cc::Profiler>(o);
+  for (int t = 0; t < 4; ++t) prof->on_thread_begin(t);
+  // Communication-heavy stretch: write/read handoffs, few extra accesses.
+  for (int i = 0; i < 1024; ++i) {
+    const auto addr = static_cast<std::uintptr_t>(0x9000 + i * 8);
+    prof->on_access(0, addr, 8, ci::AccessKind::kWrite);
+    prof->on_access(1, addr, 8, ci::AccessKind::kRead);
+  }
+  // Compute-heavy stretch: mostly private traffic, a thin comm trickle with
+  // a different pattern (2->3).
+  for (int i = 0; i < 1024; ++i) {
+    const auto priv = static_cast<std::uintptr_t>(0x80000 + i * 8);
+    for (int r = 0; r < 40; ++r) {
+      prof->on_access(2, priv, 8, ci::AccessKind::kRead);
+    }
+    // Consumer 0 gives this phase offset 2 (circular), distinct from the
+    // offset-1 handoffs of the first phase so the segmentation splits them.
+    const auto addr = static_cast<std::uintptr_t>(0x20000 + i * 8);
+    prof->on_access(2, addr, 8, ci::AccessKind::kWrite);
+    prof->on_access(0, addr, 8, ci::AccessKind::kRead);
+  }
+  prof->finalize();
+
+  const auto windows = prof->phase_timeline();
+  const auto accesses = prof->phase_window_accesses();
+  ASSERT_EQ(windows.size(), accesses.size());
+  ASSERT_GE(windows.size(), 2u);
+  const cpw::DvfsPlan plan = cpw::plan_dvfs(windows, accesses);
+  ASSERT_GE(plan.phases.size(), 2u);
+  // The first phase (dense handoffs) must be judged more communication-bound
+  // than the last (compute-dominated) one.
+  EXPECT_GT(plan.phases.front().boundness, plan.phases.back().boundness);
+  EXPECT_GT(plan.saving_fraction, 0.0);
+  EXPECT_FALSE(plan.to_string().empty());
+}

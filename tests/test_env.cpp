@@ -1,0 +1,75 @@
+// Environment-configuration tests (uses setenv; each test restores state).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/env.hpp"
+
+namespace cs = commscope::support;
+
+namespace {
+
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) { unsetenv(name); }
+  ~EnvGuard() { unsetenv(name_); }
+  void set(const char* value) { setenv(name_, value, 1); }
+
+ private:
+  const char* name_;
+};
+
+}  // namespace
+
+TEST(EnvScale, DefaultsToDev) {
+  EnvGuard g("COMMSCOPE_SCALE");
+  EXPECT_EQ(cs::env_scale(), cs::Scale::kDev);
+}
+
+TEST(EnvScale, ParsesAllSpellings) {
+  EnvGuard g("COMMSCOPE_SCALE");
+  g.set("small");
+  EXPECT_EQ(cs::env_scale(), cs::Scale::kSmall);
+  g.set("simsmall");
+  EXPECT_EQ(cs::env_scale(), cs::Scale::kSmall);
+  g.set("large");
+  EXPECT_EQ(cs::env_scale(), cs::Scale::kLarge);
+  g.set("simlarge");
+  EXPECT_EQ(cs::env_scale(), cs::Scale::kLarge);
+  g.set("bogus");
+  EXPECT_EQ(cs::env_scale(), cs::Scale::kDev);
+}
+
+TEST(EnvThreads, DefaultAndClamping) {
+  EnvGuard g("COMMSCOPE_THREADS");
+  EXPECT_EQ(cs::env_threads(8), 8);
+  g.set("16");
+  EXPECT_EQ(cs::env_threads(8), 16);
+  g.set("1");
+  EXPECT_EQ(cs::env_threads(8), 2);  // clamped low
+  g.set("1000");
+  EXPECT_EQ(cs::env_threads(8), 64);  // clamped high
+}
+
+TEST(EnvInt, FallbackOnGarbage) {
+  EnvGuard g("COMMSCOPE_TEST_INT");
+  EXPECT_EQ(cs::env_int("COMMSCOPE_TEST_INT", 42), 42);
+  g.set("junk");
+  EXPECT_EQ(cs::env_int("COMMSCOPE_TEST_INT", 42), 42);
+  g.set("-7");
+  EXPECT_EQ(cs::env_int("COMMSCOPE_TEST_INT", 42), -7);
+}
+
+TEST(EnvStr, EmptyMeansFallback) {
+  EnvGuard g("COMMSCOPE_TEST_STR");
+  g.set("");
+  EXPECT_EQ(cs::env_str("COMMSCOPE_TEST_STR", "dflt"), "dflt");
+  g.set("value");
+  EXPECT_EQ(cs::env_str("COMMSCOPE_TEST_STR", "dflt"), "value");
+}
+
+TEST(ScaleNames, RoundTrip) {
+  EXPECT_STREQ(cs::to_string(cs::Scale::kDev), "simdev");
+  EXPECT_STREQ(cs::to_string(cs::Scale::kSmall), "simsmall");
+  EXPECT_STREQ(cs::to_string(cs::Scale::kLarge), "simlarge");
+}

@@ -1,0 +1,133 @@
+// Hash-function unit tests: determinism, reference behaviour, avalanche,
+// slot-distribution quality (the property the paper selects MurmurHash for).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "support/hash.hpp"
+
+namespace cs = commscope::support;
+
+TEST(MurmurMix, IsDeterministic) {
+  EXPECT_EQ(cs::murmur_mix64(42), cs::murmur_mix64(42));
+  EXPECT_EQ(cs::murmur_mix32(42), cs::murmur_mix32(42));
+}
+
+TEST(MurmurMix, ZeroMapsToZero) {
+  // fmix64(0) == 0 is a known fixed point of the finalizer.
+  EXPECT_EQ(cs::murmur_mix64(0), 0u);
+}
+
+TEST(MurmurMix, DistinctInputsDistinctOutputs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 1; i <= 10000; ++i) {
+    seen.insert(cs::murmur_mix64(i));
+  }
+  EXPECT_EQ(seen.size(), 10000u);  // bijective finalizer: no collisions
+}
+
+TEST(MurmurMix, AvalancheFlipsAboutHalfTheBits) {
+  // Flipping one input bit should flip ~32 of 64 output bits on average.
+  double total_flips = 0.0;
+  int samples = 0;
+  for (std::uint64_t x = 1; x < 1000; x += 7) {
+    for (int bit = 0; bit < 64; bit += 9) {
+      const std::uint64_t a = cs::murmur_mix64(x);
+      const std::uint64_t b = cs::murmur_mix64(x ^ (1ULL << bit));
+      total_flips += __builtin_popcountll(a ^ b);
+      ++samples;
+    }
+  }
+  const double avg = total_flips / samples;
+  EXPECT_GT(avg, 28.0);
+  EXPECT_LT(avg, 36.0);
+}
+
+TEST(Murmur3Buffer, MatchesAcrossCalls) {
+  const char data[] = "communication pattern";
+  EXPECT_EQ(cs::murmur3_x86_32(data, sizeof data - 1, 7),
+            cs::murmur3_x86_32(data, sizeof data - 1, 7));
+  EXPECT_EQ(cs::murmur3_x64_64(data, sizeof data - 1, 7),
+            cs::murmur3_x64_64(data, sizeof data - 1, 7));
+}
+
+TEST(Murmur3Buffer, SeedChangesOutput) {
+  const char data[] = "abcdefgh";
+  EXPECT_NE(cs::murmur3_x86_32(data, 8, 1), cs::murmur3_x86_32(data, 8, 2));
+  EXPECT_NE(cs::murmur3_x64_64(data, 8, 1), cs::murmur3_x64_64(data, 8, 2));
+}
+
+TEST(Murmur3Buffer, AllTailLengthsHashDistinctly) {
+  // Exercises every switch-fallthrough tail path (len % 16 in 0..15).
+  std::array<unsigned char, 48> buf{};
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<unsigned char>(i * 37 + 1);
+  }
+  std::set<std::uint64_t> seen;
+  for (std::size_t len = 0; len <= 32; ++len) {
+    seen.insert(cs::murmur3_x64_64(buf.data(), len, 99));
+  }
+  EXPECT_EQ(seen.size(), 33u);
+  std::set<std::uint32_t> seen32;
+  for (std::size_t len = 0; len <= 16; ++len) {
+    seen32.insert(cs::murmur3_x86_32(buf.data(), len, 99));
+  }
+  EXPECT_EQ(seen32.size(), 17u);
+}
+
+TEST(Murmur3Buffer, StringOverloadMatchesBuffer) {
+  EXPECT_EQ(cs::murmur3_x64_64(std::string_view("loop:daxpy")),
+            cs::murmur3_x64_64("loop:daxpy", 10, 0));
+}
+
+TEST(Fnv1a, KnownVector) {
+  // FNV-1a("") = offset basis; FNV-1a("a") is the classic published value.
+  EXPECT_EQ(cs::fnv1a_64(nullptr, 0), 0xcbf29ce484222325ULL);
+  const char a = 'a';
+  EXPECT_EQ(cs::fnv1a_64(&a, 1), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(KmHash, GeneratesDistinctProbes) {
+  const cs::HashPair hp = cs::split_hash(cs::murmur_mix64(12345));
+  std::set<std::uint64_t> probes;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    probes.insert(cs::km_hash(hp.h1, hp.h2, i) % 1024);
+  }
+  // Probes are i*h2 apart with h2 odd: nearly all distinct mod 1024.
+  EXPECT_GE(probes.size(), 14u);
+}
+
+// Slot-distribution quality over address-like keys: Murmur should spread
+// sequential 8-byte-strided addresses (a worst case for identity hashing)
+// nearly uniformly over a power-of-two slot array.
+TEST(HashDistribution, MurmurSpreadsStridedAddressesUniformly) {
+  constexpr std::size_t kSlots = 1024;
+  constexpr std::size_t kKeys = 64 * kSlots;
+  std::vector<int> buckets(kSlots, 0);
+  std::uintptr_t base = 0x7f0000000000;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    ++buckets[cs::murmur_mix64(base + i * 8) % kSlots];
+  }
+  const double expected = static_cast<double>(kKeys) / kSlots;
+  double chi2 = 0.0;
+  for (int c : buckets) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // Chi-squared with 1023 dof: mean 1023, stddev ~45. Allow 6 sigma.
+  EXPECT_LT(chi2, 1023 + 6 * 45.0);
+}
+
+TEST(HashDistribution, IdentityHashDegeneratesOnStridedAddresses) {
+  // The ablation rationale: identity (low-bits) hashing maps an 8-strided
+  // sweep into only 1/8 of slots — the collision pathology Murmur avoids.
+  constexpr std::size_t kSlots = 1024;
+  std::set<std::uint64_t> used;
+  std::uintptr_t base = 0x7f0000000000;
+  for (std::size_t i = 0; i < 8 * kSlots; ++i) {
+    used.insert(cs::identity_hash(base + i * 8) % kSlots);
+  }
+  EXPECT_EQ(used.size(), kSlots / 8);
+}

@@ -1,0 +1,220 @@
+// Thread-mapping tests: topology cost model, mapping validity, and the
+// communication-aware mapper beating locality-oblivious placements on
+// communication-heavy patterns (the paper's motivating application).
+#include <gtest/gtest.h>
+
+#include "mapping/mapper.hpp"
+#include "mapping/topology.hpp"
+#include "patterns/generators.hpp"
+
+namespace cm = commscope::mapping;
+namespace cp = commscope::patterns;
+namespace cc = commscope::core;
+namespace cs = commscope::support;
+
+TEST(Topology, PaperTestbedShape) {
+  const cm::Topology t = cm::Topology::paper_testbed();
+  EXPECT_EQ(t.hardware_threads(), 16);
+  EXPECT_EQ(t.sockets(), 2);
+  EXPECT_EQ(t.cores_per_socket(), 8);
+}
+
+TEST(Topology, DistanceHierarchy) {
+  const cm::Topology t(2, 4, 2);  // 16 hw threads, SMT pairs
+  EXPECT_DOUBLE_EQ(t.distance(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.distance(0, 1), 1.0);   // SMT siblings share a core
+  EXPECT_DOUBLE_EQ(t.distance(0, 2), 10.0);  // same socket
+  EXPECT_DOUBLE_EQ(t.distance(0, 8), 50.0);  // cross socket
+  EXPECT_DOUBLE_EQ(t.distance(8, 0), t.distance(0, 8));
+}
+
+TEST(Topology, RejectsDegenerateShapes) {
+  EXPECT_THROW(cm::Topology(0, 4), std::invalid_argument);
+  EXPECT_THROW(cm::Topology(2, 0), std::invalid_argument);
+}
+
+TEST(MappingValidity, DetectsDuplicatesAndRange) {
+  const cm::Topology t(2, 2);
+  EXPECT_TRUE(cm::is_valid_mapping({0, 1, 2}, t));
+  EXPECT_FALSE(cm::is_valid_mapping({0, 0}, t));   // duplicate
+  EXPECT_FALSE(cm::is_valid_mapping({0, 4}, t));   // out of range
+  EXPECT_FALSE(cm::is_valid_mapping({-1}, t));
+}
+
+TEST(MappingCost, WeighsBytesByDistance) {
+  const cm::Topology t(2, 2);  // hw 0,1 on socket 0; 2,3 on socket 1
+  cc::Matrix m(2);
+  m.at(0, 1) = 100;
+  EXPECT_DOUBLE_EQ(cm::mapping_cost(m, t, {0, 1}), 100 * 10.0);
+  EXPECT_DOUBLE_EQ(cm::mapping_cost(m, t, {0, 2}), 100 * 50.0);
+}
+
+TEST(Mappings, GeneratorsAreValid) {
+  const cm::Topology t = cm::Topology::paper_testbed();
+  cs::SplitMix64 rng(1);
+  EXPECT_TRUE(cm::is_valid_mapping(cm::identity_mapping(16, t), t));
+  EXPECT_TRUE(cm::is_valid_mapping(cm::scatter_mapping(16, t), t));
+  EXPECT_TRUE(cm::is_valid_mapping(cm::random_mapping(16, t, rng), t));
+}
+
+TEST(Mappings, ScatterAlternatesSockets) {
+  const cm::Topology t = cm::Topology::paper_testbed();
+  const cm::Mapping m = cm::scatter_mapping(4, t);
+  EXPECT_EQ(t.socket_of(m[0]), 0);
+  EXPECT_EQ(t.socket_of(m[1]), 1);
+  EXPECT_EQ(t.socket_of(m[2]), 0);
+  EXPECT_EQ(t.socket_of(m[3]), 1);
+}
+
+TEST(Mappings, TooManyThreadsRejected) {
+  const cm::Topology t(1, 2);
+  EXPECT_THROW(cm::identity_mapping(3, t), std::invalid_argument);
+}
+
+TEST(GreedyMapping, CoLocatesHeavyPairs) {
+  const cm::Topology t = cm::Topology::paper_testbed();
+  // Threads 0-1 and 2-3 communicate heavily; greedy must place each pair on
+  // one socket.
+  cc::Matrix m(4);
+  m.at(0, 1) = 1000;
+  m.at(1, 0) = 1000;
+  m.at(2, 3) = 1000;
+  m.at(3, 2) = 1000;
+  const cm::Mapping g = cm::greedy_mapping(m, t);
+  ASSERT_TRUE(cm::is_valid_mapping(g, t));
+  EXPECT_EQ(t.socket_of(g[0]), t.socket_of(g[1]));
+  EXPECT_EQ(t.socket_of(g[2]), t.socket_of(g[3]));
+}
+
+class BestVsBaselines : public ::testing::TestWithParam<cp::PatternClass> {};
+
+TEST_P(BestVsBaselines, BestMappingNeverLosesToAnyBaseline) {
+  const cm::Topology t = cm::Topology::paper_testbed();
+  cp::GeneratorOptions opts;
+  opts.threads = 16;
+  opts.background = 0.05;
+  cs::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) + 99);
+  const cc::Matrix m = cp::generate(GetParam(), opts, rng);
+  const cm::Mapping best = cm::best_mapping(m, t);
+  ASSERT_TRUE(cm::is_valid_mapping(best, t));
+  const double best_cost = cm::mapping_cost(m, t, best);
+  EXPECT_LE(best_cost, cm::mapping_cost(m, t, cm::scatter_mapping(16, t)))
+      << cp::to_string(GetParam());
+  EXPECT_LE(best_cost, cm::mapping_cost(m, t, cm::identity_mapping(16, t)))
+      << cp::to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, BestVsBaselines,
+                         ::testing::ValuesIn(cp::kAllPatternClasses));
+
+TEST(GreedyMapping, WinsOnLocalisedPatterns) {
+  // On locality-rich topologies (halo bands, pipelines, hubs) the greedy
+  // packer alone must already beat the scatter placement; dense diffuse
+  // patterns (all-to-all-like) are covered by best_mapping above.
+  const cm::Topology t = cm::Topology::paper_testbed();
+  cp::GeneratorOptions opts;
+  opts.threads = 16;
+  opts.background = 0.05;
+  for (const cp::PatternClass cls :
+       {cp::PatternClass::kStructuredGrid, cp::PatternClass::kPipeline,
+        cp::PatternClass::kMasterWorker}) {
+    cs::SplitMix64 rng(static_cast<std::uint64_t>(cls) + 7);
+    const cc::Matrix m = cp::generate(cls, opts, rng);
+    const double scatter = cm::mapping_cost(m, t, cm::scatter_mapping(16, t));
+    const double greedy = cm::mapping_cost(m, t, cm::greedy_mapping(m, t));
+    EXPECT_LE(greedy, scatter) << cp::to_string(cls);
+  }
+}
+
+TEST(RefineMapping, NeverIncreasesCost) {
+  const cm::Topology t = cm::Topology::paper_testbed();
+  cp::GeneratorOptions opts;
+  opts.threads = 16;
+  cs::SplitMix64 rng(7);
+  const cc::Matrix m =
+      cp::generate(cp::PatternClass::kStructuredGrid, opts, rng);
+  const cm::Mapping start = cm::scatter_mapping(16, t);
+  const double before = cm::mapping_cost(m, t, start);
+  const cm::Mapping refined = cm::refine_mapping(m, t, start);
+  EXPECT_TRUE(cm::is_valid_mapping(refined, t));
+  EXPECT_LE(cm::mapping_cost(m, t, refined), before);
+}
+
+TEST(RefineMapping, FindsCoLocationForOnePair) {
+  const cm::Topology t(2, 2);
+  cc::Matrix m(2);
+  m.at(0, 1) = 500;
+  // Start with the pair split across sockets; refinement must co-locate.
+  const cm::Mapping refined = cm::refine_mapping(m, t, {0, 2});
+  EXPECT_DOUBLE_EQ(cm::mapping_cost(m, t, refined), 500 * 10.0);
+}
+
+// --- recursive bisection --------------------------------------------------------
+
+TEST(BisectionMapping, ValidAndSeparatesTwoCliques) {
+  const cm::Topology t(2, 2);  // 4 hw threads: {0,1} socket0, {2,3} socket1
+  // Two 2-thread cliques with no cross traffic must land on separate sockets.
+  cc::Matrix m(4);
+  m.at(0, 2) = 1000;
+  m.at(2, 0) = 1000;
+  m.at(1, 3) = 1000;
+  m.at(3, 1) = 1000;
+  const cm::Mapping b = cm::bisection_mapping(m, t);
+  ASSERT_TRUE(cm::is_valid_mapping(b, t));
+  EXPECT_EQ(t.socket_of(b[0]), t.socket_of(b[2]));
+  EXPECT_EQ(t.socket_of(b[1]), t.socket_of(b[3]));
+  EXPECT_NE(t.socket_of(b[0]), t.socket_of(b[1]));
+  // Every clique stays same-socket (distance 10), nothing crosses (50).
+  EXPECT_DOUBLE_EQ(cm::mapping_cost(m, t, b), 4000 * 10.0);
+}
+
+TEST(BisectionMapping, BeatsScatterOnBlockStructure) {
+  const cm::Topology t = cm::Topology::paper_testbed();
+  // Block-diagonal communication: threads 0-7 talk among themselves, 8-15
+  // likewise — the structure recursive bisection is built for.
+  cc::Matrix m(16);
+  cs::SplitMix64 rng(17);
+  for (int block = 0; block < 2; ++block) {
+    for (int a = block * 8; a < (block + 1) * 8; ++a) {
+      for (int b = block * 8; b < (block + 1) * 8; ++b) {
+        if (a != b) m.at(a, b) = 100 + rng.next_below(50);
+      }
+    }
+  }
+  const double bisect = cm::mapping_cost(m, t, cm::bisection_mapping(m, t));
+  const double scatter = cm::mapping_cost(m, t, cm::scatter_mapping(16, t));
+  EXPECT_LT(bisect, scatter);
+  // Perfect split: no cross-socket traffic at all.
+  const cm::Mapping b = cm::bisection_mapping(m, t);
+  for (int a = 0; a < 8; ++a) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_EQ(t.socket_of(b[static_cast<std::size_t>(a)]),
+                t.socket_of(b[static_cast<std::size_t>(c)]));
+    }
+  }
+}
+
+TEST(BisectionMapping, HandlesOddThreadCounts) {
+  const cm::Topology t = cm::Topology::paper_testbed();
+  cc::Matrix m(5);
+  m.at(0, 1) = 10;
+  m.at(3, 4) = 10;
+  const cm::Mapping b = cm::bisection_mapping(m, t);
+  EXPECT_TRUE(cm::is_valid_mapping(b, t));
+  EXPECT_EQ(b.size(), 5u);
+}
+
+TEST(BestMapping, ConsidersBisectionCandidate) {
+  const cm::Topology t = cm::Topology::paper_testbed();
+  cc::Matrix m(16);
+  for (int block = 0; block < 2; ++block) {
+    for (int a = block * 8; a < (block + 1) * 8; ++a) {
+      for (int b = block * 8; b < (block + 1) * 8; ++b) {
+        if (a != b) m.at(a, b) = 100;
+      }
+    }
+  }
+  const double best = cm::mapping_cost(m, t, cm::best_mapping(m, t));
+  const double bisect = cm::mapping_cost(m, t, cm::bisection_mapping(m, t));
+  EXPECT_LE(best, bisect);
+}

@@ -1,0 +1,64 @@
+// Matrix serialization round-trip and error-handling tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/matrix_io.hpp"
+
+namespace cc = commscope::core;
+
+TEST(MatrixIo, RoundTripPreservesEveryCell) {
+  cc::Matrix m(5);
+  std::uint64_t v = 1;
+  for (int p = 0; p < 5; ++p) {
+    for (int c = 0; c < 5; ++c) m.at(p, c) = v++ * 37;
+  }
+  std::stringstream ss;
+  cc::write_matrix(ss, m);
+  EXPECT_EQ(cc::read_matrix(ss), m);
+}
+
+TEST(MatrixIo, RoundTripSize1AndLargeValues) {
+  cc::Matrix m(1);
+  m.at(0, 0) = ~0ull;
+  std::stringstream ss;
+  cc::write_matrix(ss, m);
+  EXPECT_EQ(cc::read_matrix(ss), m);
+}
+
+TEST(MatrixIo, RejectsBadMagic) {
+  std::stringstream ss("something-else 1\n2\n0 0\n0 0\n");
+  EXPECT_THROW(cc::read_matrix(ss), std::runtime_error);
+}
+
+TEST(MatrixIo, RejectsWrongVersion) {
+  std::stringstream ss("commscope-matrix 99\n2\n0 0\n0 0\n");
+  EXPECT_THROW(cc::read_matrix(ss), std::runtime_error);
+}
+
+TEST(MatrixIo, RejectsInvalidSize) {
+  std::stringstream zero("commscope-matrix 1\n0\n");
+  EXPECT_THROW(cc::read_matrix(zero), std::runtime_error);
+  std::stringstream negative("commscope-matrix 1\n-3\n");
+  EXPECT_THROW(cc::read_matrix(negative), std::runtime_error);
+  std::stringstream huge("commscope-matrix 1\n100000\n");
+  EXPECT_THROW(cc::read_matrix(huge), std::runtime_error);
+}
+
+TEST(MatrixIo, RejectsTruncatedCells) {
+  std::stringstream ss("commscope-matrix 1\n2\n1 2 3\n");
+  EXPECT_THROW(cc::read_matrix(ss), std::runtime_error);
+}
+
+TEST(MatrixIo, RejectsNonNumericCells) {
+  std::stringstream ss("commscope-matrix 1\n2\n1 2 3 banana\n");
+  EXPECT_THROW(cc::read_matrix(ss), std::runtime_error);
+}
+
+TEST(MatrixIo, OutputIsHumanReadable) {
+  cc::Matrix m(2);
+  m.at(0, 1) = 42;
+  std::stringstream ss;
+  cc::write_matrix(ss, m);
+  EXPECT_EQ(ss.str(), "commscope-matrix 1\n2\n0 42\n0 0\n");
+}

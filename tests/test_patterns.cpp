@@ -1,0 +1,279 @@
+// Pattern-classification tests (Section VI): generator topology, feature
+// invariants, classifier accuracy (the >97% claim at corpus scale), and the
+// false-positive-noise robustness the paper attributes to the ML stage.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "patterns/classifier.hpp"
+#include "patterns/features.hpp"
+#include "patterns/generators.hpp"
+
+namespace cp = commscope::patterns;
+namespace cc = commscope::core;
+namespace cs = commscope::support;
+
+namespace {
+
+cp::GeneratorOptions clean_opts() {
+  cp::GeneratorOptions o;
+  o.threads = 16;
+  o.jitter = 0.15;
+  o.background = 0.0;
+  return o;
+}
+
+}  // namespace
+
+TEST(Generators, AllClassesProduceNonEmptyZeroDiagonalMatrices) {
+  cs::SplitMix64 rng(1);
+  for (const cp::PatternClass cls : cp::kAllPatternClasses) {
+    const cc::Matrix m = cp::generate(cls, clean_opts(), rng);
+    EXPECT_GT(m.total(), 0u) << cp::to_string(cls);
+    for (int i = 0; i < m.size(); ++i) {
+      EXPECT_EQ(m.at(i, i), 0u) << cp::to_string(cls);  // no self-RAW
+    }
+  }
+}
+
+TEST(Generators, StructuredGridIsBandDominated) {
+  cs::SplitMix64 rng(2);
+  const cc::Matrix m =
+      cp::generate(cp::PatternClass::kStructuredGrid, clean_opts(), rng);
+  std::uint64_t band = 0;
+  for (int i = 0; i + 1 < m.size(); ++i) {
+    band += m.at(i, i + 1) + m.at(i + 1, i);
+  }
+  EXPECT_GT(static_cast<double>(band), 0.7 * static_cast<double>(m.total()));
+}
+
+TEST(Generators, MasterWorkerIsHubDominated) {
+  cs::SplitMix64 rng(3);
+  const cc::Matrix m =
+      cp::generate(cp::PatternClass::kMasterWorker, clean_opts(), rng);
+  std::uint64_t hub = 0;
+  for (int i = 0; i < m.size(); ++i) hub += m.at(0, i) + m.at(i, 0);
+  EXPECT_EQ(hub, m.total());
+}
+
+TEST(Generators, PipelineIsPureSuperdiagonal) {
+  cs::SplitMix64 rng(4);
+  const cc::Matrix m =
+      cp::generate(cp::PatternClass::kPipeline, clean_opts(), rng);
+  std::uint64_t chain = 0;
+  for (int i = 0; i + 1 < m.size(); ++i) chain += m.at(i, i + 1);
+  EXPECT_EQ(chain, m.total());
+}
+
+TEST(Generators, CorpusIsBalancedAndLabelled) {
+  const auto corpus = cp::make_corpus(10, clean_opts(), 42);
+  EXPECT_EQ(corpus.size(), 70u);
+  int counts[7] = {};
+  for (const auto& lm : corpus) ++counts[static_cast<int>(lm.label)];
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(Features, ZeroMatrixYieldsZeroFeatures) {
+  const cp::FeatureVector f = cp::extract_features(cc::Matrix(8));
+  for (double v : f) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Features, MassRatiosStayInUnitRange) {
+  cs::SplitMix64 rng(5);
+  cp::GeneratorOptions noisy = clean_opts();
+  noisy.background = 0.2;
+  for (const cp::PatternClass cls : cp::kAllPatternClasses) {
+    const cp::FeatureVector f =
+        cp::extract_features(cp::generate(cls, noisy, rng));
+    for (int i = 0; i < cp::kFeatureCount; ++i) {
+      if (i == 4) {  // directionality lives in [-1, 1]
+        EXPECT_GE(f[4], -1.0);
+        EXPECT_LE(f[4], 1.0);
+      } else {
+        EXPECT_GE(f[static_cast<std::size_t>(i)], 0.0) << i;
+        EXPECT_LE(f[static_cast<std::size_t>(i)], 1.0 + 1e-9) << i;
+      }
+    }
+  }
+}
+
+TEST(Features, ScaleInvariance) {
+  cs::SplitMix64 rng(6);
+  const cc::Matrix m =
+      cp::generate(cp::PatternClass::kSpectral, clean_opts(), rng);
+  cc::Matrix scaled(m.size());
+  for (int p = 0; p < m.size(); ++p) {
+    for (int c = 0; c < m.size(); ++c) scaled.at(p, c) = m.at(p, c) * 1000;
+  }
+  const cp::FeatureVector a = cp::extract_features(m);
+  const cp::FeatureVector b = cp::extract_features(scaled);
+  for (int i = 0; i < cp::kFeatureCount; ++i) {
+    EXPECT_NEAR(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)],
+                1e-6);
+  }
+}
+
+TEST(Features, HandcraftedSignatures) {
+  // Pipeline: full directionality, full superdiagonal mass.
+  cc::Matrix pipe(8);
+  for (int i = 0; i + 1 < 8; ++i) pipe.at(i, i + 1) = 100;
+  const cp::FeatureVector f = cp::extract_features(pipe);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);  // neighbour band
+  EXPECT_DOUBLE_EQ(f[3], 0.0);  // fully asymmetric
+  EXPECT_DOUBLE_EQ(f[4], 1.0);  // all mass above the diagonal
+
+  // Symmetric halo exchange: symmetry 1, directionality 0.
+  cc::Matrix halo(8);
+  for (int i = 0; i + 1 < 8; ++i) {
+    halo.at(i, i + 1) = 50;
+    halo.at(i + 1, i) = 50;
+  }
+  const cp::FeatureVector g = cp::extract_features(halo);
+  EXPECT_DOUBLE_EQ(g[3], 1.0);
+  EXPECT_DOUBLE_EQ(g[4], 0.0);
+}
+
+TEST(FeatureDistance, ZeroForIdentical) {
+  const cp::FeatureVector f{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  EXPECT_DOUBLE_EQ(cp::feature_distance(f, f), 0.0);
+}
+
+// --- classifier accuracy ------------------------------------------------------
+
+class ClassifierAccuracy : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cp::GeneratorOptions opts = clean_opts();
+    opts.background = 0.05;
+    opts.jitter = 0.25;
+    train_ = cp::featurize(cp::make_corpus(40, opts, 1001));
+    test_ = cp::featurize(cp::make_corpus(25, opts, 2002));
+  }
+  std::vector<cp::Example> train_;
+  std::vector<cp::Example> test_;
+};
+
+TEST_F(ClassifierAccuracy, NearestCentroidReachesPaperAccuracy) {
+  cp::NearestCentroidClassifier clf;
+  clf.train(train_);
+  const cp::Evaluation ev = cp::evaluate(clf, test_);
+  EXPECT_GE(ev.accuracy, 0.97) << ev.to_string();
+}
+
+TEST_F(ClassifierAccuracy, KnnReachesPaperAccuracy) {
+  cp::KnnClassifier clf(5);
+  clf.train(train_);
+  const cp::Evaluation ev = cp::evaluate(clf, test_);
+  EXPECT_GE(ev.accuracy, 0.97) << ev.to_string();
+}
+
+TEST_F(ClassifierAccuracy, ConfusionDiagonalDominates) {
+  cp::NearestCentroidClassifier clf;
+  clf.train(train_);
+  const cp::Evaluation ev = cp::evaluate(clf, test_);
+  for (std::size_t a = 0; a < ev.confusion.size(); ++a) {
+    int row_total = 0;
+    for (int v : ev.confusion[a]) row_total += v;
+    EXPECT_GT(ev.confusion[a][a], row_total / 2);
+  }
+}
+
+TEST(ClassifierRobustness, SurvivesFalsePositiveContamination) {
+  // Section VI: "the negative effect of false positives could be compensated
+  // by using machine learning classification methods". Train on clean
+  // matrices, test on matrices contaminated with background traffic at the
+  // level a small signature memory would inject.
+  cp::GeneratorOptions clean = clean_opts();
+  cp::GeneratorOptions dirty = clean_opts();
+  dirty.background = 0.3;
+  dirty.background_level = 0.15;
+  cp::KnnClassifier clf(7);
+  clf.train(cp::featurize(cp::make_corpus(40, clean, 3003)));
+  const cp::Evaluation ev =
+      cp::evaluate(clf, cp::featurize(cp::make_corpus(20, dirty, 4004)));
+  EXPECT_GE(ev.accuracy, 0.85) << ev.to_string();
+}
+
+TEST(Classifier, PredictOnMatrixOverloadAgrees) {
+  cp::NearestCentroidClassifier clf;
+  cp::GeneratorOptions opts = clean_opts();
+  clf.train(cp::featurize(cp::make_corpus(30, opts, 5005)));
+  cs::SplitMix64 rng(6006);
+  const cc::Matrix m = cp::generate(cp::PatternClass::kPipeline, opts, rng);
+  EXPECT_EQ(clf.predict(m), clf.predict(cp::extract_features(m)));
+}
+
+TEST(PatternNames, AllDistinct) {
+  std::set<std::string> names;
+  for (const cp::PatternClass cls : cp::kAllPatternClasses) {
+    names.insert(cp::to_string(cls));
+  }
+  EXPECT_EQ(names.size(), std::size(cp::kAllPatternClasses));
+}
+
+// --- decision tree (CART) ------------------------------------------------------
+
+#include "patterns/decision_tree.hpp"
+
+TEST(DecisionTree, PerfectFitOnSeparableTraining) {
+  cp::GeneratorOptions opts = clean_opts();
+  const auto train = cp::featurize(cp::make_corpus(20, opts, 9001));
+  cp::DecisionTreeClassifier tree;
+  tree.train(train);
+  const cp::Evaluation ev = cp::evaluate(tree, train);
+  EXPECT_DOUBLE_EQ(ev.accuracy, 1.0);
+  EXPECT_GT(tree.node_count(), 0);
+  EXPECT_LE(tree.depth(), 10);
+}
+
+TEST(DecisionTree, HeldOutAccuracyMatchesPaperBand) {
+  cp::GeneratorOptions opts = clean_opts();
+  opts.background = 0.05;
+  opts.jitter = 0.25;
+  cp::DecisionTreeClassifier tree;
+  tree.train(cp::featurize(cp::make_corpus(40, opts, 9002)));
+  const cp::Evaluation ev =
+      cp::evaluate(tree, cp::featurize(cp::make_corpus(25, opts, 9003)));
+  EXPECT_GE(ev.accuracy, 0.95) << ev.to_string();
+}
+
+TEST(DecisionTree, SingleClassCollapsesToOneLeaf) {
+  cs::SplitMix64 rng(9004);
+  std::vector<cp::Example> train;
+  for (int i = 0; i < 10; ++i) {
+    train.push_back(cp::Example{
+        cp::extract_features(
+            cp::generate(cp::PatternClass::kPipeline, clean_opts(), rng)),
+        cp::PatternClass::kPipeline});
+  }
+  cp::DecisionTreeClassifier tree;
+  tree.train(train);
+  EXPECT_EQ(tree.node_count(), 1);
+  EXPECT_EQ(tree.predict(train[0].features), cp::PatternClass::kPipeline);
+}
+
+TEST(DecisionTree, DepthOptionBoundsGrowth) {
+  cp::GeneratorOptions opts = clean_opts();
+  opts.background = 0.2;
+  cp::DecisionTreeClassifier stump({.max_depth = 1, .min_leaf = 2});
+  stump.train(cp::featurize(cp::make_corpus(20, opts, 9005)));
+  EXPECT_LE(stump.depth(), 1);
+  EXPECT_LE(stump.node_count(), 3);
+}
+
+TEST(DecisionTree, EmptyTrainingIsSafe) {
+  cp::DecisionTreeClassifier tree;
+  tree.train({});
+  EXPECT_EQ(tree.node_count(), 0);
+  (void)tree.predict(cp::FeatureVector{});  // falls back to a default class
+}
+
+TEST(DecisionTree, RulesRenderHumanReadably) {
+  cp::GeneratorOptions opts = clean_opts();
+  cp::DecisionTreeClassifier tree;
+  tree.train(cp::featurize(cp::make_corpus(15, opts, 9006)));
+  const std::string rules = tree.to_string();
+  EXPECT_NE(rules.find("if "), std::string::npos);
+  EXPECT_NE(rules.find("-> "), std::string::npos);
+}

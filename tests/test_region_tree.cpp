@@ -1,0 +1,107 @@
+// Region-tree tests: nesting contexts, the parent-equals-sum-of-children
+// aggregation property of Figures 6/7, labels and traversal.
+#include <gtest/gtest.h>
+
+#include "core/region_tree.hpp"
+#include "instrument/loop_registry.hpp"
+
+namespace cc = commscope::core;
+namespace ci = commscope::instrument;
+
+namespace {
+
+ci::LoopId declare(const char* fn, const char* name) {
+  return ci::LoopRegistry::instance().declare(fn, name);
+}
+
+}  // namespace
+
+TEST(RegionTree, RootIsUnlabelledDepthZero) {
+  cc::RegionTree tree(4);
+  EXPECT_EQ(tree.root().label(), "<root>");
+  EXPECT_EQ(tree.root().depth(), 0);
+  EXPECT_EQ(tree.root().parent(), nullptr);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(RegionTree, ChildCreatedOncePerLoopPerContext) {
+  cc::RegionTree tree(4);
+  const ci::LoopId outer = declare("f", "outer");
+  const ci::LoopId inner = declare("f", "inner");
+  cc::RegionNode* a = tree.root().child(outer);
+  cc::RegionNode* b = tree.root().child(outer);
+  EXPECT_EQ(a, b);  // same context + same loop = same node
+  cc::RegionNode* nested = a->child(inner);
+  cc::RegionNode* direct = tree.root().child(inner);
+  EXPECT_NE(nested, direct);  // same loop, different context = distinct nodes
+  EXPECT_EQ(tree.node_count(), 4u);
+}
+
+TEST(RegionTree, DepthAndLabels) {
+  cc::RegionTree tree(2);
+  const ci::LoopId l1 = declare("lu", "bmod");
+  const ci::LoopId l2 = declare("lu", "daxpy");
+  cc::RegionNode* bmod = tree.root().child(l1);
+  cc::RegionNode* daxpy = bmod->child(l2);
+  EXPECT_EQ(bmod->depth(), 1);
+  EXPECT_EQ(daxpy->depth(), 2);
+  EXPECT_EQ(bmod->label(), "lu:bmod");
+  EXPECT_EQ(daxpy->label(), "lu:daxpy");
+}
+
+TEST(RegionTree, AggregateIsDirectPlusDescendants) {
+  // The paper's "final communication matrix can be obtained by summing all
+  // its child matrices together" (Section V.A.4).
+  cc::RegionTree tree(4);
+  cc::RegionNode* a = tree.root().child(declare("g", "a"));
+  cc::RegionNode* b = a->child(declare("g", "b"));
+  tree.root().matrix().add(0, 1, 5);
+  a->matrix().add(1, 2, 7);
+  b->matrix().add(2, 3, 11);
+
+  const cc::Matrix agg_root = tree.root().aggregate();
+  EXPECT_EQ(agg_root.total(), 23u);
+  EXPECT_EQ(agg_root.at(0, 1), 5u);
+  EXPECT_EQ(agg_root.at(1, 2), 7u);
+  EXPECT_EQ(agg_root.at(2, 3), 11u);
+
+  const cc::Matrix agg_a = a->aggregate();
+  EXPECT_EQ(agg_a.total(), 18u);
+  EXPECT_EQ(a->direct().total(), 7u);
+
+  // Explicit sum-of-children identity: direct(parent) + sum(aggregate(child))
+  cc::Matrix reconstructed = tree.root().direct();
+  for (const cc::RegionNode* c : tree.root().children()) {
+    reconstructed += c->aggregate();
+  }
+  EXPECT_EQ(reconstructed, agg_root);
+}
+
+TEST(RegionTree, EntryCounting) {
+  cc::RegionTree tree(2);
+  cc::RegionNode* n = tree.root().child(declare("h", "loop"));
+  EXPECT_EQ(n->entries(), 0u);
+  n->count_entry();
+  n->count_entry();
+  EXPECT_EQ(n->entries(), 2u);
+}
+
+TEST(RegionTree, PreorderVisitsParentBeforeChild) {
+  cc::RegionTree tree(2);
+  cc::RegionNode* a = tree.root().child(declare("p", "a"));
+  a->child(declare("p", "b"));
+  const auto nodes = tree.preorder();
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0], &tree.root());
+  EXPECT_EQ(nodes[1], a);
+  EXPECT_EQ(nodes[1]->depth() + 1, nodes[2]->depth());
+}
+
+TEST(RegionTree, MemoryChargedPerNode) {
+  commscope::support::MemoryTracker tracker;
+  cc::RegionTree tree(8, &tracker);
+  const std::uint64_t base = tracker.current();
+  EXPECT_GT(base, 0u);
+  tree.root().child(declare("m", "x"));
+  EXPECT_GT(tracker.current(), base);
+}

@@ -1,0 +1,113 @@
+// Report-generation tests: region rows, CSV schema, human-readable output.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/profiler.hpp"
+#include "core/report.hpp"
+#include "instrument/loop_scope.hpp"
+
+namespace cc = commscope::core;
+namespace ci = commscope::instrument;
+
+namespace {
+
+/// Builds a profiler with one loop region carrying 0->1 traffic.
+std::unique_ptr<cc::Profiler> make_profiled() {
+  cc::ProfilerOptions o;
+  o.max_threads = 4;
+  o.backend = cc::Backend::kExact;
+  auto prof = std::make_unique<cc::Profiler>(o);
+  static const ci::LoopId loop =
+      ci::LoopRegistry::instance().declare("report", "hot");
+  prof->on_thread_begin(0);
+  prof->on_thread_begin(1);
+  prof->on_loop_enter(0, loop);
+  prof->on_loop_enter(1, loop);
+  for (int i = 0; i < 4; ++i) {
+    const auto addr = static_cast<std::uintptr_t>(0x9000 + i * 8);
+    prof->on_access(0, addr, 8, ci::AccessKind::kWrite);
+    prof->on_access(1, addr, 8, ci::AccessKind::kRead);
+  }
+  prof->on_loop_exit(0);
+  prof->on_loop_exit(1);
+  return prof;
+}
+
+}  // namespace
+
+TEST(RegionRows, FlattensTreeWithMetrics) {
+  const auto prof_ptr = make_profiled();
+  const cc::Profiler& prof = *prof_ptr;
+  const auto rows = cc::region_rows(prof.regions());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].label, "<root>");
+  EXPECT_EQ(rows[0].direct_bytes, 0u);
+  EXPECT_EQ(rows[0].aggregate_bytes, 32u);
+  EXPECT_EQ(rows[1].label, "report:hot");
+  EXPECT_EQ(rows[1].depth, 1);
+  EXPECT_EQ(rows[1].entries, 2u);  // both threads entered
+  EXPECT_EQ(rows[1].direct_bytes, 32u);
+  EXPECT_GT(rows[1].load_imbalance, 0.0);
+  EXPECT_DOUBLE_EQ(rows[1].active_fraction, 0.25);  // 1 of 4 producers
+}
+
+TEST(RegionRows, HideQuietRegionsFiltersLeaves) {
+  cc::ProfilerOptions o;
+  o.max_threads = 2;
+  o.backend = cc::Backend::kExact;
+  cc::Profiler prof(o);
+  static const ci::LoopId quiet =
+      ci::LoopRegistry::instance().declare("report", "quiet");
+  prof.on_thread_begin(0);
+  prof.on_loop_enter(0, quiet);
+  prof.on_loop_exit(0);
+  cc::ReportOptions opts;
+  opts.hide_quiet_regions = true;
+  EXPECT_EQ(cc::region_rows(prof.regions(), opts).size(), 1u);  // root only
+  EXPECT_EQ(cc::region_rows(prof.regions()).size(), 2u);
+}
+
+TEST(PrintReport, ContainsHeaderStatsAndRegions) {
+  const auto prof_ptr = make_profiled();
+  const cc::Profiler& prof = *prof_ptr;
+  std::ostringstream os;
+  cc::print_report(os, prof);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("CommScope profile"), std::string::npos);
+  EXPECT_NE(out.find("RAW dependencies: 4"), std::string::npos);
+  EXPECT_NE(out.find("report:hot"), std::string::npos);
+}
+
+TEST(PrintReport, HeatmapsForTopRegions) {
+  const auto prof_ptr = make_profiled();
+  const cc::Profiler& prof = *prof_ptr;
+  std::ostringstream os;
+  cc::ReportOptions opts;
+  opts.heatmap_top = 1;
+  cc::print_report(os, prof, opts);
+  EXPECT_NE(os.str().find("communication matrix"), std::string::npos);
+}
+
+TEST(WriteCsv, SchemaAndValues) {
+  const auto prof_ptr = make_profiled();
+  const cc::Profiler& prof = *prof_ptr;
+  std::ostringstream os;
+  cc::write_csv(os, prof.regions());
+  std::istringstream lines(os.str());
+  std::string header;
+  std::getline(lines, header);
+  EXPECT_EQ(header,
+            "label,depth,entries,direct_bytes,aggregate_bytes,imbalance,"
+            "active_fraction");
+  std::string row;
+  int rows = 0;
+  bool found_hot = false;
+  while (std::getline(lines, row)) {
+    ++rows;
+    if (row.find("report:hot,1,2,32,32,") == 0) found_hot = true;
+  }
+  EXPECT_EQ(rows, 2);
+  EXPECT_TRUE(found_hot);
+}

@@ -1,0 +1,163 @@
+// Sparse communication-matrix tests: snapshot equivalence with the dense
+// accumulator, concurrency, memory scaling with occupied pairs, and the
+// profiler-level sparse_region_matrices option.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "core/profiler.hpp"
+#include "core/sparse_matrix.hpp"
+#include "threading/thread_pool.hpp"
+#include "workloads/workload.hpp"
+
+namespace cc = commscope::core;
+namespace ci = commscope::instrument;
+namespace cs = commscope::support;
+namespace ct = commscope::threading;
+namespace cw = commscope::workloads;
+
+TEST(SparseCommMatrix, SnapshotMatchesDenseForSameAdds) {
+  cc::CommMatrix dense(8);
+  cc::SparseCommMatrix sparse(8);
+  std::uint64_t state = 3;
+  for (int i = 0; i < 10000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int p = static_cast<int>((state >> 40) % 8);
+    const int c = static_cast<int>((state >> 20) % 8);
+    const std::uint64_t b = (state & 0xff) + 1;
+    dense.add(p, c, b);
+    sparse.add(p, c, b);
+  }
+  EXPECT_EQ(dense.snapshot(), sparse.snapshot());
+}
+
+TEST(SparseCommMatrix, EmptyIsAllZero) {
+  cc::SparseCommMatrix m(16);
+  EXPECT_EQ(m.cell_count(), 0u);
+  EXPECT_EQ(m.byte_size(), 0u);
+  EXPECT_EQ(m.snapshot().total(), 0u);
+}
+
+TEST(SparseCommMatrix, MemoryScalesWithOccupiedPairsNotSize) {
+  // A 64-thread band pattern touches ~126 pairs; the sparse store must cost
+  // a small fraction of the 64*64*8 = 32 KiB dense matrix.
+  cc::SparseCommMatrix m(64);
+  for (int i = 0; i + 1 < 64; ++i) {
+    m.add(i, i + 1, 100);
+    m.add(i + 1, i, 100);
+  }
+  EXPECT_EQ(m.cell_count(), 126u);
+  EXPECT_LT(m.byte_size(), cc::CommMatrix::byte_size(64) / 4);
+}
+
+TEST(SparseCommMatrix, RepeatAddsDoNotGrowStorage) {
+  cc::SparseCommMatrix m(4);
+  for (int i = 0; i < 1000; ++i) m.add(0, 1, 1);
+  EXPECT_EQ(m.cell_count(), 1u);
+  EXPECT_EQ(m.snapshot().at(0, 1), 1000u);
+}
+
+TEST(SparseCommMatrix, TrackerChargedPerCellAndReleasedOnReset) {
+  cs::MemoryTracker tracker;
+  cc::SparseCommMatrix m(8, &tracker);
+  m.add(0, 1, 5);
+  m.add(2, 3, 5);
+  EXPECT_EQ(tracker.current(), 2 * cc::SparseCommMatrix::kCellBytes);
+  m.reset();
+  EXPECT_EQ(tracker.current(), 0u);
+  EXPECT_EQ(m.snapshot().total(), 0u);
+}
+
+TEST(SparseCommMatrix, ConcurrentAddsLoseNothing) {
+  cc::SparseCommMatrix m(8);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m, t] {
+      for (int i = 0; i < kIters; ++i) m.add(t, (t + 1 + i % 3) % 8, 1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(m.snapshot().total(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(SparseCommMatrix, RejectsNonPositiveSize) {
+  EXPECT_THROW(cc::SparseCommMatrix(0), std::invalid_argument);
+}
+
+// --- profiler integration ----------------------------------------------------
+
+namespace {
+
+/// Drives a profiler with a deterministic serial event stream: a band
+/// pattern spread over several loop regions at `threads` matrix dimension.
+std::unique_ptr<cc::Profiler> drive_synthetic(int threads, bool sparse_flag) {
+  cc::ProfilerOptions o;
+  o.max_threads = threads;
+  o.backend = cc::Backend::kExact;
+  o.sparse_region_matrices = sparse_flag;
+  auto prof = std::make_unique<cc::Profiler>(o);
+  static const ci::LoopId loops[3] = {
+      ci::LoopRegistry::instance().declare("sparse_test", "a"),
+      ci::LoopRegistry::instance().declare("sparse_test", "b"),
+      ci::LoopRegistry::instance().declare("sparse_test", "c")};
+  for (int t = 0; t < threads; ++t) prof->on_thread_begin(t);
+  std::uintptr_t addr = 0x40000;
+  for (int round = 0; round < 3; ++round) {
+    for (int p = 0; p < threads; ++p) {
+      const int c = (p + 1) % threads;
+      prof->on_loop_enter(c, loops[round]);
+      prof->on_access(p, addr, 8, ci::AccessKind::kWrite);
+      prof->on_access(c, addr, 8, ci::AccessKind::kRead);
+      prof->on_loop_exit(c);
+      addr += 8;
+    }
+  }
+  return prof;
+}
+
+}  // namespace
+
+TEST(SparseRegionMatrices, ProfileMatchesDenseProfile) {
+  // Workload runs have timing-dependent barrier-flag races, so equality is
+  // asserted on an identical deterministic event stream instead.
+  const auto dense = drive_synthetic(4, false);
+  const auto sparse = drive_synthetic(4, true);
+  EXPECT_EQ(dense->communication_matrix(), sparse->communication_matrix());
+  EXPECT_EQ(dense->regions().node_count(), sparse->regions().node_count());
+  EXPECT_TRUE(sparse->regions().root().matrix().is_sparse());
+  EXPECT_FALSE(dense->regions().root().matrix().is_sparse());
+  for (const cc::RegionNode* node : sparse->regions().preorder()) {
+    EXPECT_TRUE(node->matrix().is_sparse());
+  }
+}
+
+TEST(SparseRegionMatrices, SavesRegionMemoryAtHighThreadCounts) {
+  // 64-thread matrices, band traffic over 4 region nodes: sparse stores a
+  // handful of cells where dense pays 32 KiB per node.
+  const auto dense = drive_synthetic(64, false);
+  const auto sparse = drive_synthetic(64, true);
+  EXPECT_EQ(dense->communication_matrix(), sparse->communication_matrix());
+  EXPECT_LT(sparse->memory_bytes(), dense->memory_bytes());
+}
+
+TEST(SparseRegionMatrices, RealWorkloadVolumeAgreesWithinBarrierJitter) {
+  // End-to-end sanity on a real run: totals match within the (small) racy
+  // barrier-flag traffic.
+  ct::ThreadTeam team(4);
+  const cw::Workload* w = cw::find("ocean_cp");
+  cc::ProfilerOptions o;
+  o.max_threads = 4;
+  o.backend = cc::Backend::kExact;
+  auto dense = std::make_unique<cc::Profiler>(o);
+  ASSERT_TRUE(w->run(cw::Scale::kDev, team, dense.get()).ok);
+  o.sparse_region_matrices = true;
+  auto sparse = std::make_unique<cc::Profiler>(o);
+  ASSERT_TRUE(w->run(cw::Scale::kDev, team, sparse.get()).ok);
+  const auto a = static_cast<double>(dense->communication_matrix().total());
+  const auto b = static_cast<double>(sparse->communication_matrix().total());
+  EXPECT_NEAR(b / a, 1.0, 0.02);
+}

@@ -1,0 +1,82 @@
+// Descriptive-statistics helper tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace cs = commscope::support;
+
+TEST(Summarize, EmptyInput) {
+  const cs::Summary s = cs::summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, BasicMoments) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const cs::Summary s = cs::summarize(xs);
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic population-stddev example
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(Summarize, OddCountMedian) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(cs::summarize(xs).median, 2.0);
+}
+
+TEST(Geomean, KnownValue) {
+  const std::vector<double> xs{1.0, 8.0};
+  EXPECT_NEAR(cs::geomean(xs), 2.8284271, 1e-6);
+}
+
+TEST(Geomean, NonPositiveYieldsZero) {
+  const std::vector<double> xs{1.0, 0.0};
+  EXPECT_EQ(cs::geomean(xs), 0.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(cs::percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(cs::percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(cs::percentile(xs, 50), 25.0);
+}
+
+TEST(Imbalance, BalancedIsZero) {
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(cs::imbalance(xs), 0.0);
+}
+
+TEST(Imbalance, HalfIdle) {
+  // Figure 8a's shape: half the threads idle -> max/mean - 1 = 1.
+  const std::vector<double> xs{2.0, 2.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(cs::imbalance(xs), 1.0);
+}
+
+TEST(Cv, ZeroMeanGuard) {
+  const std::vector<double> xs{0.0, 0.0};
+  EXPECT_EQ(cs::cv(xs), 0.0);
+}
+
+TEST(CosineSimilarity, IdenticalDirection) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 4.0, 6.0};
+  EXPECT_NEAR(cs::cosine_similarity(a, b), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarity, Orthogonal) {
+  const std::vector<double> a{1.0, 0.0};
+  const std::vector<double> b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(cs::cosine_similarity(a, b), 0.0);
+}
+
+TEST(CosineSimilarity, MismatchedOrEmpty) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_EQ(cs::cosine_similarity(a, b), 0.0);
+  EXPECT_EQ(cs::cosine_similarity({}, {}), 0.0);
+}

@@ -1,0 +1,77 @@
+// ASCII rendering tests (table alignment, byte formatting, heatmap/bars
+// output structure).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "support/table.hpp"
+
+namespace cs = commscope::support;
+
+TEST(Table, AlignsColumns) {
+  cs::Table t({"app", "slowdown"});
+  t.add_row({"fft", "24.9x"});
+  t.add_row({"water_nsquared", "310.0x"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| app"), std::string::npos);
+  EXPECT_NE(out.find("water_nsquared"), std::string::npos);
+  // Every rendered line has the same width.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, ShortRowsArePadded) {
+  cs::Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TableNum, Precision) {
+  EXPECT_EQ(cs::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(cs::Table::num(2.0, 0), "2");
+}
+
+TEST(TableBytes, UnitSelection) {
+  EXPECT_EQ(cs::Table::bytes(512), "512 B");
+  EXPECT_EQ(cs::Table::bytes(2048), "2.00 KB");
+  EXPECT_EQ(cs::Table::bytes(3u << 20), "3.00 MB");
+  EXPECT_EQ(cs::Table::bytes(5ull << 30), "5.00 GB");
+}
+
+TEST(Heatmap, RendersAllRows) {
+  const std::vector<std::uint64_t> m{0, 10, 10, 0};
+  std::ostringstream os;
+  cs::print_heatmap(os, m, 2, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("max=10"), std::string::npos);
+  // Two matrix rows terminated by '|'.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '|'), 2);
+}
+
+TEST(Heatmap, AllZeroMatrixDoesNotDivideByZero) {
+  const std::vector<std::uint64_t> m(9, 0);
+  std::ostringstream os;
+  cs::print_heatmap(os, m, 3, "zero");
+  EXPECT_NE(os.str().find("max=0"), std::string::npos);
+}
+
+TEST(Bars, ScalesToMax) {
+  const std::vector<double> v{1.0, 2.0, 4.0};
+  std::ostringstream os;
+  cs::print_bars(os, v, "load");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("T 0"), std::string::npos);
+  EXPECT_NE(out.find("4.0"), std::string::npos);
+}

@@ -1,0 +1,57 @@
+// Eq. 1 thread-load metric tests.
+#include <gtest/gtest.h>
+
+#include "core/thread_load.hpp"
+
+namespace cc = commscope::core;
+
+TEST(ThreadLoad, DividesRowSumsByThreadCount) {
+  cc::Matrix m(4);
+  m.at(0, 1) = 40;
+  m.at(0, 2) = 40;
+  m.at(3, 0) = 8;
+  const std::vector<double> load = cc::thread_load(m);
+  EXPECT_DOUBLE_EQ(load[0], 20.0);  // 80 / 4
+  EXPECT_DOUBLE_EQ(load[1], 0.0);
+  EXPECT_DOUBLE_EQ(load[3], 2.0);
+}
+
+TEST(ThreadLoad, ExplicitThreadCountOverride) {
+  cc::Matrix m(2);
+  m.at(0, 1) = 100;
+  EXPECT_DOUBLE_EQ(cc::thread_load(m, 10)[0], 10.0);
+}
+
+TEST(ActiveFraction, CountsNonzeroLoads) {
+  EXPECT_DOUBLE_EQ(cc::active_fraction({1.0, 0.0, 2.0, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(cc::active_fraction({}), 0.0);
+  EXPECT_DOUBLE_EQ(cc::active_fraction({1.0, 1.0}), 1.0);
+}
+
+TEST(LoadImbalance, EvenLoadIsZero) {
+  EXPECT_DOUBLE_EQ(cc::load_imbalance({4.0, 4.0, 4.0, 4.0}), 0.0);
+}
+
+TEST(LoadImbalance, Figure8aShape) {
+  // "half of threads are accessing the memory": max/mean - 1 = 1.
+  EXPECT_DOUBLE_EQ(cc::load_imbalance({6.0, 6.0, 0.0, 0.0}), 1.0);
+}
+
+TEST(ConsumerLoad, DividesColumnSumsByThreadCount) {
+  cc::Matrix m(4);
+  m.at(1, 0) = 40;
+  m.at(2, 0) = 40;
+  m.at(0, 3) = 8;
+  const std::vector<double> load = cc::consumer_load(m);
+  EXPECT_DOUBLE_EQ(load[0], 20.0);  // consumed 80 / 4
+  EXPECT_DOUBLE_EQ(load[3], 2.0);
+  EXPECT_DOUBLE_EQ(load[1], 0.0);
+}
+
+TEST(InvolvementLoad, SumsProducerAndConsumerSides) {
+  cc::Matrix m(2);
+  m.at(0, 1) = 100;
+  const std::vector<double> load = cc::involvement_load(m);
+  EXPECT_DOUBLE_EQ(load[0], 50.0);  // produced 100 / 2
+  EXPECT_DOUBLE_EQ(load[1], 50.0);  // consumed 100 / 2
+}

@@ -1,0 +1,96 @@
+// Cross-validation and per-class metric tests.
+#include <gtest/gtest.h>
+
+#include "patterns/decision_tree.hpp"
+#include "patterns/validation.hpp"
+
+namespace cp = commscope::patterns;
+
+namespace {
+
+/// Hand-built 2-relevant-class confusion for metric arithmetic checks:
+/// class 0 actual: 8 correct, 2 predicted as class 1;
+/// class 1 actual: 1 predicted as class 0, 9 correct.
+cp::Evaluation tiny_eval() {
+  constexpr int k = static_cast<int>(std::size(cp::kAllPatternClasses));
+  cp::Evaluation ev;
+  ev.confusion.assign(k, std::vector<int>(k, 0));
+  ev.confusion[0][0] = 8;
+  ev.confusion[0][1] = 2;
+  ev.confusion[1][0] = 1;
+  ev.confusion[1][1] = 9;
+  ev.accuracy = 17.0 / 20.0;
+  return ev;
+}
+
+}  // namespace
+
+TEST(ClassMetrics, PrecisionRecallF1Arithmetic) {
+  const auto ms = cp::class_metrics(tiny_eval());
+  // class 0: precision 8/9, recall 8/10.
+  EXPECT_NEAR(ms[0].precision, 8.0 / 9.0, 1e-12);
+  EXPECT_NEAR(ms[0].recall, 0.8, 1e-12);
+  EXPECT_EQ(ms[0].support, 10);
+  const double f1 = 2.0 * (8.0 / 9.0) * 0.8 / (8.0 / 9.0 + 0.8);
+  EXPECT_NEAR(ms[0].f1, f1, 1e-12);
+  // class 1: precision 9/11, recall 9/10.
+  EXPECT_NEAR(ms[1].precision, 9.0 / 11.0, 1e-12);
+  EXPECT_NEAR(ms[1].recall, 0.9, 1e-12);
+  // unsupported classes report zero support.
+  EXPECT_EQ(ms[2].support, 0);
+}
+
+TEST(MacroF1, AveragesOnlySupportedClasses) {
+  const double f1 = cp::macro_f1(tiny_eval());
+  const auto ms = cp::class_metrics(tiny_eval());
+  EXPECT_NEAR(f1, (ms[0].f1 + ms[1].f1) / 2.0, 1e-12);
+}
+
+TEST(CrossValidation, StratifiedFoldsCoverEveryExampleOnce) {
+  cp::GeneratorOptions opts;
+  opts.threads = 16;
+  opts.jitter = 0.25;
+  opts.background = 0.05;
+  const auto data = cp::featurize(cp::make_corpus(15, opts, 606));
+  const cp::CrossValidation cv =
+      cp::cross_validate<cp::KnnClassifier>(data, 5);
+  ASSERT_EQ(cv.fold_accuracies.size(), 5u);
+  // Pooled confusion counts every example exactly once.
+  int total = 0;
+  for (const auto& row : cv.pooled.confusion) {
+    for (int v : row) total += v;
+  }
+  EXPECT_EQ(total, static_cast<int>(data.size()));
+}
+
+TEST(CrossValidation, PaperAccuracyHoldsAcrossFoldsAndClassifiers) {
+  cp::GeneratorOptions opts;
+  opts.threads = 16;
+  opts.jitter = 0.25;
+  opts.background = 0.05;
+  const auto data = cp::featurize(cp::make_corpus(25, opts, 707));
+
+  const auto knn = cp::cross_validate<cp::KnnClassifier>(data, 5);
+  EXPECT_GE(knn.mean_accuracy, 0.97);
+  EXPECT_GE(knn.min_accuracy, 0.90);
+  EXPECT_GE(cp::macro_f1(knn.pooled), 0.97);
+
+  const auto centroid =
+      cp::cross_validate<cp::NearestCentroidClassifier>(data, 5);
+  EXPECT_GE(centroid.mean_accuracy, 0.97);
+
+  const auto tree = cp::cross_validate<cp::DecisionTreeClassifier>(data, 5);
+  EXPECT_GE(tree.mean_accuracy, 0.93);
+}
+
+TEST(CrossValidation, PerClassF1AllHigh) {
+  cp::GeneratorOptions opts;
+  opts.threads = 16;
+  opts.background = 0.05;
+  const auto data = cp::featurize(cp::make_corpus(20, opts, 808));
+  const auto cv = cp::cross_validate<cp::KnnClassifier>(data, 4);
+  for (const cp::ClassMetrics& m : cp::class_metrics(cv.pooled)) {
+    ASSERT_GT(m.support, 0) << cp::to_string(m.label);
+    EXPECT_GE(m.f1, 0.9) << cp::to_string(m.label);
+  }
+}

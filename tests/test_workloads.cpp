@@ -1,0 +1,335 @@
+// Workload-replica tests: every kernel self-verifies, produces identical
+// results instrumented and native (instrumentation must not perturb
+// computation), generates real inter-thread communication, and exhibits the
+// communication shape its SPLASH namesake is known for.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "core/profiler.hpp"
+#include "threading/thread_pool.hpp"
+#include "workloads/workload.hpp"
+
+namespace cw = commscope::workloads;
+namespace cc = commscope::core;
+namespace ct = commscope::threading;
+
+namespace {
+
+constexpr int kThreads = 4;
+
+std::unique_ptr<cc::Profiler> make_profiler() {
+  cc::ProfilerOptions o;
+  o.max_threads = kThreads;
+  o.backend = cc::Backend::kExact;  // ground truth for shape assertions
+  return std::make_unique<cc::Profiler>(o);
+}
+
+}  // namespace
+
+TEST(WorkloadRegistry, HasAllFourteenSplashApps) {
+  const auto& all = cw::registry();
+  ASSERT_EQ(all.size(), 14u);
+  for (const char* name :
+       {"barnes", "fmm", "ocean_cp", "ocean_ncp", "radiosity", "raytrace",
+        "volrend", "water_nsq", "water_spat", "cholesky", "fft", "lu_cb",
+        "lu_ncb", "radix"}) {
+    EXPECT_NE(cw::find(name), nullptr) << name;
+  }
+  EXPECT_EQ(cw::find("nonesuch"), nullptr);
+}
+
+class EveryWorkload : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EveryWorkload, NativeRunVerifies) {
+  const cw::Workload* w = cw::find(GetParam());
+  ASSERT_NE(w, nullptr);
+  ct::ThreadTeam team(kThreads);
+  const cw::Result r = w->run(cw::Scale::kDev, team, nullptr);
+  EXPECT_TRUE(r.ok) << w->name << " failed self-verification";
+  EXPECT_GT(r.work_items, 0u);
+}
+
+TEST_P(EveryWorkload, InstrumentationDoesNotPerturbResults) {
+  const cw::Workload* w = cw::find(GetParam());
+  ASSERT_NE(w, nullptr);
+  ct::ThreadTeam team(kThreads);
+  const cw::Result native = w->run(cw::Scale::kDev, team, nullptr);
+  auto prof = make_profiler();
+  const cw::Result instrumented = w->run(cw::Scale::kDev, team, prof.get());
+  EXPECT_TRUE(instrumented.ok);
+  EXPECT_DOUBLE_EQ(native.checksum, instrumented.checksum) << w->name;
+}
+
+TEST_P(EveryWorkload, ProducesInterThreadCommunication) {
+  const cw::Workload* w = cw::find(GetParam());
+  ASSERT_NE(w, nullptr);
+  ct::ThreadTeam team(kThreads);
+  auto prof = make_profiler();
+  const cw::Result r = w->run(cw::Scale::kDev, team, prof.get());
+  ASSERT_TRUE(r.ok);
+  const cc::Matrix m = prof->communication_matrix();
+  EXPECT_GT(m.total(), 0u) << w->name << " recorded no communication";
+  for (int i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(m.at(i, i), 0u) << "self-communication in " << w->name;
+  }
+  // Every thread participates somewhere (as producer or consumer).
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_GT(m.row_sum(i) + m.col_sum(i), 0u)
+        << "thread " << i << " silent in " << w->name;
+  }
+}
+
+TEST_P(EveryWorkload, BuildsNestedRegions) {
+  const cw::Workload* w = cw::find(GetParam());
+  ASSERT_NE(w, nullptr);
+  ct::ThreadTeam team(kThreads);
+  auto prof = make_profiler();
+  ASSERT_TRUE(w->run(cw::Scale::kDev, team, prof.get()).ok);
+  // At least the kernel driver region plus one inner region.
+  EXPECT_GE(prof->regions().node_count(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, EveryWorkload,
+    ::testing::Values("barnes", "fmm", "ocean_cp", "ocean_ncp", "radiosity",
+                      "raytrace", "volrend", "water_nsq", "water_spat",
+                      "cholesky", "fft", "lu_cb", "lu_ncb", "radix"));
+
+// --- shape assertions ---------------------------------------------------------
+
+TEST(WorkloadShapes, OceanCpIsNeighbourDominated) {
+  ct::ThreadTeam team(kThreads);
+  auto prof = make_profiler();
+  ASSERT_TRUE(cw::find("ocean_cp")->run(cw::Scale::kDev, team, prof.get()).ok);
+  const cc::Matrix m = prof->communication_matrix();
+  std::uint64_t neighbour = 0;
+  for (int i = 0; i + 1 < kThreads; ++i) {
+    neighbour += m.at(i, i + 1) + m.at(i + 1, i);
+  }
+  // Halo traffic (±1) must dominate; the remainder is the hub-shaped
+  // reduction and barrier traffic.
+  EXPECT_GT(static_cast<double>(neighbour),
+            0.45 * static_cast<double>(m.total()));
+}
+
+TEST(WorkloadShapes, OceanNcpMovesMoreBytesThanCp) {
+  ct::ThreadTeam team(kThreads);
+  auto cp_prof = make_profiler();
+  auto ncp_prof = make_profiler();
+  ASSERT_TRUE(cw::find("ocean_cp")->run(cw::Scale::kDev, team, cp_prof.get()).ok);
+  ASSERT_TRUE(
+      cw::find("ocean_ncp")->run(cw::Scale::kDev, team, ncp_prof.get()).ok);
+  // Interleaved rows make every interior row a partition boundary.
+  EXPECT_GT(ncp_prof->communication_matrix().total(),
+            2 * cp_prof->communication_matrix().total());
+}
+
+TEST(WorkloadShapes, WaterNsqIsAllToAll) {
+  ct::ThreadTeam team(kThreads);
+  auto prof = make_profiler();
+  ASSERT_TRUE(cw::find("water_nsq")->run(cw::Scale::kDev, team, prof.get()).ok);
+  const cc::Matrix m = prof->communication_matrix();
+  // Every ordered producer/consumer pair communicates.
+  for (int p = 0; p < kThreads; ++p) {
+    for (int c = 0; c < kThreads; ++c) {
+      if (p == c) continue;
+      EXPECT_GT(m.at(p, c), 0u) << p << "->" << c;
+    }
+  }
+}
+
+TEST(WorkloadShapes, RadixPrefixIsThreadZeroCentric) {
+  ct::ThreadTeam team(kThreads);
+  auto prof = make_profiler();
+  ASSERT_TRUE(cw::find("radix")->run(cw::Scale::kDev, team, prof.get()).ok);
+  // Find the radix:prefix region and confirm only thread 0 consumes there —
+  // Figure 8a's half-idle hotspot, in the extreme.
+  bool found = false;
+  for (const cc::RegionNode* node : prof->regions().preorder()) {
+    if (node->label() != "radix:prefix") continue;
+    found = true;
+    const cc::Matrix m = node->aggregate();
+    ASSERT_GT(m.total(), 0u);
+    for (int c = 1; c < kThreads; ++c) {
+      EXPECT_EQ(m.col_sum(c), 0u) << "thread " << c << " consumed in prefix";
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WorkloadShapes, RaytraceSceneFlowsFromThreadZero) {
+  ct::ThreadTeam team(kThreads);
+  auto prof = make_profiler();
+  ASSERT_TRUE(cw::find("raytrace")->run(cw::Scale::kDev, team, prof.get()).ok);
+  const cc::Matrix m = prof->communication_matrix();
+  // Thread 0 built the scene; it must be the dominant producer.
+  std::uint64_t best = 0;
+  for (int p = 0; p < kThreads; ++p) best = std::max(best, m.row_sum(p));
+  EXPECT_EQ(m.row_sum(0), best);
+  EXPECT_GT(m.row_sum(0), 0u);
+}
+
+TEST(WorkloadShapes, LuVariantsDiffer) {
+  ct::ThreadTeam team(kThreads);
+  auto cb_prof = make_profiler();
+  auto ncb_prof = make_profiler();
+  ASSERT_TRUE(cw::find("lu_cb")->run(cw::Scale::kDev, team, cb_prof.get()).ok);
+  ASSERT_TRUE(cw::find("lu_ncb")->run(cw::Scale::kDev, team, ncb_prof.get()).ok);
+  // Same factorization, different ownership => different matrices.
+  EXPECT_NE(cb_prof->communication_matrix(), ncb_prof->communication_matrix());
+}
+
+TEST(WorkloadDeterminism, ChecksumsStableAcrossRepeatsAndTeams) {
+  const cw::Workload* fft = cw::find("fft");
+  ct::ThreadTeam team4(4);
+  ct::ThreadTeam team8(8);
+  const double a = fft->run(cw::Scale::kDev, team4, nullptr).checksum;
+  const double b = fft->run(cw::Scale::kDev, team4, nullptr).checksum;
+  const double c = fft->run(cw::Scale::kDev, team8, nullptr).checksum;
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_DOUBLE_EQ(a, c);  // partition-independent math
+}
+
+// --- thread-count sweep (partition robustness) ---------------------------------
+
+class ThreadCountSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(ThreadCountSweep, VerifiesAtAwkwardThreadCounts) {
+  const auto [name, threads] = GetParam();
+  const cw::Workload* w = cw::find(name);
+  ASSERT_NE(w, nullptr);
+  ct::ThreadTeam team(threads);
+  const cw::Result r = w->run(cw::Scale::kDev, team, nullptr);
+  EXPECT_TRUE(r.ok) << name << " @ " << threads << " threads";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardCounts, ThreadCountSweep,
+    ::testing::Combine(
+        // One representative per structural family: matrix-block, butterfly,
+        // scatter, stencil, n-body, tree, task-queue.
+        ::testing::Values("lu_cb", "fft", "radix", "ocean_ncp", "water_spat",
+                          "barnes", "raytrace"),
+        // Non-powers-of-two and a count exceeding the block structure.
+        ::testing::Values(2, 3, 5, 7, 8)));
+
+// --- remaining per-app shape assertions -----------------------------------------
+
+TEST(WorkloadShapes, FftButterflyHasPowerOfTwoOffsets) {
+  ct::ThreadTeam team(8);
+  cc::ProfilerOptions o;
+  o.max_threads = 8;
+  o.backend = cc::Backend::kExact;
+  auto prof = std::make_unique<cc::Profiler>(o);
+  ASSERT_TRUE(cw::find("fft")->run(cw::Scale::kDev, team, prof.get()).ok);
+  const cc::Matrix m = prof->communication_matrix();
+  // Butterfly partners sit at power-of-two thread distances once the span
+  // exceeds a block; mass at |p-c| in {4} (the cross-half exchange) must be
+  // material, unlike a pure nearest-neighbour code.
+  std::uint64_t cross_half = 0;
+  for (int p = 0; p < 8; ++p) {
+    for (int c = 0; c < 8; ++c) {
+      if (std::abs(p - c) == 4) cross_half += m.at(p, c);
+    }
+  }
+  EXPECT_GT(static_cast<double>(cross_half),
+            0.1 * static_cast<double>(m.total()));
+}
+
+TEST(WorkloadShapes, WaterSpatialIsMoreLocalThanNsquared) {
+  ct::ThreadTeam team(kThreads);
+  auto nsq = make_profiler();
+  auto spat = make_profiler();
+  ASSERT_TRUE(cw::find("water_nsq")->run(cw::Scale::kDev, team, nsq.get()).ok);
+  ASSERT_TRUE(
+      cw::find("water_spat")->run(cw::Scale::kDev, team, spat.get()).ok);
+  // Normalized fraction of traffic between nearest-rank neighbours: the
+  // cell-list version concentrates interactions spatially, the n^2 version
+  // reads everything from everyone.
+  auto neighbour_fraction = [](const cc::Matrix& m) {
+    std::uint64_t band = 0;
+    for (int i = 0; i + 1 < m.size(); ++i) {
+      band += m.at(i, i + 1) + m.at(i + 1, i);
+    }
+    return static_cast<double>(band) / static_cast<double>(m.total());
+  };
+  EXPECT_GT(neighbour_fraction(spat->communication_matrix()),
+            neighbour_fraction(nsq->communication_matrix()));
+}
+
+TEST(WorkloadShapes, BarnesTreeFlowsFromBuilderThread) {
+  ct::ThreadTeam team(kThreads);
+  auto prof = make_profiler();
+  ASSERT_TRUE(cw::find("barnes")->run(cw::Scale::kDev, team, prof.get()).ok);
+  const cc::Matrix m = prof->communication_matrix();
+  // Thread 0 builds the quadtree every step; its producer row dominates.
+  std::uint64_t best = 0;
+  for (int p = 0; p < kThreads; ++p) best = std::max(best, m.row_sum(p));
+  EXPECT_EQ(m.row_sum(0), best);
+  EXPECT_GT(static_cast<double>(m.row_sum(0)),
+            0.4 * static_cast<double>(m.total()));
+}
+
+TEST(WorkloadShapes, VolrendRaysCrossEverySlabOwner) {
+  ct::ThreadTeam team(kThreads);
+  auto prof = make_profiler();
+  ASSERT_TRUE(cw::find("volrend")->run(cw::Scale::kDev, team, prof.get()).ok);
+  const cc::Matrix m = prof->communication_matrix();
+  // Every slab owner produces voxels consumed by some renderer: all
+  // producer rows are populated.
+  for (int p = 0; p < kThreads; ++p) {
+    EXPECT_GT(m.row_sum(p), 0u) << "slab owner " << p << " never consumed";
+  }
+}
+
+TEST(WorkloadShapes, CholeskyPanelsFlowForward) {
+  ct::ThreadTeam team(kThreads);
+  auto prof = make_profiler();
+  ASSERT_TRUE(cw::find("cholesky")->run(cw::Scale::kDev, team, prof.get()).ok);
+  // The factor->solve->update chain must generate traffic in every region.
+  std::set<std::string> seen;
+  for (const cc::RegionNode* node : prof->regions().preorder()) {
+    if (node->direct().total() > 0) seen.insert(node->label());
+  }
+  EXPECT_TRUE(seen.count("cholesky:solve"));
+  EXPECT_TRUE(seen.count("cholesky:update"));
+}
+
+TEST(WorkloadShapes, FmmFarFieldTouchesAllOwners) {
+  ct::ThreadTeam team(kThreads);
+  auto prof = make_profiler();
+  ASSERT_TRUE(cw::find("fmm")->run(cw::Scale::kDev, team, prof.get()).ok);
+  // M2L reads every other owner's multipoles: the M2L region matrix has
+  // every consumer column populated.
+  for (const cc::RegionNode* node : prof->regions().preorder()) {
+    if (node->label() != "fmm:M2L") continue;
+    const cc::Matrix m = node->aggregate();
+    ASSERT_GT(m.total(), 0u);
+    for (int c = 0; c < kThreads; ++c) {
+      EXPECT_GT(m.col_sum(c), 0u) << "owner " << c << " consumed nothing";
+    }
+  }
+}
+
+// --- simsmall tier: every replica also verifies at the next input scale -------
+
+class SimsmallTier : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SimsmallTier, NativeRunVerifiesAtSimsmall) {
+  const cw::Workload* w = cw::find(GetParam());
+  ASSERT_NE(w, nullptr);
+  ct::ThreadTeam team(kThreads);
+  EXPECT_TRUE(w->run(cw::Scale::kSmall, team, nullptr).ok)
+      << w->name << " failed at simsmall";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, SimsmallTier,
+    ::testing::Values("barnes", "fmm", "ocean_cp", "ocean_ncp", "radiosity",
+                      "raytrace", "volrend", "water_nsq", "water_spat",
+                      "cholesky", "fft", "lu_cb", "lu_ncb", "radix"));

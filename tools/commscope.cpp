@@ -1,0 +1,288 @@
+// commscope — the command-line front-end.
+//
+// Subcommands:
+//   commscope list
+//       Show the available workload replicas.
+//   commscope run <workload> [options]
+//       Profile a workload and print the nested communication report.
+//   commscope replay <trace-file> [options]
+//       Profile a recorded event trace (see --save-trace).
+//   commscope classify <matrix-file>
+//       Classify a saved communication matrix (matrix_io format).
+//   commscope map <matrix-file> [--sockets=S --cores=C --smt=T]
+//       Compute a communication-aware thread mapping for a saved matrix.
+//
+// Common options for run/replay:
+//   --backend=signature|exact   detection backend   (default signature)
+//   --threads=N                 worker/matrix dimension (default 8)
+//   --scale=dev|small|large     input scale         (default dev)
+//   --slots=N                   signature slots     (default 2^20)
+//   --fp-rate=F                 bloom FP target     (default 0.001)
+//   --classify                  count WAR/WAW/RAR too
+//   --sparse                    sparse region matrices
+//   --phases=BYTES              phase window volume (0 = off)
+//   --heatmaps=N                render the N hottest region matrices
+//   --csv=FILE                  write the per-region CSV
+//   --save-matrix=FILE          save the program matrix (matrix_io)
+//   --save-trace=FILE           record and save the event trace (run only)
+//   --pattern                   classify the program matrix
+//   --dvfs                      print a frequency plan (needs --phases)
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "core/matrix_io.hpp"
+#include "core/profiler.hpp"
+#include "core/report.hpp"
+#include "instrument/trace.hpp"
+#include "mapping/mapper.hpp"
+#include "patterns/classifier.hpp"
+#include "power/dvfs.hpp"
+#include "support/args.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+#include "threading/thread_pool.hpp"
+#include "workloads/workload.hpp"
+
+namespace cc = commscope::core;
+namespace ci = commscope::instrument;
+namespace cm = commscope::mapping;
+namespace cp = commscope::patterns;
+namespace cs = commscope::support;
+namespace ct = commscope::threading;
+namespace cw = commscope::workloads;
+
+namespace {
+
+const std::vector<std::string> kRunFlags = {
+    "backend", "threads", "scale",       "slots",      "fp-rate",
+    "classify", "sparse", "phases",      "heatmaps",   "csv",
+    "save-matrix", "save-trace", "pattern", "dvfs"};
+
+int usage() {
+  std::cerr
+      << "usage: commscope <list|run|replay|classify|map> [args]\n"
+         "  commscope list\n"
+         "  commscope run <workload> [--backend=signature|exact] [--threads=N]\n"
+         "            [--scale=dev|small|large] [--slots=N] [--fp-rate=F]\n"
+         "            [--classify] [--sparse] [--phases=BYTES] [--heatmaps=N]\n"
+         "            [--csv=FILE] [--save-matrix=FILE] [--save-trace=FILE]\n"
+         "            [--pattern]\n"
+         "  commscope replay <trace-file> [run options]\n"
+         "  commscope classify <matrix-file>\n"
+         "  commscope map <matrix-file> [--sockets=S --cores=C --smt=T]\n";
+  return 2;
+}
+
+cc::ProfilerOptions profiler_options(const cs::ArgParser& args, int threads) {
+  cc::ProfilerOptions o;
+  o.max_threads = threads;
+  o.signature_slots =
+      static_cast<std::size_t>(args.get_int("slots", 1 << 20));
+  o.fp_rate = args.get_double("fp-rate", 0.001);
+  o.backend = args.get("backend", "signature") == "exact"
+                  ? cc::Backend::kExact
+                  : cc::Backend::kAsymmetricSignature;
+  o.classify_dependences = args.has("classify");
+  o.sparse_region_matrices = args.has("sparse");
+  o.phase_window_bytes =
+      static_cast<std::uint64_t>(args.get_int("phases", 0));
+  return o;
+}
+
+cs::Scale parse_scale(const std::string& s) {
+  if (s == "small") return cs::Scale::kSmall;
+  if (s == "large") return cs::Scale::kLarge;
+  return cs::Scale::kDev;
+}
+
+/// Shared post-profiling output path for run/replay.
+int emit_results(const cs::ArgParser& args, cc::Profiler& profiler,
+                 int threads) {
+  profiler.finalize();
+  cc::ReportOptions ropts;
+  ropts.heatmap_top = static_cast<int>(args.get_int("heatmaps", 0));
+  ropts.hide_quiet_regions = true;
+  cc::print_report(std::cout, profiler, ropts);
+
+  if (args.has("csv")) {
+    std::ofstream out(args.get("csv"));
+    if (!out) {
+      std::cerr << "cannot write " << args.get("csv") << "\n";
+      return 1;
+    }
+    cc::write_csv(out, profiler.regions());
+    std::cout << "region CSV written to " << args.get("csv") << "\n";
+  }
+  if (args.has("save-matrix")) {
+    std::ofstream out(args.get("save-matrix"));
+    if (!out) {
+      std::cerr << "cannot write " << args.get("save-matrix") << "\n";
+      return 1;
+    }
+    cc::write_matrix(out, profiler.communication_matrix().trimmed(threads));
+    std::cout << "matrix written to " << args.get("save-matrix") << "\n";
+  }
+  if (args.has("pattern")) {
+    cp::GeneratorOptions gen;
+    gen.threads = threads;
+    cp::KnnClassifier clf(5);
+    clf.train(cp::featurize(cp::make_corpus(40, gen, 20260704)));
+    std::cout << "detected pattern: "
+              << cp::to_string(
+                     clf.predict(profiler.communication_matrix().trimmed(threads)))
+              << "\n";
+  }
+  if (profiler.options().phase_window_bytes > 0) {
+    const auto phases =
+        cc::detect_phases(profiler.phase_timeline(), 0.75,
+                          cc::PhaseMetric::kOffsetCosine);
+    std::cout << "phases detected: " << phases.size() << "\n";
+    if (args.has("dvfs")) {
+      const commscope::power::DvfsPlan plan = commscope::power::plan_dvfs(
+          profiler.phase_timeline(), profiler.phase_window_accesses());
+      std::cout << "DVFS plan:\n" << plan.to_string();
+    }
+  }
+  return 0;
+}
+
+int cmd_list() {
+  cs::Table t({"workload", "description"});
+  for (const cw::Workload& w : cw::registry()) {
+    t.add_row({w.name, w.description});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_run(const cs::ArgParser& args) {
+  if (args.positional().size() < 2) return usage();
+  const cw::Workload* w = cw::find(args.positional()[1]);
+  if (w == nullptr) {
+    std::cerr << "unknown workload '" << args.positional()[1]
+              << "' (try: commscope list)\n";
+    return 1;
+  }
+  const int threads = static_cast<int>(args.get_int("threads", 8));
+  const cs::Scale scale = parse_scale(args.get("scale", "dev"));
+  auto profiler = std::make_unique<cc::Profiler>(profiler_options(args, threads));
+  ct::ThreadTeam team(threads);
+
+  if (args.has("save-trace")) {
+    ci::TraceRecorder recorder;
+    if (!w->run(scale, team, &recorder).ok) {
+      std::cerr << w->name << ": verification FAILED\n";
+      return 1;
+    }
+    std::ofstream out(args.get("save-trace"));
+    if (!out) {
+      std::cerr << "cannot write " << args.get("save-trace") << "\n";
+      return 1;
+    }
+    ci::write_trace(out, recorder.events());
+    std::cout << recorder.size() << " events written to "
+              << args.get("save-trace") << "\n";
+    ci::replay(recorder.events(), *profiler);
+  } else if (!w->run(scale, team, profiler.get()).ok) {
+    std::cerr << w->name << ": verification FAILED\n";
+    return 1;
+  }
+  return emit_results(args, *profiler, threads);
+}
+
+int cmd_replay(const cs::ArgParser& args) {
+  if (args.positional().size() < 2) return usage();
+  std::ifstream in(args.positional()[1]);
+  if (!in) {
+    std::cerr << "cannot read " << args.positional()[1] << "\n";
+    return 1;
+  }
+  const std::vector<ci::TraceEvent> events = ci::read_trace(in);
+  int max_tid = 0;
+  for (const ci::TraceEvent& e : events) max_tid = std::max(max_tid, int{e.tid});
+  const int threads =
+      static_cast<int>(args.get_int("threads", std::max(2, max_tid + 1)));
+  auto profiler = std::make_unique<cc::Profiler>(profiler_options(args, threads));
+  ci::replay(events, *profiler);
+  std::cout << "replayed " << events.size() << " events\n";
+  return emit_results(args, *profiler, threads);
+}
+
+int cmd_classify(const cs::ArgParser& args) {
+  if (args.positional().size() < 2) return usage();
+  std::ifstream in(args.positional()[1]);
+  if (!in) {
+    std::cerr << "cannot read " << args.positional()[1] << "\n";
+    return 1;
+  }
+  const cc::Matrix m = cc::read_matrix(in);
+  cp::GeneratorOptions gen;
+  gen.threads = m.size();
+  cp::KnnClassifier knn(5);
+  knn.train(cp::featurize(cp::make_corpus(40, gen, 20260704)));
+  cp::NearestCentroidClassifier centroid;
+  centroid.train(cp::featurize(cp::make_corpus(40, gen, 20260704)));
+  std::cout << "kNN:              " << cp::to_string(knn.predict(m)) << "\n";
+  std::cout << "nearest-centroid: " << cp::to_string(centroid.predict(m))
+            << "\n";
+  cs::print_heatmap(std::cout, m.cells(), static_cast<std::size_t>(m.size()),
+                    args.positional()[1]);
+  return 0;
+}
+
+int cmd_map(const cs::ArgParser& args) {
+  if (args.positional().size() < 2) return usage();
+  std::ifstream in(args.positional()[1]);
+  if (!in) {
+    std::cerr << "cannot read " << args.positional()[1] << "\n";
+    return 1;
+  }
+  const cc::Matrix m = cc::read_matrix(in);
+  const cm::Topology topo(static_cast<int>(args.get_int("sockets", 2)),
+                          static_cast<int>(args.get_int("cores", 8)),
+                          static_cast<int>(args.get_int("smt", 1)));
+  if (m.size() > topo.hardware_threads()) {
+    std::cerr << "matrix has " << m.size() << " threads but topology only "
+              << topo.hardware_threads() << " hardware threads\n";
+    return 1;
+  }
+  const cm::Mapping best = cm::best_mapping(m, topo);
+  const double base =
+      cm::mapping_cost(m, topo, cm::identity_mapping(m.size(), topo));
+  const double cost = cm::mapping_cost(m, topo, best);
+  std::cout << "topology: " << topo.describe() << "\n";
+  std::cout << "identity cost " << base << " -> best mapping cost " << cost
+            << " (" << cs::Table::num(base > 0 ? cost / base * 100.0 : 100, 1)
+            << "%)\n";
+  for (std::size_t t = 0; t < best.size(); ++t) {
+    std::cout << "  T" << t << " -> hw" << best[t] << " (socket "
+              << topo.socket_of(best[t]) << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cs::ArgParser args(argc, argv,
+                           {"classify", "sparse", "pattern", "dvfs"});
+  const auto unknown = args.unknown_flags(kRunFlags);
+  for (const std::string& f :
+       args.unknown_flags({"backend", "threads", "scale", "slots", "fp-rate",
+                           "classify", "sparse", "phases", "heatmaps", "csv",
+                           "save-matrix", "save-trace", "pattern", "dvfs",
+                           "sockets", "cores", "smt"})) {
+    std::cerr << "unknown flag --" << f << "\n";
+    return usage();
+  }
+  (void)unknown;
+  if (args.positional().empty()) return usage();
+  const std::string& cmd = args.positional()[0];
+  if (cmd == "list") return cmd_list();
+  if (cmd == "run") return cmd_run(args);
+  if (cmd == "replay") return cmd_replay(args);
+  if (cmd == "classify") return cmd_classify(args);
+  if (cmd == "map") return cmd_map(args);
+  return usage();
+}
