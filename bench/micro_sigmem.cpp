@@ -8,11 +8,17 @@
 
 #include <vector>
 
+#include "core/profiler.hpp"
 #include "core/raw_detector.hpp"
+#include "instrument/sink.hpp"
+#include "resilience/guarded_sink.hpp"
+#include "resilience/resource_guard.hpp"
 #include "sigmem/exact_signature.hpp"
 #include "support/bloom.hpp"
 
 namespace cc = commscope::core;
+namespace ci = commscope::instrument;
+namespace cr = commscope::resilience;
 namespace cs = commscope::support;
 namespace sg = commscope::sigmem;
 
@@ -78,6 +84,62 @@ void BM_ExactSignature_WritePath(benchmark::State& state) {
                           static_cast<std::int64_t>(addrs.size()));
 }
 
+// --- resilience-layer overhead ---------------------------------------------
+//
+// The guardrail acceptance criterion: a GuardedSink whose budgets never fire
+// ("idle guard") must add < 2% over feeding the profiler directly. Compare
+// items/s of the three variants below.
+
+// Defaults on purpose: the overhead ratio is only meaningful against the
+// profiler configuration `commscope run` actually deploys (32 threads,
+// 2^20-slot signature).
+cc::ProfilerOptions bench_profiler_options() { return cc::ProfilerOptions{}; }
+
+void drive_sink(benchmark::State& state, cc::Profiler& prof,
+                ci::AccessSink& sink) {
+  prof.on_thread_begin(0);
+  prof.on_thread_begin(1);
+  const auto addrs = make_addresses(4096);
+  for (auto _ : state) {
+    for (const std::uintptr_t a : addrs) {
+      sink.on_access(0, a, 8, ci::AccessKind::kWrite);
+      sink.on_access(1, a, 8, ci::AccessKind::kRead);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(addrs.size()) * 2);
+}
+
+/// Baseline: events fed straight into the profiler, no resilience layer.
+void BM_ProfilerDirect(benchmark::State& state) {
+  cc::Profiler prof(bench_profiler_options());
+  drive_sink(state, prof, prof);
+}
+
+/// GuardedSink with nothing configured: the maintenance gate stays closed and
+/// the wrapper is a counted pass-through.
+void BM_GuardedSink_Passthrough(benchmark::State& state) {
+  cc::Profiler prof(bench_profiler_options());
+  cr::GuardedSink sink(prof, nullptr, {});
+  drive_sink(state, prof, sink);
+}
+
+/// GuardedSink with a generous memory budget that never trips: the idle-guard
+/// cost — two safepoint slot stores plus one acquire load of the pending
+/// flag per access (budget crossings are sensed on the allocation path, so
+/// there is no per-event counting). Must stay < 2% over BM_ProfilerDirect.
+/// (An event budget or a fault injector would force the exact-index slow
+/// path by design.)
+void BM_GuardedSink_IdleGuard(benchmark::State& state) {
+  cc::Profiler prof(bench_profiler_options());
+  cr::GuardOptions g;
+  g.mem_budget_bytes = 1ull << 40;  // never exceeded
+  g.check_interval = 1024;
+  cr::ResourceGuard guard(g, prof);
+  cr::GuardedSink sink(prof, &guard, {});
+  drive_sink(state, prof, sink);
+}
+
 /// Bloom insert cost vs configured FP rate (more hash probes per op).
 void BM_BloomInsert(benchmark::State& state) {
   const double fp = 1.0 / static_cast<double>(state.range(0));
@@ -97,4 +159,7 @@ BENCHMARK(BM_AsymmetricDetector_ReadPath);
 BENCHMARK(BM_AsymmetricDetector_WritePath);
 BENCHMARK(BM_ExactSignature_ReadPath);
 BENCHMARK(BM_ExactSignature_WritePath);
+BENCHMARK(BM_ProfilerDirect);
+BENCHMARK(BM_GuardedSink_Passthrough);
+BENCHMARK(BM_GuardedSink_IdleGuard);
 BENCHMARK(BM_BloomInsert)->Arg(10)->Arg(100)->Arg(1000)->Arg(100000);

@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/commscope_patterns.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/commscope_mapping.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/commscope_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/commscope_resilience.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/commscope_workloads.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/commscope_baseline.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/commscope_core.dir/DependInfo.cmake"

@@ -183,9 +183,8 @@ bench/CMakeFiles/micro_sigmem.dir/micro_sigmem.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/core/raw_detector.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/sigmem/exact_signature.hpp /usr/include/c++/12/memory \
+ /root/repo/src/core/profiler.hpp /usr/include/c++/12/array \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -213,11 +212,16 @@ bench/CMakeFiles/micro_sigmem.dir/micro_sigmem.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/core/comm_matrix.hpp /usr/include/c++/12/span \
+ /root/repo/src/core/phase.hpp /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/core/raw_detector.hpp /usr/include/c++/12/optional \
+ /root/repo/src/sigmem/exact_signature.hpp \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/support/hash.hpp \
  /root/repo/src/support/memtrack.hpp \
@@ -245,4 +249,22 @@ bench/CMakeFiles/micro_sigmem.dir/micro_sigmem.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/support/bitset.hpp \
- /root/repo/src/sigmem/write_signature.hpp
+ /root/repo/src/sigmem/write_signature.hpp \
+ /root/repo/src/core/region_tree.hpp \
+ /root/repo/src/core/region_matrix.hpp \
+ /root/repo/src/core/sparse_matrix.hpp \
+ /root/repo/src/threading/spinlock.hpp \
+ /root/repo/src/instrument/loop_registry.hpp \
+ /root/repo/src/instrument/sink.hpp \
+ /root/repo/src/resilience/guarded_sink.hpp \
+ /root/repo/src/resilience/crash_guard.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread /root/repo/src/resilience/fault_injector.hpp \
+ /root/repo/src/resilience/resource_guard.hpp \
+ /root/repo/src/instrument/sampling.hpp

@@ -199,4 +199,5 @@ src/CMakeFiles/commscope_core.dir/core/matrix_io.cpp.o: \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc
+ /usr/include/c++/12/bits/istream.tcc /root/repo/src/support/textio.hpp \
+ /usr/include/c++/12/charconv /root/repo/src/support/hash.hpp

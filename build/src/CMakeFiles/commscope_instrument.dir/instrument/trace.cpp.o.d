@@ -172,4 +172,6 @@ src/CMakeFiles/commscope_instrument.dir/instrument/trace.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/support/textio.hpp \
+ /usr/include/c++/12/charconv /usr/include/c++/12/bit \
+ /root/repo/src/support/hash.hpp /usr/include/c++/12/cstddef

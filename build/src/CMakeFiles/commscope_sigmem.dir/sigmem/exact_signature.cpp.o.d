@@ -204,6 +204,9 @@ src/CMakeFiles/commscope_sigmem.dir/sigmem/exact_signature.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/support/hash.hpp \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/support/hash.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/support/memtrack.hpp \
  /usr/include/c++/12/atomic

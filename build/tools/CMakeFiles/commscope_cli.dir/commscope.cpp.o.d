@@ -197,11 +197,12 @@ tools/CMakeFiles/commscope_cli.dir/commscope.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/core/matrix_io.hpp /root/repo/src/core/comm_matrix.hpp \
- /usr/include/c++/12/atomic /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/matrix_io.hpp \
+ /root/repo/src/core/comm_matrix.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/profiler.hpp \
  /usr/include/c++/12/variant \
@@ -254,8 +255,21 @@ tools/CMakeFiles/commscope_cli.dir/commscope.cpp.o: \
  /root/repo/src/patterns/classifier.hpp \
  /root/repo/src/patterns/features.hpp \
  /root/repo/src/patterns/generators.hpp /root/repo/src/power/dvfs.hpp \
- /root/repo/src/support/args.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/resilience/checkpoint.hpp \
+ /root/repo/src/resilience/crash_guard.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread /root/repo/src/resilience/fault_injector.hpp \
+ /root/repo/src/resilience/guarded_sink.hpp \
+ /root/repo/src/resilience/resource_guard.hpp \
+ /root/repo/src/instrument/sampling.hpp /root/repo/src/support/args.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/support/env.hpp \
@@ -265,13 +279,6 @@ tools/CMakeFiles/commscope_cli.dir/commscope.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/threading/barrier.hpp \
- /usr/include/c++/12/condition_variable \
  /root/repo/src/workloads/workload.hpp

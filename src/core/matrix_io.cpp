@@ -2,47 +2,70 @@
 
 #include <istream>
 #include <ostream>
-#include <stdexcept>
 #include <string>
+#include <string_view>
+
+#include "support/textio.hpp"
 
 namespace commscope::core {
 
 namespace {
+
 constexpr const char* kMagic = "commscope-matrix";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
+/// Declared-dimension ceiling, enforced *before* the n^2 allocation so a
+/// hostile header ("n = 10^9") cannot become an allocation bomb.
+constexpr int kMaxDim = 4096;
+/// Whole-file ceiling; a 4096^2 matrix of 20-digit cells is ~340 MB.
+constexpr std::size_t kMaxFileBytes = 512u << 20;
+
 }  // namespace
 
 void write_matrix(std::ostream& os, const Matrix& m) {
-  os << kMagic << ' ' << kVersion << '\n' << m.size() << '\n';
+  std::string payload;
+  payload += kMagic;
+  payload += ' ';
+  payload += std::to_string(kVersion);
+  payload += '\n';
+  payload += std::to_string(m.size());
+  payload += '\n';
   for (int p = 0; p < m.size(); ++p) {
     for (int c = 0; c < m.size(); ++c) {
-      os << m.at(p, c) << (c + 1 == m.size() ? '\n' : ' ');
+      payload += std::to_string(m.at(p, c));
+      payload += c + 1 == m.size() ? '\n' : ' ';
     }
   }
+  os << support::with_crc_trailer(std::move(payload));
 }
 
 Matrix read_matrix(std::istream& is) {
-  std::string magic;
-  int version = 0;
-  if (!(is >> magic >> version) || magic != kMagic) {
-    throw std::runtime_error("matrix_io: bad magic");
+  const std::string text =
+      support::slurp_stream(is, kMaxFileBytes, "matrix_io");
+
+  // Version 1 files predate the CRC trailer and are accepted without one;
+  // version 2 files must carry a valid trailer.
+  const std::string_view payload =
+      support::verify_crc_trailer(text, /*require=*/false, "matrix_io");
+
+  support::TokenScanner sc(payload, "matrix_io");
+  if (sc.next_token() != kMagic) sc.fail("bad magic");
+  const int version = sc.next_uint<int>("version");
+  if (version != 1 && version != kVersion) {
+    sc.fail("unsupported version " + std::to_string(version));
   }
-  if (version != kVersion) {
-    throw std::runtime_error("matrix_io: unsupported version " +
-                             std::to_string(version));
+  if (version >= 2 && payload.size() == text.size()) {
+    sc.fail("missing crc trailer");
   }
-  int n = 0;
-  if (!(is >> n) || n < 1 || n > 4096) {
-    throw std::runtime_error("matrix_io: invalid matrix size");
-  }
+
+  const int n = sc.next_uint_capped<int>("matrix size", kMaxDim);
+  if (n < 1) sc.fail("invalid matrix size");
   Matrix m(n);
   for (int p = 0; p < n; ++p) {
     for (int c = 0; c < n; ++c) {
-      std::uint64_t v = 0;
-      if (!(is >> v)) throw std::runtime_error("matrix_io: truncated cells");
-      m.at(p, c) = v;
+      m.at(p, c) = sc.next_uint<std::uint64_t>("cell");
     }
   }
+  if (!sc.at_end()) sc.fail("trailing data after cells");
   return m;
 }
 

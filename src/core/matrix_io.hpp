@@ -2,10 +2,18 @@
 // captured in one run and consumed offline (classification, mapping,
 // plotting) — the workflow the paper sketches for feeding an auto-tuner.
 //
-// Format ("commscope-matrix 1"):
-//   commscope-matrix 1
+// Format ("commscope-matrix 2"):
+//   commscope-matrix 2
 //   <n>
 //   <n rows of n space-separated uint64 cells>
+//   crc32 <8 hex digits over everything above>
+//
+// The CRC trailer makes truncated or bit-flipped saves fail loudly at load
+// time. Version 1 files (identical but without the trailer) are still
+// accepted for backward compatibility. The reader treats all input as
+// hostile: the declared dimension is capped before any allocation, every
+// cell is parsed with checked integer conversion, and any deviation throws
+// std::runtime_error — it never crashes, hangs, or returns garbage.
 #pragma once
 
 #include <iosfwd>
@@ -14,11 +22,12 @@
 
 namespace commscope::core {
 
-/// Writes `m` in the versioned text format.
+/// Writes `m` in the versioned text format (version 2, CRC trailer).
 void write_matrix(std::ostream& os, const Matrix& m);
 
 /// Parses a matrix; throws std::runtime_error on malformed input (bad magic,
-/// unsupported version, non-positive size, truncated or non-numeric cells).
+/// unsupported version, out-of-range size, truncated or non-numeric cells,
+/// checksum mismatch, oversized file).
 [[nodiscard]] Matrix read_matrix(std::istream& is);
 
 }  // namespace commscope::core

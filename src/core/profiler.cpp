@@ -106,6 +106,74 @@ void Profiler::on_access(int tid, std::uintptr_t addr, std::uint32_t size,
 
 void Profiler::finalize() { phases_.flush(); }
 
+namespace {
+constexpr std::size_t kMinSignatureSlots = 4096;
+}  // namespace
+
+bool Profiler::degrade_exact_to_signature(std::uint64_t event_index,
+                                          const std::string& reason) {
+  auto* exact = std::get_if<sigmem::ExactSignature>(&backend_);
+  if (exact == nullptr) return false;
+  const std::uint64_t before = memory_.current();
+
+  // Export the tracked state, then rebuild the variant as a bounded
+  // signature (the emplace destroys the exact map and releases its charge).
+  const std::vector<sigmem::ExactSignature::ExportedCell> cells =
+      exact->export_cells();
+  AsymmetricDetector& det = backend_.emplace<AsymmetricDetector>(
+      options_.signature_slots, options_.max_threads, options_.fp_rate,
+      &memory_);
+  // Writes first so the reader inserts that follow are not cleared; the
+  // returned producers are discarded — the exact backend already counted
+  // those first touches.
+  for (const auto& c : cells) {
+    if (c.writer >= 0) det.on_write(c.addr, c.writer);
+  }
+  for (const auto& c : cells) {
+    for (int t = 0; t < options_.max_threads; ++t) {
+      if ((c.readers >> static_cast<unsigned>(t)) & 1ULL) {
+        (void)det.on_read(c.addr, t);
+      }
+    }
+  }
+  options_.backend = Backend::kAsymmetricSignature;
+  degradations_.push_back(DegradationEvent{
+      event_index, before, memory_.current(), reason,
+      "exact backend -> asymmetric signature (" +
+          std::to_string(cells.size()) + " tracked addresses migrated into " +
+          std::to_string(options_.signature_slots) + " slots)"});
+  return true;
+}
+
+bool Profiler::degrade_regions_to_sparse(std::uint64_t event_index,
+                                         const std::string& reason) {
+  if (options_.sparse_region_matrices) return false;
+  const std::uint64_t before = memory_.current();
+  tree_.convert_to_sparse();
+  options_.sparse_region_matrices = true;
+  degradations_.push_back(DegradationEvent{
+      event_index, before, memory_.current(), reason,
+      "dense region matrices -> sparse (" +
+          std::to_string(tree_.node_count()) + " regions converted)"});
+  return true;
+}
+
+bool Profiler::degrade_halve_slots(std::uint64_t event_index,
+                                   const std::string& reason) {
+  if (!std::holds_alternative<AsymmetricDetector>(backend_)) return false;
+  if (options_.signature_slots / 2 < kMinSignatureSlots) return false;
+  const std::uint64_t before = memory_.current();
+  options_.signature_slots /= 2;
+  backend_.emplace<AsymmetricDetector>(options_.signature_slots,
+                                       options_.max_threads, options_.fp_rate,
+                                       &memory_);
+  degradations_.push_back(DegradationEvent{
+      event_index, before, memory_.current(), reason,
+      "signature slots halved to " + std::to_string(options_.signature_slots) +
+          " (detector state reset; duplicate first-touches possible)"});
+  return true;
+}
+
 DependenceCounts Profiler::dependence_counts() const {
   DependenceCounts d;
   for (int t = 0; t < options_.max_threads; ++t) {

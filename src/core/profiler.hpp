@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -67,6 +68,18 @@ struct DependenceCounts {
   std::uint64_t war = 0;
   std::uint64_t waw = 0;
   std::uint64_t rar = 0;
+};
+
+/// One recorded graceful-degradation downshift. Every action that trades
+/// accuracy or granularity for survival is logged here and rendered as the
+/// report's "degradations" provenance section, so Figure 2/5-style numbers
+/// from a degraded run are never silently wrong.
+struct DegradationEvent {
+  std::uint64_t event_index = 0;  ///< event count when the downshift fired
+  std::uint64_t mem_before = 0;   ///< tracked profiler bytes before
+  std::uint64_t mem_after = 0;    ///< tracked profiler bytes after
+  std::string reason;             ///< what tripped (budget, injected fault, ...)
+  std::string action;             ///< what was downshifted
 };
 
 /// Aggregate event statistics.
@@ -125,10 +138,52 @@ class Profiler final : public instrument::AccessSink {
   [[nodiscard]] const support::MemoryTracker& memory() const noexcept {
     return memory_;
   }
+  /// Mutable tracker access for the resilience layer (observer installation).
+  [[nodiscard]] support::MemoryTracker& memory() noexcept { return memory_; }
 
   /// Direct access to the asymmetric detector (null for the exact backend).
   [[nodiscard]] const AsymmetricDetector* signature_detector() const noexcept {
     return std::get_if<AsymmetricDetector>(&backend_);
+  }
+
+  // --- graceful degradation (resilience) -----------------------------------
+  //
+  // Primitive downshift actions invoked by resilience::ResourceGuard when a
+  // budget is breached. Each returns false when inapplicable (wrong backend,
+  // already applied, at the floor), records a DegradationEvent on success,
+  // and REQUIRES QUIESCENCE: no profiling thread may be inside an event
+  // callback while a downshift replaces the backend or region matrices
+  // (resilience::GuardedSink provides the safepoint).
+
+  /// Exact backend -> bounded asymmetric signature. Tracked last-writer and
+  /// reader sets migrate into the signature memories so first-touch
+  /// accounting carries over (modulo bloom approximation); memory drops from
+  /// footprint-proportional to the fixed signature size.
+  bool degrade_exact_to_signature(std::uint64_t event_index,
+                                  const std::string& reason);
+
+  /// Dense per-region matrices -> sparse representation.
+  bool degrade_regions_to_sparse(std::uint64_t event_index,
+                                 const std::string& reason);
+
+  /// Halves the signature slot count (floor 4096). Bloom/last-writer state
+  /// cannot be rehashed across slot counts, so the detector restarts empty:
+  /// already-counted first touches may be counted again. The provenance
+  /// entry records that caveat.
+  bool degrade_halve_slots(std::uint64_t event_index,
+                           const std::string& reason);
+
+  /// Appends an externally applied downshift (e.g. the guard raising a
+  /// sampling stride or suppressing events) to the provenance log.
+  void record_degradation(DegradationEvent event) {
+    degradations_.push_back(std::move(event));
+  }
+
+  /// Downshifts applied so far, in order. Callers of the degrade_*/record
+  /// mutators serialize against readers (the guard's maintenance lock).
+  [[nodiscard]] const std::vector<DegradationEvent>& degradations()
+      const noexcept {
+    return degradations_;
   }
 
  private:
@@ -150,6 +205,7 @@ class Profiler final : public instrument::AccessSink {
   RegionTree tree_;
   PhaseTracker phases_;
   std::unique_ptr<ThreadCtx[]> contexts_;
+  std::vector<DegradationEvent> degradations_;
 
   [[nodiscard]] ThreadCtx& ctx(int tid) noexcept {
     return contexts_[static_cast<std::size_t>(tid)];

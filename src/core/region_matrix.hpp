@@ -60,6 +60,24 @@ class RegionMatrix {
     return std::holds_alternative<SparseCommMatrix>(impl_);
   }
 
+  /// Rebuilds a dense accumulator as the sparse representation, preserving
+  /// the accumulated counts — the "dense region matrices -> sparse" rung of
+  /// the resilience degradation ladder. No-op when already sparse. Callers
+  /// must have quiesced concurrent writers (the variant is replaced).
+  void convert_to_sparse() {
+    if (is_sparse()) return;
+    const Matrix snap = std::get<CommMatrix>(impl_).snapshot();
+    const int n = snap.size();
+    if (tracker_ != nullptr) tracker_->sub(CommMatrix::byte_size(n));
+    impl_.emplace<SparseCommMatrix>(n, tracker_);
+    auto& sp = std::get<SparseCommMatrix>(impl_);
+    for (int p = 0; p < n; ++p) {
+      for (int c = 0; c < n; ++c) {
+        if (const std::uint64_t v = snap.at(p, c); v != 0) sp.add(p, c, v);
+      }
+    }
+  }
+
  private:
   using Impl = std::variant<CommMatrix, SparseCommMatrix>;
   Impl impl_;

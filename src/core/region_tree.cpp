@@ -13,6 +13,17 @@ RegionNode::RegionNode(instrument::LoopId loop, RegionNode* parent, int threads,
   if (tracker_ != nullptr) tracker_->add(sizeof(RegionNode));
 }
 
+RegionNode::~RegionNode() {
+  if (tracker_ != nullptr) tracker_->sub(sizeof(RegionNode));
+}
+
+void RegionNode::convert_to_sparse() {
+  std::lock_guard lock(children_mu_);
+  sparse_ = true;  // children created after the downshift start out sparse
+  matrix_.convert_to_sparse();
+  for (const auto& c : children_) c->convert_to_sparse();
+}
+
 RegionNode* RegionNode::child(instrument::LoopId id) {
   std::lock_guard lock(children_mu_);
   for (const auto& c : children_) {

@@ -31,6 +31,7 @@ class RegionNode {
  public:
   RegionNode(instrument::LoopId loop, RegionNode* parent, int threads,
              support::MemoryTracker* tracker, bool sparse = false);
+  ~RegionNode();
 
   [[nodiscard]] instrument::LoopId loop() const noexcept { return loop_; }
   [[nodiscard]] RegionNode* parent() const noexcept { return parent_; }
@@ -62,6 +63,11 @@ class RegionNode {
   /// sum-of-children property).
   [[nodiscard]] Matrix aggregate() const;
 
+  /// Converts this node's matrix (and every descendant's) to the sparse
+  /// representation, and makes future children sparse too — the degradation
+  /// ladder's response to a memory budget breach. Requires quiescence.
+  void convert_to_sparse();
+
   /// Depth from the root (root = 0).
   [[nodiscard]] int depth() const noexcept;
 
@@ -89,6 +95,10 @@ class RegionTree {
 
   [[nodiscard]] RegionNode& root() noexcept { return *root_; }
   [[nodiscard]] const RegionNode& root() const noexcept { return *root_; }
+
+  /// Degrades every region matrix to the sparse representation (see
+  /// RegionNode::convert_to_sparse). Requires quiescence.
+  void convert_to_sparse() { root_->convert_to_sparse(); }
 
   /// All nodes, preorder.
   [[nodiscard]] std::vector<const RegionNode*> preorder() const;

@@ -57,6 +57,16 @@ void print_report(std::ostream& os, const Profiler& profiler,
     os << "dependence census: RAW " << d.raw << ", WAR " << d.war << ", WAW "
        << d.waw << ", RAR " << d.rar << "\n";
   }
+  if (!profiler.degradations().empty()) {
+    os << "degradations: " << profiler.degradations().size()
+       << " (numbers below are best-effort; see provenance)\n";
+    for (const DegradationEvent& d : profiler.degradations()) {
+      os << "  [event " << d.event_index << "] " << d.reason << " -> "
+         << d.action << " (profiler memory "
+         << support::Table::bytes(d.mem_before) << " -> "
+         << support::Table::bytes(d.mem_after) << ")\n";
+    }
+  }
   os << "\n";
 
   std::vector<RegionRow> rows;

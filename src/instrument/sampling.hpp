@@ -52,6 +52,22 @@ class SamplingSink final : public AccessSink {
 
   void finalize() override { inner_->finalize(); }
 
+  /// Degradation-ladder hook: halves the duty cycle by growing the dropped
+  /// burst (0 -> burst_on, else doubling), cutting the event volume the
+  /// downstream profiler sees. Returns false once the duty cycle has reached
+  /// the floor (1/64) and the ladder should move to its next rung. Reported
+  /// volumes remain correctable through scale_factor().
+  bool raise_stride() noexcept {
+    if (duty_cycle() <= 1.0 / 64.0) return false;
+    options_.burst_off =
+        options_.burst_off == 0 ? options_.burst_on : options_.burst_off * 2;
+    return true;
+  }
+
+  [[nodiscard]] const SamplingOptions& options() const noexcept {
+    return options_;
+  }
+
   /// Fraction of accesses forwarded by configuration (duty cycle).
   [[nodiscard]] double duty_cycle() const noexcept {
     const double cycle =

@@ -5,6 +5,9 @@
 #include <ostream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+
+#include "support/textio.hpp"
 
 namespace commscope::instrument {
 
@@ -59,14 +62,37 @@ void replay(const std::vector<TraceEvent>& events, AccessSink& sink) {
 
 namespace {
 constexpr const char* kMagic = "commscope-trace";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
+/// Hostile-input ceilings, enforced before any allocation sized by a
+/// declared count. 2^26 16-byte events is a 1 GiB trace — far beyond any
+/// dev/small-scale capture.
+constexpr std::size_t kMaxEvents = 1u << 26;
+constexpr std::size_t kMaxLoops = 1u << 20;
+constexpr std::size_t kMaxFileBytes = 2048ull << 20;
+/// Pre-reserve is bounded separately so a lying event count cannot allocate
+/// ahead of the actual data.
+constexpr std::size_t kMaxReserve = 1u << 20;
 }  // namespace
 
 void write_trace(std::ostream& os, const std::vector<TraceEvent>& events) {
-  os << kMagic << ' ' << kVersion << '\n' << events.size() << '\n';
+  std::string payload;
+  payload += kMagic;
+  payload += ' ';
+  payload += std::to_string(kVersion);
+  payload += '\n';
+  payload += std::to_string(events.size());
+  payload += '\n';
   for (const TraceEvent& e : events) {
-    os << static_cast<int>(e.kind) << ' ' << static_cast<int>(e.access) << ' '
-       << e.tid << ' ' << e.size << ' ' << e.payload << '\n';
+    payload += std::to_string(static_cast<int>(e.kind));
+    payload += ' ';
+    payload += std::to_string(static_cast<int>(e.access));
+    payload += ' ';
+    payload += std::to_string(e.tid);
+    payload += ' ';
+    payload += std::to_string(e.size);
+    payload += ' ';
+    payload += std::to_string(e.payload);
+    payload += '\n';
   }
   // Loop-name table for the UIDs this trace references.
   std::map<std::uint64_t, LoopInfo> loops;
@@ -76,33 +102,45 @@ void write_trace(std::ostream& os, const std::vector<TraceEvent>& events) {
           LoopRegistry::instance().info(static_cast<LoopId>(e.payload));
     }
   }
-  os << "loops " << loops.size() << '\n';
+  payload += "loops ";
+  payload += std::to_string(loops.size());
+  payload += '\n';
   for (const auto& [uid, info] : loops) {
-    os << uid << ' ' << info.function << ' ' << info.name << '\n';
+    payload += std::to_string(uid);
+    payload += ' ';
+    payload += info.function;
+    payload += ' ';
+    payload += info.name;
+    payload += '\n';
   }
+  os << support::with_crc_trailer(std::move(payload));
 }
 
 std::vector<TraceEvent> read_trace(std::istream& is) {
-  std::string magic;
-  int version = 0;
-  if (!(is >> magic >> version) || magic != kMagic) {
-    throw std::runtime_error("trace: bad magic");
+  const std::string text = support::slurp_stream(is, kMaxFileBytes, "trace");
+  // Version-1 traces predate the CRC trailer; version 2 requires one.
+  const std::string_view payload =
+      support::verify_crc_trailer(text, /*require=*/false, "trace");
+
+  support::TokenScanner sc(payload, "trace");
+  if (sc.next_token() != kMagic) sc.fail("bad magic");
+  const int version = sc.next_uint<int>("version");
+  if (version != 1 && version != kVersion) sc.fail("bad version");
+  if (version >= 2 && payload.size() == text.size()) {
+    sc.fail("missing crc trailer");
   }
-  if (version != kVersion) throw std::runtime_error("trace: bad version");
-  std::size_t count = 0;
-  if (!(is >> count)) throw std::runtime_error("trace: missing count");
+
+  const auto count =
+      sc.next_uint_capped<std::size_t>("event count", kMaxEvents);
   std::vector<TraceEvent> events;
-  events.reserve(count);
+  events.reserve(std::min(count, kMaxReserve));
   for (std::size_t i = 0; i < count; ++i) {
-    int kind = 0;
-    int access = 0;
     TraceEvent e;
-    if (!(is >> kind >> access >> e.tid >> e.size >> e.payload)) {
-      throw std::runtime_error("trace: truncated events");
-    }
-    if (kind < 0 || kind > 3 || access < 0 || access > 1) {
-      throw std::runtime_error("trace: invalid event");
-    }
+    const int kind = sc.next_uint_capped<int>("event kind", 3);
+    const int access = sc.next_uint_capped<int>("access kind", 1);
+    e.tid = sc.next_uint<std::uint16_t>("tid");
+    e.size = sc.next_uint<std::uint32_t>("size");
+    e.payload = sc.next_uint<std::uint64_t>("payload");
     e.kind = static_cast<TraceEvent::Kind>(kind);
     e.access = static_cast<std::uint8_t>(access);
     events.push_back(e);
@@ -110,21 +148,20 @@ std::vector<TraceEvent> read_trace(std::istream& is) {
 
   // Optional loop-name table (absent in hand-built traces): re-declare each
   // loop locally and remap the events' UIDs.
-  std::string section;
-  if (is >> section) {
-    if (section != "loops") throw std::runtime_error("trace: bad section");
-    std::size_t nloops = 0;
-    if (!(is >> nloops)) throw std::runtime_error("trace: bad loop count");
+  if (!sc.at_end()) {
+    if (sc.next_token() != "loops") sc.fail("bad section");
+    const auto nloops =
+        sc.next_uint_capped<std::size_t>("loop count", kMaxLoops);
     std::map<std::uint64_t, LoopId> remap;
     for (std::size_t i = 0; i < nloops; ++i) {
-      std::uint64_t uid = 0;
-      std::string function;
-      std::string name;
-      if (!(is >> uid >> function >> name)) {
-        throw std::runtime_error("trace: truncated loop table");
-      }
-      remap[uid] = LoopRegistry::instance().declare(function, name);
+      const auto uid = sc.next_uint<std::uint64_t>("loop uid");
+      const std::string_view function = sc.next_token();
+      const std::string_view name = sc.next_token();
+      if (function.empty() || name.empty()) sc.fail("truncated loop table");
+      remap[uid] = LoopRegistry::instance().declare(std::string(function),
+                                                    std::string(name));
     }
+    if (!sc.at_end()) sc.fail("trailing data after loop table");
     for (TraceEvent& e : events) {
       if (e.kind != TraceEvent::Kind::kLoopEnter) continue;
       const auto it = remap.find(e.payload);

@@ -1,0 +1,279 @@
+#include "resilience/guarded_sink.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "resilience/checkpoint.hpp"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace commscope::resilience {
+
+namespace {
+
+// sys_membarrier turns the Dekker handshake asymmetric: profiling threads
+// publish their safepoint slot with a relaxed store + compiler barrier, and
+// stop_the_world() pays one syscall that interposes a full memory barrier in
+// every running thread of the process. Command values are stable kernel ABI
+// (linux/membarrier.h): REGISTER_PRIVATE_EXPEDITED = 1<<4, and
+// PRIVATE_EXPEDITED = 1<<3.
+#if defined(__linux__) && defined(SYS_membarrier)
+bool register_membarrier() noexcept {
+  return syscall(SYS_membarrier, /*REGISTER_PRIVATE_EXPEDITED=*/16, 0, 0) == 0;
+}
+void membarrier_sync() noexcept {
+  syscall(SYS_membarrier, /*PRIVATE_EXPEDITED=*/8, 0, 0);
+}
+#else
+bool register_membarrier() noexcept { return false; }
+void membarrier_sync() noexcept {}
+#endif
+
+std::uint64_t round_up_pow2(std::uint64_t v) noexcept {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+GuardedSink::GuardedSink(core::Profiler& profiler, ResourceGuard* guard,
+                         Options options, FaultInjector* injector,
+                         CrashGuard* crash)
+    : profiler_(&profiler),
+      guard_(guard),
+      options_(std::move(options)),
+      injector_(injector),
+      crash_(crash),
+      gate_((guard != nullptr && guard->enabled()) ||
+            options_.checkpoint_every != 0),
+      precise_(injector != nullptr || options_.checkpoint_every != 0 ||
+               (guard != nullptr && guard->options().event_budget != 0)),
+      guard_enabled_(guard != nullptr && guard->enabled()),
+      asym_(gate_ && register_membarrier()),
+      check_mask_(
+          guard != nullptr
+              ? round_up_pow2(std::max<std::uint64_t>(
+                    1, guard->options().check_interval)) - 1
+              : 0) {
+  if (!precise_ && guard_ != nullptr &&
+      guard_->options().mem_budget_bytes != 0) {
+    // Coarse mode: budget crossings are sensed on the allocation path, and
+    // the access path polls the sink-owned pending flag. The observer slot
+    // is free here — an attached fault injector (the other observer user)
+    // forces precise mode.
+    guard_->bind_pending(coarse_pending_);
+    profiler_->memory().set_observer(guard_);
+    observer_installed_ = true;
+    guard_->prime();
+  }
+  if (crash_ != nullptr && crash_->armed()) {
+    // A crash before the first periodic checkpoint must still dump a
+    // loadable (if empty) snapshot.
+    CheckpointMeta meta;
+    meta.events = 0;
+    meta.state = "partial";
+    meta.reason = "initial";
+    crash_->publish(
+        serialize_checkpoint(*profiler_, meta, profiler_->stats()));
+  }
+}
+
+std::uint64_t GuardedSink::begin_event() {
+  const std::uint64_t idx =
+      events_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (injector_ != nullptr) injector_->on_event(idx);
+  if (gate_) {
+    const bool guard_due = guard_enabled_ && (idx & check_mask_) == 0 &&
+                           guard_->action_pending(idx);
+    const bool checkpoint_due = options_.checkpoint_every != 0 &&
+                                idx % options_.checkpoint_every == 0;
+    if (guard_due || checkpoint_due) maintenance(idx);
+  }
+  return idx;
+}
+
+GuardedSink::~GuardedSink() {
+  if (observer_installed_) profiler_->memory().set_observer(nullptr);
+}
+
+void GuardedSink::coarse_backout(Slot& s) noexcept {
+  // Budget crossed (or a check is in flight): back out, run/await the
+  // stop-the-world check, then let the caller retry the enter.
+  s.active.store(0, std::memory_order_release);
+  coarse_tick();
+  while (coarse_pending_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+}
+
+void GuardedSink::coarse_tick() {
+  std::unique_lock<std::mutex> lock(maintenance_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // another thread is already handling it
+  stop_the_world();
+  // With the world stopped the profiler's per-thread counters are stable;
+  // its access count is the closest thing to an event index in coarse mode.
+  guard_->check(profiler_->stats().accesses);
+  resume_the_world();
+}
+
+void GuardedSink::maintenance(std::uint64_t index) {
+  // One maintainer at a time; a losing thread just continues profiling (the
+  // winner is already doing the work for this window).
+  std::unique_lock<std::mutex> lock(maintenance_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  stop_the_world();
+  if (guard_ != nullptr && guard_->enabled()) guard_->check(index);
+  if (options_.checkpoint_every != 0 &&
+      index % options_.checkpoint_every == 0) {
+    write_checkpoint(index, "partial", "periodic");
+  }
+  resume_the_world();
+}
+
+void GuardedSink::write_checkpoint(std::uint64_t index,
+                                   const std::string& state,
+                                   const std::string& reason) {
+  CheckpointMeta meta;
+  meta.events = index;
+  meta.state = state;
+  meta.reason = reason;
+  // World is stopped (or the run is finalizing), so the profiler's
+  // per-thread counters are stable.
+  std::string snapshot =
+      serialize_checkpoint(*profiler_, meta, profiler_->stats());
+  if (crash_ != nullptr && crash_->armed()) crash_->publish(snapshot);
+  if (options_.checkpoint_path.empty()) return;
+  // Write faults apply to the file copy only — the published emergency
+  // snapshot stays intact, mirroring a torn disk write.
+  if (injector_ != nullptr) injector_->mutate_payload(snapshot);
+  try {
+    write_file_atomic(options_.checkpoint_path, snapshot);
+    ++checkpoints_written_;
+  } catch (const std::exception& e) {
+    if (!checkpoint_io_failed_) {
+      checkpoint_io_failed_ = true;
+      std::fprintf(stderr, "commscope: warning: %s (checkpointing disabled)\n",
+                   e.what());
+    }
+  }
+}
+
+void GuardedSink::on_loop_enter(int tid, instrument::LoopId id) {
+  if (precise_) (void)begin_event();
+  // Loop structure events always flow — region attribution must stay exact
+  // even when access events are suppressed. Node creation synchronizes with
+  // sparse conversion through the per-node child locks, so no safepoint is
+  // needed here.
+  profiler_->on_loop_enter(tid, id);
+}
+
+void GuardedSink::on_loop_exit(int tid) {
+  if (precise_) (void)begin_event();
+  profiler_->on_loop_exit(tid);
+}
+
+void GuardedSink::on_access(int tid, std::uintptr_t addr, std::uint32_t size,
+                            instrument::AccessKind kind) {
+  if (!precise_) {
+    if (!gate_) {
+      profiler_->on_access(tid, addr, size, kind);
+      return;
+    }
+    // Coarse fast path. The guard's pending flag doubles as the Dekker pause
+    // flag: the world only ever stops while it is set (coarse_tick() clears
+    // it, with release, only after the check completes), so one acquire load
+    // is both the budget poll and the safepoint check. Suppression needs no
+    // check here — it is event-budget driven, and an event budget forces
+    // precise mode.
+    Slot& s = slots_[static_cast<std::size_t>(tid) & 63];
+    for (;;) {
+      if (asym_) {
+        s.active.store(1, std::memory_order_relaxed);
+        std::atomic_signal_fence(std::memory_order_seq_cst);
+      } else {
+        s.active.store(1, std::memory_order_seq_cst);
+      }
+      if (!coarse_pending_.load(std::memory_order_acquire)) [[likely]] break;
+      coarse_backout(s);
+    }
+    profiler_->on_access(tid, addr, size, kind);
+    safepoint_leave(s);
+    return;
+  }
+  (void)begin_event();
+  if (guard_ != nullptr && guard_->suppress_accesses()) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Slot& s = slots_[static_cast<std::size_t>(tid) & 63];
+  safepoint_enter(s);
+  profiler_->on_access(tid, addr, size, kind);
+  safepoint_leave(s);
+}
+
+void GuardedSink::finalize() {
+  if (!precise_) {
+    // No per-event counting happened; stamp the closest equivalent.
+    events_.store(profiler_->stats().accesses, std::memory_order_relaxed);
+  }
+  profiler_->finalize();
+  if (options_.checkpoint_every != 0 || !options_.checkpoint_path.empty() ||
+      (crash_ != nullptr && crash_->armed())) {
+    write_checkpoint(events_.load(std::memory_order_relaxed), "complete",
+                     "final");
+  }
+}
+
+inline void GuardedSink::safepoint_enter(Slot& s) noexcept {
+  if (asym_) {
+    // Asymmetric Dekker: the membarrier in stop_the_world() interposes a
+    // full barrier in this thread, so either our store is visible to the
+    // maintainer or our (acquire) load sees its pause flag. The acquire
+    // also pairs with resume_the_world()'s release so post-maintenance
+    // structure changes are visible before we touch the profiler.
+    s.active.store(1, std::memory_order_relaxed);
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+    if (!pause_.load(std::memory_order_acquire)) [[likely]] return;
+  } else {
+    // Symmetric fallback: the seq_cst store/load pair carries the same
+    // guarantee without kernel help.
+    s.active.store(1, std::memory_order_seq_cst);
+    if (!pause_.load(std::memory_order_seq_cst)) [[likely]] return;
+  }
+  safepoint_enter_contended(s);
+}
+
+void GuardedSink::safepoint_enter_contended(Slot& s) noexcept {
+  for (;;) {
+    s.active.store(0, std::memory_order_seq_cst);
+    while (pause_.load(std::memory_order_acquire)) std::this_thread::yield();
+    s.active.store(1, std::memory_order_seq_cst);
+    if (!pause_.load(std::memory_order_seq_cst)) return;
+  }
+}
+
+inline void GuardedSink::safepoint_leave(Slot& s) noexcept {
+  // Release so the draining maintainer observes our profiler writes.
+  s.active.store(0, std::memory_order_release);
+}
+
+void GuardedSink::stop_the_world() noexcept {
+  pause_.store(true, std::memory_order_seq_cst);
+  if (asym_) membarrier_sync();
+  for (Slot& s : slots_) {
+    while (s.active.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void GuardedSink::resume_the_world() noexcept {
+  pause_.store(false, std::memory_order_release);
+}
+
+}  // namespace commscope::resilience

@@ -53,6 +53,18 @@ ExactSignature::WriteObservation ExactSignature::on_write_classified(
   return obs;
 }
 
+std::vector<ExactSignature::ExportedCell> ExactSignature::export_cells() const {
+  std::vector<ExportedCell> out;
+  out.reserve(tracked_addresses());
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::lock_guard lock(shards_[i].mu);
+    for (const auto& [addr, cell] : shards_[i].cells) {
+      out.push_back(ExportedCell{addr, cell.writer, cell.readers});
+    }
+  }
+  return out;
+}
+
 std::uint64_t ExactSignature::byte_size() const {
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < kShards; ++i) {

@@ -14,6 +14,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "support/hash.hpp"
 #include "support/memtrack.hpp"
@@ -26,6 +27,9 @@ class ExactSignature {
   /// the paper's testbed both run at most 64 threads).
   explicit ExactSignature(int max_threads,
                           support::MemoryTracker* tracker = nullptr);
+  /// Releases the tracker charge for every cell so MemoryTracker::balanced()
+  /// holds after teardown.
+  ~ExactSignature() { clear(); }
 
   ExactSignature(const ExactSignature&) = delete;
   ExactSignature& operator=(const ExactSignature&) = delete;
@@ -66,6 +70,18 @@ class ExactSignature {
 
   /// Write with full classification (exact).
   WriteObservation on_write_classified(std::uintptr_t addr, int tid);
+
+  /// One exported (address, state) tuple — see export_cells().
+  struct ExportedCell {
+    std::uintptr_t addr = 0;
+    std::int32_t writer = -1;       ///< -1 = no write recorded
+    std::uint64_t readers = 0;      ///< bitmask of reader tids
+  };
+
+  /// Snapshot of every tracked address, for migrating this backend's state
+  /// into a bounded signature when a memory budget forces the exact backend
+  /// to degrade. Callers must have quiesced the profiling threads.
+  [[nodiscard]] std::vector<ExportedCell> export_cells() const;
 
   /// Bytes held by the backing maps (tracked cells + bucket arrays).
   [[nodiscard]] std::uint64_t byte_size() const;

@@ -1,7 +1,9 @@
 #include "support/args.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace commscope::support {
 
@@ -60,6 +62,69 @@ double ArgParser::get_double(const std::string& name, double fallback) const {
   char* end = nullptr;
   const double v = std::strtod(it->second.c_str(), &end);
   return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& name, const std::string& value,
+                            const char* expected) {
+  throw std::invalid_argument("--" + name + ": expected " + expected +
+                              ", got '" + value + "'");
+}
+
+}  // namespace
+
+std::int64_t ArgParser::get_int_strict(const std::string& name,
+                                       std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (it->second.empty()) malformed(name, it->second, "an integer");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+    malformed(name, it->second, "an integer");
+  }
+  return v;
+}
+
+double ArgParser::get_double_strict(const std::string& name,
+                                    double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (it->second.empty()) malformed(name, it->second, "a number");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+    malformed(name, it->second, "a number");
+  }
+  return v;
+}
+
+std::uint64_t ArgParser::get_bytes_strict(const std::string& name,
+                                          std::uint64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& s = it->second;
+  if (s.empty()) malformed(name, s, "a byte count (e.g. 1048576 or 64M)");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || errno == ERANGE || s[0] == '-') {
+    malformed(name, s, "a byte count (e.g. 1048576 or 64M)");
+  }
+  std::uint64_t mult = 1;
+  if (*end != '\0') {
+    if (end[1] != '\0') malformed(name, s, "a byte count (e.g. 1048576 or 64M)");
+    switch (*end) {
+      case 'K': case 'k': mult = 1ULL << 10; break;
+      case 'M': case 'm': mult = 1ULL << 20; break;
+      case 'G': case 'g': mult = 1ULL << 30; break;
+      default: malformed(name, s, "a byte count (e.g. 1048576 or 64M)");
+    }
+  }
+  return static_cast<std::uint64_t>(v) * mult;
 }
 
 std::vector<std::string> ArgParser::unknown_flags(

@@ -46,6 +46,23 @@ class ArgParser {
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
 
+  /// Integer value; `fallback` when absent, but throws std::invalid_argument
+  /// ("--name: expected an integer, got 'X'") when the flag is present with a
+  /// non-numeric value — the CLI maps that to exit code 2 (usage error)
+  /// instead of silently profiling with the default.
+  [[nodiscard]] std::int64_t get_int_strict(const std::string& name,
+                                            std::int64_t fallback) const;
+
+  /// Like get_int_strict for floating-point values. Accepts byte suffixes
+  /// nowhere — plain decimal only.
+  [[nodiscard]] double get_double_strict(const std::string& name,
+                                         double fallback) const;
+
+  /// Byte-count value with optional K/M/G suffix (powers of 1024), e.g.
+  /// --mem-budget=64M. Throws std::invalid_argument on malformed values.
+  [[nodiscard]] std::uint64_t get_bytes_strict(const std::string& name,
+                                               std::uint64_t fallback) const;
+
   /// Flag names seen that are not in `known` (for error reporting).
   [[nodiscard]] std::vector<std::string> unknown_flags(
       const std::vector<std::string>& known) const;

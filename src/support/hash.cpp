@@ -171,4 +171,34 @@ std::uint64_t murmur3_x64_64(const void* data, std::size_t len,
   return h1;
 }
 
+namespace {
+
+// 256-entry CRC-32 table for the reflected IEEE polynomial, built once.
+struct Crc32Table {
+  std::uint32_t entry[256];
+  constexpr Crc32Table() : entry{} {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      entry[i] = c;
+    }
+  }
+};
+
+constexpr Crc32Table kCrcTable{};
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kCrcTable.entry[(c ^ p[i]) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
 }  // namespace commscope::support

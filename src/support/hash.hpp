@@ -71,6 +71,19 @@ namespace commscope::support {
   return k;
 }
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte buffer,
+/// computed incrementally: pass the previous return value as `seed` to
+/// extend a checksum across chunks (initial seed 0). Used as the integrity
+/// trailer of the matrix/trace/checkpoint file formats — a truncated or
+/// bit-flipped save must fail loudly at load time, never parse as data.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len,
+                                  std::uint32_t seed = 0) noexcept;
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view s,
+                                         std::uint32_t seed = 0) noexcept {
+  return crc32(s.data(), s.size(), seed);
+}
+
 /// Kirsch–Mitzenmacher double hashing: derive the i-th of k hash values from
 /// two independent base hashes as h1 + i*h2. Used by the bloom filter to get
 /// an arbitrary number of hash functions from one Murmur evaluation

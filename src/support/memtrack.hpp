@@ -6,6 +6,14 @@
 // MemoryTracker and the bench reports those exact byte counts. The scaling
 // *shapes* (fixed signature vs footprint-proportional shadow vs
 // event-proportional log) are what the figure demonstrates.
+//
+// The tracker is also the resilience subsystem's sensor: a ResourceGuard
+// polls current() against --mem-budget, and an AllocObserver (the fault
+// injector) can watch every tracked allocation to fail the Nth one
+// deterministically. sub() clamps at zero instead of wrapping — a profiler
+// that double-frees its accounting corrupts only its own balance sheet, not
+// the guard's budget arithmetic — and balanced() lets tests assert at
+// teardown that every add() was matched by a sub().
 #pragma once
 
 #include <atomic>
@@ -14,9 +22,20 @@
 
 namespace commscope::support {
 
+/// Observer of tracked allocations (resilience fault injection). Must be
+/// async-safe with respect to the profiling threads: on_tracked_alloc is
+/// called concurrently from every thread that charges memory.
+class AllocObserver {
+ public:
+  virtual ~AllocObserver() = default;
+  virtual void on_tracked_alloc(std::size_t bytes) noexcept = 0;
+};
+
 class MemoryTracker {
  public:
   void add(std::size_t bytes) noexcept {
+    AllocObserver* obs = observer_.load(std::memory_order_acquire);
+    if (obs != nullptr) obs->on_tracked_alloc(bytes);
     current_.fetch_add(bytes, std::memory_order_relaxed);
     std::uint64_t cur = current_.load(std::memory_order_relaxed);
     std::uint64_t peak = peak_.load(std::memory_order_relaxed);
@@ -25,8 +44,23 @@ class MemoryTracker {
     }
   }
 
+  /// Releases `bytes`, clamping at zero. An attempted underflow (more bytes
+  /// released than held) is counted instead of wrapping the counter to ~2^64,
+  /// which would otherwise read as an instantly blown memory budget.
   void sub(std::size_t bytes) noexcept {
-    current_.fetch_sub(bytes, std::memory_order_relaxed);
+    std::uint64_t cur = current_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur < bytes) {
+        if (current_.compare_exchange_weak(cur, 0,
+                                           std::memory_order_relaxed)) {
+          underflows_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      } else if (current_.compare_exchange_weak(cur, cur - bytes,
+                                                std::memory_order_relaxed)) {
+        return;
+      }
+    }
   }
 
   [[nodiscard]] std::uint64_t current() const noexcept {
@@ -36,14 +70,34 @@ class MemoryTracker {
     return peak_.load(std::memory_order_relaxed);
   }
 
+  /// Number of sub() calls that tried to release more than was held.
+  [[nodiscard]] std::uint64_t underflows() const noexcept {
+    return underflows_.load(std::memory_order_relaxed);
+  }
+
+  /// True when the books close cleanly: everything charged was released and
+  /// no release ever exceeded the balance. Tests assert this at teardown.
+  [[nodiscard]] bool balanced() const noexcept {
+    return current() == 0 && underflows() == 0;
+  }
+
+  /// Installs (or clears, with nullptr) the tracked-allocation observer.
+  /// Call before profiling threads start; the pointer must outlive them.
+  void set_observer(AllocObserver* obs) noexcept {
+    observer_.store(obs, std::memory_order_release);
+  }
+
   void reset() noexcept {
     current_.store(0, std::memory_order_relaxed);
     peak_.store(0, std::memory_order_relaxed);
+    underflows_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::atomic<std::uint64_t> current_{0};
   std::atomic<std::uint64_t> peak_{0};
+  std::atomic<std::uint64_t> underflows_{0};
+  std::atomic<AllocObserver*> observer_{nullptr};
 };
 
 }  // namespace commscope::support

@@ -18,8 +18,9 @@ struct RunResult {
   std::string output;
 };
 
-RunResult run_cli(const std::string& args) {
-  const std::string cmd = g_cli + " " + args + " 2>&1";
+RunResult run_cli(const std::string& args, const std::string& env = "") {
+  const std::string cmd =
+      (env.empty() ? "" : env + " ") + g_cli + " " + args + " 2>&1";
   FILE* pipe = popen(cmd.c_str(), "r");
   RunResult r;
   if (pipe == nullptr) return r;
@@ -118,6 +119,105 @@ TEST(Cli, CsvExportHasSchema) {
   std::getline(in, header);
   EXPECT_EQ(header.rfind("label,depth,entries", 0), 0u);
   std::remove(csv.c_str());
+}
+
+// --- error handling and exit-code contract ---------------------------------
+//
+// 0 success, 1 runtime failure, 2 usage error, 124 watchdog timeout,
+// 128+sig signal death. Locked here so scripts can rely on it.
+
+TEST(CliErrors, UnknownCommandIsUsageError) {
+  const RunResult r = run_cli("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown command 'frobnicate'"), std::string::npos);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliErrors, MalformedFlagValueIsUsageError) {
+  const RunResult r = run_cli("run fft --threads=abc");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--threads"), std::string::npos);
+  const RunResult b = run_cli("run fft --mem-budget=12Q");
+  EXPECT_EQ(b.exit_code, 2);
+}
+
+TEST(CliErrors, CorruptMatrixFileFailsWithDiagnostic) {
+  const std::string path = "/tmp/commscope_cli_corrupt.matrix";
+  {
+    std::ofstream out(path);
+    out << "commscope-matrix 2\n2\n0 1\n2 3\ncrc32 deadbeef\n";
+  }
+  const RunResult r = run_cli("classify " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("commscope:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- resilience: budgets, crash-safety, resume -----------------------------
+
+TEST(CliResilience, MemBudgetRunCompletesWithDegradationProvenance) {
+  const RunResult r =
+      run_cli("run fft --threads=4 --backend=exact --mem-budget=64K");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("degradations:"), std::string::npos);
+  EXPECT_NE(r.output.find("memory budget exceeded"), std::string::npos);
+}
+
+TEST(CliResilience, EventBudgetRunCompletesAndLogsSuppression) {
+  const RunResult r = run_cli("run fft --threads=4 --event-budget=1000");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("event budget exhausted"), std::string::npos);
+}
+
+TEST(CliResilience, InjectedCrashLeavesResumableCheckpoint) {
+  const std::string trace = "/tmp/commscope_cli_kill.trace";
+  const std::string ck = "/tmp/commscope_cli_kill.ck";
+  ASSERT_EQ(run_cli("run radix --threads=4 --save-trace=" + trace).exit_code,
+            0);
+  const RunResult killed =
+      run_cli("replay " + trace + " --checkpoint=" + ck +
+                  " --checkpoint-every=10000",
+              "COMMSCOPE_FAULT=kill-at-event:50000");
+  EXPECT_EQ(killed.exit_code, 139) << killed.output;  // 128 + SIGSEGV
+  EXPECT_NE(killed.output.find("emergency snapshot written"),
+            std::string::npos);
+
+  const RunResult resumed = run_cli("resume " + ck);
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_NE(resumed.output.find("state: partial"), std::string::npos);
+  EXPECT_NE(resumed.output.find("radix:"), std::string::npos);
+  std::remove(trace.c_str());
+  std::remove(ck.c_str());
+}
+
+TEST(CliResilience, WatchdogTimesOutWithResumableCheckpoint) {
+  const std::string trace = "/tmp/commscope_cli_hang.trace";
+  const std::string ck = "/tmp/commscope_cli_hang.ck";
+  ASSERT_EQ(run_cli("run radix --threads=4 --save-trace=" + trace).exit_code,
+            0);
+  const RunResult hung =
+      run_cli("replay " + trace + " --checkpoint=" + ck +
+                  " --checkpoint-every=5000 --timeout=0.5",
+              "COMMSCOPE_FAULT=\"sleep-at-event:20000;sleep-ms:5000\"");
+  EXPECT_EQ(hung.exit_code, 124) << hung.output;
+  EXPECT_NE(hung.output.find("watchdog timeout"), std::string::npos);
+
+  const RunResult resumed = run_cli("resume " + ck);
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_NE(resumed.output.find("state: partial"), std::string::npos);
+  std::remove(trace.c_str());
+  std::remove(ck.c_str());
+}
+
+TEST(CliResilience, CleanCheckpointedRunResumesAsComplete) {
+  const std::string ck = "/tmp/commscope_cli_clean.ck";
+  ASSERT_EQ(
+      run_cli("run fft --threads=4 --checkpoint=" + ck).exit_code, 0);
+  const RunResult resumed = run_cli("resume " + ck + " --pattern");
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_NE(resumed.output.find("state: complete"), std::string::npos);
+  EXPECT_NE(resumed.output.find("detected pattern:"), std::string::npos);
+  std::remove(ck.c_str());
 }
 
 int main(int argc, char** argv) {

@@ -1,0 +1,149 @@
+// Fuzz-style robustness tests for the text-format loaders.
+//
+// Every loader treats its input as hostile: seeded random byte flips and
+// truncations of valid matrix, trace and checkpoint files must surface as a
+// clean std::runtime_error — never a crash, hang, or silently-garbage
+// result. Deterministic (support::SplitMix64 with fixed seeds) so any
+// failure replays identically.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/matrix_io.hpp"
+#include "core/profiler.hpp"
+#include "instrument/loop_registry.hpp"
+#include "instrument/trace.hpp"
+#include "resilience/checkpoint.hpp"
+#include "support/rng.hpp"
+
+namespace cc = commscope::core;
+namespace ci = commscope::instrument;
+namespace cr = commscope::resilience;
+namespace cs = commscope::support;
+
+namespace {
+
+constexpr int kIterations = 200;
+
+std::string valid_matrix_file() {
+  cc::Matrix m(6);
+  std::uint64_t v = 1;
+  for (int p = 0; p < 6; ++p) {
+    for (int c = 0; c < 6; ++c) m.at(p, c) = (v++ * 2654435761u) % 100000;
+  }
+  std::stringstream ss;
+  cc::write_matrix(ss, m);
+  return ss.str();
+}
+
+std::string valid_trace_file() {
+  const ci::LoopId id =
+      ci::LoopRegistry::instance().declare("test_fuzz_io", "loop");
+  ci::TraceRecorder rec;
+  rec.on_thread_begin(0);
+  rec.on_thread_begin(1);
+  rec.on_loop_enter(0, id);
+  for (int i = 0; i < 40; ++i) {
+    rec.on_access(0, 0x1000 + static_cast<std::uintptr_t>(i) * 8, 8,
+                  ci::AccessKind::kWrite);
+    rec.on_access(1, 0x1000 + static_cast<std::uintptr_t>(i) * 8, 8,
+                  ci::AccessKind::kRead);
+  }
+  rec.on_loop_exit(0);
+  std::stringstream ss;
+  ci::write_trace(ss, rec.events());
+  return ss.str();
+}
+
+std::string valid_checkpoint_file() {
+  cc::ProfilerOptions o;
+  o.max_threads = 4;
+  cc::Profiler prof(o);
+  prof.on_thread_begin(0);
+  prof.on_thread_begin(1);
+  for (int i = 0; i < 20; ++i) {
+    prof.on_access(0, 0x2000 + static_cast<std::uintptr_t>(i) * 8, 8,
+                   ci::AccessKind::kWrite);
+    prof.on_access(1, 0x2000 + static_cast<std::uintptr_t>(i) * 8, 8,
+                   ci::AccessKind::kRead);
+  }
+  cr::CheckpointMeta meta;
+  meta.events = 80;
+  return serialize_checkpoint(prof, meta, prof.stats());
+}
+
+/// Flips one random byte (possibly to an arbitrary value) or truncates at a
+/// random position, driven by `rng`.
+std::string damage(const std::string& original, cs::SplitMix64& rng) {
+  std::string text = original;
+  if (rng.next_below(4) == 0) {
+    return text.substr(0, rng.next_below(text.size()));
+  }
+  const std::size_t pos = static_cast<std::size_t>(rng.next_below(text.size()));
+  const char replacement = static_cast<char>(rng.next_below(256));
+  if (text[pos] == replacement) {
+    text[pos] = static_cast<char>(replacement ^ 0x5a);
+  } else {
+    text[pos] = replacement;
+  }
+  return text;
+}
+
+}  // namespace
+
+TEST(FuzzIo, DamagedMatrixFilesAlwaysThrowCleanly) {
+  const std::string original = valid_matrix_file();
+  cs::SplitMix64 rng(0xfadedbee);
+  int rejected = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    std::stringstream ss(damage(original, rng));
+    try {
+      (void)cc::read_matrix(ss);
+    } catch (const std::runtime_error&) {
+      ++rejected;
+    }
+    // No other exception type and no crash: anything else fails the test.
+  }
+  // Version-2 files carry a CRC over the whole payload, so *every* damaged
+  // variant must be rejected.
+  EXPECT_EQ(rejected, kIterations);
+}
+
+TEST(FuzzIo, DamagedTraceFilesNeverCrash) {
+  const std::string original = valid_trace_file();
+  cs::SplitMix64 rng(0x7e57ab1e);
+  int rejected = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    std::stringstream ss(damage(original, rng));
+    try {
+      (void)ci::read_trace(ss);
+    } catch (const std::runtime_error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, kIterations);
+}
+
+TEST(FuzzIo, DamagedCheckpointFilesAlwaysThrowCleanly) {
+  const std::string original = valid_checkpoint_file();
+  cs::SplitMix64 rng(0xc0ffee);
+  int rejected = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    try {
+      (void)cr::parse_checkpoint_text(damage(original, rng));
+    } catch (const std::runtime_error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, kIterations);
+}
+
+TEST(FuzzIo, UndamagedFilesStillParse) {
+  std::stringstream m(valid_matrix_file());
+  EXPECT_EQ(cc::read_matrix(m).size(), 6);
+  std::stringstream t(valid_trace_file());
+  EXPECT_FALSE(ci::read_trace(t).empty());
+  EXPECT_EQ(cr::parse_checkpoint_text(valid_checkpoint_file()).threads, 4);
+}

@@ -55,10 +55,47 @@ TEST(MatrixIo, RejectsNonNumericCells) {
   EXPECT_THROW(cc::read_matrix(ss), std::runtime_error);
 }
 
-TEST(MatrixIo, OutputIsHumanReadable) {
+TEST(MatrixIo, OutputIsHumanReadableWithCrcTrailer) {
   cc::Matrix m(2);
   m.at(0, 1) = 42;
   std::stringstream ss;
   cc::write_matrix(ss, m);
-  EXPECT_EQ(ss.str(), "commscope-matrix 1\n2\n0 42\n0 0\n");
+  const std::string text = ss.str();
+  EXPECT_TRUE(text.starts_with("commscope-matrix 2\n2\n0 42\n0 0\ncrc32 "))
+      << text;
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(MatrixIo, AcceptsLegacyVersion1WithoutCrc) {
+  std::stringstream ss("commscope-matrix 1\n2\n0 42\n0 0\n");
+  const cc::Matrix m = cc::read_matrix(ss);
+  EXPECT_EQ(m.size(), 2);
+  EXPECT_EQ(m.at(0, 1), 42u);
+}
+
+TEST(MatrixIo, RejectsVersion2WithoutCrcTrailer) {
+  std::stringstream ss("commscope-matrix 2\n2\n0 42\n0 0\n");
+  EXPECT_THROW(cc::read_matrix(ss), std::runtime_error);
+}
+
+TEST(MatrixIo, RejectsCorruptedCrc) {
+  cc::Matrix m(3);
+  m.at(1, 2) = 7;
+  std::stringstream ss;
+  cc::write_matrix(ss, m);
+  std::string text = ss.str();
+  text[text.size() / 2] ^= 1;  // flip one payload bit
+  std::stringstream damaged(text);
+  EXPECT_THROW(cc::read_matrix(damaged), std::runtime_error);
+}
+
+TEST(MatrixIo, RejectsAllocationBombHeader) {
+  // The declared dimension must be rejected before the n^2 allocation.
+  std::stringstream ss("commscope-matrix 1\n1000000000\n");
+  EXPECT_THROW(cc::read_matrix(ss), std::runtime_error);
+}
+
+TEST(MatrixIo, RejectsTrailingData) {
+  std::stringstream ss("commscope-matrix 1\n1\n5\nextra\n");
+  EXPECT_THROW(cc::read_matrix(ss), std::runtime_error);
 }

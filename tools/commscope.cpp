@@ -7,6 +7,8 @@
 //       Profile a workload and print the nested communication report.
 //   commscope replay <trace-file> [options]
 //       Profile a recorded event trace (see --save-trace).
+//   commscope resume <snapshot-file> [options]
+//       Report from a crash/periodic checkpoint (see --checkpoint).
 //   commscope classify <matrix-file>
 //       Classify a saved communication matrix (matrix_io format).
 //   commscope map <matrix-file> [--sockets=S --cores=C --smt=T]
@@ -27,9 +29,27 @@
 //   --save-trace=FILE           record and save the event trace (run only)
 //   --pattern                   classify the program matrix
 //   --dvfs                      print a frequency plan (needs --phases)
+//
+// Resilience options for run/replay:
+//   --mem-budget=BYTES          profiler memory budget (K/M/G suffixes); on
+//                               breach the degradation ladder fires instead
+//                               of the run dying
+//   --event-budget=N            stop counting access events after N events
+//   --checkpoint=FILE           crash-safe snapshot file; also the emergency
+//                               dump target on SIGSEGV/SIGABRT/SIGINT
+//   --checkpoint-every=N        events between snapshots (default 65536)
+//   --timeout=SEC               watchdog: dump the last snapshot and exit
+//                               124 after SEC seconds of wall clock
+// Deterministic faults for testing come from $COMMSCOPE_FAULT (see
+// resilience/fault_injector.hpp).
+//
+// Exit codes: 0 success, 1 runtime failure (bad file, failed verification),
+// 2 usage error (unknown flag/command, malformed flag value), 124 watchdog
+// timeout, 128+N death by signal N (emergency snapshot written first).
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <utility>
 
 #include "core/matrix_io.hpp"
 #include "core/profiler.hpp"
@@ -38,6 +58,11 @@
 #include "mapping/mapper.hpp"
 #include "patterns/classifier.hpp"
 #include "power/dvfs.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/crash_guard.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/guarded_sink.hpp"
+#include "resilience/resource_guard.hpp"
 #include "support/args.hpp"
 #include "support/env.hpp"
 #include "support/table.hpp"
@@ -48,27 +73,33 @@ namespace cc = commscope::core;
 namespace ci = commscope::instrument;
 namespace cm = commscope::mapping;
 namespace cp = commscope::patterns;
+namespace cr = commscope::resilience;
 namespace cs = commscope::support;
 namespace ct = commscope::threading;
 namespace cw = commscope::workloads;
 
 namespace {
 
-const std::vector<std::string> kRunFlags = {
-    "backend", "threads", "scale",       "slots",      "fp-rate",
-    "classify", "sparse", "phases",      "heatmaps",   "csv",
-    "save-matrix", "save-trace", "pattern", "dvfs"};
+const std::vector<std::string> kKnownFlags = {
+    "backend",     "threads",    "scale",           "slots",
+    "fp-rate",     "classify",   "sparse",          "phases",
+    "heatmaps",    "csv",        "save-matrix",     "save-trace",
+    "pattern",     "dvfs",       "sockets",         "cores",
+    "smt",         "mem-budget", "event-budget",    "checkpoint",
+    "checkpoint-every",          "timeout"};
 
 int usage() {
   std::cerr
-      << "usage: commscope <list|run|replay|classify|map> [args]\n"
+      << "usage: commscope <list|run|replay|resume|classify|map> [args]\n"
          "  commscope list\n"
          "  commscope run <workload> [--backend=signature|exact] [--threads=N]\n"
          "            [--scale=dev|small|large] [--slots=N] [--fp-rate=F]\n"
          "            [--classify] [--sparse] [--phases=BYTES] [--heatmaps=N]\n"
          "            [--csv=FILE] [--save-matrix=FILE] [--save-trace=FILE]\n"
-         "            [--pattern]\n"
+         "            [--pattern] [--mem-budget=BYTES] [--event-budget=N]\n"
+         "            [--checkpoint=FILE] [--checkpoint-every=N] [--timeout=SEC]\n"
          "  commscope replay <trace-file> [run options]\n"
+         "  commscope resume <snapshot-file> [--pattern] [--save-matrix=FILE]\n"
          "  commscope classify <matrix-file>\n"
          "  commscope map <matrix-file> [--sockets=S --cores=C --smt=T]\n";
   return 2;
@@ -78,15 +109,15 @@ cc::ProfilerOptions profiler_options(const cs::ArgParser& args, int threads) {
   cc::ProfilerOptions o;
   o.max_threads = threads;
   o.signature_slots =
-      static_cast<std::size_t>(args.get_int("slots", 1 << 20));
-  o.fp_rate = args.get_double("fp-rate", 0.001);
+      static_cast<std::size_t>(args.get_int_strict("slots", 1 << 20));
+  o.fp_rate = args.get_double_strict("fp-rate", 0.001);
   o.backend = args.get("backend", "signature") == "exact"
                   ? cc::Backend::kExact
                   : cc::Backend::kAsymmetricSignature;
   o.classify_dependences = args.has("classify");
   o.sparse_region_matrices = args.has("sparse");
   o.phase_window_bytes =
-      static_cast<std::uint64_t>(args.get_int("phases", 0));
+      static_cast<std::uint64_t>(args.get_int_strict("phases", 0));
   return o;
 }
 
@@ -96,12 +127,84 @@ cs::Scale parse_scale(const std::string& s) {
   return cs::Scale::kDev;
 }
 
-/// Shared post-profiling output path for run/replay.
+/// The resilience stack wired around a profiler for one run/replay. Only
+/// materialized when a resilience flag (or $COMMSCOPE_FAULT) asks for it —
+/// a plain run keeps the exact event path it always had.
+struct ResilienceStack {
+  std::unique_ptr<cr::FaultInjector> injector;
+  std::unique_ptr<cr::ResourceGuard> guard;
+  std::unique_ptr<cr::GuardedSink> sink;
+  cs::MemoryTracker* observed = nullptr;
+  bool watchdog = false;
+
+  ResilienceStack() = default;
+  ResilienceStack(ResilienceStack&& o) noexcept
+      : injector(std::move(o.injector)),
+        guard(std::move(o.guard)),
+        sink(std::move(o.sink)),
+        observed(std::exchange(o.observed, nullptr)),
+        watchdog(std::exchange(o.watchdog, false)) {}
+  ResilienceStack& operator=(ResilienceStack&&) = delete;
+
+  ~ResilienceStack() {
+    if (observed != nullptr) observed->set_observer(nullptr);
+    if (sink != nullptr) {
+      cr::CrashGuard::instance().cancel_watchdog();
+      cr::CrashGuard::instance().disarm();
+    }
+  }
+};
+
+/// Builds the stack, or returns one with a null sink when no resilience
+/// feature was requested.
+ResilienceStack make_resilience(const cs::ArgParser& args,
+                                cc::Profiler& profiler) {
+  ResilienceStack stack;
+
+  cr::GuardOptions gopts;
+  gopts.mem_budget_bytes = args.get_bytes_strict("mem-budget", 0);
+  gopts.event_budget =
+      static_cast<std::uint64_t>(args.get_int_strict("event-budget", 0));
+
+  cr::GuardedSink::Options sopts;
+  sopts.checkpoint_path = args.get("checkpoint", "");
+  sopts.checkpoint_every = static_cast<std::uint64_t>(
+      args.get_int_strict("checkpoint-every", 65536));
+  if (sopts.checkpoint_path.empty()) sopts.checkpoint_every = 0;
+
+  const double timeout = args.get_double_strict("timeout", 0.0);
+  const std::optional<cr::FaultPlan> plan = cr::FaultInjector::plan_from_env();
+
+  const bool wanted = gopts.mem_budget_bytes != 0 || gopts.event_budget != 0 ||
+                      !sopts.checkpoint_path.empty() || timeout > 0.0 ||
+                      plan.has_value();
+  if (!wanted) return stack;
+
+  if (plan.has_value()) {
+    stack.injector = std::make_unique<cr::FaultInjector>(*plan);
+    profiler.memory().set_observer(stack.injector.get());
+    stack.observed = &profiler.memory();
+  }
+  stack.guard = std::make_unique<cr::ResourceGuard>(
+      gopts, profiler, stack.injector.get());
+
+  cr::CrashGuard& crash = cr::CrashGuard::instance();
+  crash.arm(sopts.checkpoint_path);
+  if (timeout > 0.0) {
+    crash.start_watchdog(timeout);
+    stack.watchdog = true;
+  }
+  stack.sink = std::make_unique<cr::GuardedSink>(
+      profiler, stack.guard.get(), sopts, stack.injector.get(), &crash);
+  return stack;
+}
+
+/// Shared post-profiling output path for run/replay. The caller has already
+/// finalized the sink (which may write the final checkpoint).
 int emit_results(const cs::ArgParser& args, cc::Profiler& profiler,
                  int threads) {
-  profiler.finalize();
   cc::ReportOptions ropts;
-  ropts.heatmap_top = static_cast<int>(args.get_int("heatmaps", 0));
+  ropts.heatmap_top = static_cast<int>(args.get_int_strict("heatmaps", 0));
   ropts.hide_quiet_regions = true;
   cc::print_report(std::cout, profiler, ropts);
 
@@ -164,9 +267,13 @@ int cmd_run(const cs::ArgParser& args) {
               << "' (try: commscope list)\n";
     return 1;
   }
-  const int threads = static_cast<int>(args.get_int("threads", 8));
+  const int threads = static_cast<int>(args.get_int_strict("threads", 8));
   const cs::Scale scale = parse_scale(args.get("scale", "dev"));
   auto profiler = std::make_unique<cc::Profiler>(profiler_options(args, threads));
+  ResilienceStack resilience = make_resilience(args, *profiler);
+  ci::AccessSink* sink = resilience.sink != nullptr
+                             ? static_cast<ci::AccessSink*>(resilience.sink.get())
+                             : profiler.get();
   ct::ThreadTeam team(threads);
 
   if (args.has("save-trace")) {
@@ -183,11 +290,12 @@ int cmd_run(const cs::ArgParser& args) {
     ci::write_trace(out, recorder.events());
     std::cout << recorder.size() << " events written to "
               << args.get("save-trace") << "\n";
-    ci::replay(recorder.events(), *profiler);
-  } else if (!w->run(scale, team, profiler.get()).ok) {
+    ci::replay(recorder.events(), *sink);
+  } else if (!w->run(scale, team, sink).ok) {
     std::cerr << w->name << ": verification FAILED\n";
     return 1;
   }
+  sink->finalize();
   return emit_results(args, *profiler, threads);
 }
 
@@ -201,12 +309,76 @@ int cmd_replay(const cs::ArgParser& args) {
   const std::vector<ci::TraceEvent> events = ci::read_trace(in);
   int max_tid = 0;
   for (const ci::TraceEvent& e : events) max_tid = std::max(max_tid, int{e.tid});
-  const int threads =
-      static_cast<int>(args.get_int("threads", std::max(2, max_tid + 1)));
+  const int threads = static_cast<int>(
+      args.get_int_strict("threads", std::max(2, max_tid + 1)));
   auto profiler = std::make_unique<cc::Profiler>(profiler_options(args, threads));
-  ci::replay(events, *profiler);
+  ResilienceStack resilience = make_resilience(args, *profiler);
+  ci::AccessSink* sink = resilience.sink != nullptr
+                             ? static_cast<ci::AccessSink*>(resilience.sink.get())
+                             : profiler.get();
+  ci::replay(events, *sink);  // replay() finalizes the sink itself
   std::cout << "replayed " << events.size() << " events\n";
   return emit_results(args, *profiler, threads);
+}
+
+int cmd_resume(const cs::ArgParser& args) {
+  if (args.positional().size() < 2) return usage();
+  const cr::Checkpoint ck = cr::load_checkpoint(args.positional()[1]);
+
+  std::cout << "=== CommScope profile (resumed from snapshot) ===\n";
+  std::cout << "state: " << ck.meta.state << " (reason: " << ck.meta.reason
+            << "), events: " << ck.meta.events << ", backend: " << ck.backend
+            << ", threads: " << ck.threads << "\n";
+  std::cout << "accesses: " << ck.stats.accesses << " (reads " << ck.stats.reads
+            << ", writes " << ck.stats.writes
+            << "), inter-thread RAW dependencies: " << ck.stats.dependencies
+            << "\n";
+  if (!ck.degradations.empty()) {
+    std::cout << "degradations: " << ck.degradations.size()
+              << " (numbers below are best-effort; see provenance)\n";
+    for (const cc::DegradationEvent& d : ck.degradations) {
+      std::cout << "  [event " << d.event_index << "] " << d.reason << " -> "
+                << d.action << " (profiler memory "
+                << cs::Table::bytes(d.mem_before) << " -> "
+                << cs::Table::bytes(d.mem_after) << ")\n";
+    }
+  }
+  std::cout << "\n";
+
+  cs::Table t({"region", "entries", "direct", "aggregate"});
+  for (std::size_t i = 0; i < ck.regions.size(); ++i) {
+    const cr::CheckpointRegion& r = ck.regions[i];
+    t.add_row({std::string(static_cast<std::size_t>(r.depth) * 2, ' ') + r.label,
+               std::to_string(r.entries),
+               cs::Table::bytes(r.direct.total()),
+               cs::Table::bytes(ck.aggregate(i).total())});
+  }
+  t.print(std::cout);
+
+  const cc::Matrix program = ck.program();
+  if (args.has("save-matrix")) {
+    std::ofstream out(args.get("save-matrix"));
+    if (!out) {
+      std::cerr << "cannot write " << args.get("save-matrix") << "\n";
+      return 1;
+    }
+    cc::write_matrix(out, program);
+    std::cout << "matrix written to " << args.get("save-matrix") << "\n";
+  }
+  if (args.has("pattern")) {
+    cp::GeneratorOptions gen;
+    gen.threads = ck.threads;
+    cp::KnnClassifier clf(5);
+    clf.train(cp::featurize(cp::make_corpus(40, gen, 20260704)));
+    std::cout << "detected pattern: " << cp::to_string(clf.predict(program))
+              << "\n";
+  }
+  const int top = static_cast<int>(args.get_int_strict("heatmaps", 0));
+  if (top > 0 && program.total() > 0) {
+    cs::print_heatmap(std::cout, program.cells(),
+                      static_cast<std::size_t>(program.size()), "program");
+  }
+  return 0;
 }
 
 int cmd_classify(const cs::ArgParser& args) {
@@ -239,9 +411,9 @@ int cmd_map(const cs::ArgParser& args) {
     return 1;
   }
   const cc::Matrix m = cc::read_matrix(in);
-  const cm::Topology topo(static_cast<int>(args.get_int("sockets", 2)),
-                          static_cast<int>(args.get_int("cores", 8)),
-                          static_cast<int>(args.get_int("smt", 1)));
+  const cm::Topology topo(static_cast<int>(args.get_int_strict("sockets", 2)),
+                          static_cast<int>(args.get_int_strict("cores", 8)),
+                          static_cast<int>(args.get_int_strict("smt", 1)));
   if (m.size() > topo.hardware_threads()) {
     std::cerr << "matrix has " << m.size() << " threads but topology only "
               << topo.hardware_threads() << " hardware threads\n";
@@ -262,27 +434,38 @@ int cmd_map(const cs::ArgParser& args) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const cs::ArgParser args(argc, argv,
-                           {"classify", "sparse", "pattern", "dvfs"});
-  const auto unknown = args.unknown_flags(kRunFlags);
-  for (const std::string& f :
-       args.unknown_flags({"backend", "threads", "scale", "slots", "fp-rate",
-                           "classify", "sparse", "phases", "heatmaps", "csv",
-                           "save-matrix", "save-trace", "pattern", "dvfs",
-                           "sockets", "cores", "smt"})) {
+int dispatch(const cs::ArgParser& args) {
+  for (const std::string& f : args.unknown_flags(kKnownFlags)) {
     std::cerr << "unknown flag --" << f << "\n";
     return usage();
   }
-  (void)unknown;
   if (args.positional().empty()) return usage();
   const std::string& cmd = args.positional()[0];
   if (cmd == "list") return cmd_list();
   if (cmd == "run") return cmd_run(args);
   if (cmd == "replay") return cmd_replay(args);
+  if (cmd == "resume") return cmd_resume(args);
   if (cmd == "classify") return cmd_classify(args);
   if (cmd == "map") return cmd_map(args);
+  std::cerr << "unknown command '" << cmd << "'\n";
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cs::ArgParser args(argc, argv,
+                           {"classify", "sparse", "pattern", "dvfs"});
+  // One-line diagnostics, contractual exit codes: malformed usage is 2,
+  // runtime failure (unreadable/corrupt file, failed run) is 1. No raw
+  // exception ever escapes to std::terminate.
+  try {
+    return dispatch(args);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "commscope: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "commscope: " << e.what() << "\n";
+    return 1;
+  }
 }
