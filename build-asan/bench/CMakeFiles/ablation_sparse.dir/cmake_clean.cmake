@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sparse.dir/ablation_sparse.cpp.o"
+  "CMakeFiles/ablation_sparse.dir/ablation_sparse.cpp.o.d"
+  "ablation_sparse"
+  "ablation_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn_phase_detection.dir/dyn_phase_detection.cpp.o"
+  "CMakeFiles/dyn_phase_detection.dir/dyn_phase_detection.cpp.o.d"
+  "dyn_phase_detection"
+  "dyn_phase_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn_phase_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

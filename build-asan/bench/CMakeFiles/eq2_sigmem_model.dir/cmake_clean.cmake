@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eq2_sigmem_model.dir/eq2_sigmem_model.cpp.o"
+  "CMakeFiles/eq2_sigmem_model.dir/eq2_sigmem_model.cpp.o.d"
+  "eq2_sigmem_model"
+  "eq2_sigmem_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq2_sigmem_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

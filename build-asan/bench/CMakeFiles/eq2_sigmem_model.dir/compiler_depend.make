@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eq2_sigmem_model.
+# This may be replaced when dependencies are built.

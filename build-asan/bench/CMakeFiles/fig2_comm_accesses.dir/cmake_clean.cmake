@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_comm_accesses.dir/fig2_comm_accesses.cpp.o"
+  "CMakeFiles/fig2_comm_accesses.dir/fig2_comm_accesses.cpp.o.d"
+  "fig2_comm_accesses"
+  "fig2_comm_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_comm_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

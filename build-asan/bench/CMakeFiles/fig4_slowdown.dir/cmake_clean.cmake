@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_slowdown.dir/fig4_slowdown.cpp.o"
+  "CMakeFiles/fig4_slowdown.dir/fig4_slowdown.cpp.o.d"
+  "fig4_slowdown"
+  "fig4_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

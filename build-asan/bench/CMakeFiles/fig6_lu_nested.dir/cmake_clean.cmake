@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_lu_nested.dir/fig6_lu_nested.cpp.o"
+  "CMakeFiles/fig6_lu_nested.dir/fig6_lu_nested.cpp.o.d"
+  "fig6_lu_nested"
+  "fig6_lu_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lu_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_water_nested.dir/fig7_water_nested.cpp.o"
+  "CMakeFiles/fig7_water_nested.dir/fig7_water_nested.cpp.o.d"
+  "fig7_water_nested"
+  "fig7_water_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_water_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

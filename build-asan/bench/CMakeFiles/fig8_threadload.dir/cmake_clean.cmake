@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_threadload.dir/fig8_threadload.cpp.o"
+  "CMakeFiles/fig8_threadload.dir/fig8_threadload.cpp.o.d"
+  "fig8_threadload"
+  "fig8_threadload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_threadload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

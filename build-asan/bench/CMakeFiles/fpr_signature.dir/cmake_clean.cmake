@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_signature.dir/fpr_signature.cpp.o"
+  "CMakeFiles/fpr_signature.dir/fpr_signature.cpp.o.d"
+  "fpr_signature"
+  "fpr_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sigmem.dir/micro_sigmem.cpp.o"
+  "CMakeFiles/micro_sigmem.dir/micro_sigmem.cpp.o.d"
+  "micro_sigmem"
+  "micro_sigmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sigmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

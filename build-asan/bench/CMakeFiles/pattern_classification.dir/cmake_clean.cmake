@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_classification.dir/pattern_classification.cpp.o"
+  "CMakeFiles/pattern_classification.dir/pattern_classification.cpp.o.d"
+  "pattern_classification"
+  "pattern_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

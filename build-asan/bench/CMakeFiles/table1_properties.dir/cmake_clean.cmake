@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_properties.dir/table1_properties.cpp.o"
+  "CMakeFiles/table1_properties.dir/table1_properties.cpp.o.d"
+  "table1_properties"
+  "table1_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_autotune.dir/autotune.cpp.o"
+  "CMakeFiles/example_autotune.dir/autotune.cpp.o.d"
+  "example_autotune"
+  "example_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pattern_explorer.dir/pattern_explorer.cpp.o"
+  "CMakeFiles/example_pattern_explorer.dir/pattern_explorer.cpp.o.d"
+  "example_pattern_explorer"
+  "example_pattern_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pattern_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_phase_timeline.dir/phase_timeline.cpp.o"
+  "CMakeFiles/example_phase_timeline.dir/phase_timeline.cpp.o.d"
+  "example_phase_timeline"
+  "example_phase_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_phase_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_thread_mapping.dir/thread_mapping.cpp.o"
+  "CMakeFiles/example_thread_mapping.dir/thread_mapping.cpp.o.d"
+  "example_thread_mapping"
+  "example_thread_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_thread_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

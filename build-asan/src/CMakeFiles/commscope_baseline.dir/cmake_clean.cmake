@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commscope_baseline.dir/baseline/ipm_profiler.cpp.o"
+  "CMakeFiles/commscope_baseline.dir/baseline/ipm_profiler.cpp.o.d"
+  "CMakeFiles/commscope_baseline.dir/baseline/sd3_profiler.cpp.o"
+  "CMakeFiles/commscope_baseline.dir/baseline/sd3_profiler.cpp.o.d"
+  "CMakeFiles/commscope_baseline.dir/baseline/shadow_profiler.cpp.o"
+  "CMakeFiles/commscope_baseline.dir/baseline/shadow_profiler.cpp.o.d"
+  "libcommscope_baseline.a"
+  "libcommscope_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commscope_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

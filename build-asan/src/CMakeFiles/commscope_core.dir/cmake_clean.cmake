@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commscope_core.dir/core/comm_matrix.cpp.o"
+  "CMakeFiles/commscope_core.dir/core/comm_matrix.cpp.o.d"
+  "CMakeFiles/commscope_core.dir/core/matrix_io.cpp.o"
+  "CMakeFiles/commscope_core.dir/core/matrix_io.cpp.o.d"
+  "CMakeFiles/commscope_core.dir/core/phase.cpp.o"
+  "CMakeFiles/commscope_core.dir/core/phase.cpp.o.d"
+  "CMakeFiles/commscope_core.dir/core/profiler.cpp.o"
+  "CMakeFiles/commscope_core.dir/core/profiler.cpp.o.d"
+  "CMakeFiles/commscope_core.dir/core/region_tree.cpp.o"
+  "CMakeFiles/commscope_core.dir/core/region_tree.cpp.o.d"
+  "CMakeFiles/commscope_core.dir/core/report.cpp.o"
+  "CMakeFiles/commscope_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/commscope_core.dir/core/sparse_matrix.cpp.o"
+  "CMakeFiles/commscope_core.dir/core/sparse_matrix.cpp.o.d"
+  "libcommscope_core.a"
+  "libcommscope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commscope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instrument/loop_registry.cpp" "src/CMakeFiles/commscope_instrument.dir/instrument/loop_registry.cpp.o" "gcc" "src/CMakeFiles/commscope_instrument.dir/instrument/loop_registry.cpp.o.d"
+  "/root/repo/src/instrument/trace.cpp" "src/CMakeFiles/commscope_instrument.dir/instrument/trace.cpp.o" "gcc" "src/CMakeFiles/commscope_instrument.dir/instrument/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/commscope_support.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/commscope_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

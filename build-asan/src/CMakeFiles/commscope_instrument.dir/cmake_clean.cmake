@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commscope_instrument.dir/instrument/loop_registry.cpp.o"
+  "CMakeFiles/commscope_instrument.dir/instrument/loop_registry.cpp.o.d"
+  "CMakeFiles/commscope_instrument.dir/instrument/trace.cpp.o"
+  "CMakeFiles/commscope_instrument.dir/instrument/trace.cpp.o.d"
+  "libcommscope_instrument.a"
+  "libcommscope_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commscope_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

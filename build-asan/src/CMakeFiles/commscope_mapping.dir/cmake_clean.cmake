@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commscope_mapping.dir/mapping/data_map.cpp.o"
+  "CMakeFiles/commscope_mapping.dir/mapping/data_map.cpp.o.d"
+  "CMakeFiles/commscope_mapping.dir/mapping/mapper.cpp.o"
+  "CMakeFiles/commscope_mapping.dir/mapping/mapper.cpp.o.d"
+  "CMakeFiles/commscope_mapping.dir/mapping/topology.cpp.o"
+  "CMakeFiles/commscope_mapping.dir/mapping/topology.cpp.o.d"
+  "libcommscope_mapping.a"
+  "libcommscope_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commscope_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

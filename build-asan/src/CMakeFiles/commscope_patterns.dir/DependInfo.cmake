@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/patterns/classifier.cpp" "src/CMakeFiles/commscope_patterns.dir/patterns/classifier.cpp.o" "gcc" "src/CMakeFiles/commscope_patterns.dir/patterns/classifier.cpp.o.d"
+  "/root/repo/src/patterns/decision_tree.cpp" "src/CMakeFiles/commscope_patterns.dir/patterns/decision_tree.cpp.o" "gcc" "src/CMakeFiles/commscope_patterns.dir/patterns/decision_tree.cpp.o.d"
+  "/root/repo/src/patterns/features.cpp" "src/CMakeFiles/commscope_patterns.dir/patterns/features.cpp.o" "gcc" "src/CMakeFiles/commscope_patterns.dir/patterns/features.cpp.o.d"
+  "/root/repo/src/patterns/generators.cpp" "src/CMakeFiles/commscope_patterns.dir/patterns/generators.cpp.o" "gcc" "src/CMakeFiles/commscope_patterns.dir/patterns/generators.cpp.o.d"
+  "/root/repo/src/patterns/validation.cpp" "src/CMakeFiles/commscope_patterns.dir/patterns/validation.cpp.o" "gcc" "src/CMakeFiles/commscope_patterns.dir/patterns/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/commscope_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/commscope_sigmem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/commscope_instrument.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/commscope_threading.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/commscope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commscope_patterns.dir/patterns/classifier.cpp.o"
+  "CMakeFiles/commscope_patterns.dir/patterns/classifier.cpp.o.d"
+  "CMakeFiles/commscope_patterns.dir/patterns/decision_tree.cpp.o"
+  "CMakeFiles/commscope_patterns.dir/patterns/decision_tree.cpp.o.d"
+  "CMakeFiles/commscope_patterns.dir/patterns/features.cpp.o"
+  "CMakeFiles/commscope_patterns.dir/patterns/features.cpp.o.d"
+  "CMakeFiles/commscope_patterns.dir/patterns/generators.cpp.o"
+  "CMakeFiles/commscope_patterns.dir/patterns/generators.cpp.o.d"
+  "CMakeFiles/commscope_patterns.dir/patterns/validation.cpp.o"
+  "CMakeFiles/commscope_patterns.dir/patterns/validation.cpp.o.d"
+  "libcommscope_patterns.a"
+  "libcommscope_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commscope_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

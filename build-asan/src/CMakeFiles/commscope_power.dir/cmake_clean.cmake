@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commscope_power.dir/power/dvfs.cpp.o"
+  "CMakeFiles/commscope_power.dir/power/dvfs.cpp.o.d"
+  "libcommscope_power.a"
+  "libcommscope_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commscope_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

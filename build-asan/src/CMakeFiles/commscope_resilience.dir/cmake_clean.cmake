@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commscope_resilience.dir/resilience/checkpoint.cpp.o"
+  "CMakeFiles/commscope_resilience.dir/resilience/checkpoint.cpp.o.d"
+  "CMakeFiles/commscope_resilience.dir/resilience/crash_guard.cpp.o"
+  "CMakeFiles/commscope_resilience.dir/resilience/crash_guard.cpp.o.d"
+  "CMakeFiles/commscope_resilience.dir/resilience/fault_injector.cpp.o"
+  "CMakeFiles/commscope_resilience.dir/resilience/fault_injector.cpp.o.d"
+  "CMakeFiles/commscope_resilience.dir/resilience/guarded_sink.cpp.o"
+  "CMakeFiles/commscope_resilience.dir/resilience/guarded_sink.cpp.o.d"
+  "CMakeFiles/commscope_resilience.dir/resilience/resource_guard.cpp.o"
+  "CMakeFiles/commscope_resilience.dir/resilience/resource_guard.cpp.o.d"
+  "libcommscope_resilience.a"
+  "libcommscope_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commscope_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commscope_sigmem.dir/sigmem/exact_signature.cpp.o"
+  "CMakeFiles/commscope_sigmem.dir/sigmem/exact_signature.cpp.o.d"
+  "CMakeFiles/commscope_sigmem.dir/sigmem/read_signature.cpp.o"
+  "CMakeFiles/commscope_sigmem.dir/sigmem/read_signature.cpp.o.d"
+  "CMakeFiles/commscope_sigmem.dir/sigmem/write_signature.cpp.o"
+  "CMakeFiles/commscope_sigmem.dir/sigmem/write_signature.cpp.o.d"
+  "libcommscope_sigmem.a"
+  "libcommscope_sigmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commscope_sigmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/args.cpp" "src/CMakeFiles/commscope_support.dir/support/args.cpp.o" "gcc" "src/CMakeFiles/commscope_support.dir/support/args.cpp.o.d"
+  "/root/repo/src/support/bloom.cpp" "src/CMakeFiles/commscope_support.dir/support/bloom.cpp.o" "gcc" "src/CMakeFiles/commscope_support.dir/support/bloom.cpp.o.d"
+  "/root/repo/src/support/env.cpp" "src/CMakeFiles/commscope_support.dir/support/env.cpp.o" "gcc" "src/CMakeFiles/commscope_support.dir/support/env.cpp.o.d"
+  "/root/repo/src/support/hash.cpp" "src/CMakeFiles/commscope_support.dir/support/hash.cpp.o" "gcc" "src/CMakeFiles/commscope_support.dir/support/hash.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/commscope_support.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/commscope_support.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/commscope_support.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/commscope_support.dir/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

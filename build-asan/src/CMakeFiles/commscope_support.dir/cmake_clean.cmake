@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commscope_support.dir/support/args.cpp.o"
+  "CMakeFiles/commscope_support.dir/support/args.cpp.o.d"
+  "CMakeFiles/commscope_support.dir/support/bloom.cpp.o"
+  "CMakeFiles/commscope_support.dir/support/bloom.cpp.o.d"
+  "CMakeFiles/commscope_support.dir/support/env.cpp.o"
+  "CMakeFiles/commscope_support.dir/support/env.cpp.o.d"
+  "CMakeFiles/commscope_support.dir/support/hash.cpp.o"
+  "CMakeFiles/commscope_support.dir/support/hash.cpp.o.d"
+  "CMakeFiles/commscope_support.dir/support/stats.cpp.o"
+  "CMakeFiles/commscope_support.dir/support/stats.cpp.o.d"
+  "CMakeFiles/commscope_support.dir/support/table.cpp.o"
+  "CMakeFiles/commscope_support.dir/support/table.cpp.o.d"
+  "libcommscope_support.a"
+  "libcommscope_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commscope_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commscope_threading.dir/threading/registry.cpp.o"
+  "CMakeFiles/commscope_threading.dir/threading/registry.cpp.o.d"
+  "CMakeFiles/commscope_threading.dir/threading/thread_pool.cpp.o"
+  "CMakeFiles/commscope_threading.dir/threading/thread_pool.cpp.o.d"
+  "libcommscope_threading.a"
+  "libcommscope_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commscope_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcommscope_threading.a"
+)

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commscope_workloads.dir/workloads/barnes.cpp.o"
+  "CMakeFiles/commscope_workloads.dir/workloads/barnes.cpp.o.d"
+  "CMakeFiles/commscope_workloads.dir/workloads/cholesky.cpp.o"
+  "CMakeFiles/commscope_workloads.dir/workloads/cholesky.cpp.o.d"
+  "CMakeFiles/commscope_workloads.dir/workloads/fft.cpp.o"
+  "CMakeFiles/commscope_workloads.dir/workloads/fft.cpp.o.d"
+  "CMakeFiles/commscope_workloads.dir/workloads/fmm.cpp.o"
+  "CMakeFiles/commscope_workloads.dir/workloads/fmm.cpp.o.d"
+  "CMakeFiles/commscope_workloads.dir/workloads/lu.cpp.o"
+  "CMakeFiles/commscope_workloads.dir/workloads/lu.cpp.o.d"
+  "CMakeFiles/commscope_workloads.dir/workloads/ocean.cpp.o"
+  "CMakeFiles/commscope_workloads.dir/workloads/ocean.cpp.o.d"
+  "CMakeFiles/commscope_workloads.dir/workloads/radiosity.cpp.o"
+  "CMakeFiles/commscope_workloads.dir/workloads/radiosity.cpp.o.d"
+  "CMakeFiles/commscope_workloads.dir/workloads/radix.cpp.o"
+  "CMakeFiles/commscope_workloads.dir/workloads/radix.cpp.o.d"
+  "CMakeFiles/commscope_workloads.dir/workloads/raytrace.cpp.o"
+  "CMakeFiles/commscope_workloads.dir/workloads/raytrace.cpp.o.d"
+  "CMakeFiles/commscope_workloads.dir/workloads/volrend.cpp.o"
+  "CMakeFiles/commscope_workloads.dir/workloads/volrend.cpp.o.d"
+  "CMakeFiles/commscope_workloads.dir/workloads/water.cpp.o"
+  "CMakeFiles/commscope_workloads.dir/workloads/water.cpp.o.d"
+  "CMakeFiles/commscope_workloads.dir/workloads/workload.cpp.o"
+  "CMakeFiles/commscope_workloads.dir/workloads/workload.cpp.o.d"
+  "libcommscope_workloads.a"
+  "libcommscope_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commscope_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_ipm.dir/test_baseline_ipm.cpp.o"
+  "CMakeFiles/test_baseline_ipm.dir/test_baseline_ipm.cpp.o.d"
+  "test_baseline_ipm"
+  "test_baseline_ipm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_ipm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_sd3.dir/test_baseline_sd3.cpp.o"
+  "CMakeFiles/test_baseline_sd3.dir/test_baseline_sd3.cpp.o.d"
+  "test_baseline_sd3"
+  "test_baseline_sd3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_sd3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

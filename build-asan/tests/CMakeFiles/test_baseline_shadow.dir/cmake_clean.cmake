@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_shadow.dir/test_baseline_shadow.cpp.o"
+  "CMakeFiles/test_baseline_shadow.dir/test_baseline_shadow.cpp.o.d"
+  "test_baseline_shadow"
+  "test_baseline_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bloom.dir/test_bloom.cpp.o"
+  "CMakeFiles/test_bloom.dir/test_bloom.cpp.o.d"
+  "test_bloom"
+  "test_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_map.dir/test_data_map.cpp.o"
+  "CMakeFiles/test_data_map.dir/test_data_map.cpp.o.d"
+  "test_data_map"
+  "test_data_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

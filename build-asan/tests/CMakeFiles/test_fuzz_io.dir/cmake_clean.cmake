@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_io.dir/test_fuzz_io.cpp.o"
+  "CMakeFiles/test_fuzz_io.dir/test_fuzz_io.cpp.o.d"
+  "test_fuzz_io"
+  "test_fuzz_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase.dir/test_phase.cpp.o"
+  "CMakeFiles/test_phase.dir/test_phase.cpp.o.d"
+  "test_phase"
+  "test_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raw_detector.dir/test_raw_detector.cpp.o"
+  "CMakeFiles/test_raw_detector.dir/test_raw_detector.cpp.o.d"
+  "test_raw_detector"
+  "test_raw_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raw_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_region_tree.dir/test_region_tree.cpp.o"
+  "CMakeFiles/test_region_tree.dir/test_region_tree.cpp.o.d"
+  "test_region_tree"
+  "test_region_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_region_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sigmem.dir/test_sigmem.cpp.o"
+  "CMakeFiles/test_sigmem.dir/test_sigmem.cpp.o.d"
+  "test_sigmem"
+  "test_sigmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sigmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

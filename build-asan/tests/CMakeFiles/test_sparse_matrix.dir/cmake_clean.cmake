@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_matrix.dir/test_sparse_matrix.cpp.o"
+  "CMakeFiles/test_sparse_matrix.dir/test_sparse_matrix.cpp.o.d"
+  "test_sparse_matrix"
+  "test_sparse_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_load.dir/test_thread_load.cpp.o"
+  "CMakeFiles/test_thread_load.dir/test_thread_load.cpp.o.d"
+  "test_thread_load"
+  "test_thread_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commscope_cli.dir/commscope.cpp.o"
+  "CMakeFiles/commscope_cli.dir/commscope.cpp.o.d"
+  "commscope"
+  "commscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commscope_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

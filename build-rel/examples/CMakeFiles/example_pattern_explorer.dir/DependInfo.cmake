@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pattern_explorer.cpp" "examples/CMakeFiles/example_pattern_explorer.dir/pattern_explorer.cpp.o" "gcc" "examples/CMakeFiles/example_pattern_explorer.dir/pattern_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/commscope_patterns.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_mapping.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_power.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_resilience.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_core.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_sigmem.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_instrument.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_threading.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/ipm_profiler.cpp" "src/CMakeFiles/commscope_baseline.dir/baseline/ipm_profiler.cpp.o" "gcc" "src/CMakeFiles/commscope_baseline.dir/baseline/ipm_profiler.cpp.o.d"
+  "/root/repo/src/baseline/sd3_profiler.cpp" "src/CMakeFiles/commscope_baseline.dir/baseline/sd3_profiler.cpp.o" "gcc" "src/CMakeFiles/commscope_baseline.dir/baseline/sd3_profiler.cpp.o.d"
+  "/root/repo/src/baseline/shadow_profiler.cpp" "src/CMakeFiles/commscope_baseline.dir/baseline/shadow_profiler.cpp.o" "gcc" "src/CMakeFiles/commscope_baseline.dir/baseline/shadow_profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/commscope_core.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_sigmem.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_instrument.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_threading.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

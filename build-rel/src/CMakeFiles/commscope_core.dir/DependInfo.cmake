@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comm_matrix.cpp" "src/CMakeFiles/commscope_core.dir/core/comm_matrix.cpp.o" "gcc" "src/CMakeFiles/commscope_core.dir/core/comm_matrix.cpp.o.d"
+  "/root/repo/src/core/matrix_io.cpp" "src/CMakeFiles/commscope_core.dir/core/matrix_io.cpp.o" "gcc" "src/CMakeFiles/commscope_core.dir/core/matrix_io.cpp.o.d"
+  "/root/repo/src/core/phase.cpp" "src/CMakeFiles/commscope_core.dir/core/phase.cpp.o" "gcc" "src/CMakeFiles/commscope_core.dir/core/phase.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/CMakeFiles/commscope_core.dir/core/profiler.cpp.o" "gcc" "src/CMakeFiles/commscope_core.dir/core/profiler.cpp.o.d"
+  "/root/repo/src/core/region_tree.cpp" "src/CMakeFiles/commscope_core.dir/core/region_tree.cpp.o" "gcc" "src/CMakeFiles/commscope_core.dir/core/region_tree.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/commscope_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/commscope_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/sparse_matrix.cpp" "src/CMakeFiles/commscope_core.dir/core/sparse_matrix.cpp.o" "gcc" "src/CMakeFiles/commscope_core.dir/core/sparse_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/commscope_sigmem.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_instrument.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_threading.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

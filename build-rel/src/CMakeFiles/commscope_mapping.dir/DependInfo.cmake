@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/data_map.cpp" "src/CMakeFiles/commscope_mapping.dir/mapping/data_map.cpp.o" "gcc" "src/CMakeFiles/commscope_mapping.dir/mapping/data_map.cpp.o.d"
+  "/root/repo/src/mapping/mapper.cpp" "src/CMakeFiles/commscope_mapping.dir/mapping/mapper.cpp.o" "gcc" "src/CMakeFiles/commscope_mapping.dir/mapping/mapper.cpp.o.d"
+  "/root/repo/src/mapping/topology.cpp" "src/CMakeFiles/commscope_mapping.dir/mapping/topology.cpp.o" "gcc" "src/CMakeFiles/commscope_mapping.dir/mapping/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/commscope_core.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_sigmem.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_instrument.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_threading.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resilience/checkpoint.cpp" "src/CMakeFiles/commscope_resilience.dir/resilience/checkpoint.cpp.o" "gcc" "src/CMakeFiles/commscope_resilience.dir/resilience/checkpoint.cpp.o.d"
+  "/root/repo/src/resilience/crash_guard.cpp" "src/CMakeFiles/commscope_resilience.dir/resilience/crash_guard.cpp.o" "gcc" "src/CMakeFiles/commscope_resilience.dir/resilience/crash_guard.cpp.o.d"
+  "/root/repo/src/resilience/fault_injector.cpp" "src/CMakeFiles/commscope_resilience.dir/resilience/fault_injector.cpp.o" "gcc" "src/CMakeFiles/commscope_resilience.dir/resilience/fault_injector.cpp.o.d"
+  "/root/repo/src/resilience/guarded_sink.cpp" "src/CMakeFiles/commscope_resilience.dir/resilience/guarded_sink.cpp.o" "gcc" "src/CMakeFiles/commscope_resilience.dir/resilience/guarded_sink.cpp.o.d"
+  "/root/repo/src/resilience/resource_guard.cpp" "src/CMakeFiles/commscope_resilience.dir/resilience/resource_guard.cpp.o" "gcc" "src/CMakeFiles/commscope_resilience.dir/resilience/resource_guard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/commscope_core.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_sigmem.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_instrument.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_threading.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sigmem/exact_signature.cpp" "src/CMakeFiles/commscope_sigmem.dir/sigmem/exact_signature.cpp.o" "gcc" "src/CMakeFiles/commscope_sigmem.dir/sigmem/exact_signature.cpp.o.d"
+  "/root/repo/src/sigmem/read_signature.cpp" "src/CMakeFiles/commscope_sigmem.dir/sigmem/read_signature.cpp.o" "gcc" "src/CMakeFiles/commscope_sigmem.dir/sigmem/read_signature.cpp.o.d"
+  "/root/repo/src/sigmem/write_signature.cpp" "src/CMakeFiles/commscope_sigmem.dir/sigmem/write_signature.cpp.o" "gcc" "src/CMakeFiles/commscope_sigmem.dir/sigmem/write_signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/commscope_support.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

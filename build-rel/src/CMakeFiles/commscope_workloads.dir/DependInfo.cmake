@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/barnes.cpp" "src/CMakeFiles/commscope_workloads.dir/workloads/barnes.cpp.o" "gcc" "src/CMakeFiles/commscope_workloads.dir/workloads/barnes.cpp.o.d"
+  "/root/repo/src/workloads/cholesky.cpp" "src/CMakeFiles/commscope_workloads.dir/workloads/cholesky.cpp.o" "gcc" "src/CMakeFiles/commscope_workloads.dir/workloads/cholesky.cpp.o.d"
+  "/root/repo/src/workloads/fft.cpp" "src/CMakeFiles/commscope_workloads.dir/workloads/fft.cpp.o" "gcc" "src/CMakeFiles/commscope_workloads.dir/workloads/fft.cpp.o.d"
+  "/root/repo/src/workloads/fmm.cpp" "src/CMakeFiles/commscope_workloads.dir/workloads/fmm.cpp.o" "gcc" "src/CMakeFiles/commscope_workloads.dir/workloads/fmm.cpp.o.d"
+  "/root/repo/src/workloads/lu.cpp" "src/CMakeFiles/commscope_workloads.dir/workloads/lu.cpp.o" "gcc" "src/CMakeFiles/commscope_workloads.dir/workloads/lu.cpp.o.d"
+  "/root/repo/src/workloads/ocean.cpp" "src/CMakeFiles/commscope_workloads.dir/workloads/ocean.cpp.o" "gcc" "src/CMakeFiles/commscope_workloads.dir/workloads/ocean.cpp.o.d"
+  "/root/repo/src/workloads/radiosity.cpp" "src/CMakeFiles/commscope_workloads.dir/workloads/radiosity.cpp.o" "gcc" "src/CMakeFiles/commscope_workloads.dir/workloads/radiosity.cpp.o.d"
+  "/root/repo/src/workloads/radix.cpp" "src/CMakeFiles/commscope_workloads.dir/workloads/radix.cpp.o" "gcc" "src/CMakeFiles/commscope_workloads.dir/workloads/radix.cpp.o.d"
+  "/root/repo/src/workloads/raytrace.cpp" "src/CMakeFiles/commscope_workloads.dir/workloads/raytrace.cpp.o" "gcc" "src/CMakeFiles/commscope_workloads.dir/workloads/raytrace.cpp.o.d"
+  "/root/repo/src/workloads/volrend.cpp" "src/CMakeFiles/commscope_workloads.dir/workloads/volrend.cpp.o" "gcc" "src/CMakeFiles/commscope_workloads.dir/workloads/volrend.cpp.o.d"
+  "/root/repo/src/workloads/water.cpp" "src/CMakeFiles/commscope_workloads.dir/workloads/water.cpp.o" "gcc" "src/CMakeFiles/commscope_workloads.dir/workloads/water.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/commscope_workloads.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/commscope_workloads.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/commscope_core.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_sigmem.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_instrument.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_threading.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/commscope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
