@@ -25,7 +25,16 @@ std::uint64_t Matrix::total() const noexcept {
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   if (other.n_ != n_) throw std::invalid_argument("matrix size mismatch");
-  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const std::uint64_t sum = cells_[i] + other.cells_[i];
+    if (sum >= kCommCounterCap) {
+      cells_[i] = kCommCounterCap;
+      saturated_ = true;
+    } else {
+      cells_[i] = sum;
+    }
+  }
+  saturated_ = saturated_ || other.saturated_;
   return *this;
 }
 
@@ -47,6 +56,7 @@ Matrix Matrix::trimmed(int t) const {
   for (int p = 0; p < t; ++p) {
     for (int c = 0; c < t; ++c) m.at(p, c) = at(p, c);
   }
+  if (saturated_) m.mark_saturated();
   return m;
 }
 
@@ -74,6 +84,7 @@ Matrix CommMatrix::snapshot() const {
          static_cast<int>(i % static_cast<std::size_t>(n_))) =
         cells_[i].load(std::memory_order_relaxed);
   }
+  if (saturated()) m.mark_saturated();
   return m;
 }
 
@@ -82,6 +93,7 @@ void CommMatrix::reset() noexcept {
   for (std::size_t i = 0; i < total; ++i) {
     cells_[i].store(0, std::memory_order_relaxed);
   }
+  saturated_.store(false, std::memory_order_relaxed);
 }
 
 }  // namespace commscope::core

@@ -22,6 +22,12 @@
 
 namespace commscope::core {
 
+/// Per-cell counter ceiling. Accumulation clamps here instead of wrapping:
+/// a wrapped uint64 would silently report a near-empty matrix after ~1.8e19
+/// bytes of attributed communication, while a clamped cell plus a raised
+/// `saturated` provenance flag reports "at least this much" honestly.
+inline constexpr std::uint64_t kCommCounterCap = std::uint64_t{1} << 62;
+
 /// Immutable-size value-type snapshot of a communication matrix.
 class Matrix {
  public:
@@ -44,8 +50,19 @@ class Matrix {
   /// Total communicated bytes.
   [[nodiscard]] std::uint64_t total() const noexcept;
 
+  /// Saturating accumulation: cells clamp at kCommCounterCap and the
+  /// `saturated` flags OR together.
   Matrix& operator+=(const Matrix& other);
-  [[nodiscard]] bool operator==(const Matrix& other) const = default;
+  /// Value equality over dimension and cells. The saturated flag is
+  /// provenance, not value, and is deliberately excluded.
+  [[nodiscard]] bool operator==(const Matrix& other) const noexcept {
+    return n_ == other.n_ && cells_ == other.cells_;
+  }
+
+  /// True when any contributing accumulator clamped a counter: every number
+  /// derived from this matrix is a lower bound, not an exact volume.
+  [[nodiscard]] bool saturated() const noexcept { return saturated_; }
+  void mark_saturated() noexcept { saturated_ = true; }
 
   /// Row-major cells, length size()*size().
   [[nodiscard]] std::span<const std::uint64_t> cells() const noexcept {
@@ -71,6 +88,7 @@ class Matrix {
 
   int n_ = 0;
   std::vector<std::uint64_t> cells_;
+  bool saturated_ = false;
 };
 
 /// Concurrent accumulator: one relaxed atomic counter per (producer,
@@ -84,10 +102,26 @@ class CommMatrix {
 
   [[nodiscard]] int size() const noexcept { return n_; }
 
+  /// Saturating accumulate: on crossing kCommCounterCap the cell clamps
+  /// there and the matrix-wide `saturated` flag is raised, instead of the
+  /// counter wrapping. Concurrent adds race benignly — every racer observes
+  /// a sum past the cap and re-stores the clamp. One relaxed fetch_add plus
+  /// a never-taken branch in the unsaturated (i.e. real) regime.
   void add(int producer, int consumer, std::uint64_t bytes) noexcept {
-    cells_[static_cast<std::size_t>(producer) * static_cast<std::size_t>(n_) +
-           static_cast<std::size_t>(consumer)]
-        .fetch_add(bytes, std::memory_order_relaxed);
+    std::atomic<std::uint64_t>& cell =
+        cells_[static_cast<std::size_t>(producer) * static_cast<std::size_t>(n_) +
+               static_cast<std::size_t>(consumer)];
+    const std::uint64_t sum =
+        cell.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (sum >= kCommCounterCap) [[unlikely]] {
+      cell.store(kCommCounterCap, std::memory_order_relaxed);
+      saturated_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// True when any cell has clamped at kCommCounterCap.
+  [[nodiscard]] bool saturated() const noexcept {
+    return saturated_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] Matrix snapshot() const;
@@ -102,6 +136,7 @@ class CommMatrix {
  private:
   int n_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+  std::atomic<bool> saturated_{false};
 };
 
 }  // namespace commscope::core

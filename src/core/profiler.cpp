@@ -35,12 +35,14 @@ Profiler::Profiler(ProfilerOptions options)
 }
 
 void Profiler::on_thread_begin(int tid) {
+  if (!admit_tid(tid)) return;
   ThreadCtx& c = ctx(tid);
   c.stack.clear();
   c.stack.push_back(&tree_.root());
 }
 
 void Profiler::on_loop_enter(int tid, instrument::LoopId id) {
+  if (!admit_tid(tid)) return;
   ThreadCtx& c = ctx(tid);
   if (c.stack.empty()) c.stack.push_back(&tree_.root());
   RegionNode* node = c.stack.back()->child(id);
@@ -49,12 +51,14 @@ void Profiler::on_loop_enter(int tid, instrument::LoopId id) {
 }
 
 void Profiler::on_loop_exit(int tid) {
+  if (!admit_tid(tid)) return;
   ThreadCtx& c = ctx(tid);
   if (c.stack.size() > 1) c.stack.pop_back();
 }
 
 void Profiler::on_access(int tid, std::uintptr_t addr, std::uint32_t size,
                          instrument::AccessKind kind) {
+  if (!admit_tid(tid)) return;
   ThreadCtx& c = ctx(tid);
   if (c.stack.empty()) c.stack.push_back(&tree_.root());
   ++c.accesses;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -127,6 +128,15 @@ class Profiler final : public instrument::AccessSink {
 
   [[nodiscard]] ProfileStats stats() const;
 
+  /// Events dropped because their tid was outside [0, max_threads): calls
+  /// from a thread that never registered (ThreadRegistry::kUnregistered) or
+  /// from beyond the matrix dimension. Dropping with a count is the
+  /// graceful-degradation contract — indexing with such a tid would corrupt
+  /// per-thread state. Surfaced as report provenance when nonzero.
+  [[nodiscard]] std::uint64_t dropped_events() const noexcept {
+    return dropped_events_.load(std::memory_order_relaxed);
+  }
+
   /// Dependence census (all zeros unless classify_dependences was set).
   [[nodiscard]] DependenceCounts dependence_counts() const;
 
@@ -206,9 +216,20 @@ class Profiler final : public instrument::AccessSink {
   PhaseTracker phases_;
   std::unique_ptr<ThreadCtx[]> contexts_;
   std::vector<DegradationEvent> degradations_;
+  std::atomic<std::uint64_t> dropped_events_{0};
 
   [[nodiscard]] ThreadCtx& ctx(int tid) noexcept {
     return contexts_[static_cast<std::size_t>(tid)];
+  }
+
+  /// True when `tid` indexes a real context; otherwise counts the drop.
+  [[nodiscard]] bool admit_tid(int tid) noexcept {
+    if (static_cast<unsigned>(tid) <
+        static_cast<unsigned>(options_.max_threads)) [[likely]] {
+      return true;
+    }
+    dropped_events_.fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
 };
 

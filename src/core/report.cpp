@@ -52,6 +52,32 @@ void print_report(std::ostream& os, const Profiler& profiler,
      << stats.dependencies << "\n";
   os << "profiler memory: "
      << support::Table::bytes(profiler.memory_bytes()) << "\n";
+  // Concurrency/overflow provenance: a report that dropped, clamped or
+  // mis-sized anything says so instead of presenting degraded numbers as
+  // exact (same policy as the degradation ladder below).
+  if (profiler.dropped_events() > 0) {
+    os << "dropped events: " << profiler.dropped_events()
+       << " (tid outside [0, " << profiler.options().max_threads
+       << ") — unregistered or overflowed threads; volumes undercount)\n";
+  }
+  if (profiler.communication_matrix().saturated()) {
+    os << "saturated: one or more communication counters clamped at 2^62; "
+          "volumes are lower bounds\n";
+  }
+  if (const AsymmetricDetector* det = profiler.signature_detector()) {
+    const std::uint64_t rejected = det->read_signature().rejected() +
+                                   det->write_signature().rejected();
+    const std::uint64_t overflow = det->read_signature().overflow_inserts();
+    if (rejected > 0) {
+      os << "signature rejects: " << rejected
+         << " events carried invalid tids and were not recorded\n";
+    }
+    if (overflow > 0) {
+      os << "signature overflow: " << overflow
+         << " reader inserts beyond max_threads — configured FP rate no "
+            "longer guaranteed\n";
+    }
+  }
   if (profiler.options().classify_dependences) {
     const DependenceCounts d = profiler.dependence_counts();
     os << "dependence census: RAW " << d.raw << ", WAR " << d.war << ", WAW "

@@ -14,7 +14,12 @@ void SparseCommMatrix::add(int producer, int consumer, std::uint64_t bytes) {
   Shard& s = shards_[k % kShards];
   std::lock_guard lock(s.mu);
   auto [it, inserted] = s.cells.try_emplace(k, 0);
+  // Same saturation contract as the dense accumulator: clamp, never wrap.
   it->second += bytes;
+  if (it->second >= kCommCounterCap) {
+    it->second = kCommCounterCap;
+    saturated_.store(true, std::memory_order_relaxed);
+  }
   if (inserted && tracker_ != nullptr) tracker_->add(kCellBytes);
 }
 
@@ -28,6 +33,7 @@ Matrix SparseCommMatrix::snapshot() const {
            static_cast<int>(k % static_cast<std::uint32_t>(n_))) = bytes;
     }
   }
+  if (saturated_.load(std::memory_order_relaxed)) m.mark_saturated();
   return m;
 }
 
@@ -52,6 +58,7 @@ void SparseCommMatrix::reset() {
     }
     shards_[sh].cells.clear();
   }
+  saturated_.store(false, std::memory_order_relaxed);
 }
 
 }  // namespace commscope::core

@@ -12,6 +12,7 @@
 // bench/ablation_sparse quantifies the trade-off.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -65,6 +66,7 @@ class SparseCommMatrix {
   int n_;
   support::MemoryTracker* tracker_;
   std::unique_ptr<Shard[]> shards_;
+  std::atomic<bool> saturated_{false};
 };
 
 }  // namespace commscope::core

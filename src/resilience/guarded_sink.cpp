@@ -39,6 +39,18 @@ std::uint64_t round_up_pow2(std::uint64_t v) noexcept {
   return p;
 }
 
+// The most recently constructed live sink; ThreadRegistry flush hooks (fired
+// at exit()/fork()) reach it through this pointer because hooks are plain
+// function pointers. One process-wide slot matches the CLI's one-run-at-a-
+// time shape; a second concurrent sink simply isn't flushed by the hook.
+std::atomic<GuardedSink*> g_active_sink{nullptr};
+
+void flush_active_sink() noexcept {
+  if (GuardedSink* sink = g_active_sink.load(std::memory_order_acquire)) {
+    sink->flush();
+  }
+}
+
 }  // namespace
 
 GuardedSink::GuardedSink(core::Profiler& profiler, ResourceGuard* guard,
@@ -81,6 +93,10 @@ GuardedSink::GuardedSink(core::Profiler& profiler, ResourceGuard* guard,
     crash_->publish(
         serialize_checkpoint(*profiler_, meta, profiler_->stats()));
   }
+  g_active_sink.store(this, std::memory_order_release);
+  static const bool hook_registered =
+      threading::ThreadRegistry::at_flush(&flush_active_sink);
+  (void)hook_registered;
 }
 
 std::uint64_t GuardedSink::begin_event() {
@@ -98,7 +114,29 @@ std::uint64_t GuardedSink::begin_event() {
 }
 
 GuardedSink::~GuardedSink() {
+  GuardedSink* self = this;
+  g_active_sink.compare_exchange_strong(self, nullptr,
+                                        std::memory_order_acq_rel);
   if (observer_installed_) profiler_->memory().set_observer(nullptr);
+}
+
+void GuardedSink::flush() noexcept {
+  // Exit/fork can race a normal maintenance pass; the lock serializes them.
+  // Under the safepoint protocol we also drain in-flight events so the
+  // serialized tree is not torn; without it (plain passthrough sink) the
+  // snapshot is best-effort, which is still strictly better than losing the
+  // run's state to an exit() mid-phase.
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
+  try {
+    if (gate_) stop_the_world();
+    write_checkpoint(events_.load(std::memory_order_relaxed), "partial",
+                     "flush");
+    if (gate_) resume_the_world();
+  } catch (...) {
+    // flush() runs from atexit/fork hooks; failure means no snapshot, never
+    // a crash on the way out.
+    if (gate_) resume_the_world();
+  }
 }
 
 void GuardedSink::coarse_backout(Slot& s) noexcept {
@@ -164,6 +202,11 @@ void GuardedSink::write_checkpoint(std::uint64_t index,
 }
 
 void GuardedSink::on_loop_enter(int tid, instrument::LoopId id) {
+  threading::ThreadRegistry::ReentrancyGuard reent;
+  if (!reent.engaged()) [[unlikely]] {
+    reentrant_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   if (precise_) (void)begin_event();
   // Loop structure events always flow — region attribution must stay exact
   // even when access events are suppressed. Node creation synchronizes with
@@ -173,12 +216,25 @@ void GuardedSink::on_loop_enter(int tid, instrument::LoopId id) {
 }
 
 void GuardedSink::on_loop_exit(int tid) {
+  threading::ThreadRegistry::ReentrancyGuard reent;
+  if (!reent.engaged()) [[unlikely]] {
+    reentrant_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   if (precise_) (void)begin_event();
   profiler_->on_loop_exit(tid);
 }
 
 void GuardedSink::on_access(int tid, std::uintptr_t addr, std::uint32_t size,
                             instrument::AccessKind kind) {
+  // An instrumented allocator (or any client hook) that fires while the
+  // profiler is itself allocating would recurse into the sink forever; the
+  // outermost-entry guard turns that into a counted drop instead.
+  threading::ThreadRegistry::ReentrancyGuard reent;
+  if (!reent.engaged()) [[unlikely]] {
+    reentrant_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   if (!precise_) {
     if (!gate_) {
       profiler_->on_access(tid, addr, size, kind);

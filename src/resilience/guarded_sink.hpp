@@ -39,6 +39,7 @@
 #include "resilience/crash_guard.hpp"
 #include "resilience/fault_injector.hpp"
 #include "resilience/resource_guard.hpp"
+#include "threading/registry.hpp"
 
 namespace commscope::resilience {
 
@@ -67,6 +68,13 @@ class GuardedSink final : public instrument::AccessSink {
                  instrument::AccessKind kind) override;
   void finalize() override;
 
+  /// Best-effort flush: serialize the current profiler state and publish it
+  /// to the CrashGuard (and checkpoint file, when configured). Runs under
+  /// the maintenance lock and, when the safepoint protocol is active, under
+  /// a stopped world. Registered as a ThreadRegistry flush hook so buffered
+  /// state survives exit() and fork() mid-phase.
+  void flush() noexcept;
+
   /// Counted events. Exact in precise mode; in coarse mode there is no
   /// per-event counting, so this reads 0 until finalize() stamps it from the
   /// profiler's access statistics.
@@ -80,6 +88,13 @@ class GuardedSink final : public instrument::AccessSink {
   /// Checkpoint files successfully written.
   [[nodiscard]] std::uint64_t checkpoints_written() const noexcept {
     return checkpoints_written_;
+  }
+  /// Access events dropped because they re-entered the sink from inside the
+  /// instrumentation runtime (e.g. an instrumented allocator called from a
+  /// profiler data structure). Dropping breaks the recursion; the count is
+  /// the provenance.
+  [[nodiscard]] std::uint64_t reentrant_drops() const noexcept {
+    return reentrant_drops_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -131,6 +146,7 @@ class GuardedSink final : public instrument::AccessSink {
 
   std::atomic<std::uint64_t> events_{0};
   std::atomic<std::uint64_t> suppressed_{0};
+  std::atomic<std::uint64_t> reentrant_drops_{0};
   std::uint64_t checkpoints_written_ = 0;
   bool checkpoint_io_failed_ = false;
 

@@ -7,11 +7,11 @@ namespace commscope::resilience {
 bool ResourceGuard::apply_one_rung(std::uint64_t index,
                                    const std::string& reason) {
   if (profiler_->degrade_exact_to_signature(index, reason)) {
-    ++downshifts_;
+    downshifts_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   if (profiler_->degrade_regions_to_sparse(index, reason)) {
-    ++downshifts_;
+    downshifts_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   if (sampler_ != nullptr) {
@@ -23,12 +23,12 @@ bool ResourceGuard::apply_one_rung(std::uint64_t index,
           index, before, profiler_->memory_bytes(), reason,
           std::string("sampling duty cycle lowered to ") + duty +
               " (volumes correctable via scale_factor)"});
-      ++downshifts_;
+      downshifts_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
   if (profiler_->degrade_halve_slots(index, reason)) {
-    ++downshifts_;
+    downshifts_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
@@ -58,15 +58,15 @@ void ResourceGuard::check(std::uint64_t index) {
         }
         // Nothing more can help; stop the sensor from re-raising pending on
         // every subsequent allocation.
-        watching_ = false;
+        watching_.store(false, std::memory_order_relaxed);
         break;
       }
     }
   }
 
   if (options_.event_budget != 0 && index > options_.event_budget &&
-      !suppress_) {
-    suppress_ = true;
+      !suppress_.load(std::memory_order_relaxed)) {
+    suppress_.store(true, std::memory_order_relaxed);
     profiler_->record_degradation(core::DegradationEvent{
         index, profiler_->memory_bytes(), profiler_->memory_bytes(),
         "event budget exhausted",

@@ -55,7 +55,8 @@ class ResourceGuard : public support::AllocObserver {
   /// safepoint pause flag; check() clears it with release when done) is all
   /// the event hot path ever has to look at.
   void on_tracked_alloc(std::size_t bytes) noexcept override {
-    if (watching_ && options_.mem_budget_bytes != 0 &&
+    if (watching_.load(std::memory_order_relaxed) &&
+        options_.mem_budget_bytes != 0 &&
         !pending_->load(std::memory_order_relaxed) &&
         profiler_->memory_bytes() + bytes > options_.mem_budget_bytes) {
       pending_->store(true, std::memory_order_relaxed);
@@ -99,7 +100,7 @@ class ResourceGuard : public support::AllocObserver {
       return true;
     }
     if (options_.event_budget != 0 && index > options_.event_budget &&
-        !suppress_) {
+        !suppress_.load(std::memory_order_relaxed)) {
       return true;
     }
     return false;
@@ -112,12 +113,14 @@ class ResourceGuard : public support::AllocObserver {
 
   /// True once the event budget is exhausted; GuardedSink drops further
   /// access events (loop structure events still flow).
-  [[nodiscard]] bool suppress_accesses() const noexcept { return suppress_; }
+  [[nodiscard]] bool suppress_accesses() const noexcept {
+    return suppress_.load(std::memory_order_relaxed);
+  }
 
   /// Ladder rungs applied so far (diagnostic; provenance lives in the
   /// profiler's degradation log).
   [[nodiscard]] std::uint64_t downshifts() const noexcept {
-    return downshifts_;
+    return downshifts_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -130,14 +133,15 @@ class ResourceGuard : public support::AllocObserver {
   instrument::SamplingSink* sampler_;
   std::atomic<bool> own_pending_{false};
   std::atomic<bool>* pending_ = &own_pending_;  ///< see bind_pending()
-  // Cleared when the ladder is exhausted and the budget is still blown:
-  // nothing more can be done, so stop re-raising pending on every
-  // allocation. Only written under quiescence (check() runs with the world
-  // stopped), so a plain bool is safe.
-  bool watching_ = true;
-  bool suppress_ = false;
+  // watching_/suppress_/downshifts_ are written only from check() (which
+  // runs with the world stopped) but *read* concurrently from every thread's
+  // allocation or event hot path — relaxed atomics, not plain fields, so the
+  // reads are not torn/UB under TSan. exhausted_reported_ stays plain: it is
+  // only ever touched under the maintenance lock.
+  std::atomic<bool> watching_{true};
+  std::atomic<bool> suppress_{false};
   bool exhausted_reported_ = false;
-  std::uint64_t downshifts_ = 0;
+  std::atomic<std::uint64_t> downshifts_{0};
 };
 
 }  // namespace commscope::resilience

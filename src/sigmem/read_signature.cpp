@@ -47,6 +47,15 @@ support::BloomFilter* ReadSignature::get_or_create(std::size_t slot) noexcept {
 }
 
 bool ReadSignature::insert(std::size_t slot, int tid) noexcept {
+  if (tid < 0) [[unlikely]] {
+    // Reporting "already present" keeps Algorithm 1 from manufacturing a
+    // dependence out of an unattributable reader.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (tid >= max_threads_) [[unlikely]] {
+    overflow_inserts_.fetch_add(1, std::memory_order_relaxed);
+  }
   return get_or_create(slot)->insert(static_cast<std::uint64_t>(tid));
 }
 

@@ -45,6 +45,12 @@ class ReadSignature {
   /// Inserts reader `tid` into `slot`'s bloom filter (allocating it on first
   /// use). Returns true if the tid was (apparently) already present — the
   /// "a not in read signature" test of Algorithm 1 in one atomic pass.
+  ///
+  /// Contract: negative tids are rejected (counted in rejected(), reported
+  /// "already present" so no dependence is manufactured); tids >=
+  /// max_threads still insert — the bloom hash domain is unbounded — but are
+  /// counted in overflow_inserts() because the Eq. 2 sizing (and hence the
+  /// configured FP rate) assumed at most max_threads distinct members.
   bool insert(std::size_t slot, int tid) noexcept;
 
   /// Membership query without insertion.
@@ -73,6 +79,16 @@ class ReadSignature {
     return allocated_.load(std::memory_order_relaxed);
   }
 
+  /// insert() calls rejected for carrying a negative tid.
+  [[nodiscard]] std::uint64_t rejected() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  /// insert() calls whose tid was >= max_threads: the filter accepted them,
+  /// but the configured false-positive rate no longer holds for those slots.
+  [[nodiscard]] std::uint64_t overflow_inserts() const noexcept {
+    return overflow_inserts_.load(std::memory_order_relaxed);
+  }
+
   /// Actual bytes held: first-level pointer array + allocated filters.
   [[nodiscard]] std::size_t byte_size() const noexcept;
 
@@ -83,6 +99,8 @@ class ReadSignature {
   support::BloomParams bloom_params_;
   std::unique_ptr<std::atomic<support::BloomFilter*>[]> level1_;
   std::atomic<std::size_t> allocated_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> overflow_inserts_{0};
   support::MemoryTracker* tracker_;
 
   [[nodiscard]] support::BloomFilter* get_or_create(std::size_t slot) noexcept;

@@ -39,8 +39,16 @@ class WriteSignature {
     return support::murmur_mix64(static_cast<std::uint64_t>(addr)) % slots_;
   }
 
-  /// Records thread `tid` as the last writer of `slot`.
+  /// Records thread `tid` as the last writer of `slot`. Contract: tid must
+  /// be a valid dense id (>= 0). A negative id — an unregistered thread, a
+  /// registry overflow sentinel — cannot be encoded in the tid+1 cell
+  /// scheme; it is rejected and counted instead of aliasing as a bogus
+  /// writer after the unsigned cast wraps.
   void record(std::size_t slot, int tid) noexcept {
+    if (tid < 0) [[unlikely]] {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     cells_[slot].store(static_cast<std::uint32_t>(tid) + 1,
                        std::memory_order_release);
   }
@@ -61,10 +69,16 @@ class WriteSignature {
   /// Number of occupied slots (diagnostics / fill-rate tests).
   [[nodiscard]] std::size_t occupancy() const noexcept;
 
+  /// record() calls rejected for carrying an invalid (negative) tid.
+  [[nodiscard]] std::uint64_t rejected() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::size_t slots_;
   std::unique_ptr<std::atomic<std::uint32_t>[]> cells_;
   support::MemoryTracker* tracker_;
+  std::atomic<std::uint64_t> rejected_{0};
 };
 
 }  // namespace commscope::sigmem

@@ -36,8 +36,12 @@ class MemoryTracker {
   void add(std::size_t bytes) noexcept {
     AllocObserver* obs = observer_.load(std::memory_order_acquire);
     if (obs != nullptr) obs->on_tracked_alloc(bytes);
-    current_.fetch_add(bytes, std::memory_order_relaxed);
-    std::uint64_t cur = current_.load(std::memory_order_relaxed);
+    // Derive the high-water candidate from this fetch_add's own result —
+    // re-loading current_ afterwards reads a value another thread may
+    // already have moved, so concurrent add/sub pairs could leave peak
+    // below a level the balance genuinely reached.
+    const std::uint64_t cur =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
     std::uint64_t peak = peak_.load(std::memory_order_relaxed);
     while (cur > peak &&
            !peak_.compare_exchange_weak(peak, cur, std::memory_order_relaxed)) {

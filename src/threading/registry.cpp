@@ -1,16 +1,217 @@
 #include "threading/registry.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <iterator>
+#include <mutex>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <pthread.h>
+#define COMMSCOPE_HAVE_ATFORK 1
+#endif
+
 namespace commscope::threading {
 
-std::atomic<int> ThreadRegistry::next_{0};
+namespace {
 
-int ThreadRegistry::current_tid() {
-  thread_local const int tid = next_.fetch_add(1, std::memory_order_relaxed);
-  return tid;
+// One slot per leasable id. `depth` mirrors the owning thread's reentrancy
+// depth so quiesce() can observe "outside the runtime" cross-thread;
+// `seen_epoch` is stamped each time the owner leaves the runtime.
+struct Slot {
+  std::atomic<std::uint32_t> live{0};
+  std::atomic<std::uint32_t> depth{0};
+  std::atomic<std::uint64_t> seen_epoch{0};
+};
+
+// All-registry shared state. Function-local static of trivially destructible
+// members: safe to touch from thread_local destructors running at any point
+// of process teardown.
+struct State {
+  Slot slots[ThreadRegistry::kCapacity];
+  std::atomic<int> total{0};
+  std::atomic<int> live{0};
+  std::atomic<std::uint64_t> overflows{0};
+  std::atomic<std::uint64_t> epoch{0};
+  std::atomic<ThreadRegistry::FlushFn> hooks[8] = {};
+  std::atomic<int> hook_count{0};
+};
+
+State& state() noexcept {
+  static State s;
+  return s;
+}
+
+// Per-thread lease. The destructor is the reclamation point: it runs when
+// the thread exits (thread_local teardown), returning the slot to the free
+// pool so a successor can reuse the dense id.
+struct Lease {
+  int tid = ThreadRegistry::kUnregistered;
+  ~Lease() {
+    if (tid < 0) return;
+    Slot& s = state().slots[tid];
+    s.depth.store(0, std::memory_order_relaxed);
+    s.live.store(0, std::memory_order_release);
+    state().live.fetch_sub(1, std::memory_order_relaxed);
+    tid = ThreadRegistry::kUnregistered;
+  }
+};
+
+thread_local Lease tl_lease;
+thread_local std::uint32_t tl_depth = 0;
+thread_local bool tl_in_flush = false;
+
+#if defined(COMMSCOPE_HAVE_ATFORK)
+void after_fork_child() noexcept {
+  // Only the forking thread survives into the child; every other lease is
+  // dead weight that would poison live_count/quiesce. Rebuild the table to
+  // contain exactly this thread (keeping its id stable across the fork).
+  State& s = state();
+  for (Slot& slot : s.slots) {
+    slot.live.store(0, std::memory_order_relaxed);
+    slot.depth.store(0, std::memory_order_relaxed);
+  }
+  s.live.store(0, std::memory_order_relaxed);
+  if (tl_lease.tid >= 0) {
+    Slot& mine = s.slots[tl_lease.tid];
+    mine.live.store(1, std::memory_order_relaxed);
+    mine.depth.store(tl_depth, std::memory_order_relaxed);
+    s.live.store(1, std::memory_order_relaxed);
+  }
+}
+#endif
+
+void install_process_hooks() noexcept {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::atexit([] { ThreadRegistry::run_flush_hooks(); });
+#if defined(COMMSCOPE_HAVE_ATFORK)
+    pthread_atfork([] { ThreadRegistry::run_flush_hooks(); }, nullptr,
+                   after_fork_child);
+#endif
+  });
+}
+
+}  // namespace
+
+int ThreadRegistry::current_tid() noexcept {
+  if (tl_lease.tid >= 0) return tl_lease.tid;
+  install_process_hooks();
+  State& s = state();
+  for (int i = 0; i < kCapacity; ++i) {
+    std::uint32_t expected = 0;
+    if (s.slots[i].live.load(std::memory_order_relaxed) == 0 &&
+        s.slots[i].live.compare_exchange_strong(expected, 1,
+                                                std::memory_order_acq_rel)) {
+      s.slots[i].depth.store(tl_depth, std::memory_order_relaxed);
+      s.slots[i].seen_epoch.store(s.epoch.load(std::memory_order_relaxed),
+                                  std::memory_order_relaxed);
+      s.total.fetch_add(1, std::memory_order_relaxed);
+      s.live.fetch_add(1, std::memory_order_relaxed);
+      tl_lease.tid = i;
+      return i;
+    }
+  }
+  // Table full: degrade, don't hand out an out-of-bounds id. Not cached —
+  // a later call can succeed once churn frees a slot.
+  s.overflows.fetch_add(1, std::memory_order_relaxed);
+  return kUnregistered;
 }
 
 int ThreadRegistry::registered_count() noexcept {
-  return next_.load(std::memory_order_relaxed);
+  return state().total.load(std::memory_order_relaxed);
+}
+
+int ThreadRegistry::live_count() noexcept {
+  return state().live.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ThreadRegistry::overflows() noexcept {
+  return state().overflows.load(std::memory_order_relaxed);
+}
+
+// --- reentrancy -------------------------------------------------------------
+
+ThreadRegistry::ReentrancyGuard::ReentrancyGuard() noexcept
+    : engaged_(tl_depth == 0) {
+  ++tl_depth;
+  if (tl_lease.tid >= 0) {
+    state().slots[tl_lease.tid].depth.store(tl_depth,
+                                            std::memory_order_relaxed);
+  }
+}
+
+ThreadRegistry::ReentrancyGuard::~ReentrancyGuard() {
+  --tl_depth;
+  if (tl_lease.tid < 0) return;
+  Slot& s = state().slots[tl_lease.tid];
+  if (tl_depth == 0) {
+    // Leaving the runtime: stamp the epoch first, then publish depth 0 with
+    // release so quiesce()'s acquire load of depth also sees the stamp.
+    s.seen_epoch.store(state().epoch.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    s.depth.store(0, std::memory_order_release);
+  } else {
+    s.depth.store(tl_depth, std::memory_order_relaxed);
+  }
+}
+
+bool ThreadRegistry::in_runtime() noexcept { return tl_depth > 0; }
+
+// --- epoch quiescence -------------------------------------------------------
+
+std::uint64_t ThreadRegistry::epoch() noexcept {
+  return state().epoch.load(std::memory_order_relaxed);
+}
+
+bool ThreadRegistry::quiesce(std::chrono::milliseconds timeout) {
+  State& s = state();
+  const std::uint64_t target =
+      s.epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    bool all_quiet = true;
+    for (Slot& slot : s.slots) {
+      if (slot.live.load(std::memory_order_acquire) == 0) continue;
+      // A slot is quiesced when its thread is outside the runtime at this
+      // poll, or has left the runtime (stamping the new epoch) since the
+      // bump — either way it held no signature state across our window.
+      if (slot.depth.load(std::memory_order_acquire) == 0) continue;
+      if (slot.seen_epoch.load(std::memory_order_relaxed) >= target) continue;
+      all_quiet = false;
+      break;
+    }
+    if (all_quiet) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::yield();
+  }
+}
+
+// --- flush hooks ------------------------------------------------------------
+
+bool ThreadRegistry::at_flush(FlushFn fn) noexcept {
+  if (fn == nullptr) return false;
+  install_process_hooks();
+  State& s = state();
+  const int idx = s.hook_count.fetch_add(1, std::memory_order_acq_rel);
+  if (idx >= static_cast<int>(std::size(s.hooks))) {
+    s.hook_count.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  s.hooks[idx].store(fn, std::memory_order_release);
+  return true;
+}
+
+void ThreadRegistry::run_flush_hooks() noexcept {
+  if (tl_in_flush) return;  // a hook triggering a flush must not recurse
+  tl_in_flush = true;
+  State& s = state();
+  const int n = std::min<int>(s.hook_count.load(std::memory_order_acquire),
+                              static_cast<int>(std::size(s.hooks)));
+  for (int i = n - 1; i >= 0; --i) {
+    if (FlushFn fn = s.hooks[i].load(std::memory_order_acquire)) fn();
+  }
+  tl_in_flush = false;
 }
 
 }  // namespace commscope::threading

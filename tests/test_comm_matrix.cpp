@@ -121,3 +121,60 @@ TEST(CommMatrix, ConcurrentAddsLoseNothing) {
 TEST(CommMatrix, ByteSizeFormula) {
   EXPECT_EQ(cc::CommMatrix::byte_size(32), 32u * 32u * 8u);
 }
+
+// --- saturation contract ----------------------------------------------------
+
+TEST(CommMatrix, SaturatesAtCapInsteadOfWrapping) {
+  cc::CommMatrix m(2);
+  EXPECT_FALSE(m.saturated());
+  m.add(0, 1, cc::kCommCounterCap - 8);
+  EXPECT_FALSE(m.saturated());
+  // Crossing the cap clamps the cell and raises the provenance flag; a
+  // wrapped counter would instead read as a near-empty matrix.
+  m.add(0, 1, 16);
+  EXPECT_TRUE(m.saturated());
+  const cc::Matrix snap = m.snapshot();
+  EXPECT_EQ(snap.at(0, 1), cc::kCommCounterCap);
+  EXPECT_TRUE(snap.saturated());
+  // Further adds stay clamped.
+  m.add(0, 1, 1u << 20);
+  EXPECT_EQ(m.snapshot().at(0, 1), cc::kCommCounterCap);
+}
+
+TEST(CommMatrix, ResetClearsSaturation) {
+  cc::CommMatrix m(2);
+  m.add(1, 0, cc::kCommCounterCap + 5);
+  EXPECT_TRUE(m.saturated());
+  m.reset();
+  EXPECT_FALSE(m.saturated());
+  EXPECT_EQ(m.snapshot().total(), 0u);
+}
+
+TEST(Matrix, PlusEqualsSaturatesPerCellAndOrsFlags) {
+  cc::Matrix a(2);
+  cc::Matrix b(2);
+  a.at(0, 1) = cc::kCommCounterCap - 10;
+  b.at(0, 1) = 100;
+  a += b;
+  EXPECT_EQ(a.at(0, 1), cc::kCommCounterCap);
+  EXPECT_TRUE(a.saturated());
+
+  // The flag also propagates from an already-saturated right-hand side.
+  cc::Matrix c(2);
+  cc::Matrix d(2);
+  d.mark_saturated();
+  c += d;
+  EXPECT_TRUE(c.saturated());
+}
+
+TEST(Matrix, SaturationFlagIsProvenanceNotValue) {
+  cc::Matrix a(2);
+  cc::Matrix b(2);
+  a.at(0, 1) = 7;
+  b.at(0, 1) = 7;
+  b.mark_saturated();
+  // Equality compares dimension and cells only; trimming keeps the flag.
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(b.trimmed(2).saturated());
+  EXPECT_FALSE(a.trimmed(2).saturated());
+}

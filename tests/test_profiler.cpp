@@ -306,3 +306,38 @@ TEST(DependenceClassification, SignatureBackendApproximatesSameCensus) {
   EXPECT_LE(ds.war, de.war + de.raw + 64);  // bounded by own-read WARs
   EXPECT_GT(de.rar, 0u);
 }
+
+// --- invalid-tid graceful degradation ---------------------------------------
+
+TEST(Profiler, DropsEventsFromUnregisteredAndOverflowTids) {
+  for (const auto backend :
+       {cc::Backend::kExact, cc::Backend::kAsymmetricSignature}) {
+    cc::Profiler p(small_options(backend));
+    // A thread that never got a registry slot carries tid -1
+    // (ThreadRegistry::kUnregistered); one past the table carries
+    // tid >= max_threads. Both must degrade to counted drops, not index
+    // out-of-bounds thread contexts.
+    p.on_thread_begin(-1);
+    p.on_loop_enter(-1, 7);
+    p.on_access(-1, 0x1000, 8, ci::AccessKind::kWrite);
+    p.on_loop_exit(-1);
+    p.on_access(99, 0x1000, 8, ci::AccessKind::kRead);
+    p.on_access(8, 0x1008, 8, ci::AccessKind::kWrite);  // == max_threads
+    EXPECT_EQ(p.dropped_events(), 6u);
+    EXPECT_EQ(p.stats().accesses, 0u);
+    EXPECT_EQ(p.communication_matrix().total(), 0u);
+
+    // Valid tids keep working after the drops.
+    p.on_thread_begin(0);
+    p.on_thread_begin(1);
+    p.on_access(0, 0x2000, 8, ci::AccessKind::kWrite);
+    p.on_access(1, 0x2000, 8, ci::AccessKind::kRead);
+    EXPECT_EQ(p.stats().dependencies, 1u);
+  }
+}
+
+TEST(Profiler, DroppedEventsSurfaceInReportProvenance) {
+  cc::Profiler p(small_options(cc::Backend::kExact));
+  p.on_access(-1, 0x1000, 8, ci::AccessKind::kWrite);
+  ASSERT_GT(p.dropped_events(), 0u);
+}

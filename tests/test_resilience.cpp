@@ -464,3 +464,70 @@ TEST(GuardedSink, MemBudgetRunEndsWithDegradationProvenance) {
   cc::print_report(report, prof, {});
   EXPECT_NE(report.str().find("degradations:"), std::string::npos);
 }
+
+// --- concurrency hardening --------------------------------------------------
+
+TEST(GuardedSink, ReentrantEventsAreDroppedAndCounted) {
+  cc::ProfilerOptions o;
+  o.max_threads = 4;
+  o.backend = cc::Backend::kExact;
+  cc::Profiler prof(o);
+  cr::GuardedSink sink(prof, nullptr, {});
+
+  // Simulate an instrumented allocator firing from inside the runtime: with
+  // the thread already marked in-runtime, sink entries must drop (counted)
+  // instead of recursing into profiler state mid-mutation.
+  {
+    commscope::threading::ThreadRegistry::ReentrancyGuard outer;
+    ASSERT_TRUE(outer.engaged());
+    sink.on_access(0, 0x5000, 8, ci::AccessKind::kWrite);
+    sink.on_loop_enter(0, 3);
+    sink.on_loop_exit(0);
+  }
+  EXPECT_EQ(sink.reentrant_drops(), 3u);
+  EXPECT_EQ(prof.stats().accesses, 0u);
+
+  // Outside the runtime the same calls flow normally.
+  sink.on_thread_begin(0);
+  sink.on_access(0, 0x5000, 8, ci::AccessKind::kWrite);
+  EXPECT_EQ(sink.reentrant_drops(), 3u);
+  EXPECT_EQ(prof.stats().accesses, 1u);
+}
+
+TEST(GuardedSink, SinkCallsFromNeverRegisteredThreadDegrade) {
+  cc::ProfilerOptions o;
+  o.max_threads = 2;
+  o.backend = cc::Backend::kExact;
+  cc::Profiler prof(o);
+  cr::GuardedSink sink(prof, nullptr, {});
+  // tid -1 models a thread the registry never admitted (table overflow):
+  // the event is dropped with provenance, never a crash or OOB index.
+  sink.on_thread_begin(-1);
+  sink.on_access(-1, 0x6000, 8, ci::AccessKind::kWrite);
+  sink.on_loop_enter(-1, 1);
+  sink.on_loop_exit(-1);
+  sink.finalize();
+  EXPECT_EQ(prof.dropped_events(), 4u);
+  EXPECT_EQ(prof.stats().accesses, 0u);
+}
+
+TEST(GuardedSink, FlushWritesPartialSnapshotMidRun) {
+  const std::string path = temp_path("flush_snapshot.ck");
+  cc::ProfilerOptions o;
+  o.max_threads = 4;
+  o.backend = cc::Backend::kExact;
+  cc::Profiler prof(o);
+  cr::GuardedSink::Options opts;
+  opts.checkpoint_path = path;
+  opts.checkpoint_every = 1u << 30;  // periodic never fires; only flush does
+  cr::GuardedSink sink(prof, nullptr, opts);
+  drive_pairs(sink, 16);
+  // flush() is what the registry's atexit/fork hooks invoke; the written
+  // snapshot must parse, resume, and carry the pre-flush dependency count.
+  sink.flush();
+  const cr::Checkpoint ck = cr::load_checkpoint(path);
+  EXPECT_EQ(ck.meta.reason, "flush");
+  EXPECT_EQ(ck.meta.state, "partial");
+  EXPECT_EQ(ck.program().total(), 16u * 8u);
+  std::remove(path.c_str());
+}

@@ -244,3 +244,34 @@ TEST(SizeModel, StricterFprCostsMoreBits) {
   const sg::SigMemModel tight = sg::sigmem_model(1000, 32, 0.0001);
   EXPECT_GT(tight.bloom_bits_per_slot, loose.bloom_bits_per_slot);
 }
+
+// --- invalid-tid contracts --------------------------------------------------
+
+TEST(WriteSignature, RejectsNegativeTidsWithCount) {
+  sg::WriteSignature ws(64);
+  ws.record(3, -1);  // e.g. ThreadRegistry::kUnregistered leaking through
+  EXPECT_FALSE(ws.last_writer(3).has_value());
+  EXPECT_EQ(ws.rejected(), 1u);
+  ws.record(3, 5);
+  ASSERT_TRUE(ws.last_writer(3).has_value());
+  EXPECT_EQ(*ws.last_writer(3), 5);
+  ws.record(4, -17);
+  EXPECT_EQ(ws.rejected(), 2u);
+}
+
+TEST(ReadSignature, RejectsNegativeTidAndCountsOverflowInserts) {
+  sg::ReadSignature rs(256, 8, 0.001);
+  // Negative tid: rejected, counted, and reported as "already present" so
+  // Algorithm 1 never manufactures a dependence from an invalid id.
+  EXPECT_TRUE(rs.insert(1, -1));
+  EXPECT_EQ(rs.rejected(), 1u);
+  EXPECT_FALSE(rs.any(1));
+
+  // tid >= max_threads: the bloom hash domain accepts it, but the configured
+  // FP rate no longer holds — counted as provenance.
+  EXPECT_EQ(rs.overflow_inserts(), 0u);
+  (void)rs.insert(2, 8);
+  (void)rs.insert(2, 63);
+  EXPECT_EQ(rs.overflow_inserts(), 2u);
+  EXPECT_TRUE(rs.any(2));
+}

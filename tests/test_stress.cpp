@@ -1,0 +1,116 @@
+// Schedule-fuzzing stress harness tests: the differential self-verification
+// contract (guarded pipeline == serial shadow oracle, cell-for-cell), seeded
+// determinism, thread churn through the registry, and mirrored sampling.
+// Scenario sizes are kept small — this suite doubles as the `ctest -L
+// stress` tier-1 smoke and must stay fast on a single-core runner; the CLI
+// (`commscope stress`) runs the full acceptance grid.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "resilience/stress.hpp"
+#include "threading/registry.hpp"
+
+namespace cr = commscope::resilience;
+namespace ct = commscope::threading;
+
+namespace {
+
+cr::StressOptions small_options(cr::StressMode mode) {
+  cr::StressOptions o;
+  o.seed = 7;
+  o.threads = 4;
+  o.steps = 800;
+  o.mode = mode;
+  o.checkpoint_every = 64;  // force the safepoint gate frequently
+  return o;
+}
+
+}  // namespace
+
+TEST(Stress, LockstepMatchesOracleWithChurn) {
+  const int leases_before = ct::ThreadRegistry::registered_count();
+  const cr::StressReport r = cr::run_stress(small_options(cr::StressMode::kLockstep));
+  EXPECT_TRUE(r.passed);
+  EXPECT_EQ(r.divergent_cells, 0u);
+  EXPECT_TRUE(r.deterministic);
+  EXPECT_GT(r.accesses, 0u);
+  EXPECT_GT(r.churns, 0u);  // thread exit/respawn really happened
+  EXPECT_EQ(r.guarded_total, r.oracle_total);
+  EXPECT_EQ(r.reentrant_drops, 0u);
+  // Every lane plus every churn replacement took a registry lease (twice:
+  // the determinism re-run), and all of them were reclaimed.
+  EXPECT_GT(ct::ThreadRegistry::registered_count(), leases_before);
+}
+
+TEST(Stress, FreeRunMatchesOracleUnderRealConcurrency) {
+  const cr::StressReport r = cr::run_stress(small_options(cr::StressMode::kFree));
+  EXPECT_TRUE(r.passed);
+  EXPECT_EQ(r.divergent_cells, 0u);
+  EXPECT_TRUE(r.deterministic);
+  EXPECT_EQ(r.churns, 0u);  // churn is a lockstep-only ingredient
+  EXPECT_GT(r.guarded_total, 0u);
+}
+
+TEST(Stress, DistinctSeedsProduceDistinctSchedules) {
+  cr::StressOptions a = small_options(cr::StressMode::kLockstep);
+  a.verify_determinism = false;
+  cr::StressOptions b = a;
+  b.seed = a.seed + 1;
+  const cr::StressReport ra = cr::run_stress(a);
+  const cr::StressReport rb = cr::run_stress(b);
+  EXPECT_TRUE(ra.passed);
+  EXPECT_TRUE(rb.passed);
+  // Not a hard guarantee, but with 800 steps two seeds colliding on the
+  // exact communicated volume would indicate the seed is being ignored.
+  EXPECT_NE(ra.guarded_total, rb.guarded_total);
+}
+
+TEST(Stress, MirroredSamplingStaysExact) {
+  for (const auto mode : {cr::StressMode::kLockstep, cr::StressMode::kFree}) {
+    cr::StressOptions o = small_options(mode);
+    o.sampling = 0.25;
+    const cr::StressReport r = cr::run_stress(o);
+    EXPECT_TRUE(r.passed) << "mode=" << cr::to_string(mode);
+    EXPECT_EQ(r.divergent_cells, 0u);
+  }
+}
+
+TEST(Stress, SweepCoversSeedByThreadGrid) {
+  cr::StressOptions base;
+  base.steps = 400;
+  std::ostringstream os;
+  const bool ok = cr::run_stress_sweep({1, 2}, {2, 3}, base, os);
+  EXPECT_TRUE(ok);
+  // 2 seeds x 2 thread counts x 2 modes = 8 result lines, all PASS.
+  std::size_t lines = 0;
+  std::size_t passes = 0;
+  std::string line;
+  std::istringstream is(os.str());
+  while (std::getline(is, line)) {
+    ++lines;
+    if (line.find(" PASS") != std::string::npos) ++passes;
+  }
+  EXPECT_EQ(lines, 8u);
+  EXPECT_EQ(passes, 8u);
+}
+
+TEST(Stress, RejectsOutOfRangeOptions) {
+  cr::StressOptions o;
+  o.threads = 0;
+  EXPECT_THROW((void)cr::run_stress(o), std::invalid_argument);
+  o = {};
+  o.threads = 65;
+  EXPECT_THROW((void)cr::run_stress(o), std::invalid_argument);
+  o = {};
+  o.sampling = 0.0;
+  EXPECT_THROW((void)cr::run_stress(o), std::invalid_argument);
+  o = {};
+  o.steps = 0;
+  EXPECT_THROW((void)cr::run_stress(o), std::invalid_argument);
+  o = {};
+  o.words = 0;
+  EXPECT_THROW((void)cr::run_stress(o), std::invalid_argument);
+}

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -159,4 +163,144 @@ TEST(ThreadRegistry, StableWithinThread) {
   t.join();
   EXPECT_NE(other, a);
   EXPECT_GE(ct::ThreadRegistry::registered_count(), 2);
+}
+
+TEST(ThreadRegistry, SlotReclaimedAndReusedAfterThreadExit) {
+  int first = -1;
+  std::thread t1([&] { first = ct::ThreadRegistry::current_tid(); });
+  t1.join();  // join guarantees the lease destructor has run
+  ASSERT_GE(first, 0);
+  const int live_between = ct::ThreadRegistry::live_count();
+  int second = -1;
+  std::thread t2([&] { second = ct::ThreadRegistry::current_tid(); });
+  t2.join();
+  // Lowest-free-slot leasing makes reuse deterministic once the predecessor
+  // is joined: the successor lands exactly where the exited thread was.
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(ct::ThreadRegistry::live_count(), live_between);
+}
+
+TEST(ThreadRegistry, ChurnNeverLeaksLiveSlots) {
+  const int live_before = ct::ThreadRegistry::live_count();
+  for (int round = 0; round < 50; ++round) {
+    std::thread t([] { (void)ct::ThreadRegistry::current_tid(); });
+    t.join();
+  }
+  EXPECT_EQ(ct::ThreadRegistry::live_count(), live_before);
+  EXPECT_GE(ct::ThreadRegistry::registered_count(), 50);
+}
+
+TEST(ThreadRegistry, OverflowDegradesToUnregistered) {
+  // Park enough registered threads to fill every slot, then one more must
+  // get kUnregistered (a counted degrade) rather than an out-of-range id.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<std::thread> parked;
+  const int to_park = ct::ThreadRegistry::capacity() -
+                      ct::ThreadRegistry::live_count();
+  ASSERT_GT(to_park, 0);
+  std::atomic<int> registered{0};
+  for (int i = 0; i < to_park; ++i) {
+    parked.emplace_back([&] {
+      (void)ct::ThreadRegistry::current_tid();
+      registered.fetch_add(1);
+      std::unique_lock lk(mu);
+      cv.wait(lk, [&] { return release; });
+    });
+  }
+  while (registered.load() < to_park) std::this_thread::yield();
+  EXPECT_EQ(ct::ThreadRegistry::live_count(), ct::ThreadRegistry::capacity());
+
+  const std::uint64_t overflows_before = ct::ThreadRegistry::overflows();
+  int overflow_tid = 0;
+  std::thread extra([&] { overflow_tid = ct::ThreadRegistry::current_tid(); });
+  extra.join();
+  EXPECT_EQ(overflow_tid, ct::ThreadRegistry::kUnregistered);
+  EXPECT_GT(ct::ThreadRegistry::overflows(), overflows_before);
+
+  {
+    std::lock_guard lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  for (auto& t : parked) t.join();
+
+  // Churn freed the table: the overflow was transient, not sticky.
+  int late_tid = ct::ThreadRegistry::kUnregistered;
+  std::thread late([&] { late_tid = ct::ThreadRegistry::current_tid(); });
+  late.join();
+  EXPECT_GE(late_tid, 0);
+}
+
+TEST(ThreadRegistry, ReentrancyGuardEngagesOutermostOnly) {
+  EXPECT_FALSE(ct::ThreadRegistry::in_runtime());
+  ct::ThreadRegistry::ReentrancyGuard outer;
+  EXPECT_TRUE(outer.engaged());
+  EXPECT_TRUE(ct::ThreadRegistry::in_runtime());
+  {
+    ct::ThreadRegistry::ReentrancyGuard inner;
+    EXPECT_FALSE(inner.engaged());
+    ct::ThreadRegistry::ReentrancyGuard innermost;
+    EXPECT_FALSE(innermost.engaged());
+  }
+  EXPECT_TRUE(ct::ThreadRegistry::in_runtime());
+}
+
+TEST(ThreadRegistry, QuiesceSeesBusyThreadAndItsRelease) {
+  using namespace std::chrono_literals;
+  // Nobody inside the runtime: quiescence is immediate.
+  EXPECT_TRUE(ct::ThreadRegistry::quiesce(100ms));
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> inside{false};
+  std::thread busy([&] {
+    (void)ct::ThreadRegistry::current_tid();
+    ct::ThreadRegistry::ReentrancyGuard guard;
+    inside.store(true);
+    std::unique_lock lk(mu);
+    cv.wait(lk, [&] { return release; });
+  });
+  while (!inside.load()) std::this_thread::yield();
+
+  // The parked thread sits inside the runtime: the epoch cannot advance.
+  EXPECT_FALSE(ct::ThreadRegistry::quiesce(50ms));
+
+  {
+    std::lock_guard lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  busy.join();
+  EXPECT_TRUE(ct::ThreadRegistry::quiesce(1000ms));
+}
+
+namespace {
+std::vector<int>& flush_order() {
+  // Deliberately leaked: the registered hooks fire again from the
+  // registry's atexit pass, which can run after a plain static's
+  // destructor — an immortal store keeps that exit-time call safe.
+  static std::vector<int>* order = new std::vector<int>();
+  return *order;
+}
+void flush_hook_a() noexcept { flush_order().push_back(1); }
+void flush_hook_b() noexcept { flush_order().push_back(2); }
+void flush_hook_recursive() noexcept {
+  flush_order().push_back(3);
+  // A hook that itself triggers a flush (e.g. exit() called from a handler)
+  // must not recurse.
+  ct::ThreadRegistry::run_flush_hooks();
+}
+}  // namespace
+
+TEST(ThreadRegistry, FlushHooksRunNewestFirstWithoutRecursion) {
+  ASSERT_TRUE(ct::ThreadRegistry::at_flush(&flush_hook_a));
+  ASSERT_TRUE(ct::ThreadRegistry::at_flush(&flush_hook_b));
+  ASSERT_TRUE(ct::ThreadRegistry::at_flush(&flush_hook_recursive));
+  EXPECT_FALSE(ct::ThreadRegistry::at_flush(nullptr));
+  flush_order().clear();
+  ct::ThreadRegistry::run_flush_hooks();
+  EXPECT_EQ(flush_order(), (std::vector<int>{3, 2, 1}));
 }
