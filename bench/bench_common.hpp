@@ -2,17 +2,56 @@
 #pragma once
 
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "core/profiler.hpp"
+#include "instrument/loop_registry.hpp"
 #include "support/env.hpp"
 #include "support/table.hpp"
+#include "telemetry/trace.hpp"
 #include "threading/thread_pool.hpp"
 #include "workloads/workload.hpp"
 
 namespace commscope::bench {
+
+/// Opt-in profiler-timeline capture for benches: when $COMMSCOPE_TRACE_OUT
+/// names a file, the telemetry tracer runs for the bench's lifetime and the
+/// Chrome trace JSON is written at scope exit. Without the variable this is
+/// a complete no-op, so figure numbers stay untouched by default.
+class TraceOutFromEnv {
+ public:
+  TraceOutFromEnv() {
+    const char* path = std::getenv("COMMSCOPE_TRACE_OUT");
+    if (path != nullptr && *path != '\0') {
+      path_ = path;
+      telemetry::Tracer::enable();
+    }
+  }
+  ~TraceOutFromEnv() {
+    if (path_.empty()) return;
+    telemetry::Tracer::disable();
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "cannot write " << path_ << "\n";
+      return;
+    }
+    telemetry::Tracer::write_chrome_trace(out, [](std::uint32_t id) {
+      return instrument::LoopRegistry::instance().label(id);
+    });
+    std::cerr << telemetry::Tracer::captured() << " trace events written to "
+              << path_ << "\n";
+  }
+  TraceOutFromEnv(const TraceOutFromEnv&) = delete;
+  TraceOutFromEnv& operator=(const TraceOutFromEnv&) = delete;
+
+ private:
+  std::string path_;
+};
 
 /// Wall-clock seconds of `fn`.
 inline double time_seconds(const std::function<void()>& fn) {

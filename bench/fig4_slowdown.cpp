@@ -25,6 +25,7 @@ namespace cs = commscope::support;
 namespace cw = commscope::workloads;
 
 int main() {
+  const cb::TraceOutFromEnv trace_out;
   const int threads = cs::env_threads(8);
   const cs::Scale scale = cs::env_scale();
   cb::banner("Figure 4: instrumentation slowdown (DiscoPoP/CommScope)",

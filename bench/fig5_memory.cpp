@@ -88,6 +88,7 @@ void run_panel(const char* caption, cs::Scale scale, int threads) {
 }  // namespace
 
 int main() {
+  const cb::TraceOutFromEnv trace_out;
   const int threads = cs::env_threads(8);
   cb::banner("Figure 5: profiler memory consumption", threads,
              cs::Scale::kDev);

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace commscope::core {
 
 namespace {
@@ -43,6 +46,7 @@ void Profiler::on_thread_begin(int tid) {
 
 void Profiler::on_loop_enter(int tid, instrument::LoopId id) {
   if (!admit_tid(tid)) return;
+  telemetry::Tracer::loop_begin(tid, id);
   ThreadCtx& c = ctx(tid);
   if (c.stack.empty()) c.stack.push_back(&tree_.root());
   RegionNode* node = c.stack.back()->child(id);
@@ -52,6 +56,7 @@ void Profiler::on_loop_enter(int tid, instrument::LoopId id) {
 
 void Profiler::on_loop_exit(int tid) {
   if (!admit_tid(tid)) return;
+  telemetry::Tracer::loop_end(tid);
   ThreadCtx& c = ctx(tid);
   if (c.stack.size() > 1) c.stack.pop_back();
 }
@@ -108,7 +113,29 @@ void Profiler::on_access(int tid, std::uintptr_t addr, std::uint32_t size,
   }
 }
 
-void Profiler::finalize() { phases_.flush(); }
+void Profiler::finalize() {
+  phases_.flush();
+  // Stamp the run's aggregate accounting into the process-wide telemetry
+  // registry. Gauges (not counters): a process can finalize several
+  // profilers, and the snapshot should describe the most recent run rather
+  // than a cross-run sum the report would never show.
+  const ProfileStats s = stats();
+  telemetry::gauge("profiler.accesses").set(s.accesses);
+  telemetry::gauge("profiler.reads").set(s.reads);
+  telemetry::gauge("profiler.writes").set(s.writes);
+  telemetry::gauge("profiler.dependencies").set(s.dependencies);
+  telemetry::gauge("profiler.dropped_events").set(dropped_events());
+  telemetry::gauge("profiler.mem_bytes").set(memory_.current());
+  telemetry::gauge("profiler.mem_peak").set(memory_.peak());
+  telemetry::gauge("profiler.degradations")
+      .set(static_cast<std::uint64_t>(degradations_.size()));
+}
+
+void Profiler::record_degradation(DegradationEvent event) {
+  telemetry::counter("profiler.degradations").add(1);
+  telemetry::Tracer::instant("degradation", telemetry::SpanCat::kDegrade);
+  degradations_.push_back(std::move(event));
+}
 
 namespace {
 constexpr std::size_t kMinSignatureSlots = 4096;
@@ -141,7 +168,7 @@ bool Profiler::degrade_exact_to_signature(std::uint64_t event_index,
     }
   }
   options_.backend = Backend::kAsymmetricSignature;
-  degradations_.push_back(DegradationEvent{
+  record_degradation(DegradationEvent{
       event_index, before, memory_.current(), reason,
       "exact backend -> asymmetric signature (" +
           std::to_string(cells.size()) + " tracked addresses migrated into " +
@@ -155,7 +182,7 @@ bool Profiler::degrade_regions_to_sparse(std::uint64_t event_index,
   const std::uint64_t before = memory_.current();
   tree_.convert_to_sparse();
   options_.sparse_region_matrices = true;
-  degradations_.push_back(DegradationEvent{
+  record_degradation(DegradationEvent{
       event_index, before, memory_.current(), reason,
       "dense region matrices -> sparse (" +
           std::to_string(tree_.node_count()) + " regions converted)"});
@@ -171,7 +198,7 @@ bool Profiler::degrade_halve_slots(std::uint64_t event_index,
   backend_.emplace<AsymmetricDetector>(options_.signature_slots,
                                        options_.max_threads, options_.fp_rate,
                                        &memory_);
-  degradations_.push_back(DegradationEvent{
+  record_degradation(DegradationEvent{
       event_index, before, memory_.current(), reason,
       "signature slots halved to " + std::to_string(options_.signature_slots) +
           " (detector state reset; duplicate first-touches possible)"});

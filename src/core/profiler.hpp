@@ -184,10 +184,10 @@ class Profiler final : public instrument::AccessSink {
                            const std::string& reason);
 
   /// Appends an externally applied downshift (e.g. the guard raising a
-  /// sampling stride or suppressing events) to the provenance log.
-  void record_degradation(DegradationEvent event) {
-    degradations_.push_back(std::move(event));
-  }
+  /// sampling stride or suppressing events) to the provenance log. Every
+  /// degradation — internal or external — funnels through here so the
+  /// telemetry counter and trace instant cannot drift from the provenance.
+  void record_degradation(DegradationEvent event);
 
   /// Downshifts applied so far, in order. Callers of the degrade_*/record
   /// mutators serialize against readers (the guard's maintenance lock).

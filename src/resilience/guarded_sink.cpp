@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "resilience/checkpoint.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 #if defined(__linux__)
 #include <sys/syscall.h>
@@ -64,6 +66,7 @@ GuardedSink::GuardedSink(core::Profiler& profiler, ResourceGuard* guard,
       gate_((guard != nullptr && guard->enabled()) ||
             options_.checkpoint_every != 0),
       precise_(injector != nullptr || options_.checkpoint_every != 0 ||
+               options_.count_events ||
                (guard != nullptr && guard->options().event_budget != 0)),
       guard_enabled_(guard != nullptr && guard->enabled()),
       asym_(gate_ && register_membarrier()),
@@ -127,6 +130,7 @@ void GuardedSink::flush() noexcept {
   // snapshot is best-effort, which is still strictly better than losing the
   // run's state to an exit() mid-phase.
   std::lock_guard<std::mutex> lock(maintenance_mu_);
+  telemetry::ScopedSpan span("flush", telemetry::SpanCat::kFlush);
   try {
     if (gate_) stop_the_world();
     write_checkpoint(events_.load(std::memory_order_relaxed), "partial",
@@ -152,6 +156,7 @@ void GuardedSink::coarse_backout(Slot& s) noexcept {
 void GuardedSink::coarse_tick() {
   std::unique_lock<std::mutex> lock(maintenance_mu_, std::try_to_lock);
   if (!lock.owns_lock()) return;  // another thread is already handling it
+  telemetry::ScopedSpan span("guard_check", telemetry::SpanCat::kGuard);
   stop_the_world();
   // With the world stopped the profiler's per-thread counters are stable;
   // its access count is the closest thing to an event index in coarse mode.
@@ -164,6 +169,7 @@ void GuardedSink::maintenance(std::uint64_t index) {
   // winner is already doing the work for this window).
   std::unique_lock<std::mutex> lock(maintenance_mu_, std::try_to_lock);
   if (!lock.owns_lock()) return;
+  telemetry::ScopedSpan span("maintenance", telemetry::SpanCat::kGuard);
   stop_the_world();
   if (guard_ != nullptr && guard_->enabled()) guard_->check(index);
   if (options_.checkpoint_every != 0 &&
@@ -176,6 +182,7 @@ void GuardedSink::maintenance(std::uint64_t index) {
 void GuardedSink::write_checkpoint(std::uint64_t index,
                                    const std::string& state,
                                    const std::string& reason) {
+  telemetry::ScopedSpan span("checkpoint", telemetry::SpanCat::kCheckpoint);
   CheckpointMeta meta;
   meta.events = index;
   meta.state = state;
@@ -190,9 +197,16 @@ void GuardedSink::write_checkpoint(std::uint64_t index,
   // snapshot stays intact, mirroring a torn disk write.
   if (injector_ != nullptr) injector_->mutate_payload(snapshot);
   try {
+    const std::uint64_t t0 = telemetry::Tracer::now_ns();
     write_file_atomic(options_.checkpoint_path, snapshot);
+    if (telemetry::Tracer::enabled()) {
+      telemetry::histogram("checkpoint.write_us")
+          .record((telemetry::Tracer::now_ns() - t0) / 1000);
+    }
     ++checkpoints_written_;
+    telemetry::counter("checkpoint.written").add(1);
   } catch (const std::exception& e) {
+    telemetry::counter("checkpoint.io_failed").add(1);
     if (!checkpoint_io_failed_) {
       checkpoint_io_failed_ = true;
       std::fprintf(stderr, "commscope: warning: %s (checkpointing disabled)\n",
@@ -205,6 +219,7 @@ void GuardedSink::on_loop_enter(int tid, instrument::LoopId id) {
   threading::ThreadRegistry::ReentrancyGuard reent;
   if (!reent.engaged()) [[unlikely]] {
     reentrant_drops_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::counter("sink.reentrant_drops").add(1);
     return;
   }
   if (precise_) (void)begin_event();
@@ -219,6 +234,7 @@ void GuardedSink::on_loop_exit(int tid) {
   threading::ThreadRegistry::ReentrancyGuard reent;
   if (!reent.engaged()) [[unlikely]] {
     reentrant_drops_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::counter("sink.reentrant_drops").add(1);
     return;
   }
   if (precise_) (void)begin_event();
@@ -233,6 +249,7 @@ void GuardedSink::on_access(int tid, std::uintptr_t addr, std::uint32_t size,
   threading::ThreadRegistry::ReentrancyGuard reent;
   if (!reent.engaged()) [[unlikely]] {
     reentrant_drops_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::counter("sink.reentrant_drops").add(1);
     return;
   }
   if (!precise_) {
@@ -264,6 +281,7 @@ void GuardedSink::on_access(int tid, std::uintptr_t addr, std::uint32_t size,
   (void)begin_event();
   if (guard_ != nullptr && guard_->suppress_accesses()) {
     suppressed_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::counter("sink.suppressed").add(1);
     return;
   }
   Slot& s = slots_[static_cast<std::size_t>(tid) & 63];
@@ -277,6 +295,11 @@ void GuardedSink::finalize() {
     // No per-event counting happened; stamp the closest equivalent.
     events_.store(profiler_->stats().accesses, std::memory_order_relaxed);
   }
+  // Gauges describe this sink's run; the per-instance atomics above stay the
+  // authoritative counts (tests run several sinks in one process).
+  telemetry::gauge("sink.events").set(events());
+  telemetry::gauge("sink.suppressed").set(suppressed());
+  telemetry::gauge("sink.reentrant_drops").set(reentrant_drops());
   profiler_->finalize();
   if (options_.checkpoint_every != 0 || !options_.checkpoint_path.empty() ||
       (crash_ != nullptr && crash_->armed())) {
@@ -319,6 +342,7 @@ inline void GuardedSink::safepoint_leave(Slot& s) noexcept {
 }
 
 void GuardedSink::stop_the_world() noexcept {
+  telemetry::Tracer::begin("world_stopped", telemetry::SpanCat::kQuiesce);
   pause_.store(true, std::memory_order_seq_cst);
   if (asym_) membarrier_sync();
   for (Slot& s : slots_) {
@@ -330,6 +354,7 @@ void GuardedSink::stop_the_world() noexcept {
 
 void GuardedSink::resume_the_world() noexcept {
   pause_.store(false, std::memory_order_release);
+  telemetry::Tracer::end(telemetry::SpanCat::kQuiesce);
 }
 
 }  // namespace commscope::resilience

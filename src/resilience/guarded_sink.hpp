@@ -48,6 +48,10 @@ class GuardedSink final : public instrument::AccessSink {
   struct Options {
     std::uint64_t checkpoint_every = 0;  ///< events between snapshots; 0 = off
     std::string checkpoint_path;         ///< empty = no checkpoint file
+    /// Force precise per-event counting even when no injector, checkpoint or
+    /// event budget requires it, so events() is readable while the run is in
+    /// flight (live views like `commscope top` poll it from another thread).
+    bool count_events = false;
   };
 
   /// `guard`, `injector` and `crash` are optional (may be null) and, like

@@ -2,16 +2,20 @@
 
 #include <cstdio>
 
+#include "telemetry/metrics.hpp"
+
 namespace commscope::resilience {
 
 bool ResourceGuard::apply_one_rung(std::uint64_t index,
                                    const std::string& reason) {
   if (profiler_->degrade_exact_to_signature(index, reason)) {
     downshifts_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::counter("guard.downshifts").add(1);
     return true;
   }
   if (profiler_->degrade_regions_to_sparse(index, reason)) {
     downshifts_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::counter("guard.downshifts").add(1);
     return true;
   }
   if (sampler_ != nullptr) {
@@ -24,17 +28,20 @@ bool ResourceGuard::apply_one_rung(std::uint64_t index,
           std::string("sampling duty cycle lowered to ") + duty +
               " (volumes correctable via scale_factor)"});
       downshifts_.fetch_add(1, std::memory_order_relaxed);
+      telemetry::counter("guard.downshifts").add(1);
       return true;
     }
   }
   if (profiler_->degrade_halve_slots(index, reason)) {
     downshifts_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::counter("guard.downshifts").add(1);
     return true;
   }
   return false;
 }
 
 void ResourceGuard::check(std::uint64_t index) {
+  telemetry::counter("guard.checks").add(1);
   // An injected allocation failure is treated as acute memory pressure:
   // take exactly one rung, the way a real failed reservation would force a
   // downshift rather than an abort.

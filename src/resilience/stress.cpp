@@ -16,6 +16,8 @@
 #include "instrument/sink.hpp"
 #include "resilience/guarded_sink.hpp"
 #include "support/rng.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "threading/barrier.hpp"
 #include "threading/registry.hpp"
 
@@ -409,6 +411,9 @@ StressReport run_stress(const StressOptions& options) {
     throw std::invalid_argument("stress: steps must be in [1, 2^24]");
   }
 
+  telemetry::ScopedSpan span("stress.scenario", telemetry::SpanCat::kStress);
+  telemetry::counter("stress.scenarios").add(1);
+
   StressReport report;
   report.options = options;
 
@@ -443,6 +448,10 @@ StressReport run_stress(const StressOptions& options) {
   report.guarded_total = first.matrix.total();
   report.oracle_total = oracle.total();
   report.passed = report.divergent_cells == 0 && report.deterministic;
+  if (!report.passed) {
+    telemetry::counter("stress.failures").add(1);
+    telemetry::Tracer::instant("stress.failure", telemetry::SpanCat::kStress);
+  }
   return report;
 }
 

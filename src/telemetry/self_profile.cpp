@@ -1,0 +1,79 @@
+#include "telemetry/self_profile.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+
+#include "support/table.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace commscope::telemetry {
+
+namespace {
+
+/// Reads a "VmXXX:  <kB> kB" field from /proc/self/status.
+std::uint64_t proc_status_kb(const char* key) noexcept {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long v = 0;
+      if (std::sscanf(line + key_len + 1, "%llu", &v) == 1) kb = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  (void)key;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() noexcept {
+  return proc_status_kb("VmHWM") * 1024;
+}
+
+std::uint64_t current_rss_bytes() noexcept {
+  return proc_status_kb("VmRSS") * 1024;
+}
+
+void report_self_overhead(std::ostream& os, const SelfOverhead& so) {
+  gauge("self.instrumented_us")
+      .set(static_cast<std::uint64_t>(so.instrumented_seconds * 1e6));
+  gauge("self.native_us")
+      .set(static_cast<std::uint64_t>(so.native_seconds * 1e6));
+  gauge("self.slowdown_x100")
+      .set(static_cast<std::uint64_t>(so.slowdown() * 100.0));
+  gauge("self.profiler_peak_bytes").set(so.profiler_peak_bytes);
+  gauge("self.rss_peak_bytes").set(so.rss_peak_bytes);
+
+  os << "profiling overhead (self-measured):";
+  if (so.native_seconds > 0.0) {
+    os << " slowdown " << support::Table::num(so.slowdown(), 1)
+       << "x (instrumented " << support::Table::num(so.instrumented_seconds, 3)
+       << " s vs native " << support::Table::num(so.native_seconds, 3)
+       << " s)";
+  } else {
+    os << " instrumented " << support::Table::num(so.instrumented_seconds, 3)
+       << " s (no native twin run)";
+  }
+  os << "; profiler memory peak " << support::Table::bytes(so.profiler_peak_bytes);
+  if (so.rss_peak_bytes > 0) {
+    os << " ("
+       << support::Table::num(
+              100.0 * static_cast<double>(so.profiler_peak_bytes) /
+                  static_cast<double>(so.rss_peak_bytes),
+              1)
+       << "% of " << support::Table::bytes(so.rss_peak_bytes) << " peak RSS)";
+  }
+  os << "\n";
+}
+
+}  // namespace commscope::telemetry

@@ -1,0 +1,46 @@
+// Overhead self-measurement: every run reports its own Fig. 4 / Fig. 5.
+//
+// The paper quantifies profiling cost once, offline (Figure 4 slowdown,
+// Figure 5 memory). A production instrument cannot rely on a one-time
+// estimate: overhead must be measured continuously, on the run that pays
+// it. This module captures the two factors per run —
+//
+//   * slowdown: instrumented wall clock vs the native twin (the same kernel
+//     compiled against NullSink, re-run uninstrumented), the Fig. 4 number;
+//   * memory: the profiler's exact tracked bytes next to process peak RSS,
+//     the Fig. 5 number plus its denominator.
+//
+// The result is printed with the report and stamped into the telemetry
+// registry (self.* gauges) so --metrics-out snapshots carry it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace commscope::telemetry {
+
+struct SelfOverhead {
+  double instrumented_seconds = 0.0;
+  /// Native-twin wall clock; 0 when no uninstrumented twin was run (replay,
+  /// resume) — slowdown() is then meaningless and not reported.
+  double native_seconds = 0.0;
+  std::uint64_t profiler_peak_bytes = 0;  ///< MemoryTracker high-water
+  std::uint64_t rss_peak_bytes = 0;       ///< process VmHWM (0 if unknown)
+
+  [[nodiscard]] double slowdown() const noexcept {
+    return native_seconds > 0.0 ? instrumented_seconds / native_seconds : 0.0;
+  }
+};
+
+/// Peak resident set (VmHWM) of the calling process in bytes, read from
+/// /proc/self/status. Returns 0 where unavailable (non-Linux).
+[[nodiscard]] std::uint64_t peak_rss_bytes() noexcept;
+
+/// Current resident set (VmRSS) in bytes; 0 where unavailable.
+[[nodiscard]] std::uint64_t current_rss_bytes() noexcept;
+
+/// Prints the one-paragraph self-overhead report ("profiling overhead:
+/// slowdown 12.3x ...") and stamps the self.* gauges.
+void report_self_overhead(std::ostream& os, const SelfOverhead& so);
+
+}  // namespace commscope::telemetry

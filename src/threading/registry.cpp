@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "telemetry/metrics.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <pthread.h>
 #define COMMSCOPE_HAVE_ATFORK 1
@@ -52,7 +54,11 @@ struct Lease {
     Slot& s = state().slots[tid];
     s.depth.store(0, std::memory_order_relaxed);
     s.live.store(0, std::memory_order_release);
-    state().live.fetch_sub(1, std::memory_order_relaxed);
+    const int live = state().live.fetch_sub(1, std::memory_order_relaxed) - 1;
+    // Telemetry storage is static and trivially destructible, so stamping
+    // from thread_local teardown is safe at any point of process exit.
+    telemetry::gauge("registry.live")
+        .set(static_cast<std::uint64_t>(std::max(live, 0)));
     tid = ThreadRegistry::kUnregistered;
   }
 };
@@ -107,14 +113,20 @@ int ThreadRegistry::current_tid() noexcept {
       s.slots[i].seen_epoch.store(s.epoch.load(std::memory_order_relaxed),
                                   std::memory_order_relaxed);
       s.total.fetch_add(1, std::memory_order_relaxed);
-      s.live.fetch_add(1, std::memory_order_relaxed);
+      const int live = s.live.fetch_add(1, std::memory_order_relaxed) + 1;
       tl_lease.tid = i;
+      telemetry::counter("registry.leases").add(1);
+      telemetry::gauge("registry.live")
+          .set(static_cast<std::uint64_t>(live));
+      telemetry::gauge("registry.live_peak")
+          .set_max(static_cast<std::uint64_t>(live));
       return i;
     }
   }
   // Table full: degrade, don't hand out an out-of-bounds id. Not cached —
   // a later call can succeed once churn frees a slot.
   s.overflows.fetch_add(1, std::memory_order_relaxed);
+  telemetry::counter("registry.overflows").add(1);
   return kUnregistered;
 }
 

@@ -131,6 +131,11 @@ TEST(CliErrors, UnknownCommandIsUsageError) {
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.output.find("unknown command 'frobnicate'"), std::string::npos);
   EXPECT_NE(r.output.find("usage:"), std::string::npos);
+  // The diagnostic names every subcommand, including the observability ones.
+  for (const char* cmd : {"list", "run", "replay", "resume", "classify",
+                          "map", "stress", "metrics", "top"}) {
+    EXPECT_NE(r.output.find(cmd), std::string::npos) << cmd;
+  }
 }
 
 TEST(CliErrors, MalformedFlagValueIsUsageError) {
@@ -218,6 +223,91 @@ TEST(CliResilience, CleanCheckpointedRunResumesAsComplete) {
   EXPECT_NE(resumed.output.find("state: complete"), std::string::npos);
   EXPECT_NE(resumed.output.find("detected pattern:"), std::string::npos);
   std::remove(ck.c_str());
+}
+
+// --- observability: --quiet, --trace-out/--metrics-out, metrics, top -------
+
+TEST(CliObservability, QuietSuppressesReportButFilesStillWritten) {
+  const std::string metrics = "/tmp/commscope_cli_quiet.metrics";
+  const RunResult r =
+      run_cli("run fft --threads=4 -q --metrics-out=" + metrics);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("CommScope profile"), std::string::npos)
+      << "report printed under --quiet";
+  EXPECT_EQ(r.output.find("profiling overhead"), std::string::npos);
+  std::ifstream in(metrics);
+  ASSERT_TRUE(in.good()) << "--metrics-out not honored under --quiet";
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "# commscope-metrics v1");
+  std::remove(metrics.c_str());
+}
+
+TEST(CliObservability, RunEmitsTraceJsonAndMetricsSnapshot) {
+  const std::string trace = "/tmp/commscope_cli_obs.trace.json";
+  const std::string metrics = "/tmp/commscope_cli_obs.metrics";
+  // --mem-budget=1K forces the degradation ladder, so the trace must carry
+  // degradation instants next to the loop spans and the metrics snapshot
+  // must agree with the report's provenance section.
+  const RunResult r = run_cli("run lu_cb --threads=4 --mem-budget=1K"
+                              " --trace-out=" + trace +
+                              " --metrics-out=" + metrics);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("trace events written"), std::string::npos);
+
+  std::ifstream tin(trace);
+  ASSERT_TRUE(tin.good());
+  std::stringstream tbuf;
+  tbuf << tin.rdbuf();
+  const std::string json = tbuf.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"loop\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"degradation\""), std::string::npos);
+  EXPECT_NE(json.find("lu:"), std::string::npos) << "loop labels unresolved";
+
+  std::ifstream min(metrics);
+  ASSERT_TRUE(min.good());
+  std::stringstream mbuf;
+  mbuf << min.rdbuf();
+  EXPECT_NE(mbuf.str().find("profiler.accesses"), std::string::npos);
+  EXPECT_NE(mbuf.str().find("profiler.degradations"), std::string::npos);
+  std::remove(trace.c_str());
+  std::remove(metrics.c_str());
+}
+
+TEST(CliObservability, MetricsAggregatesSnapshots) {
+  const std::string m1 = "/tmp/commscope_cli_m1.metrics";
+  const std::string m2 = "/tmp/commscope_cli_m2.metrics";
+  ASSERT_EQ(run_cli("run fft --threads=4 -q --metrics-out=" + m1).exit_code,
+            0);
+  ASSERT_EQ(run_cli("run radix --threads=4 -q --metrics-out=" + m2).exit_code,
+            0);
+  const RunResult agg = run_cli("metrics " + m1 + " " + m2);
+  EXPECT_EQ(agg.exit_code, 0) << agg.output;
+  EXPECT_NE(agg.output.find("aggregated 2 snapshot(s)"), std::string::npos);
+
+  const RunResult none = run_cli("metrics");
+  EXPECT_EQ(none.exit_code, 2);
+  EXPECT_NE(none.output.find("snapshot files"), std::string::npos);
+
+  const std::string corrupt = "/tmp/commscope_cli_corrupt.metrics";
+  {
+    std::ofstream out(corrupt);
+    out << "# commscope-metrics v1\ncounter x notanumber\n";
+  }
+  const RunResult bad = run_cli("metrics " + corrupt);
+  EXPECT_EQ(bad.exit_code, 1);
+  std::remove(m1.c_str());
+  std::remove(m2.c_str());
+  std::remove(corrupt.c_str());
+}
+
+TEST(CliObservability, TopRunsToCompletion) {
+  const RunResult r = run_cli("top fft --threads=4 --interval=50");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("commscope top"), std::string::npos);
+  EXPECT_NE(r.output.find("events"), std::string::npos);
+  EXPECT_NE(r.output.find("run complete:"), std::string::npos);
 }
 
 int main(int argc, char** argv) {

@@ -18,6 +18,21 @@
 //       Schedule-fuzzing self-verification: run seeded concurrent schedules
 //       (with thread churn) through the guarded pipeline and differentially
 //       check the matrix against a serial shadow-oracle replay.
+//   commscope metrics <snapshot-file...>
+//       Read --metrics-out snapshots, merge them (counters/histograms sum,
+//       gauges take the max) and print the aggregate table.
+//   commscope top <workload> [run options] [--interval=MS]
+//       Run a workload with the guarded pipeline and refresh a live view of
+//       the profiler's own activity (events/s, memory, drops) while it runs.
+//
+// Observability options (run/replay/stress/top):
+//   --quiet, -q                 suppress non-essential stdout (explicit
+//                               outputs like --metrics-out still written)
+//   --metrics-out=FILE          write the telemetry registry snapshot
+//   --trace-out=FILE            capture the profiler's own timeline and
+//                               write it on exit
+//   --trace-format=chrome|text  trace encoding (default chrome: trace-event
+//                               JSON for chrome://tracing / Perfetto)
 //
 // Common options for run/replay:
 //   --backend=signature|exact   detection backend   (default signature)
@@ -51,14 +66,22 @@
 // Exit codes: 0 success, 1 runtime failure (bad file, failed verification),
 // 2 usage error (unknown flag/command, malformed flag value), 124 watchdog
 // timeout, 128+N death by signal N (emergency snapshot written first).
+#include <atomic>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <thread>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "core/matrix_io.hpp"
 #include "core/profiler.hpp"
 #include "core/report.hpp"
+#include "instrument/loop_registry.hpp"
 #include "instrument/trace.hpp"
 #include "mapping/mapper.hpp"
 #include "patterns/classifier.hpp"
@@ -72,6 +95,9 @@
 #include "support/args.hpp"
 #include "support/env.hpp"
 #include "support/table.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/self_profile.hpp"
+#include "telemetry/trace.hpp"
 #include "threading/thread_pool.hpp"
 #include "workloads/workload.hpp"
 
@@ -82,6 +108,7 @@ namespace cp = commscope::patterns;
 namespace cr = commscope::resilience;
 namespace cs = commscope::support;
 namespace ct = commscope::threading;
+namespace ctl = commscope::telemetry;
 namespace cw = commscope::workloads;
 
 namespace {
@@ -94,11 +121,16 @@ const std::vector<std::string> kKnownFlags = {
     "smt",         "mem-budget", "event-budget",    "checkpoint",
     "checkpoint-every",          "timeout",         "seed",
     "seeds",       "steps",      "mode",            "sampling",
-    "no-churn"};
+    "no-churn",    "quiet",      "metrics-out",     "trace-out",
+    "trace-format",              "interval"};
+
+const char* kCommandList =
+    "list, run, replay, resume, classify, map, stress, metrics, top";
 
 int usage() {
   std::cerr
-      << "usage: commscope <list|run|replay|resume|classify|map> [args]\n"
+      << "usage: commscope <command> [args]   (commands: " << kCommandList
+      << ")\n"
          "  commscope list\n"
          "  commscope run <workload> [--backend=signature|exact] [--threads=N]\n"
          "            [--scale=dev|small|large] [--slots=N] [--fp-rate=F]\n"
@@ -106,14 +138,80 @@ int usage() {
          "            [--csv=FILE] [--save-matrix=FILE] [--save-trace=FILE]\n"
          "            [--pattern] [--mem-budget=BYTES] [--event-budget=N]\n"
          "            [--checkpoint=FILE] [--checkpoint-every=N] [--timeout=SEC]\n"
+         "            [--quiet] [--metrics-out=FILE] [--trace-out=FILE]\n"
+         "            [--trace-format=chrome|text]\n"
          "  commscope replay <trace-file> [run options]\n"
          "  commscope resume <snapshot-file> [--pattern] [--save-matrix=FILE]\n"
          "  commscope classify <matrix-file>\n"
          "  commscope map <matrix-file> [--sockets=S --cores=C --smt=T]\n"
          "  commscope stress [--seed=N] [--seeds=K] [--threads=T]\n"
          "            [--steps=N] [--mode=lockstep|free|both]\n"
-         "            [--sampling=RATE] [--no-churn]\n";
+         "            [--sampling=RATE] [--no-churn]\n"
+         "  commscope metrics <snapshot-file...> [--metrics-out=FILE]\n"
+         "  commscope top <workload> [run options] [--interval=MS]\n";
   return 2;
+}
+
+// --- observability plumbing -------------------------------------------------
+
+/// Swallows non-essential stdout under --quiet. Explicitly requested outputs
+/// (--metrics-out, --trace-out, --csv, ...) are never routed through this.
+class NullBuf final : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+};
+
+std::ostream& out_stream(bool quiet) {
+  static NullBuf buf;
+  static std::ostream null(&buf);
+  return quiet ? null : std::cout;
+}
+
+ctl::Tracer::LoopResolver loop_resolver() {
+  return [](std::uint32_t id) {
+    return ci::LoopRegistry::instance().label(id);
+  };
+}
+
+/// Starts a trace capture when --trace-out was given (and validates the
+/// format up front so a typo fails before the run, not after).
+void maybe_enable_trace(const cs::ArgParser& args) {
+  if (!args.has("trace-out")) return;
+  const std::string fmt = args.get("trace-format", "chrome");
+  if (fmt != "chrome" && fmt != "text") {
+    throw std::invalid_argument("--trace-format: expected chrome or text");
+  }
+  ctl::Tracer::enable();
+}
+
+/// Writes the explicitly requested observability outputs. Both are honored
+/// under --quiet — asking for a file is the opposite of asking for silence.
+int write_observability_outputs(const cs::ArgParser& args, std::ostream& log) {
+  if (args.has("trace-out")) {
+    ctl::Tracer::disable();
+    std::ofstream out(args.get("trace-out"));
+    if (!out) {
+      std::cerr << "cannot write " << args.get("trace-out") << "\n";
+      return 1;
+    }
+    if (args.get("trace-format", "chrome") == "text") {
+      ctl::Tracer::write_text(out, loop_resolver());
+    } else {
+      ctl::Tracer::write_chrome_trace(out, loop_resolver());
+    }
+    log << ctl::Tracer::captured() << " trace events written to "
+        << args.get("trace-out") << "\n";
+  }
+  if (args.has("metrics-out")) {
+    std::ofstream out(args.get("metrics-out"));
+    if (!out) {
+      std::cerr << "cannot write " << args.get("metrics-out") << "\n";
+      return 1;
+    }
+    ctl::write_metrics(out);
+    log << "metrics written to " << args.get("metrics-out") << "\n";
+  }
+  return 0;
 }
 
 cc::ProfilerOptions profiler_options(const cs::ArgParser& args, int threads) {
@@ -211,13 +309,15 @@ ResilienceStack make_resilience(const cs::ArgParser& args,
 }
 
 /// Shared post-profiling output path for run/replay. The caller has already
-/// finalized the sink (which may write the final checkpoint).
+/// finalized the sink (which may write the final checkpoint). Non-essential
+/// prose goes to `log` (a null stream under --quiet); requested files are
+/// always written.
 int emit_results(const cs::ArgParser& args, cc::Profiler& profiler,
-                 int threads) {
+                 int threads, std::ostream& log) {
   cc::ReportOptions ropts;
   ropts.heatmap_top = static_cast<int>(args.get_int_strict("heatmaps", 0));
   ropts.hide_quiet_regions = true;
-  cc::print_report(std::cout, profiler, ropts);
+  cc::print_report(log, profiler, ropts);
 
   if (args.has("csv")) {
     std::ofstream out(args.get("csv"));
@@ -226,7 +326,7 @@ int emit_results(const cs::ArgParser& args, cc::Profiler& profiler,
       return 1;
     }
     cc::write_csv(out, profiler.regions());
-    std::cout << "region CSV written to " << args.get("csv") << "\n";
+    log << "region CSV written to " << args.get("csv") << "\n";
   }
   if (args.has("save-matrix")) {
     std::ofstream out(args.get("save-matrix"));
@@ -235,27 +335,27 @@ int emit_results(const cs::ArgParser& args, cc::Profiler& profiler,
       return 1;
     }
     cc::write_matrix(out, profiler.communication_matrix().trimmed(threads));
-    std::cout << "matrix written to " << args.get("save-matrix") << "\n";
+    log << "matrix written to " << args.get("save-matrix") << "\n";
   }
   if (args.has("pattern")) {
     cp::GeneratorOptions gen;
     gen.threads = threads;
     cp::KnnClassifier clf(5);
     clf.train(cp::featurize(cp::make_corpus(40, gen, 20260704)));
-    std::cout << "detected pattern: "
-              << cp::to_string(
-                     clf.predict(profiler.communication_matrix().trimmed(threads)))
-              << "\n";
+    log << "detected pattern: "
+        << cp::to_string(
+               clf.predict(profiler.communication_matrix().trimmed(threads)))
+        << "\n";
   }
   if (profiler.options().phase_window_bytes > 0) {
     const auto phases =
         cc::detect_phases(profiler.phase_timeline(), 0.75,
                           cc::PhaseMetric::kOffsetCosine);
-    std::cout << "phases detected: " << phases.size() << "\n";
+    log << "phases detected: " << phases.size() << "\n";
     if (args.has("dvfs")) {
       const commscope::power::DvfsPlan plan = commscope::power::plan_dvfs(
           profiler.phase_timeline(), profiler.phase_window_accesses());
-      std::cout << "DVFS plan:\n" << plan.to_string();
+      log << "DVFS plan:\n" << plan.to_string();
     }
   }
   return 0;
@@ -278,8 +378,11 @@ int cmd_run(const cs::ArgParser& args) {
               << "' (try: commscope list)\n";
     return 1;
   }
+  const bool quiet = args.has("quiet");
+  std::ostream& log = out_stream(quiet);
   const int threads = static_cast<int>(args.get_int_strict("threads", 8));
   const cs::Scale scale = parse_scale(args.get("scale", "dev"));
+  maybe_enable_trace(args);
   auto profiler = std::make_unique<cc::Profiler>(profiler_options(args, threads));
   ResilienceStack resilience = make_resilience(args, *profiler);
   ci::AccessSink* sink = resilience.sink != nullptr
@@ -287,6 +390,8 @@ int cmd_run(const cs::ArgParser& args) {
                              : profiler.get();
   ct::ThreadTeam team(threads);
 
+  ctl::SelfOverhead overhead;
+  const auto t0 = std::chrono::steady_clock::now();
   if (args.has("save-trace")) {
     ci::TraceRecorder recorder;
     if (!w->run(scale, team, &recorder).ok) {
@@ -299,15 +404,39 @@ int cmd_run(const cs::ArgParser& args) {
       return 1;
     }
     ci::write_trace(out, recorder.events());
-    std::cout << recorder.size() << " events written to "
-              << args.get("save-trace") << "\n";
+    log << recorder.size() << " events written to " << args.get("save-trace")
+        << "\n";
     ci::replay(recorder.events(), *sink);
-  } else if (!w->run(scale, team, sink).ok) {
-    std::cerr << w->name << ": verification FAILED\n";
-    return 1;
+  } else {
+    ctl::ScopedSpan span(w->name.c_str(), ctl::SpanCat::kRun);
+    if (!w->run(scale, team, sink).ok) {
+      std::cerr << w->name << ": verification FAILED\n";
+      return 1;
+    }
   }
+  overhead.instrumented_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   sink->finalize();
-  return emit_results(args, *profiler, threads);
+
+  // Self-measured Fig. 4 factor: re-run the same kernel against the
+  // NullSink-compiled native twin. Skipped under --quiet (the paragraph
+  // would be swallowed anyway) and for --save-trace runs (the instrumented
+  // leg there includes trace IO + replay, so the ratio would be off).
+  if (!quiet && !args.has("save-trace")) {
+    const auto n0 = std::chrono::steady_clock::now();
+    (void)w->run(scale, team, nullptr);
+    overhead.native_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - n0)
+            .count();
+  }
+  overhead.profiler_peak_bytes = profiler->memory().peak();
+  overhead.rss_peak_bytes = ctl::peak_rss_bytes();
+
+  const int rc = emit_results(args, *profiler, threads, log);
+  if (rc != 0) return rc;
+  ctl::report_self_overhead(log, overhead);
+  return write_observability_outputs(args, log);
 }
 
 int cmd_replay(const cs::ArgParser& args) {
@@ -322,14 +451,18 @@ int cmd_replay(const cs::ArgParser& args) {
   for (const ci::TraceEvent& e : events) max_tid = std::max(max_tid, int{e.tid});
   const int threads = static_cast<int>(
       args.get_int_strict("threads", std::max(2, max_tid + 1)));
+  std::ostream& log = out_stream(args.has("quiet"));
+  maybe_enable_trace(args);
   auto profiler = std::make_unique<cc::Profiler>(profiler_options(args, threads));
   ResilienceStack resilience = make_resilience(args, *profiler);
   ci::AccessSink* sink = resilience.sink != nullptr
                              ? static_cast<ci::AccessSink*>(resilience.sink.get())
                              : profiler.get();
   ci::replay(events, *sink);  // replay() finalizes the sink itself
-  std::cout << "replayed " << events.size() << " events\n";
-  return emit_results(args, *profiler, threads);
+  log << "replayed " << events.size() << " events\n";
+  const int rc = emit_results(args, *profiler, threads, log);
+  if (rc != 0) return rc;
+  return write_observability_outputs(args, log);
 }
 
 int cmd_resume(const cs::ArgParser& args) {
@@ -450,6 +583,8 @@ int cmd_map(const cs::ArgParser& args) {
 // oracle. Exit 0 only when every scenario matched cell-for-cell AND
 // reproduced identically on a same-seed re-run.
 int cmd_stress(const cs::ArgParser& args) {
+  std::ostream& log = out_stream(args.has("quiet"));
+  maybe_enable_trace(args);
   cr::StressOptions base;
   base.steps = static_cast<std::uint64_t>(args.get_int_strict("steps", 4096));
   base.sampling = args.get_double_strict("sampling", 1.0);
@@ -479,7 +614,7 @@ int cmd_stress(const cs::ArgParser& args) {
   const std::string mode = args.get("mode", "both");
   bool ok = true;
   if (mode == "both") {
-    ok = cr::run_stress_sweep(seeds, thread_counts, base, std::cout);
+    ok = cr::run_stress_sweep(seeds, thread_counts, base, log);
   } else if (mode == "lockstep" || mode == "free") {
     base.mode = mode == "lockstep" ? cr::StressMode::kLockstep
                                    : cr::StressMode::kFree;
@@ -489,23 +624,168 @@ int cmd_stress(const cs::ArgParser& args) {
         o.seed = seed;
         o.threads = t;
         const cr::StressReport r = cr::run_stress(o);
-        std::cout << "seed=" << seed << " threads=" << t << " mode="
-                  << cr::to_string(o.mode) << " accesses=" << r.accesses
-                  << " churns=" << r.churns << " leases=" << r.registry_leases
-                  << " bytes=" << r.guarded_total << "/" << r.oracle_total
-                  << " divergent=" << r.divergent_cells << " deterministic="
-                  << (r.deterministic ? "yes" : "NO") << " "
-                  << (r.passed ? "PASS" : "FAIL") << "\n";
+        log << "seed=" << seed << " threads=" << t << " mode="
+            << cr::to_string(o.mode) << " accesses=" << r.accesses
+            << " churns=" << r.churns << " leases=" << r.registry_leases
+            << " bytes=" << r.guarded_total << "/" << r.oracle_total
+            << " divergent=" << r.divergent_cells << " deterministic="
+            << (r.deterministic ? "yes" : "NO") << " "
+            << (r.passed ? "PASS" : "FAIL") << "\n";
         ok = ok && r.passed;
       }
     }
   } else {
     throw std::invalid_argument("--mode: expected lockstep, free or both");
   }
-  std::cout << (ok ? "stress: all scenarios passed"
-                   : "stress: DIVERGENCE detected")
-            << "\n";
-  return ok ? 0 : 1;
+  // The verdict is essential output; a divergence must be loud even under
+  // --quiet (the exit code alone is easy to lose in a pipeline).
+  (ok ? log : static_cast<std::ostream&>(std::cerr))
+      << (ok ? "stress: all scenarios passed" : "stress: DIVERGENCE detected")
+      << "\n";
+  const int rc = write_observability_outputs(args, log);
+  return ok ? rc : 1;
+}
+
+// Read one or more --metrics-out snapshots, merge them (counters and
+// histograms sum with saturation, gauges keep the max) and print the
+// aggregate — the cross-run view of the profiler's self-accounting.
+int cmd_metrics(const cs::ArgParser& args) {
+  if (args.positional().size() < 2) {
+    std::cerr << "metrics: expected one or more snapshot files "
+                 "(write them with --metrics-out)\n";
+    return usage();
+  }
+  std::vector<ctl::MetricSnapshot> merged;
+  for (std::size_t i = 1; i < args.positional().size(); ++i) {
+    const std::string& file = args.positional()[i];
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "cannot read " << file << "\n";
+      return 1;
+    }
+    std::vector<ctl::MetricSnapshot> ms;
+    try {
+      ms = ctl::read_metrics(in);
+    } catch (const std::exception& e) {
+      // A corrupt snapshot is a runtime failure (exit 1), not a usage error:
+      // the command line was fine, the file was not.
+      std::cerr << "commscope: " << file << ": " << e.what() << "\n";
+      return 1;
+    }
+    ctl::merge_metrics(merged, ms);
+  }
+  if (args.has("metrics-out")) {
+    std::ofstream out(args.get("metrics-out"));
+    if (!out) {
+      std::cerr << "cannot write " << args.get("metrics-out") << "\n";
+      return 1;
+    }
+    ctl::write_metrics(out, merged);
+  }
+  std::cout << "aggregated " << (args.positional().size() - 1)
+            << " snapshot(s), " << merged.size() << " metrics\n";
+  ctl::print_metrics(std::cout, merged);
+  return 0;
+}
+
+// Live view: run the workload through the guarded pipeline on a background
+// thread and refresh a small status block (events/s, memory, drops) from
+// this one. Every figure shown is read from an atomic (the sink's precise
+// event counter — forced on via count_events — the memory tracker, and the
+// telemetry registry), so the reader never races the worker threads'
+// unsynchronized per-thread counters.
+int cmd_top(const cs::ArgParser& args) {
+  if (args.positional().size() < 2) return usage();
+  const cw::Workload* w = cw::find(args.positional()[1]);
+  if (w == nullptr) {
+    std::cerr << "unknown workload '" << args.positional()[1]
+              << "' (try: commscope list)\n";
+    return 1;
+  }
+  const int threads = static_cast<int>(args.get_int_strict("threads", 8));
+  const cs::Scale scale = parse_scale(args.get("scale", "dev"));
+  const auto interval = std::chrono::milliseconds(
+      std::max<std::int64_t>(20, args.get_int_strict("interval", 500)));
+  maybe_enable_trace(args);
+
+  auto profiler =
+      std::make_unique<cc::Profiler>(profiler_options(args, threads));
+  cr::GuardedSink::Options sopts;
+  sopts.count_events = true;  // a live-readable event counter is the point
+  cr::GuardedSink sink(*profiler, nullptr, sopts);
+  ct::ThreadTeam team(threads);
+
+  std::atomic<bool> done{false};
+  cw::Result result;
+  std::thread runner([&] {
+    ctl::ScopedSpan span(w->name.c_str(), ctl::SpanCat::kRun);
+    result = w->run(scale, team, &sink);
+    done.store(true, std::memory_order_release);
+  });
+
+#if defined(__unix__) || defined(__APPLE__)
+  const bool ansi = isatty(1) != 0;
+#else
+  const bool ansi = false;
+#endif
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t prev_events = 0;
+  auto prev_time = t0;
+  int painted_lines = 0;
+
+  const auto paint = [&] {
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed = std::chrono::duration<double>(now - t0).count();
+    const double window =
+        std::chrono::duration<double>(now - prev_time).count();
+    const std::uint64_t events = sink.events();
+    const double rate =
+        window > 0.0
+            ? static_cast<double>(events - prev_events) / window
+            : 0.0;
+    prev_events = events;
+    prev_time = now;
+    if (ansi && painted_lines > 0) {
+      std::cout << "\x1b[" << painted_lines << "A";
+    }
+    const char* clear = ansi ? "\x1b[K" : "";
+    std::cout << clear << "commscope top — " << w->name << " ("
+              << args.get("scale", "dev") << ", " << threads << " threads)  t="
+              << cs::Table::num(elapsed, 1) << "s\n"
+              << clear << "  events " << events << "  (+"
+              << cs::Table::num(rate, 0) << "/s)  suppressed "
+              << sink.suppressed() << "  reentrant drops "
+              << sink.reentrant_drops() << "\n"
+              << clear << "  profiler memory "
+              << cs::Table::bytes(profiler->memory_bytes()) << "  (peak "
+              << cs::Table::bytes(profiler->memory().peak()) << ")  RSS "
+              << cs::Table::bytes(ctl::current_rss_bytes()) << "\n"
+              << clear << "  live threads "
+              << ct::ThreadRegistry::live_count() << "  dropped events "
+              << profiler->dropped_events() << "  degradations "
+              << ctl::counter("profiler.degradations").value() << "\n";
+    std::cout.flush();
+    painted_lines = 4;
+  };
+
+  while (!done.load(std::memory_order_acquire)) {
+    paint();
+    std::this_thread::sleep_for(interval);
+  }
+  runner.join();
+  sink.finalize();
+  paint();  // final state, post-finalize
+
+  if (!result.ok) {
+    std::cerr << w->name << ": verification FAILED\n";
+    return 1;
+  }
+  const cc::ProfileStats stats = profiler->stats();
+  std::cout << "run complete: " << stats.accesses << " accesses, "
+            << stats.dependencies << " inter-thread RAW dependencies, "
+            << cs::Table::bytes(profiler->communication_matrix().total())
+            << " communicated\n";
+  return write_observability_outputs(args, std::cout);
 }
 
 int dispatch(const cs::ArgParser& args) {
@@ -522,16 +802,25 @@ int dispatch(const cs::ArgParser& args) {
   if (cmd == "classify") return cmd_classify(args);
   if (cmd == "map") return cmd_map(args);
   if (cmd == "stress") return cmd_stress(args);
-  std::cerr << "unknown command '" << cmd << "'\n";
+  if (cmd == "metrics") return cmd_metrics(args);
+  if (cmd == "top") return cmd_top(args);
+  std::cerr << "unknown command '" << cmd << "' (commands: " << kCommandList
+            << ")\n";
   return usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const cs::ArgParser args(argc, argv,
+  // The parser only understands --long flags; -q is the one short alias the
+  // contract names, so expand it before parsing.
+  std::vector<std::string> raw;
+  for (int i = 1; i < argc; ++i) {
+    raw.emplace_back(std::string(argv[i]) == "-q" ? "--quiet" : argv[i]);
+  }
+  const cs::ArgParser args(raw,
                            {"classify", "sparse", "pattern", "dvfs",
-                            "no-churn"});
+                            "no-churn", "quiet"});
   // One-line diagnostics, contractual exit codes: malformed usage is 2,
   // runtime failure (unreadable/corrupt file, failed run) is 1. No raw
   // exception ever escapes to std::terminate.
