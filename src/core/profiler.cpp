@@ -32,13 +32,20 @@ Profiler::Profiler(ProfilerOptions options)
   if (options.max_threads < 1 || options.max_threads > 64) {
     throw std::invalid_argument("Profiler supports 1..64 threads");
   }
+  if (options.batch_size > kMaxBatchSize) {
+    throw std::invalid_argument("Profiler batch_size must be <= 256");
+  }
   for (int t = 0; t < options.max_threads; ++t) {
     contexts_[static_cast<std::size_t>(t)].stack.reserve(16);
   }
+  batch_flushes_ = &telemetry::counter("sink.batch.flushes");
+  batch_events_ = &telemetry::counter("sink.batch.events");
+  batch_partial_ = &telemetry::counter("sink.batch.partial");
 }
 
 void Profiler::on_thread_begin(int tid) {
   if (!admit_tid(tid)) return;
+  if (options_.batch_size != 0) flush_batch(tid);
   ThreadCtx& c = ctx(tid);
   c.stack.clear();
   c.stack.push_back(&tree_.root());
@@ -46,6 +53,10 @@ void Profiler::on_thread_begin(int tid) {
 
 void Profiler::on_loop_enter(int tid, instrument::LoopId id) {
   if (!admit_tid(tid)) return;
+  // Drain before the region stack moves so every buffered access is
+  // attributed to the loop it was issued in, exactly as the unbatched path
+  // attributes it.
+  if (options_.batch_size != 0) flush_batch(tid);
   telemetry::Tracer::loop_begin(tid, id);
   ThreadCtx& c = ctx(tid);
   if (c.stack.empty()) c.stack.push_back(&tree_.root());
@@ -56,6 +67,7 @@ void Profiler::on_loop_enter(int tid, instrument::LoopId id) {
 
 void Profiler::on_loop_exit(int tid) {
   if (!admit_tid(tid)) return;
+  if (options_.batch_size != 0) flush_batch(tid);
   telemetry::Tracer::loop_end(tid);
   ThreadCtx& c = ctx(tid);
   if (c.stack.size() > 1) c.stack.pop_back();
@@ -65,7 +77,17 @@ void Profiler::on_access(int tid, std::uintptr_t addr, std::uint32_t size,
                          instrument::AccessKind kind) {
   if (!admit_tid(tid)) return;
   ThreadCtx& c = ctx(tid);
+  if (options_.batch_size != 0) {
+    c.batch[c.batch_count] = BatchEvent{addr, size, kind};
+    if (++c.batch_count == options_.batch_size) flush_batch(tid);
+    return;
+  }
   if (c.stack.empty()) c.stack.push_back(&tree_.root());
+  ingest_one(tid, c, addr, size, kind);
+}
+
+void Profiler::ingest_one(int tid, ThreadCtx& c, std::uintptr_t addr,
+                          std::uint32_t size, instrument::AccessKind kind) {
   ++c.accesses;
   phases_.count_access();
 
@@ -113,7 +135,88 @@ void Profiler::on_access(int tid, std::uintptr_t addr, std::uint32_t size,
   }
 }
 
+void Profiler::flush_batch(int tid) {
+  ThreadCtx& c = ctx(tid);
+  const std::uint32_t n = c.batch_count;
+  if (n == 0) return;
+  c.batch_count = 0;  // reset first: reentrant re-arrivals start a fresh batch
+  telemetry::ScopedSpan span("batch_flush", telemetry::SpanCat::kBatch, tid);
+  batch_flushes_->add(1);
+  batch_events_->add(n);
+  if (n < options_.batch_size) batch_partial_->add(1);
+
+  if (c.stack.empty()) c.stack.push_back(&tree_.root());
+  auto* det = std::get_if<AsymmetricDetector>(&backend_);
+  if (det != nullptr && !options_.classify_dependences) [[likely]] {
+    // Hash-ahead fast path: compute every event's slot pair and prefetch the
+    // first-level cells of both striped signatures, then prefetch the read
+    // slots' bloom payloads, then probe in issue order. The probes perform
+    // exactly the operations the unbatched path performs, on exactly the
+    // same slots, in the same order — only the misses overlap.
+    RegionNode* region = c.stack.back();
+    AsymmetricDetector::Slots slots[kMaxBatchSize];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      slots[i] = det->slots_of(c.batch[i].addr);
+    }
+    // Software-pipelined prefetch: staggered short distances keep the set of
+    // in-flight lines within the core's miss-buffer budget (sweeping the whole
+    // block per stage drops most of the prefetches once the buffers fill).
+    // Stage spacing gives each pointer chase time to land before the next
+    // stage dereferences it: cells at i+kD1, bloom headers at i+kD2, bloom bit
+    // words at i+kD3, probe at i.
+    constexpr std::uint32_t kD1 = 16, kD2 = 8, kD3 = 4;
+    for (std::uint32_t i = 0; i < kD1 && i < n; ++i) det->prefetch(slots[i]);
+    for (std::uint32_t i = 0; i < kD2 && i < n; ++i) {
+      det->prefetch_filter(slots[i]);
+    }
+    for (std::uint32_t i = 0; i < kD3 && i < n; ++i) {
+      det->prefetch_filter_bits(slots[i]);
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (i + kD1 < n) det->prefetch(slots[i + kD1]);
+      if (i + kD2 < n) det->prefetch_filter(slots[i + kD2]);
+      if (i + kD3 < n) det->prefetch_filter_bits(slots[i + kD3]);
+      const BatchEvent& e = c.batch[i];
+      ++c.accesses;
+      phases_.count_access();
+      if (e.kind == instrument::AccessKind::kWrite) {
+        ++c.writes;
+        det->on_write_at(slots[i], tid);
+        continue;
+      }
+      ++c.reads;
+      const std::optional<int> producer = det->on_read_at(slots[i], tid);
+      if (producer.has_value()) {
+        ++c.dependencies;
+        region->matrix().add(*producer, tid, e.size);
+        phases_.add(*producer, tid, e.size);
+      }
+    }
+    return;
+  }
+
+  // Exact backend / classification: no slot prefetch to amortize, but the
+  // drain still shares ingest_one with the unbatched path.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const BatchEvent& e = c.batch[i];
+    ingest_one(tid, c, e.addr, e.size, e.kind);
+  }
+}
+
+void Profiler::on_drain(int tid) {
+  if (static_cast<unsigned>(tid) >=
+      static_cast<unsigned>(options_.max_threads)) {
+    return;  // nothing buffered for an inadmissible tid; not a dropped event
+  }
+  flush_batch(tid);
+}
+
+void Profiler::flush_all() {
+  for (int t = 0; t < options_.max_threads; ++t) flush_batch(t);
+}
+
 void Profiler::finalize() {
+  flush_all();
   phases_.flush();
   // Stamp the run's aggregate accounting into the process-wide telemetry
   // registry. Gauges (not counters): a process can finalize several
@@ -143,6 +246,8 @@ constexpr std::size_t kMinSignatureSlots = 4096;
 
 bool Profiler::degrade_exact_to_signature(std::uint64_t event_index,
                                           const std::string& reason) {
+  flush_all();  // quiescence is this function\'s precondition; drain into the
+                // outgoing state before it is replaced
   auto* exact = std::get_if<sigmem::ExactSignature>(&backend_);
   if (exact == nullptr) return false;
   const std::uint64_t before = memory_.current();
@@ -178,6 +283,8 @@ bool Profiler::degrade_exact_to_signature(std::uint64_t event_index,
 
 bool Profiler::degrade_regions_to_sparse(std::uint64_t event_index,
                                          const std::string& reason) {
+  flush_all();  // quiescence is this function\'s precondition; drain into the
+                // outgoing state before it is replaced
   if (options_.sparse_region_matrices) return false;
   const std::uint64_t before = memory_.current();
   tree_.convert_to_sparse();
@@ -191,6 +298,8 @@ bool Profiler::degrade_regions_to_sparse(std::uint64_t event_index,
 
 bool Profiler::degrade_halve_slots(std::uint64_t event_index,
                                    const std::string& reason) {
+  flush_all();  // quiescence is this function\'s precondition; drain into the
+                // outgoing state before it is replaced
   if (!std::holds_alternative<AsymmetricDetector>(backend_)) return false;
   if (options_.signature_slots / 2 < kMinSignatureSlots) return false;
   const std::uint64_t before = memory_.current();

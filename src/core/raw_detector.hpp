@@ -54,10 +54,50 @@ class AsymmetricDetector {
       : read_sig_(slots, max_threads, fp_rate, tracker),
         write_sig_(slots, tracker) {}
 
+  /// Precomputed slot pair for one address — the unit of the batched
+  /// hash-ahead: hash a whole block with slots_of(), prefetch() every pair,
+  /// then probe with on_read_at()/on_write_at(). Identical algorithm, same
+  /// slots, just with the hashing and cache misses hoisted out of the probe.
+  struct Slots {
+    std::size_t read;
+    std::size_t write;
+  };
+
+  [[nodiscard]] Slots slots_of(std::uintptr_t addr) const noexcept {
+    // Both signatures reduce the same murmur mix, so hash once, reduce twice
+    // — identical slot ids to calling each signature's slot_of directly.
+    const std::uint64_t h =
+        support::murmur_mix64(static_cast<std::uint64_t>(addr));
+    return Slots{read_sig_.slot_from_hash(h), write_sig_.slot_from_hash(h)};
+  }
+
+  /// Stage-one prefetch: first-level cells of both signatures.
+  void prefetch(Slots s) const noexcept {
+    read_sig_.prefetch(s.read);
+    write_sig_.prefetch(s.write);
+  }
+
+  /// Stage-two prefetch: the read slot's bloom filter header (its pointer
+  /// should be cached by a prior prefetch()).
+  void prefetch_filter(Slots s) const noexcept {
+    read_sig_.prefetch_filter(s.read);
+  }
+
+  /// Stage-three prefetch: the bloom filter's bit words (their pointer should
+  /// be cached by a prior prefetch_filter()).
+  void prefetch_filter_bits(Slots s) const noexcept {
+    read_sig_.prefetch_filter_bits(s.read);
+  }
+
   std::optional<int> on_read(std::uintptr_t addr, int tid) noexcept {
-    const std::size_t wslot = write_sig_.slot_of(addr);
+    return on_read_at(slots_of(addr), tid);
+  }
+
+  /// on_read with the hashing already done; bit-identical to on_read.
+  std::optional<int> on_read_at(Slots s, int tid) noexcept {
+    const std::size_t wslot = s.write;
     const std::optional<int> last_writer = write_sig_.last_writer(wslot);
-    const std::size_t rslot = read_sig_.slot_of(addr);
+    const std::size_t rslot = s.read;
     if (last_writer.has_value()) {
       // "a in write signature": the reader joins the read signature; the
       // returned prior-membership bit is the "a not in read signature" test.
@@ -71,8 +111,13 @@ class AsymmetricDetector {
   }
 
   void on_write(std::uintptr_t addr, int tid) noexcept {
-    read_sig_.clear_slot(read_sig_.slot_of(addr));
-    write_sig_.record(write_sig_.slot_of(addr), tid);
+    on_write_at(slots_of(addr), tid);
+  }
+
+  /// on_write with the hashing already done; bit-identical to on_write.
+  void on_write_at(Slots s, int tid) noexcept {
+    read_sig_.clear_slot(s.read);
+    write_sig_.record(s.write, tid);
   }
 
   /// Classified variants for the optional WAR/WAW/RAR extension. Bloom

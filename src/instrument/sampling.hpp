@@ -51,6 +51,7 @@ class SamplingSink final : public AccessSink {
   }
 
   void finalize() override { inner_->finalize(); }
+  void on_drain(int tid) override { inner_->on_drain(tid); }
 
   /// Degradation-ladder hook: halves the duty cycle by growing the dropped
   /// burst (0 -> burst_on, else doubling), cutting the event volume the

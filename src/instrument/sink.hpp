@@ -49,6 +49,12 @@ class AccessSink {
   /// their matrices here.
   virtual void finalize() {}
 
+  /// Drains any events `tid` has buffered but not yet pushed through the
+  /// detector (the batched ingest pipeline's micro-batch). Unbuffered sinks
+  /// ignore it. Safe to call at any point from the owning thread; harnesses
+  /// call it at barrier points before differencing matrices.
+  virtual void on_drain(int tid) { (void)tid; }
+
   // --- convenience wrappers used by instrumented kernels -------------------
 
   template <typename T>
@@ -72,6 +78,7 @@ struct NullSink {
   static void on_loop_exit(int) noexcept {}
   static void on_access(int, std::uintptr_t, std::uint32_t,
                         AccessKind) noexcept {}
+  static void on_drain(int) noexcept {}
 
   template <typename T>
   static void read(int, const T*) noexcept {}

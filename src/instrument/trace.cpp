@@ -40,7 +40,17 @@ void TraceRecorder::on_access(int tid, std::uintptr_t addr, std::uint32_t size,
 }
 
 void replay(const std::vector<TraceEvent>& events, AccessSink& sink) {
+  // Replay applies the recorded global interleaving on one thread. A batched
+  // sink buffers per-tid, which would let a later thread's events overtake an
+  // earlier thread's still-buffered ones; draining the outgoing tid at every
+  // tid switch pins the apply order to the recorded order, so replay reports
+  // are bit-identical at every batch size.
+  int last_tid = -1;
   for (const TraceEvent& e : events) {
+    if (static_cast<int>(e.tid) != last_tid) {
+      if (last_tid >= 0) sink.on_drain(last_tid);
+      last_tid = static_cast<int>(e.tid);
+    }
     switch (e.kind) {
       case TraceEvent::Kind::kThreadBegin:
         sink.on_thread_begin(e.tid);

@@ -53,6 +53,19 @@ void flush_active_sink() noexcept {
   }
 }
 
+// Logical tid this thread last drove through the sink. The registry's dense
+// id and the sink's logical tid are different namespaces (harnesses hand
+// lanes their own ids), so the exiting thread itself records which batch it
+// owns; the registry thread-exit hook drains exactly that one.
+thread_local int t_last_tid = -1;
+
+void drain_active_sink_thread(int /*registry_tid*/) noexcept {
+  if (t_last_tid < 0) return;
+  if (GuardedSink* sink = g_active_sink.load(std::memory_order_acquire)) {
+    sink->on_drain(t_last_tid);
+  }
+}
+
 }  // namespace
 
 GuardedSink::GuardedSink(core::Profiler& profiler, ResourceGuard* guard,
@@ -100,6 +113,11 @@ GuardedSink::GuardedSink(core::Profiler& profiler, ResourceGuard* guard,
   static const bool hook_registered =
       threading::ThreadRegistry::at_flush(&flush_active_sink);
   (void)hook_registered;
+  // A worker that exits mid-phase drains its own micro-batch on the way out,
+  // while its logical tid is still unambiguously its.
+  static const bool exit_hook_registered =
+      threading::ThreadRegistry::at_thread_exit(&drain_active_sink_thread);
+  (void)exit_hook_registered;
 }
 
 std::uint64_t GuardedSink::begin_event() {
@@ -133,6 +151,9 @@ void GuardedSink::flush() noexcept {
   telemetry::ScopedSpan span("flush", telemetry::SpanCat::kFlush);
   try {
     if (gate_) stop_the_world();
+    // With appenders parked at the safepoint, pending micro-batches can be
+    // drained; the snapshot then includes every admitted access.
+    if (gate_) profiler_->flush_all();
     write_checkpoint(events_.load(std::memory_order_relaxed), "partial",
                      "flush");
     if (gate_) resume_the_world();
@@ -158,6 +179,9 @@ void GuardedSink::coarse_tick() {
   if (!lock.owns_lock()) return;  // another thread is already handling it
   telemetry::ScopedSpan span("guard_check", telemetry::SpanCat::kGuard);
   stop_the_world();
+  // Drain first so the stats the guard sees (and any ladder rung that
+  // replaces the backend) cover every admitted access, not just flushed ones.
+  profiler_->flush_all();
   // With the world stopped the profiler's per-thread counters are stable;
   // its access count is the closest thing to an event index in coarse mode.
   guard_->check(profiler_->stats().accesses);
@@ -171,6 +195,7 @@ void GuardedSink::maintenance(std::uint64_t index) {
   if (!lock.owns_lock()) return;
   telemetry::ScopedSpan span("maintenance", telemetry::SpanCat::kGuard);
   stop_the_world();
+  profiler_->flush_all();
   if (guard_ != nullptr && guard_->enabled()) guard_->check(index);
   if (options_.checkpoint_every != 0 &&
       index % options_.checkpoint_every == 0) {
@@ -252,6 +277,7 @@ void GuardedSink::on_access(int tid, std::uintptr_t addr, std::uint32_t size,
     telemetry::counter("sink.reentrant_drops").add(1);
     return;
   }
+  t_last_tid = tid;  // remembered for the thread-exit micro-batch drain
   if (!precise_) {
     if (!gate_) {
       profiler_->on_access(tid, addr, size, kind);
@@ -287,6 +313,39 @@ void GuardedSink::on_access(int tid, std::uintptr_t addr, std::uint32_t size,
   Slot& s = slots_[static_cast<std::size_t>(tid) & 63];
   safepoint_enter(s);
   profiler_->on_access(tid, addr, size, kind);
+  safepoint_leave(s);
+}
+
+void GuardedSink::on_drain(int tid) {
+  threading::ThreadRegistry::ReentrancyGuard reent;
+  if (!reent.engaged()) [[unlikely]] {
+    reentrant_drops_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::counter("sink.reentrant_drops").add(1);
+    return;
+  }
+  // No begin_event() and no suppression check: the drained accesses were
+  // indexed and admitted when they entered the batch; losing them to a
+  // budget decision now would un-count admitted events.
+  if (!gate_) {
+    profiler_->on_drain(tid);
+    return;
+  }
+  Slot& s = slots_[static_cast<std::size_t>(tid) & 63];
+  if (!precise_) {
+    for (;;) {
+      if (asym_) {
+        s.active.store(1, std::memory_order_relaxed);
+        std::atomic_signal_fence(std::memory_order_seq_cst);
+      } else {
+        s.active.store(1, std::memory_order_seq_cst);
+      }
+      if (!coarse_pending_.load(std::memory_order_acquire)) [[likely]] break;
+      coarse_backout(s);
+    }
+  } else {
+    safepoint_enter(s);
+  }
+  profiler_->on_drain(tid);
   safepoint_leave(s);
 }
 

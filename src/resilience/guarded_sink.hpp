@@ -71,6 +71,11 @@ class GuardedSink final : public instrument::AccessSink {
   void on_access(int tid, std::uintptr_t addr, std::uint32_t size,
                  instrument::AccessKind kind) override;
   void finalize() override;
+  /// Drains `tid`'s micro-batch through the same reentrancy guard and
+  /// safepoint the access path uses. Never suppressed and never assigned an
+  /// event index: the buffered accesses were already counted when they were
+  /// admitted, so a drain is pure delivery, not a new event.
+  void on_drain(int tid) override;
 
   /// Best-effort flush: serialize the current profiler state and publish it
   /// to the CrashGuard (and checkpoint file, when configured). Runs under

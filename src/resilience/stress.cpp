@@ -139,6 +139,11 @@ void lockstep_lane(LockstepShared* sh, int lane) {
     if (sh->next >= script.size()) return;
     const Step st = script[sh->next];
     if (st.op == OpKind::kChurn) {
+      // Drain inside the turnstile, before the hand-off is published: the
+      // exiting thread's buffered accesses must reach the detector before
+      // any later step of the script runs, or the scripted global order —
+      // and with it oracle equality — is lost.
+      sh->sink->on_drain(lane);
       ++sh->next;
       ++sh->churns;
       sh->respawns.push_back(lane);
@@ -151,6 +156,13 @@ void lockstep_lane(LockstepShared* sh, int lane) {
     // drains immediately — no lock-order cycle.
     execute_step(*sh->sink, lane, st);
     ++sh->next;
+    // Batched pipeline ordering point: a run of same-lane steps may stay
+    // buffered (exercising multi-event batches), but the buffer must drain
+    // before the script hands the global order to another lane.
+    if (sh->next >= script.size() ||
+        script[sh->next].lane != static_cast<std::int16_t>(lane)) {
+      sh->sink->on_drain(lane);
+    }
     sh->cv.notify_all();
   }
 }
@@ -264,12 +276,18 @@ void free_lane(const FreePlan& plan, instrument::AccessSink& sink,
                        instrument::AccessKind::kWrite);
       }
     }
+    // Drain before every barrier so all phase-p writes are through the
+    // detector before any lane issues a phase-p read (and all reads before
+    // the next phase's writes) — the ordering the oracle's serial replay
+    // assumes, independent of batch size.
+    sink.on_drain(lane);
     barrier.arrive_and_wait();
     for (std::uint16_t word :
          plan.reads[static_cast<std::size_t>(p)][static_cast<std::size_t>(
              lane)]) {
       sink.on_access(lane, word_addr(word), 8, instrument::AccessKind::kRead);
     }
+    sink.on_drain(lane);
     barrier.arrive_and_wait();
   }
 }
@@ -335,6 +353,7 @@ GuardedRun run_guarded(const StressOptions& o, const std::vector<Step>& script,
                        const FreePlan& plan) {
   core::ProfilerOptions po;
   po.max_threads = o.threads;
+  po.batch_size = o.batch;
   // The exact backend makes the comparison collision-free: any divergence
   // from the oracle is a real concurrency bug, never bloom noise.
   po.backend = core::Backend::kExact;
@@ -410,6 +429,9 @@ StressReport run_stress(const StressOptions& options) {
   if (options.steps == 0 || options.steps > (1u << 24)) {
     throw std::invalid_argument("stress: steps must be in [1, 2^24]");
   }
+  if (options.batch > core::kMaxBatchSize) {
+    throw std::invalid_argument("stress: batch must be in [0, 256]");
+  }
 
   telemetry::ScopedSpan span("stress.scenario", telemetry::SpanCat::kStress);
   telemetry::counter("stress.scenarios").add(1);
@@ -470,6 +492,7 @@ bool run_stress_sweep(const std::vector<std::uint64_t>& seeds,
         const StressReport r = run_stress(o);
         os << "seed=" << r.options.seed << " threads=" << r.options.threads
            << " mode=" << to_string(r.options.mode)
+           << " batch=" << r.options.batch
            << " accesses=" << r.accesses << " churns=" << r.churns
            << " leases=" << r.registry_leases
            << " bytes=" << r.guarded_total << "/" << r.oracle_total

@@ -64,6 +64,11 @@ struct StressOptions {
   std::uint64_t checkpoint_every = 256;
   /// Run the guarded pipeline twice and require identical matrices.
   bool verify_determinism = true;
+  /// Profiler micro-batch size for the guarded pipeline (0 = unbatched,
+  /// max core::kMaxBatchSize). The harness drains pending micro-batches at
+  /// its ordering points — lockstep lane hand-offs and free-mode barriers —
+  /// so the serial oracle comparison stays exact at any batch size.
+  std::uint32_t batch = 0;
 };
 
 struct StressReport {

@@ -1,8 +1,19 @@
 #include "sigmem/read_signature.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "sigmem/write_signature.hpp"  // kSignatureStripes
+
 namespace commscope::sigmem {
+
+namespace {
+std::size_t floor_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+}  // namespace
 
 ReadSignature::ReadSignature(std::size_t slots, int max_threads, double fp_rate,
                              support::MemoryTracker* tracker)
@@ -11,12 +22,31 @@ ReadSignature::ReadSignature(std::size_t slots, int max_threads, double fp_rate,
       fp_rate_(fp_rate),
       bloom_params_(
           support::bloom_params(static_cast<std::size_t>(max_threads), fp_rate)),
-      level1_(std::make_unique<std::atomic<support::BloomFilter*>[]>(slots)),
       tracker_(tracker) {
   if (slots == 0) throw std::invalid_argument("ReadSignature needs >= 1 slot");
   if (max_threads < 1) throw std::invalid_argument("max_threads must be >= 1");
-  for (std::size_t i = 0; i < slots_; ++i) {
-    level1_[i].store(nullptr, std::memory_order_relaxed);
+  slot_mask_ = (slots_ & (slots_ - 1)) == 0 ? slots_ - 1 : 0;
+  probe_stride_ =
+      std::min(bloom_params_.hashes, support::BloomFilter::kMaxProbes);
+  probes_.resize(static_cast<std::size_t>(max_threads_) * probe_stride_);
+  probe_counts_.resize(static_cast<std::size_t>(max_threads_));
+  for (int t = 0; t < max_threads_; ++t) {
+    probe_counts_[static_cast<std::size_t>(t)] = support::BloomFilter::probes_for(
+        bloom_params_, static_cast<std::uint64_t>(t),
+        &probes_[static_cast<std::size_t>(t) * probe_stride_]);
+  }
+  const std::size_t n_stripes = std::min(kSignatureStripes, floor_pow2(slots_));
+  stripe_mask_ = n_stripes - 1;
+  stripe_shift_ = 0;
+  while ((std::size_t{1} << stripe_shift_) < n_stripes) ++stripe_shift_;
+  level1_.reserve(n_stripes);
+  for (std::size_t s = 0; s < n_stripes; ++s) {
+    const std::size_t len = stripe_len(s);
+    auto cells = std::make_unique<std::atomic<support::BloomFilter*>[]>(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      cells[i].store(nullptr, std::memory_order_relaxed);
+    }
+    level1_.push_back(std::move(cells));
   }
   if (tracker_ != nullptr) {
     tracker_->add(slots_ * sizeof(std::atomic<support::BloomFilter*>));
@@ -24,19 +54,22 @@ ReadSignature::ReadSignature(std::size_t slots, int max_threads, double fp_rate,
 }
 
 ReadSignature::~ReadSignature() {
-  for (std::size_t i = 0; i < slots_; ++i) {
-    delete level1_[i].load(std::memory_order_relaxed);
+  for (std::size_t s = 0; s < level1_.size(); ++s) {
+    const std::size_t len = stripe_len(s);
+    for (std::size_t i = 0; i < len; ++i) {
+      delete level1_[s][i].load(std::memory_order_relaxed);
+    }
   }
   if (tracker_ != nullptr) tracker_->sub(byte_size());
 }
 
 support::BloomFilter* ReadSignature::get_or_create(std::size_t slot) noexcept {
-  support::BloomFilter* bf = level1_[slot].load(std::memory_order_acquire);
+  support::BloomFilter* bf = cell(slot).load(std::memory_order_acquire);
   if (bf != nullptr) return bf;
   auto fresh = std::make_unique<support::BloomFilter>(bloom_params_);
   support::BloomFilter* expected = nullptr;
-  if (level1_[slot].compare_exchange_strong(expected, fresh.get(),
-                                            std::memory_order_acq_rel)) {
+  if (cell(slot).compare_exchange_strong(expected, fresh.get(),
+                                         std::memory_order_acq_rel)) {
     allocated_.fetch_add(1, std::memory_order_relaxed);
     if (tracker_ != nullptr) {
       tracker_->add(sizeof(support::BloomFilter) + fresh->byte_size());
@@ -55,22 +88,33 @@ bool ReadSignature::insert(std::size_t slot, int tid) noexcept {
   }
   if (tid >= max_threads_) [[unlikely]] {
     overflow_inserts_.fetch_add(1, std::memory_order_relaxed);
+    return get_or_create(slot)->insert(static_cast<std::uint64_t>(tid));
   }
-  return get_or_create(slot)->insert(static_cast<std::uint64_t>(tid));
+  // In-range tids (every insert Algorithm 1 issues) use the probe set
+  // precomputed in the constructor: same bit positions, one RMW per word.
+  return get_or_create(slot)->insert_probes(
+      &probes_[static_cast<std::size_t>(tid) * probe_stride_],
+      probe_counts_[static_cast<std::size_t>(tid)]);
 }
 
 bool ReadSignature::contains(std::size_t slot, int tid) const noexcept {
-  const support::BloomFilter* bf = level1_[slot].load(std::memory_order_acquire);
-  return bf != nullptr && bf->contains(static_cast<std::uint64_t>(tid));
+  const support::BloomFilter* bf = cell(slot).load(std::memory_order_acquire);
+  if (bf == nullptr) return false;
+  if (tid < 0 || tid >= max_threads_) [[unlikely]] {
+    return bf->contains(static_cast<std::uint64_t>(tid));
+  }
+  return bf->contains_probes(
+      &probes_[static_cast<std::size_t>(tid) * probe_stride_],
+      probe_counts_[static_cast<std::size_t>(tid)]);
 }
 
 bool ReadSignature::any(std::size_t slot) const noexcept {
-  const support::BloomFilter* bf = level1_[slot].load(std::memory_order_acquire);
+  const support::BloomFilter* bf = cell(slot).load(std::memory_order_acquire);
   return bf != nullptr && !bf->empty();
 }
 
 void ReadSignature::clear_slot(std::size_t slot) noexcept {
-  support::BloomFilter* bf = level1_[slot].load(std::memory_order_acquire);
+  support::BloomFilter* bf = cell(slot).load(std::memory_order_acquire);
   if (bf != nullptr) bf->clear();
 }
 

@@ -15,11 +15,19 @@
 // and recycled (cleared, not freed) when a write invalidates the slot —
 // keeping the memory footprint bounded by the slot count regardless of
 // program input size, the property Figure 5 demonstrates.
+//
+// Like the write signature, the first-level array is sharded into
+// power-of-two stripes keyed by the low bits of the slot index
+// (stripe = slot & (S-1), index = slot >> log2(S)). Slot ids, slot_of(),
+// lazy-allocation behaviour, and the Eq. 2 accounting are unchanged — only
+// the physical placement moves, decoupling hash-adjacent slots' cache lines
+// for concurrent batch flushers.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "support/bloom.hpp"
 #include "support/hash.hpp"
@@ -38,8 +46,57 @@ class ReadSignature {
   ReadSignature(const ReadSignature&) = delete;
   ReadSignature& operator=(const ReadSignature&) = delete;
 
+  /// Maps a memory address to its slot index; same mapping as the modulo
+  /// (`h & (slots-1) == h % slots` for power-of-two slot counts), minus the
+  /// per-event hardware divide. See WriteSignature::slot_of.
   [[nodiscard]] std::size_t slot_of(std::uintptr_t addr) const noexcept {
-    return support::murmur_mix64(static_cast<std::uint64_t>(addr)) % slots_;
+    return slot_from_hash(
+        support::murmur_mix64(static_cast<std::uint64_t>(addr)));
+  }
+
+  /// slot_of with the murmur mix already done — callers probing both
+  /// signatures hash the address once and reduce twice.
+  [[nodiscard]] std::size_t slot_from_hash(std::uint64_t h) const noexcept {
+    return slot_mask_ != 0 ? (h & slot_mask_) : h % slots_;
+  }
+
+  /// Hints `slot`'s first-level pointer cell into cache. Stage one of the
+  /// batched hash-ahead: hash every event in the block, prefetch every
+  /// first-level cell, then probe.
+  void prefetch(std::size_t slot) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&cell(slot), 0 /*read*/, 1);
+#else
+    (void)slot;
+#endif
+  }
+
+  /// Stage two of the hash-ahead: once the first-level cell is (likely)
+  /// cached, follow the pointer and prefetch the bloom filter header (which
+  /// holds the bit-array pointer stage three chases).
+  void prefetch_filter(std::size_t slot) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    const support::BloomFilter* bf = cell(slot).load(std::memory_order_relaxed);
+    if (bf != nullptr) __builtin_prefetch(bf, 1 /*write*/, 1);
+#else
+    (void)slot;
+#endif
+  }
+
+  /// Stage three: with the header (likely) cached, prefetch the filter's bit
+  /// words — a separate heap allocation, i.e. the third and final miss level
+  /// on the read path that the probe itself would otherwise eat.
+  void prefetch_filter_bits(std::size_t slot) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    const support::BloomFilter* bf = cell(slot).load(std::memory_order_relaxed);
+    if (bf != nullptr) {
+      if (const void* words = bf->bits_data(); words != nullptr) {
+        __builtin_prefetch(words, 1 /*write*/, 1);
+      }
+    }
+#else
+    (void)slot;
+#endif
   }
 
   /// Inserts reader `tid` into `slot`'s bloom filter (allocating it on first
@@ -68,6 +125,8 @@ class ReadSignature {
   void clear() noexcept;
 
   [[nodiscard]] std::size_t slots() const noexcept { return slots_; }
+  /// Number of storage stripes (power of two).
+  [[nodiscard]] std::size_t stripes() const noexcept { return stripe_mask_ + 1; }
   [[nodiscard]] int max_threads() const noexcept { return max_threads_; }
   [[nodiscard]] double fp_rate() const noexcept { return fp_rate_; }
   [[nodiscard]] support::BloomParams bloom_params() const noexcept {
@@ -97,12 +156,31 @@ class ReadSignature {
   int max_threads_;
   double fp_rate_;
   support::BloomParams bloom_params_;
-  std::unique_ptr<std::atomic<support::BloomFilter*>[]> level1_;
+  /// Per-tid precomputed bloom probe sets (tids 0..max_threads-1, the only
+  /// keys Algorithm 1 inserts): `probe_stride_` entries per tid, count in
+  /// `probe_counts_`. Every filter shares bloom_params_, so the positions are
+  /// computed once here instead of k hash evaluations per insert — the
+  /// hashing half of the batched pipeline's "hash whole block" amortization,
+  /// and bit-identical to hashing inline (see BloomFilter::insert_probes).
+  std::uint32_t probe_stride_;
+  std::vector<support::BloomFilter::Probe> probes_;
+  std::vector<std::uint32_t> probe_counts_;
+  std::size_t slot_mask_;  // slots - 1 when slots is a power of two, else 0
+  std::size_t stripe_mask_;
+  unsigned stripe_shift_;
+  std::vector<std::unique_ptr<std::atomic<support::BloomFilter*>[]>> level1_;
   std::atomic<std::size_t> allocated_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> overflow_inserts_{0};
   support::MemoryTracker* tracker_;
 
+  [[nodiscard]] std::atomic<support::BloomFilter*>& cell(std::size_t slot) const
+      noexcept {
+    return level1_[slot & stripe_mask_][slot >> stripe_shift_];
+  }
+  [[nodiscard]] std::size_t stripe_len(std::size_t stripe) const noexcept {
+    return (slots_ - stripe + stripe_mask_) >> stripe_shift_;
+  }
   [[nodiscard]] support::BloomFilter* get_or_create(std::size_t slot) noexcept;
 };
 

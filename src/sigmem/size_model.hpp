@@ -10,6 +10,12 @@
 // FPRate = 0.001 and concludes "around 580MB could be sufficient".
 // bench/eq2_sigmem_model sweeps this model and checks it against the actual
 // allocations of the implementation.
+//
+// Striping note: both signatures physically shard their n slots across
+// power-of-two stripes (write_signature.hpp). The model is unaffected — the
+// stripes partition exactly the same n cells with no padding, so SigMem(n,t)
+// still describes the total allocation, and per-thread FPR is untouched
+// because slot_of() and the bloom sizing never see the stripe layout.
 #pragma once
 
 #include <cmath>

@@ -1,17 +1,37 @@
 #include "sigmem/write_signature.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace commscope::sigmem {
 
+namespace {
+/// Largest power of two <= n (n >= 1).
+std::size_t floor_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+}  // namespace
+
 WriteSignature::WriteSignature(std::size_t slots,
                                support::MemoryTracker* tracker)
-    : slots_(slots),
-      cells_(std::make_unique<std::atomic<std::uint32_t>[]>(slots)),
-      tracker_(tracker) {
+    : slots_(slots), tracker_(tracker) {
   if (slots == 0) throw std::invalid_argument("WriteSignature needs >= 1 slot");
-  for (std::size_t i = 0; i < slots_; ++i) {
-    cells_[i].store(0, std::memory_order_relaxed);
+  slot_mask_ = (slots_ & (slots_ - 1)) == 0 ? slots_ - 1 : 0;
+  const std::size_t n_stripes =
+      std::min(kSignatureStripes, floor_pow2(slots_));
+  stripe_mask_ = n_stripes - 1;
+  stripe_shift_ = 0;
+  while ((std::size_t{1} << stripe_shift_) < n_stripes) ++stripe_shift_;
+  stripes_.reserve(n_stripes);
+  for (std::size_t s = 0; s < n_stripes; ++s) {
+    const std::size_t len = stripe_len(s);
+    auto cells = std::make_unique<std::atomic<std::uint32_t>[]>(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      cells[i].store(0, std::memory_order_relaxed);
+    }
+    stripes_.push_back(std::move(cells));
   }
   if (tracker_ != nullptr) tracker_->add(byte_size());
 }
@@ -21,15 +41,21 @@ WriteSignature::~WriteSignature() {
 }
 
 void WriteSignature::clear() noexcept {
-  for (std::size_t i = 0; i < slots_; ++i) {
-    cells_[i].store(0, std::memory_order_release);
+  for (std::size_t s = 0; s < stripes_.size(); ++s) {
+    const std::size_t len = stripe_len(s);
+    for (std::size_t i = 0; i < len; ++i) {
+      stripes_[s][i].store(0, std::memory_order_release);
+    }
   }
 }
 
 std::size_t WriteSignature::occupancy() const noexcept {
   std::size_t n = 0;
-  for (std::size_t i = 0; i < slots_; ++i) {
-    if (cells_[i].load(std::memory_order_relaxed) != 0) ++n;
+  for (std::size_t s = 0; s < stripes_.size(); ++s) {
+    const std::size_t len = stripe_len(s);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (stripes_[s][i].load(std::memory_order_relaxed) != 0) ++n;
+    }
   }
   return n;
 }

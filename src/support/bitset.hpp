@@ -45,6 +45,14 @@ class AtomicBitset {
     return (old & mask) != 0;
   }
 
+  /// Atomically ORs `mask` into word `w`; returns true iff every bit of the
+  /// mask was already set. One RMW for a whole probe group — the bulk
+  /// counterpart of calling set() once per bit.
+  bool set_word(std::size_t w, std::uint64_t mask) noexcept {
+    const std::uint64_t old = words_[w].fetch_or(mask, std::memory_order_acq_rel);
+    return (old & mask) == mask;
+  }
+
   [[nodiscard]] bool test(std::size_t i) const noexcept {
     const std::uint64_t mask = 1ULL << (i & 63U);
     return (words_[i >> 6].load(std::memory_order_acquire) & mask) != 0;
@@ -77,6 +85,10 @@ class AtomicBitset {
   [[nodiscard]] std::uint64_t word(std::size_t w) const noexcept {
     return words_[w].load(std::memory_order_acquire);
   }
+
+  /// Address of the backing words, for cache prefetch hints only (null when
+  /// default-constructed).
+  [[nodiscard]] const void* data() const noexcept { return words_.get(); }
 
  private:
   std::size_t nbits_ = 0;

@@ -69,6 +69,76 @@ class BloomFilter {
     return all_set;
   }
 
+  // --- precomputed probe sets ----------------------------------------------
+  //
+  // The read signature's key universe is thread ids, so the k probe
+  // positions for a given key are a pure function of (params, key) shared by
+  // every filter built from the same params. Callers that probe the same key
+  // millions of times (Algorithm 1 inserts the reading tid on EVERY read)
+  // precompute the positions once, grouped by backing word, and each
+  // insert/query becomes one RMW (or load) per touched word instead of k
+  // hash evaluations and k RMWs.
+
+  /// One precomputed probe group: the OR of every probed bit that falls in
+  /// backing word `word`.
+  struct Probe {
+    std::uint32_t word;
+    std::uint64_t mask;
+  };
+
+  /// Maximum probe groups a key can produce (distinct words <= hash count).
+  static constexpr std::uint32_t kMaxProbes = 32;
+
+  /// Writes the probe set insert(key)/contains(key) would touch under
+  /// `params` — identical double-hashing positions, grouped by word — and
+  /// returns the group count. `out` must hold at least
+  /// min(params.hashes, kMaxProbes) entries.
+  static std::uint32_t probes_for(BloomParams params, std::uint64_t key,
+                                  Probe* out) noexcept {
+    const HashPair hp = split_hash(murmur_mix64(key));
+    std::uint32_t n = 0;
+    for (std::uint32_t i = 0; i < params.hashes && n < kMaxProbes; ++i) {
+      const std::size_t bit = km_hash(hp.h1, hp.h2, i) % params.bits;
+      const auto w = static_cast<std::uint32_t>(bit >> 6);
+      const std::uint64_t mask = 1ULL << (bit & 63U);
+      std::uint32_t j = 0;
+      while (j < n && out[j].word != w) ++j;
+      if (j == n) out[n++] = Probe{w, 0};
+      out[j].mask |= mask;
+    }
+    return n;
+  }
+
+  /// insert(key) with the probe set precomputed. Bit-identical end state and
+  /// the same "already present" answer: per-bit insert() reports true iff
+  /// every DISTINCT probed position was set before this call (a position
+  /// probed twice reads its own first set, which probes_for() deduplicates
+  /// by construction), which is exactly (old & mask) == mask per word.
+  bool insert_probes(const Probe* probes, std::uint32_t n) noexcept {
+    bool all_set = true;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      // Under the first-touch rule most reads are repeats whose bits are all
+      // set already; a plain load then costs a fraction of the RMW and the
+      // end state (and return value) is unchanged.
+      if ((bits_.word(probes[i].word) & probes[i].mask) == probes[i].mask) {
+        continue;
+      }
+      all_set &= bits_.set_word(probes[i].word, probes[i].mask);
+    }
+    return all_set;
+  }
+
+  /// contains(key) with the probe set precomputed.
+  [[nodiscard]] bool contains_probes(const Probe* probes,
+                                     std::uint32_t n) const noexcept {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if ((bits_.word(probes[i].word) & probes[i].mask) != probes[i].mask) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
     const HashPair hp = split_hash(murmur_mix64(key));
     for (std::uint32_t i = 0; i < params_.hashes; ++i) {
@@ -88,6 +158,10 @@ class BloomFilter {
   }
   [[nodiscard]] std::size_t popcount() const noexcept { return bits_.count(); }
   [[nodiscard]] bool empty() const noexcept { return !bits_.any(); }
+
+  /// Address of the bit words, for cache prefetch hints (see
+  /// ReadSignature::prefetch_filter_bits).
+  [[nodiscard]] const void* bits_data() const noexcept { return bits_.data(); }
 
   /// Measured false-positive probability given the current fill level:
   /// (popcount/m)^k. Used by tests to validate the sizing law.

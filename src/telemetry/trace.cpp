@@ -18,6 +18,7 @@ const char* to_string(SpanCat cat) noexcept {
     case SpanCat::kGuard: return "guard";
     case SpanCat::kDegrade: return "degrade";
     case SpanCat::kStress: return "stress";
+    case SpanCat::kBatch: return "batch";
   }
   return "?";
 }

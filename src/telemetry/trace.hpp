@@ -38,6 +38,7 @@ enum class SpanCat : std::uint8_t {
   kGuard,       ///< ResourceGuard budget checks
   kDegrade,     ///< degradation-ladder transitions
   kStress,      ///< stress-harness scenarios
+  kBatch,       ///< micro-batch drains through the detector (batch_flush)
 };
 
 [[nodiscard]] const char* to_string(SpanCat cat) noexcept;

@@ -37,6 +37,8 @@ struct State {
   std::atomic<std::uint64_t> epoch{0};
   std::atomic<ThreadRegistry::FlushFn> hooks[8] = {};
   std::atomic<int> hook_count{0};
+  std::atomic<ThreadRegistry::ThreadExitFn> exit_hooks[8] = {};
+  std::atomic<int> exit_hook_count{0};
 };
 
 State& state() noexcept {
@@ -51,6 +53,21 @@ struct Lease {
   int tid = ThreadRegistry::kUnregistered;
   ~Lease() {
     if (tid < 0) return;
+    // Exit hooks first, while the slot is still this thread's: the batched
+    // sink drains its micro-batch here, before a successor can re-lease the
+    // dense id. Newest first, matching run_flush_hooks().
+    {
+      State& st = state();
+      const int n =
+          std::min<int>(st.exit_hook_count.load(std::memory_order_acquire),
+                        static_cast<int>(std::size(st.exit_hooks)));
+      for (int i = n - 1; i >= 0; --i) {
+        if (ThreadRegistry::ThreadExitFn fn =
+                st.exit_hooks[i].load(std::memory_order_acquire)) {
+          fn(tid);
+        }
+      }
+    }
     Slot& s = state().slots[tid];
     s.depth.store(0, std::memory_order_relaxed);
     s.live.store(0, std::memory_order_release);
@@ -211,6 +228,18 @@ bool ThreadRegistry::at_flush(FlushFn fn) noexcept {
     return false;
   }
   s.hooks[idx].store(fn, std::memory_order_release);
+  return true;
+}
+
+bool ThreadRegistry::at_thread_exit(ThreadExitFn fn) noexcept {
+  if (fn == nullptr) return false;
+  State& s = state();
+  const int idx = s.exit_hook_count.fetch_add(1, std::memory_order_acq_rel);
+  if (idx >= static_cast<int>(std::size(s.exit_hooks))) {
+    s.exit_hook_count.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  s.exit_hooks[idx].store(fn, std::memory_order_release);
   return true;
 }
 

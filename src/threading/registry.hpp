@@ -123,6 +123,19 @@ class ThreadRegistry {
   /// Runs every registered flush hook, newest first. Reentrancy-guarded:
   /// a hook that itself triggers a flush does not recurse.
   static void run_flush_hooks() noexcept;
+
+  // --- thread-exit hooks -----------------------------------------------------
+
+  using ThreadExitFn = void (*)(int tid) noexcept;
+
+  /// Registers `fn` to run on the exiting thread itself, just before its
+  /// leased slot is reclaimed, with the dense id it held. This is the last
+  /// point the thread's buffered profile state (the batched ingest pipeline's
+  /// micro-batch) can be drained by its owner; after reclamation the slot may
+  /// be re-leased. Fixed capacity (8); returns false when full. Hooks run
+  /// newest first and must be async-teardown safe: only trivially
+  /// destructible statics may be touched.
+  static bool at_thread_exit(ThreadExitFn fn) noexcept;
 };
 
 }  // namespace commscope::threading

@@ -1,0 +1,399 @@
+// Differential verification of the batched ingest pipeline.
+//
+// Randomized seeded traces (varying thread counts, loop nests and run
+// lengths, including RAW pairs that straddle micro-batch flush boundaries)
+// are replayed through the profiler at every batch size and compared:
+//
+//  * batched vs unbatched SIGNATURE runs must be bit-identical — same
+//    whole-program matrix, same per-region direct matrices in preorder, same
+//    stats, same phase timeline. The batch layer is a pure relayout of the
+//    ingest loop, so any divergence is a bug, not noise.
+//  * the same holds for the EXACT backend and for the classified-dependence
+//    path (which drain through the generic ingest_one path).
+//  * signature vs exact FPR must stay inside the Eq. 2 envelope (see the
+//    bound derivation at the FPR test).
+//
+// Trace shape: threads take turns emitting "runs" of events. Every run ends
+// with an explicit on_drain(tid) — the ordering points the harnesses use —
+// so the global processing order is identical at every batch size (within a
+// run only one thread appends; across runs the drain empties the batch
+// before the next thread starts). Runs are longer than the smaller batch
+// sizes, so batch-full flushes fire mid-run and cross-thread RAW pairs
+// straddle those internal flush boundaries; the final run is deliberately
+// left undrained so finalize()'s flush_all() is on the verified path too.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/profiler.hpp"
+#include "core/region_tree.hpp"
+#include "instrument/loop_registry.hpp"
+#include "support/rng.hpp"
+
+namespace cc = commscope::core;
+namespace ci = commscope::instrument;
+namespace cs = commscope::support;
+
+namespace {
+
+enum class OpKind : std::uint8_t {
+  kThreadBegin,
+  kLoopEnter,
+  kLoopExit,
+  kAccess,
+  kDrain,
+};
+
+struct Op {
+  OpKind op;
+  int tid = 0;
+  ci::LoopId loop = 0;
+  std::uintptr_t addr = 0;
+  std::uint32_t size = 0;
+  ci::AccessKind kind = ci::AccessKind::kRead;
+};
+
+struct TraceShape {
+  int threads = 4;
+  int rounds = 6;       ///< turn-taking rounds; each thread runs once per round
+  int max_run = 160;    ///< events per run in [1, max_run]
+  int words = 512;      ///< distinct 8-byte words in the synthetic arena
+  double write_prob = 0.3;
+};
+
+ci::LoopId trace_loop(int i) {
+  // Declared once; the registry is a process-wide singleton.
+  static const ci::LoopId ids[4] = {
+      ci::LoopRegistry::instance().declare("diff", "l0"),
+      ci::LoopRegistry::instance().declare("diff", "l1"),
+      ci::LoopRegistry::instance().declare("diff", "l2"),
+      ci::LoopRegistry::instance().declare("diff", "l3"),
+  };
+  return ids[i & 3];
+}
+
+/// Seeded trace generator. Addresses are synthetic (the detector only hashes
+/// them); the shared word pool makes cross-thread RAW pairs common.
+std::vector<Op> make_trace(std::uint64_t seed, const TraceShape& shape) {
+  cs::SplitMix64 rng(seed);
+  std::vector<Op> ops;
+  std::vector<int> depth(static_cast<std::size_t>(shape.threads), 0);
+  for (int t = 0; t < shape.threads; ++t) {
+    ops.push_back({OpKind::kThreadBegin, t});
+  }
+  for (int round = 0; round < shape.rounds; ++round) {
+    for (int t = 0; t < shape.threads; ++t) {
+      const int run_len =
+          1 + static_cast<int>(rng.next_below(
+                  static_cast<std::uint64_t>(shape.max_run)));
+      for (int i = 0; i < run_len; ++i) {
+        const double roll = rng.next_double();
+        if (roll < 0.08 && depth[static_cast<std::size_t>(t)] < 3) {
+          Op op{OpKind::kLoopEnter, t};
+          op.loop = trace_loop(static_cast<int>(rng.next_below(4)));
+          ops.push_back(op);
+          ++depth[static_cast<std::size_t>(t)];
+        } else if (roll < 0.14 && depth[static_cast<std::size_t>(t)] > 0) {
+          ops.push_back({OpKind::kLoopExit, t});
+          --depth[static_cast<std::size_t>(t)];
+        } else {
+          Op op{OpKind::kAccess, t};
+          op.addr = 0x100000u +
+                    8u * rng.next_below(static_cast<std::uint64_t>(shape.words));
+          op.size = (rng.next() & 1) ? 8 : 4;
+          op.kind = rng.next_double() < shape.write_prob
+                        ? ci::AccessKind::kWrite
+                        : ci::AccessKind::kRead;
+          ops.push_back(op);
+        }
+      }
+      const bool last_run =
+          round == shape.rounds - 1 && t == shape.threads - 1;
+      // Every run ends at an ordering point — except the very last, whose
+      // partial batch is left for finalize()'s flush_all() to drain.
+      if (!last_run) ops.push_back({OpKind::kDrain, t});
+    }
+  }
+  // Close any loops still open so every region sees a balanced enter/exit
+  // history (the generator tracks depth, the profiler just replays it).
+  for (int t = 0; t < shape.threads; ++t) {
+    while (depth[static_cast<std::size_t>(t)] > 0) {
+      ops.push_back({OpKind::kLoopExit, t});
+      --depth[static_cast<std::size_t>(t)];
+    }
+  }
+  return ops;
+}
+
+std::unique_ptr<cc::Profiler> replay(const std::vector<Op>& ops,
+                                     cc::ProfilerOptions options) {
+  auto prof = std::make_unique<cc::Profiler>(options);
+  for (const Op& op : ops) {
+    switch (op.op) {
+      case OpKind::kThreadBegin: prof->on_thread_begin(op.tid); break;
+      case OpKind::kLoopEnter: prof->on_loop_enter(op.tid, op.loop); break;
+      case OpKind::kLoopExit: prof->on_loop_exit(op.tid); break;
+      case OpKind::kAccess:
+        prof->on_access(op.tid, op.addr, op.size, op.kind);
+        break;
+      case OpKind::kDrain: prof->on_drain(op.tid); break;
+    }
+  }
+  prof->finalize();
+  return prof;
+}
+
+cc::ProfilerOptions base_options(cc::Backend backend, int threads) {
+  cc::ProfilerOptions o;
+  o.max_threads = threads;
+  o.signature_slots = 1 << 16;
+  o.fp_rate = 0.001;
+  o.backend = backend;
+  o.phase_window_bytes = 4096;  // phase timeline rides along in the diff
+  return o;
+}
+
+/// Asserts every observable output of `got` equals `want`, cell for cell and
+/// node for node.
+void expect_identical(const cc::Profiler& want, const cc::Profiler& got,
+                      const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_TRUE(want.communication_matrix() == got.communication_matrix())
+      << "whole-program matrix diverged";
+
+  const auto ws = want.stats();
+  const auto gs = got.stats();
+  EXPECT_EQ(ws.accesses, gs.accesses);
+  EXPECT_EQ(ws.reads, gs.reads);
+  EXPECT_EQ(ws.writes, gs.writes);
+  EXPECT_EQ(ws.dependencies, gs.dependencies);
+  EXPECT_EQ(want.dropped_events(), got.dropped_events());
+
+  const auto wd = want.dependence_counts();
+  const auto gd = got.dependence_counts();
+  EXPECT_EQ(wd.raw, gd.raw);
+  EXPECT_EQ(wd.war, gd.war);
+  EXPECT_EQ(wd.waw, gd.waw);
+  EXPECT_EQ(wd.rar, gd.rar);
+
+  const auto wn = want.regions().preorder();
+  const auto gn = got.regions().preorder();
+  ASSERT_EQ(wn.size(), gn.size()) << "region tree shape diverged";
+  for (std::size_t i = 0; i < wn.size(); ++i) {
+    EXPECT_EQ(wn[i]->loop(), gn[i]->loop()) << "node " << i;
+    EXPECT_EQ(wn[i]->entries(), gn[i]->entries()) << "node " << i;
+    EXPECT_TRUE(wn[i]->direct() == gn[i]->direct())
+        << "per-region matrix diverged at preorder node " << i << " ("
+        << wn[i]->label() << ")";
+  }
+
+  const auto wp = want.phase_timeline();
+  const auto gp = got.phase_timeline();
+  ASSERT_EQ(wp.size(), gp.size()) << "phase timeline length diverged";
+  for (std::size_t i = 0; i < wp.size(); ++i) {
+    EXPECT_TRUE(wp[i] == gp[i]) << "phase window " << i;
+  }
+  EXPECT_EQ(want.phase_window_accesses(), got.phase_window_accesses());
+}
+
+std::string case_name(std::uint64_t seed, int threads, std::uint32_t batch) {
+  std::ostringstream os;
+  os << "seed=" << seed << " threads=" << threads << " batch=" << batch;
+  return os.str();
+}
+
+}  // namespace
+
+// --- bit-identity ----------------------------------------------------------
+
+TEST(Differential, BatchedSignatureBitIdenticalAcrossBatchSizes) {
+  const struct { std::uint64_t seed; int threads; } grid[] = {
+      {101, 2}, {202, 4}, {303, 8}, {404, 4},
+  };
+  const std::uint32_t batches[] = {1, 2, 7, 64, 256};
+  for (const auto& g : grid) {
+    TraceShape shape;
+    shape.threads = g.threads;
+    const auto ops = make_trace(g.seed, shape);
+    const auto baseline =
+        replay(ops, base_options(cc::Backend::kAsymmetricSignature, g.threads));
+    // The identity check must not pass vacuously: every generated trace has
+    // to exercise cross-thread RAW detection and nested-region attribution.
+    ASSERT_GT(baseline->stats().dependencies, 0u);
+    ASSERT_GT(baseline->regions().node_count(), 1u);
+    for (const std::uint32_t b : batches) {
+      auto o = base_options(cc::Backend::kAsymmetricSignature, g.threads);
+      o.batch_size = b;
+      expect_identical(*baseline, *replay(ops, o),
+                       case_name(g.seed, g.threads, b));
+    }
+  }
+}
+
+TEST(Differential, BatchedExactBackendBitIdentical) {
+  TraceShape shape;
+  const auto ops = make_trace(555, shape);
+  const auto baseline =
+      replay(ops, base_options(cc::Backend::kExact, shape.threads));
+  for (const std::uint32_t b : {3u, 64u, 256u}) {
+    auto o = base_options(cc::Backend::kExact, shape.threads);
+    o.batch_size = b;
+    expect_identical(*baseline, *replay(ops, o),
+                     case_name(555, shape.threads, b));
+  }
+}
+
+TEST(Differential, BatchedClassifiedPathBitIdentical) {
+  // classify_dependences drains through the generic ingest path (no
+  // hash-ahead fast path); both backends must still be batch-invariant.
+  for (const auto backend :
+       {cc::Backend::kAsymmetricSignature, cc::Backend::kExact}) {
+    TraceShape shape;
+    const auto ops = make_trace(777, shape);
+    auto base = base_options(backend, shape.threads);
+    base.classify_dependences = true;
+    const auto baseline = replay(ops, base);
+    for (const std::uint32_t b : {5u, 64u}) {
+      auto o = base;
+      o.batch_size = b;
+      expect_identical(*baseline, *replay(ops, o),
+                       case_name(777, shape.threads, b));
+    }
+  }
+}
+
+TEST(Differential, SparseRegionMatricesBitIdentical) {
+  TraceShape shape;
+  const auto ops = make_trace(888, shape);
+  auto base = base_options(cc::Backend::kAsymmetricSignature, shape.threads);
+  base.sparse_region_matrices = true;
+  const auto baseline = replay(ops, base);
+  auto o = base;
+  o.batch_size = 64;
+  expect_identical(*baseline, *replay(ops, o),
+                   case_name(888, shape.threads, 64));
+}
+
+// --- FPR vs exact ----------------------------------------------------------
+
+TEST(Differential, SignatureFprVsExactStaysUnderEq2Bound) {
+  // The signature backend diverges from the exact baseline through exactly
+  // two mechanisms, both bounded by the Eq. 2 sizing (size_model.hpp):
+  //
+  //  * bloom false positives on the "a not in read signature" probe SUPPRESS
+  //    a dependency (the reader looks already-known). Eq. 2 sizes each slot's
+  //    filter so that with t resident readers the per-probe FPR is at most
+  //    fp_rate; the expected undercount is <= fp_rate * reads.
+  //  * slot aliasing (distinct words hashing to the same slot) can
+  //    mis-attribute or double-count a producer. With W words and n slots
+  //    the expected number of colliding word pairs is W^2 / (2n) — here
+  //    512^2 / (2 * 65536) = 2 — each perturbing at most a handful of edges.
+  //
+  // The bound below allows 5x the Eq. 2 expectation plus a flat aliasing
+  // allowance; the traces are seeded, so the check is deterministic.
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    TraceShape shape;
+    const auto ops = make_trace(seed, shape);
+
+    auto sig_o = base_options(cc::Backend::kAsymmetricSignature, shape.threads);
+    sig_o.batch_size = 64;
+    auto exact_o = base_options(cc::Backend::kExact, shape.threads);
+    exact_o.batch_size = 64;
+    const auto sig = replay(ops, sig_o);
+    const auto exact = replay(ops, exact_o);
+
+    const auto ss = sig->stats();
+    const auto es = exact->stats();
+    ASSERT_EQ(ss.accesses, es.accesses);
+    ASSERT_EQ(ss.reads, es.reads);
+
+    const double fpr_budget =
+        5.0 * sig_o.fp_rate * static_cast<double>(ss.reads);
+    const double aliasing_budget = 32.0;
+    const double bound = fpr_budget + aliasing_budget;
+    const double diff = static_cast<double>(
+        ss.dependencies > es.dependencies ? ss.dependencies - es.dependencies
+                                          : es.dependencies - ss.dependencies);
+    EXPECT_LE(diff, bound)
+        << "seed=" << seed << " sig=" << ss.dependencies
+        << " exact=" << es.dependencies << " reads=" << ss.reads;
+
+    // The matrices must agree in the aggregate to the same tolerance
+    // (divergence is per-edge, bytes per edge <= 8).
+    const std::uint64_t st = sig->communication_matrix().total();
+    const std::uint64_t et = exact->communication_matrix().total();
+    const double byte_diff = static_cast<double>(st > et ? st - et : et - st);
+    EXPECT_LE(byte_diff, 8.0 * bound) << "seed=" << seed;
+  }
+}
+
+// --- flush-ordering semantics ----------------------------------------------
+
+TEST(Differential, PartialBatchDrainsOnLoopExitWithInnerAttribution) {
+  auto o = base_options(cc::Backend::kAsymmetricSignature, 4);
+  o.batch_size = 64;
+  cc::Profiler prof(o);
+  const ci::LoopId inner = trace_loop(0);
+  prof.on_thread_begin(0);
+  prof.on_thread_begin(1);
+  prof.on_access(0, 0x9000, 8, ci::AccessKind::kWrite);
+  prof.on_drain(0);
+  prof.on_loop_enter(1, inner);
+  prof.on_access(1, 0x9000, 8, ci::AccessKind::kRead);
+  EXPECT_EQ(prof.pending_events(1), 1u);  // buffered, not yet detected
+  prof.on_loop_exit(1);                   // must drain BEFORE the pop
+  EXPECT_EQ(prof.pending_events(1), 0u);
+  const auto nodes = prof.regions().preorder();
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[1]->loop(), inner);
+  EXPECT_EQ(nodes[1]->direct().at(0, 1), 8u)
+      << "dependency must attribute to the loop the access ran in";
+  EXPECT_EQ(prof.regions().root().direct().at(0, 1), 0u);
+}
+
+TEST(Differential, FlushAllAndFinalizeDrainEveryThread) {
+  auto o = base_options(cc::Backend::kAsymmetricSignature, 4);
+  o.batch_size = 128;
+  cc::Profiler prof(o);
+  for (int t = 0; t < 4; ++t) {
+    prof.on_thread_begin(t);
+    for (int i = 0; i < 3; ++i) {
+      prof.on_access(t, 0xA000u + 8u * static_cast<unsigned>(i), 8,
+                     ci::AccessKind::kWrite);
+    }
+    EXPECT_EQ(prof.pending_events(t), 3u);
+  }
+  EXPECT_EQ(prof.stats().accesses, 0u);  // nothing through the detector yet
+  prof.flush_all();
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(prof.pending_events(t), 0u);
+  EXPECT_EQ(prof.stats().accesses, 12u);
+
+  prof.on_access(0, 0xB000, 8, ci::AccessKind::kRead);
+  EXPECT_EQ(prof.pending_events(0), 1u);
+  prof.finalize();  // finalize() implies flush_all()
+  EXPECT_EQ(prof.pending_events(0), 0u);
+  EXPECT_EQ(prof.stats().accesses, 13u);
+}
+
+TEST(Differential, BatchFullFlushKeepsRingBounded) {
+  auto o = base_options(cc::Backend::kAsymmetricSignature, 2);
+  o.batch_size = 8;
+  cc::Profiler prof(o);
+  prof.on_thread_begin(0);
+  for (int i = 0; i < 20; ++i) {
+    prof.on_access(0, 0xC000u + 8u * static_cast<unsigned>(i), 8,
+                   ci::AccessKind::kWrite);
+  }
+  // 20 = 2 full flushes of 8 + 4 pending.
+  EXPECT_EQ(prof.pending_events(0), 4u);
+  EXPECT_EQ(prof.stats().accesses, 16u);
+}
+
+TEST(Differential, RejectsBatchSizeAboveRingCapacity) {
+  auto o = base_options(cc::Backend::kAsymmetricSignature, 2);
+  o.batch_size = cc::kMaxBatchSize + 1;
+  EXPECT_THROW({ cc::Profiler prof(o); }, std::invalid_argument);
+}

@@ -8,11 +8,16 @@
 
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/profiler.hpp"
+#include "resilience/guarded_sink.hpp"
 #include "resilience/stress.hpp"
 #include "threading/registry.hpp"
 
+namespace cc = commscope::core;
+namespace ci = commscope::instrument;
 namespace cr = commscope::resilience;
 namespace ct = commscope::threading;
 
@@ -78,6 +83,36 @@ TEST(Stress, MirroredSamplingStaysExact) {
   }
 }
 
+TEST(Stress, BatchedRunsMatchOracleAtEveryBatchSize) {
+  // The harness drains micro-batches at its ordering points (lockstep lane
+  // hand-offs, free-mode barriers), so the serial oracle comparison must stay
+  // cell-exact at any batch size — including sizes smaller than a lane's
+  // longest run, which force batch-full flushes mid-run.
+  for (const auto mode : {cr::StressMode::kLockstep, cr::StressMode::kFree}) {
+    for (const std::uint32_t batch : {4u, 64u}) {
+      cr::StressOptions o = small_options(mode);
+      o.batch = batch;
+      const cr::StressReport r = cr::run_stress(o);
+      EXPECT_TRUE(r.passed)
+          << "mode=" << cr::to_string(mode) << " batch=" << batch;
+      EXPECT_EQ(r.divergent_cells, 0u);
+      EXPECT_EQ(r.guarded_total, r.oracle_total);
+      EXPECT_TRUE(r.deterministic);
+    }
+  }
+}
+
+TEST(Stress, BatchedSamplingStaysExact) {
+  for (const auto mode : {cr::StressMode::kLockstep, cr::StressMode::kFree}) {
+    cr::StressOptions o = small_options(mode);
+    o.sampling = 0.25;
+    o.batch = 64;
+    const cr::StressReport r = cr::run_stress(o);
+    EXPECT_TRUE(r.passed) << "mode=" << cr::to_string(mode);
+    EXPECT_EQ(r.divergent_cells, 0u);
+  }
+}
+
 TEST(Stress, SweepCoversSeedByThreadGrid) {
   cr::StressOptions base;
   base.steps = 400;
@@ -113,4 +148,100 @@ TEST(Stress, RejectsOutOfRangeOptions) {
   o = {};
   o.words = 0;
   EXPECT_THROW((void)cr::run_stress(o), std::invalid_argument);
+  o = {};
+  o.batch = cc::kMaxBatchSize + 1;
+  EXPECT_THROW((void)cr::run_stress(o), std::invalid_argument);
+}
+
+// --- micro-batch flush ordering through the guarded pipeline ---------------
+//
+// The batched ingest pipeline buffers admitted accesses per thread; every
+// lifecycle edge that could observe or discard profiler state must drain
+// those buffers first. Each test pins one edge: explicit flush (the same
+// path the atexit/fork/signal-time hooks take), periodic checkpoints, the
+// registry flush hooks themselves, and thread exit.
+
+namespace {
+
+cc::ProfilerOptions batched_profiler_options() {
+  cc::ProfilerOptions o;
+  o.max_threads = 8;
+  o.signature_slots = 1 << 16;
+  o.batch_size = 64;
+  return o;
+}
+
+}  // namespace
+
+TEST(FlushOrdering, GuardedFlushDrainsPendingBatches) {
+  cc::Profiler prof(batched_profiler_options());
+  cr::GuardedSink::Options so;
+  so.checkpoint_every = 1 << 20;  // gate on; no periodic firing at this scale
+  cr::GuardedSink sink(prof, nullptr, so);
+  sink.on_thread_begin(0);
+  sink.on_thread_begin(1);
+  sink.on_access(0, 0x5000, 8, ci::AccessKind::kWrite);
+  sink.on_access(1, 0x5000, 8, ci::AccessKind::kRead);
+  EXPECT_EQ(prof.pending_events(0), 1u);
+  EXPECT_EQ(prof.pending_events(1), 1u);
+  EXPECT_EQ(prof.stats().accesses, 0u);
+  // flush() — the path exit()/fork()/signal-time snapshots take — must stop
+  // the world and drain every micro-batch before serializing.
+  sink.flush();
+  EXPECT_EQ(prof.pending_events(0), 0u);
+  EXPECT_EQ(prof.pending_events(1), 0u);
+  EXPECT_EQ(prof.stats().accesses, 2u);
+  EXPECT_EQ(prof.stats().dependencies, 1u);  // drained in tid order: w then r
+}
+
+TEST(FlushOrdering, PeriodicCheckpointDrainsBatch) {
+  cc::Profiler prof(batched_profiler_options());
+  cr::GuardedSink::Options so;
+  so.checkpoint_every = 8;  // no checkpoint_path: serialize/publish only
+  cr::GuardedSink sink(prof, nullptr, so);
+  sink.on_thread_begin(0);
+  for (int i = 0; i < 8; ++i) {
+    sink.on_access(0, 0x6000u + 8u * static_cast<unsigned>(i), 8,
+                   ci::AccessKind::kWrite);
+  }
+  // Maintenance fires inside the 8th event's prologue, BEFORE that event
+  // reaches the profiler: the checkpoint covers the 7 already-admitted
+  // accesses and the 8th lands in the (now empty) batch afterwards.
+  EXPECT_EQ(prof.stats().accesses, 7u);
+  EXPECT_EQ(prof.pending_events(0), 1u);
+}
+
+TEST(FlushOrdering, RegistryFlushHooksDrainActiveSink) {
+  cc::Profiler prof(batched_profiler_options());
+  cr::GuardedSink::Options so;
+  so.checkpoint_every = 1 << 20;
+  cr::GuardedSink sink(prof, nullptr, so);
+  sink.on_thread_begin(0);
+  sink.on_access(0, 0x7000, 8, ci::AccessKind::kWrite);
+  EXPECT_EQ(prof.pending_events(0), 1u);
+  // The registered flush hooks are exactly what atexit and pthread_atfork
+  // run; invoking them directly proves buffered state reaches the sink even
+  // when the process exits or forks mid-phase.
+  ct::ThreadRegistry::run_flush_hooks();
+  EXPECT_EQ(prof.pending_events(0), 0u);
+  EXPECT_EQ(prof.stats().accesses, 1u);
+}
+
+TEST(FlushOrdering, ThreadExitDrainsOwnMicroBatch) {
+  cc::Profiler prof(batched_profiler_options());
+  cr::GuardedSink sink(prof, nullptr, {});
+  std::thread worker([&] {
+    // Lease a registry slot so the thread-exit hook runs for this thread.
+    (void)ct::ThreadRegistry::current_tid();
+    sink.on_thread_begin(2);
+    for (int i = 0; i < 3; ++i) {
+      sink.on_access(2, 0x8000u + 8u * static_cast<unsigned>(i), 8,
+                     ci::AccessKind::kWrite);
+    }
+    EXPECT_EQ(prof.pending_events(2), 3u);
+  });
+  worker.join();
+  // The exiting thread drained its own batch (logical tid 2) on the way out.
+  EXPECT_EQ(prof.pending_events(2), 0u);
+  EXPECT_EQ(prof.stats().accesses, 3u);
 }

@@ -14,7 +14,8 @@
 //   commscope map <matrix-file> [--sockets=S --cores=C --smt=T]
 //       Compute a communication-aware thread mapping for a saved matrix.
 //   commscope stress [--seed=N --seeds=K --threads=T --steps=N
-//                     --mode=lockstep|free|both --sampling=R --no-churn]
+//                     --mode=lockstep|free|both --sampling=R --no-churn
+//                     --batch=N]
 //       Schedule-fuzzing self-verification: run seeded concurrent schedules
 //       (with thread churn) through the guarded pipeline and differentially
 //       check the matrix against a serial shadow-oracle replay.
@@ -122,7 +123,7 @@ const std::vector<std::string> kKnownFlags = {
     "checkpoint-every",          "timeout",         "seed",
     "seeds",       "steps",      "mode",            "sampling",
     "no-churn",    "quiet",      "metrics-out",     "trace-out",
-    "trace-format",              "interval"};
+    "trace-format",              "interval",        "batch"};
 
 const char* kCommandList =
     "list, run, replay, resume, classify, map, stress, metrics, top";
@@ -139,14 +140,14 @@ int usage() {
          "            [--pattern] [--mem-budget=BYTES] [--event-budget=N]\n"
          "            [--checkpoint=FILE] [--checkpoint-every=N] [--timeout=SEC]\n"
          "            [--quiet] [--metrics-out=FILE] [--trace-out=FILE]\n"
-         "            [--trace-format=chrome|text]\n"
+         "            [--trace-format=chrome|text] [--batch=N]\n"
          "  commscope replay <trace-file> [run options]\n"
          "  commscope resume <snapshot-file> [--pattern] [--save-matrix=FILE]\n"
          "  commscope classify <matrix-file>\n"
          "  commscope map <matrix-file> [--sockets=S --cores=C --smt=T]\n"
          "  commscope stress [--seed=N] [--seeds=K] [--threads=T]\n"
          "            [--steps=N] [--mode=lockstep|free|both]\n"
-         "            [--sampling=RATE] [--no-churn]\n"
+         "            [--sampling=RATE] [--no-churn] [--batch=N]\n"
          "  commscope metrics <snapshot-file...> [--metrics-out=FILE]\n"
          "  commscope top <workload> [run options] [--interval=MS]\n";
   return 2;
@@ -227,6 +228,7 @@ cc::ProfilerOptions profiler_options(const cs::ArgParser& args, int threads) {
   o.sparse_region_matrices = args.has("sparse");
   o.phase_window_bytes =
       static_cast<std::uint64_t>(args.get_int_strict("phases", 0));
+  o.batch_size = static_cast<std::uint32_t>(args.get_int_strict("batch", 0));
   return o;
 }
 
@@ -589,6 +591,7 @@ int cmd_stress(const cs::ArgParser& args) {
   base.steps = static_cast<std::uint64_t>(args.get_int_strict("steps", 4096));
   base.sampling = args.get_double_strict("sampling", 1.0);
   base.churn = !args.has("no-churn");
+  base.batch = static_cast<std::uint32_t>(args.get_int_strict("batch", 0));
 
   const std::uint64_t first_seed =
       static_cast<std::uint64_t>(args.get_int_strict("seed", 1));
