@@ -61,7 +61,11 @@ inline double time_seconds(const std::function<void()>& fn) {
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
-/// Fresh profiler with the bench-default configuration.
+/// Fresh profiler with the bench-default configuration. When
+/// $COMMSCOPE_EPOCH_EVERY is set (access count per epoch), the flight
+/// recorder runs during the bench — the knob behind the recorder-overhead
+/// measurement in EXPERIMENTS.md; unset, the recorder stays disabled and the
+/// bench path is byte-for-byte the historical one.
 inline std::unique_ptr<core::Profiler> make_profiler(
     int threads, core::Backend backend = core::Backend::kAsymmetricSignature,
     std::size_t slots = 1 << 20, double fp_rate = 0.001) {
@@ -70,6 +74,10 @@ inline std::unique_ptr<core::Profiler> make_profiler(
   o.backend = backend;
   o.signature_slots = slots;
   o.fp_rate = fp_rate;
+  if (const char* env = std::getenv("COMMSCOPE_EPOCH_EVERY");
+      env != nullptr && *env != '\0') {
+    o.epoch_accesses = static_cast<std::uint64_t>(std::atoll(env));
+  }
   return std::make_unique<core::Profiler>(o);
 }
 

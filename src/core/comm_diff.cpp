@@ -1,0 +1,243 @@
+#include "core/comm_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace commscope::core {
+
+namespace {
+
+std::uint64_t abs_diff(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > b ? a - b : b - a;
+}
+
+std::string pct(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", x * 100.0);
+  return buf;
+}
+
+/// Per-loop byte totals across a timeline's surviving epochs, keyed by label
+/// (labels, not ids, so two runs that registered loops in different orders
+/// still align).
+std::map<std::string, std::uint64_t> loop_totals(const EpochTimeline& t) {
+  std::map<std::string, std::uint64_t> totals;
+  for (const EpochSample& e : t.epochs) {
+    for (const EpochLoopShare& share : e.loops) {
+      totals[t.label_of(share.loop)] += share.bytes;
+    }
+  }
+  return totals;
+}
+
+std::vector<LoopDrift> diff_loops(const EpochTimeline& a,
+                                  const EpochTimeline& b) {
+  const auto ta = loop_totals(a);
+  const auto tb = loop_totals(b);
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> merged;
+  for (const auto& [label, bytes] : ta) merged[label].first = bytes;
+  for (const auto& [label, bytes] : tb) merged[label].second = bytes;
+  std::vector<LoopDrift> out;
+  out.reserve(merged.size());
+  for (const auto& [label, pair] : merged) {
+    LoopDrift d;
+    d.label = label;
+    d.bytes_a = pair.first;
+    d.bytes_b = pair.second;
+    const std::uint64_t hi = std::max(d.bytes_a, d.bytes_b);
+    d.drift = hi == 0 ? 0.0
+                      : static_cast<double>(abs_diff(d.bytes_a, d.bytes_b)) /
+                            static_cast<double>(hi);
+    out.push_back(std::move(d));
+  }
+  std::sort(out.begin(), out.end(), [](const LoopDrift& x, const LoopDrift& y) {
+    if (x.drift != y.drift) return x.drift > y.drift;
+    return x.label < y.label;
+  });
+  return out;
+}
+
+TimelineDiff finish(TimelineDiff d, const DiffThresholds& th) {
+  d.regressed = d.total.norm_l1 > th.norm_l1 ||
+                d.total.norm_max_cell > th.norm_max_cell;
+  if (d.regressed) {
+    d.verdict = "REGRESSED: normalized L1 " + pct(d.total.norm_l1) +
+                " (threshold " + pct(th.norm_l1) + "), max cell " +
+                pct(d.total.norm_max_cell) + " (threshold " +
+                pct(th.norm_max_cell) + ")";
+  } else {
+    d.verdict = "clean: normalized L1 " + pct(d.total.norm_l1) +
+                ", max cell " + pct(d.total.norm_max_cell) +
+                (d.total.l1 == 0 ? " (bit-identical totals)" : "");
+  }
+  return d;
+}
+
+}  // namespace
+
+MatrixDistance matrix_distance(const Matrix& a, const Matrix& b) {
+  MatrixDistance d;
+  const int n = std::max(a.size(), b.size());
+  std::uint64_t max_any = 0;
+  for (int p = 0; p < n; ++p) {
+    for (int c = 0; c < n; ++c) {
+      const std::uint64_t va =
+          (p < a.size() && c < a.size()) ? a.at(p, c) : 0;
+      const std::uint64_t vb =
+          (p < b.size() && c < b.size()) ? b.at(p, c) : 0;
+      const std::uint64_t delta = abs_diff(va, vb);
+      d.l1 += delta;
+      d.max_cell = std::max(d.max_cell, delta);
+      max_any = std::max({max_any, va, vb});
+    }
+  }
+  const std::uint64_t denom = std::max(a.total(), b.total());
+  if (denom != 0) {
+    d.norm_l1 = static_cast<double>(d.l1) / static_cast<double>(denom);
+  }
+  if (max_any != 0) {
+    d.norm_max_cell =
+        static_cast<double>(d.max_cell) / static_cast<double>(max_any);
+  }
+  return d;
+}
+
+TimelineDiff diff_timelines(const EpochTimeline& a, const EpochTimeline& b,
+                            const DiffThresholds& th) {
+  TimelineDiff d;
+  d.total = matrix_distance(a.total(), b.total());
+  d.epochs_a = a.epochs.size();
+  d.epochs_b = b.epochs.size();
+  const int threads = std::max(a.threads, b.threads);
+  const std::size_t aligned = std::min(a.epochs.size(), b.epochs.size());
+  d.epochs.reserve(aligned);
+  for (std::size_t i = 0; i < aligned; ++i) {
+    EpochDiff e;
+    e.index = i;
+    e.distance = matrix_distance(a.epochs[i].dense(threads),
+                                 b.epochs[i].dense(threads));
+    d.worst_epoch_l1 = std::max(d.worst_epoch_l1, e.distance.norm_l1);
+    d.epochs.push_back(std::move(e));
+  }
+  d.loops = diff_loops(a, b);
+  return finish(std::move(d), th);
+}
+
+TimelineDiff diff_matrices(const Matrix& a, const Matrix& b,
+                           const DiffThresholds& th) {
+  TimelineDiff d;
+  d.total = matrix_distance(a, b);
+  return finish(std::move(d), th);
+}
+
+// --- bench comparison --------------------------------------------------------
+
+namespace {
+
+/// Finds the numeric value of `"key":` after position `from`; returns the
+/// position past the number, or npos when absent.
+std::size_t find_number(const std::string& text, const std::string& key,
+                        std::size_t from, double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos) return std::string::npos;
+  std::size_t pos = at + needle.size();
+  while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str() + pos, &end);
+  if (end == text.c_str() + pos) return std::string::npos;
+  *out = v;
+  return static_cast<std::size_t>(end - text.c_str());
+}
+
+}  // namespace
+
+std::vector<BenchPoint> parse_bench_json(const std::string& text) {
+  if (text.find("\"bench\"") == std::string::npos ||
+      text.find("\"sweep\"") == std::string::npos) {
+    throw std::runtime_error(
+        "bench json: not a commscope bench file (missing bench/sweep keys)");
+  }
+  const std::size_t sweep = text.find("\"sweep\"");
+  std::vector<BenchPoint> points;
+  std::size_t pos = sweep;
+  for (;;) {
+    BenchPoint p;
+    double batch = 0.0;
+    const std::size_t after_batch = find_number(text, "batch", pos, &batch);
+    if (after_batch == std::string::npos) break;
+    double rate = 0.0;
+    const std::size_t after_rate =
+        find_number(text, "events_per_sec", after_batch, &rate);
+    if (after_rate == std::string::npos) {
+      throw std::runtime_error("bench json: sweep point missing events_per_sec");
+    }
+    double speedup = 0.0;
+    const std::size_t after_speedup =
+        find_number(text, "speedup", after_rate, &speedup);
+    p.batch = static_cast<std::uint32_t>(batch);
+    p.events_per_sec = rate;
+    p.speedup = speedup;
+    points.push_back(p);
+    pos = after_speedup == std::string::npos ? after_rate : after_speedup;
+    if (points.size() > 4096) {
+      throw std::runtime_error("bench json: implausible sweep size");
+    }
+  }
+  if (points.empty()) {
+    throw std::runtime_error("bench json: no sweep points found");
+  }
+  return points;
+}
+
+BenchDiff diff_bench(const std::string& baseline_json,
+                     const std::string& fresh_json, double max_regression) {
+  const std::vector<BenchPoint> base = parse_bench_json(baseline_json);
+  const std::vector<BenchPoint> fresh = parse_bench_json(fresh_json);
+  BenchDiff d;
+  int worst_batch = -1;
+  double worst_change = 0.0;
+  for (const BenchPoint& b : base) {
+    const auto it =
+        std::find_if(fresh.begin(), fresh.end(),
+                     [&](const BenchPoint& f) { return f.batch == b.batch; });
+    if (it == fresh.end()) continue;
+    BenchDelta delta;
+    delta.batch = b.batch;
+    delta.base_rate = b.events_per_sec;
+    delta.fresh_rate = it->events_per_sec;
+    delta.change = b.events_per_sec <= 0.0
+                       ? 0.0
+                       : (it->events_per_sec - b.events_per_sec) /
+                             b.events_per_sec;
+    delta.regressed = delta.change < -max_regression;
+    if (delta.change < worst_change) {
+      worst_change = delta.change;
+      worst_batch = static_cast<int>(delta.batch);
+    }
+    d.regressed = d.regressed || delta.regressed;
+    d.points.push_back(delta);
+  }
+  if (d.points.empty()) {
+    throw std::runtime_error("bench json: no comparable batch points");
+  }
+  if (d.regressed) {
+    d.verdict = "REGRESSED: batch " + std::to_string(worst_batch) +
+                " throughput " + pct(-worst_change) + " below baseline " +
+                "(threshold " + pct(max_regression) + ")";
+  } else if (worst_batch >= 0) {
+    d.verdict = "clean: worst point batch " + std::to_string(worst_batch) +
+                " at " + pct(-worst_change) + " below baseline (threshold " +
+                pct(max_regression) + ")";
+  } else {
+    d.verdict = "clean: no point below baseline";
+  }
+  return d;
+}
+
+}  // namespace commscope::core

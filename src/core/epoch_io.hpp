@@ -1,0 +1,37 @@
+// Epoch-timeline (de)serialization — the flight recorder's on-disk form.
+//
+// Format ("commscope-epochs 1"), line-oriented like the matrix/checkpoint
+// formats and protected by the same "crc32 <hex>" trailer:
+//
+//   commscope-epochs 1
+//   threads <n>
+//   sealed <total> dropped <overwritten>
+//   loops <count>
+//   <count lines: "<id> <label...>">
+//   epoch <index> first <a0> last <a1> deps <d> bytes <b> reason <r>
+//         ... cells <k> loops <m>   (one physical line)
+//   <k lines: "<producer> <consumer> <bytes>">
+//   <m lines: "<loop-id> <bytes>">
+//   ... (one block per surviving epoch, oldest first)
+//   crc32 <8 hex digits over everything above>
+//
+// The reader treats input as hostile (the loader contract shared by
+// matrix_io / trace / checkpoint): every declared count is capped before
+// allocation, every number parsed with checked conversion, and any deviation
+// throws std::runtime_error.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/flight_recorder.hpp"
+
+namespace commscope::core {
+
+/// Writes `t` in the versioned text format (CRC trailer included).
+void write_epochs(std::ostream& os, const EpochTimeline& t);
+
+/// Parses an epoch timeline; throws std::runtime_error on malformed input
+/// (bad magic/version, out-of-range counts, truncation, checksum mismatch).
+[[nodiscard]] EpochTimeline read_epochs(std::istream& is);
+
+}  // namespace commscope::core

@@ -27,6 +27,13 @@ Profiler::Profiler(ProfilerOptions options)
       backend_(make_backend(options, &memory_)),
       tree_(options.max_threads, &memory_, options.sparse_region_matrices),
       phases_(options.max_threads, options.phase_window_bytes),
+      recorder_(FlightRecorderOptions{options.max_threads,
+                                      options.epoch_accesses,
+                                      options.epoch_batches,
+                                      options.epoch_millis,
+                                      options.epoch_ring,
+                                      options.epoch_replay},
+                &memory_),
       contexts_(std::make_unique<ThreadCtx[]>(
           static_cast<std::size_t>(options.max_threads))) {
   if (options.max_threads < 1 || options.max_threads > 64) {
@@ -90,6 +97,7 @@ void Profiler::ingest_one(int tid, ThreadCtx& c, std::uintptr_t addr,
                           std::uint32_t size, instrument::AccessKind kind) {
   ++c.accesses;
   phases_.count_access();
+  recorder_.count_access();
 
   if (kind == instrument::AccessKind::kWrite) {
     ++c.writes;
@@ -130,8 +138,10 @@ void Profiler::ingest_one(int tid, ThreadCtx& c, std::uintptr_t addr,
   }
   if (producer.has_value()) {
     ++c.dependencies;
-    c.stack.back()->matrix().add(*producer, tid, size);
+    RegionNode* region = c.stack.back();
+    region->matrix().add(*producer, tid, size);
     phases_.add(*producer, tid, size);
+    recorder_.add(*producer, tid, size, region->loop());
   }
 }
 
@@ -144,6 +154,7 @@ void Profiler::flush_batch(int tid) {
   batch_flushes_->add(1);
   batch_events_->add(n);
   if (n < options_.batch_size) batch_partial_->add(1);
+  recorder_.count_batch();
 
   if (c.stack.empty()) c.stack.push_back(&tree_.root());
   auto* det = std::get_if<AsymmetricDetector>(&backend_);
@@ -179,6 +190,7 @@ void Profiler::flush_batch(int tid) {
       const BatchEvent& e = c.batch[i];
       ++c.accesses;
       phases_.count_access();
+      recorder_.count_access();
       if (e.kind == instrument::AccessKind::kWrite) {
         ++c.writes;
         det->on_write_at(slots[i], tid);
@@ -190,6 +202,7 @@ void Profiler::flush_batch(int tid) {
         ++c.dependencies;
         region->matrix().add(*producer, tid, e.size);
         phases_.add(*producer, tid, e.size);
+        recorder_.add(*producer, tid, e.size, region->loop());
       }
     }
     return;
@@ -218,6 +231,7 @@ void Profiler::flush_all() {
 void Profiler::finalize() {
   flush_all();
   phases_.flush();
+  recorder_.flush(EpochSeal::kFinalize);
   // Stamp the run's aggregate accounting into the process-wide telemetry
   // registry. Gauges (not counters): a process can finalize several
   // profilers, and the snapshot should describe the most recent run rather
@@ -232,6 +246,8 @@ void Profiler::finalize() {
   telemetry::gauge("profiler.mem_peak").set(memory_.peak());
   telemetry::gauge("profiler.degradations")
       .set(static_cast<std::uint64_t>(degradations_.size()));
+  telemetry::gauge("recorder.epochs_sealed").set(recorder_.epochs_sealed());
+  telemetry::gauge("recorder.epochs_dropped").set(recorder_.epochs_dropped());
 }
 
 void Profiler::record_degradation(DegradationEvent event) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/comm_matrix.hpp"
+#include "core/flight_recorder.hpp"
 #include "core/phase.hpp"
 #include "core/raw_detector.hpp"
 #include "core/region_tree.hpp"
@@ -71,6 +72,19 @@ struct ProfilerOptions {
   /// on every on_drain()/flush_all() point; results are bit-identical to the
   /// unbatched path because events stay in per-thread issue order.
   std::uint32_t batch_size = 0;
+  /// Flight-recorder epoch triggers (time-resolved communication). All zero
+  /// (the default) disables the recorder entirely — no ring, no window
+  /// matrix, zero hot-path cost beyond one predicted branch. Any nonzero
+  /// trigger arms it: an epoch seals every `epoch_accesses` raw accesses,
+  /// every `epoch_batches` drained micro-batches, and/or every
+  /// `epoch_millis` milliseconds, whichever fires first.
+  std::uint64_t epoch_accesses = 0;
+  std::uint32_t epoch_batches = 0;
+  std::uint32_t epoch_millis = 0;
+  /// Epoch ring capacity; 0 means kDefaultEpochRing when a trigger is set.
+  std::uint32_t epoch_ring = 0;
+  /// Stamp access-trigger epoch seals as kReplay (trace re-slice provenance).
+  bool epoch_replay = false;
 };
 
 /// Upper bound on ProfilerOptions::batch_size (the per-thread ring is
@@ -158,6 +172,19 @@ class Profiler final : public instrument::AccessSink {
   /// Raw-access counts per phase window, aligned with phase_timeline().
   [[nodiscard]] std::vector<std::uint64_t> phase_window_accesses() const {
     return phases_.window_accesses();
+  }
+
+  /// The epoch flight recorder (a disabled stub unless an epoch_* trigger
+  /// was set). GuardedSink uses the mutable handle to force checkpoint
+  /// boundaries and persist the ring.
+  [[nodiscard]] const FlightRecorder& recorder() const noexcept {
+    return recorder_;
+  }
+  [[nodiscard]] FlightRecorder& recorder() noexcept { return recorder_; }
+
+  /// Surviving epoch history, oldest first (empty when the recorder is off).
+  [[nodiscard]] EpochTimeline epoch_timeline() const {
+    return recorder_.timeline();
   }
 
   [[nodiscard]] ProfileStats stats() const;
@@ -260,6 +287,7 @@ class Profiler final : public instrument::AccessSink {
   std::variant<AsymmetricDetector, sigmem::ExactSignature> backend_;
   RegionTree tree_;
   PhaseTracker phases_;
+  FlightRecorder recorder_;
   std::unique_ptr<ThreadCtx[]> contexts_;
   std::vector<DegradationEvent> degradations_;
   std::atomic<std::uint64_t> dropped_events_{0};

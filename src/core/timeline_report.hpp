@@ -1,0 +1,41 @@
+// Report rendering for recorded epoch timelines — `commscope report`.
+//
+// Takes a flight-recorder timeline (live or loaded from an .epochs file),
+// optionally the whole-run matrix and a self-telemetry snapshot, and renders
+// it three ways:
+//   * text — terminal summary: per-epoch table (volume, top pair, Eq. 1
+//     imbalance), detected phases (offset-cosine over the epoch deltas, the
+//     scheduling-robust metric), per-loop totals, overhead gauges.
+//   * json — the same model as a machine-readable document.
+//   * html — a single self-contained file (no external assets): epoch
+//     heatmap strip, per-loop volume timeline, thread-load-over-time lines,
+//     and the profiler's own overhead gauges, drawn by inline JS from an
+//     embedded JSON copy of the model.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/comm_matrix.hpp"
+#include "core/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace commscope::core {
+
+/// Everything a report can draw from. `program` is the whole-run matrix when
+/// available (it bounds the timeline total from above when epochs were
+/// dropped); `metrics` is a telemetry snapshot for the overhead gauges.
+struct ReportModel {
+  std::string title;
+  EpochTimeline timeline;
+  bool has_program = false;
+  Matrix program;
+  std::vector<telemetry::MetricSnapshot> metrics;
+};
+
+void render_text(std::ostream& os, const ReportModel& model);
+void render_json(std::ostream& os, const ReportModel& model);
+void render_html(std::ostream& os, const ReportModel& model);
+
+}  // namespace commscope::core

@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <thread>
 
+#include <sstream>
+
+#include "core/epoch_io.hpp"
 #include "resilience/checkpoint.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -235,6 +238,34 @@ void GuardedSink::write_checkpoint(std::uint64_t index,
     if (!checkpoint_io_failed_) {
       checkpoint_io_failed_ = true;
       std::fprintf(stderr, "commscope: warning: %s (checkpointing disabled)\n",
+                   e.what());
+    }
+  }
+  write_epoch_sidecar(reason);
+}
+
+void GuardedSink::write_epoch_sidecar(const std::string& reason) {
+  // The flight recorder's ring rides along with every checkpoint: force an
+  // epoch boundary (the world is stopped, so the window is stable and every
+  // pending micro-batch has been drained), then persist the surviving ring
+  // to `<checkpoint>.epochs` so the time-resolved history has the same
+  // crash-survival story as the checkpoint itself. Sidecar IO failure is
+  // isolated: the checkpoint must never be lost to an epoch-file problem.
+  core::FlightRecorder& recorder = profiler_->recorder();
+  if (!recorder.enabled() || options_.checkpoint_path.empty()) return;
+  recorder.flush(core::EpochSeal::kCheckpoint);
+  (void)reason;
+  try {
+    std::ostringstream os;
+    core::write_epochs(os, recorder.timeline());
+    write_file_atomic(options_.checkpoint_path + ".epochs", os.str());
+    telemetry::counter("recorder.sidecar_written").add(1);
+  } catch (const std::exception& e) {
+    telemetry::counter("recorder.sidecar_failed").add(1);
+    if (!epoch_io_failed_) {
+      epoch_io_failed_ = true;
+      std::fprintf(stderr,
+                   "commscope: warning: %s (epoch sidecar disabled)\n",
                    e.what());
     }
   }

@@ -127,6 +127,12 @@ class GuardedSink final : public instrument::AccessSink {
   void maintenance(std::uint64_t index);
   void write_checkpoint(std::uint64_t index, const std::string& state,
                         const std::string& reason);
+  /// Forces a flight-recorder epoch boundary and persists the ring next to
+  /// the checkpoint file (`<checkpoint>.epochs`). No-op when the recorder is
+  /// disabled or no checkpoint path is configured; IO failure is counted and
+  /// warned once, never propagated (the checkpoint itself must not be lost
+  /// to a sidecar problem).
+  void write_epoch_sidecar(const std::string& reason);
 
   // Safepoint protocol (active only when gate_ is set). The common
   // uncontended enter is inlined at the call sites; the backout-and-spin
@@ -158,6 +164,7 @@ class GuardedSink final : public instrument::AccessSink {
   std::atomic<std::uint64_t> reentrant_drops_{0};
   std::uint64_t checkpoints_written_ = 0;
   bool checkpoint_io_failed_ = false;
+  bool epoch_io_failed_ = false;
 
   std::mutex maintenance_mu_;
   std::atomic<bool> pause_{false};

@@ -19,6 +19,7 @@ const char* to_string(SpanCat cat) noexcept {
     case SpanCat::kDegrade: return "degrade";
     case SpanCat::kStress: return "stress";
     case SpanCat::kBatch: return "batch";
+    case SpanCat::kEpoch: return "epoch";
   }
   return "?";
 }

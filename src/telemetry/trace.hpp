@@ -39,6 +39,7 @@ enum class SpanCat : std::uint8_t {
   kDegrade,     ///< degradation-ladder transitions
   kStress,      ///< stress-harness scenarios
   kBatch,       ///< micro-batch drains through the detector (batch_flush)
+  kEpoch,       ///< flight-recorder epoch seals (time-resolved communication)
 };
 
 [[nodiscard]] const char* to_string(SpanCat cat) noexcept;

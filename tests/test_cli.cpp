@@ -310,6 +310,188 @@ TEST(CliObservability, TopRunsToCompletion) {
   EXPECT_NE(r.output.find("run complete:"), std::string::npos);
 }
 
+// --- per-command flag vocabulary --------------------------------------------
+//
+// Unknown flags exit 2 for EVERY subcommand, and a flag that exists for one
+// command is still unknown to a command that does not take it.
+
+TEST(CliErrors, UnknownFlagsExitTwoAcrossAllSubcommands) {
+  for (const char* cmd : {"list --bogus", "run fft --bogus=1",
+                          "replay x --bogus", "resume x --bogus",
+                          "classify x --bogus", "map x --bogus",
+                          "stress --bogus", "metrics x --bogus",
+                          "top fft --bogus", "report x --bogus",
+                          "diff a b --bogus"}) {
+    const RunResult r = run_cli(cmd);
+    EXPECT_EQ(r.exit_code, 2) << cmd << "\n" << r.output;
+    EXPECT_NE(r.output.find("unknown flag --bogus"), std::string::npos) << cmd;
+  }
+}
+
+TEST(CliErrors, FlagsAreScopedToTheirCommands) {
+  // --sockets belongs to map, not run; --threads belongs to run, not classify.
+  const RunResult a = run_cli("run fft --sockets=2");
+  EXPECT_EQ(a.exit_code, 2) << a.output;
+  EXPECT_NE(a.output.find("unknown flag --sockets for 'run'"),
+            std::string::npos);
+  const RunResult b = run_cli("classify foo.matrix --threads=4");
+  EXPECT_EQ(b.exit_code, 2) << b.output;
+  EXPECT_NE(b.output.find("unknown flag --threads for 'classify'"),
+            std::string::npos);
+}
+
+// --- flight recorder: epochs, report, diff ----------------------------------
+
+TEST(CliRecorder, RunWritesEpochsAndReportRendersAllFormats) {
+  const std::string epochs = "/tmp/commscope_cli_rec.epochs";
+  const RunResult r = run_cli("run fft --threads=4 --epoch-every=2000"
+                              " --epochs-out=" + epochs);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("epoch(s) written"), std::string::npos) << r.output;
+
+  const RunResult text = run_cli("report " + epochs);
+  EXPECT_EQ(text.exit_code, 0) << text.output;
+  EXPECT_NE(text.output.find("epoch"), std::string::npos);
+  EXPECT_NE(text.output.find("surviving"), std::string::npos);
+
+  const RunResult json = run_cli("report " + epochs + " --format=json");
+  EXPECT_EQ(json.exit_code, 0) << json.output;
+  EXPECT_NE(json.output.find("\"epochs\":["), std::string::npos);
+
+  const std::string html = "/tmp/commscope_cli_rec.html";
+  const RunResult page =
+      run_cli("report " + epochs + " --format=html --out=" + html);
+  EXPECT_EQ(page.exit_code, 0) << page.output;
+  std::ifstream in(html);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str().rfind("<!doctype html>", 0), 0u);
+  EXPECT_NE(buf.str().find("</html>"), std::string::npos);
+
+  const RunResult bad = run_cli("report " + epochs + " --format=pdf");
+  EXPECT_EQ(bad.exit_code, 2);
+  std::remove(epochs.c_str());
+  std::remove(html.c_str());
+}
+
+TEST(CliRecorder, DiffOfARunAgainstItselfIsCleanExitZero) {
+  const std::string epochs = "/tmp/commscope_cli_selfdiff.epochs";
+  ASSERT_EQ(run_cli("run fft --threads=4 --epoch-every=2000 --epochs-out=" +
+                    epochs).exit_code,
+            0);
+  const RunResult d = run_cli("diff " + epochs + " " + epochs);
+  EXPECT_EQ(d.exit_code, 0) << d.output;
+  EXPECT_NE(d.output.find("clean"), std::string::npos) << d.output;
+  std::remove(epochs.c_str());
+}
+
+TEST(CliRecorder, DiffFlagsChangedCommunicationExitThree) {
+  const std::string a = "/tmp/commscope_cli_diff_a.matrix";
+  const std::string b = "/tmp/commscope_cli_diff_b.matrix";
+  ASSERT_EQ(run_cli("run fft --threads=4 -q --save-matrix=" + a).exit_code, 0);
+  ASSERT_EQ(run_cli("run radix --threads=4 -q --save-matrix=" + b).exit_code,
+            0);
+  const RunResult d = run_cli("diff " + a + " " + b);
+  EXPECT_EQ(d.exit_code, 3) << d.output;  // the CI-gate contract
+  EXPECT_NE(d.output.find("REGRESSED"), std::string::npos) << d.output;
+  // Loosened thresholds must turn the same pair clean.
+  const RunResult loose =
+      run_cli("diff " + a + " " + b + " --threshold-l1=2 --threshold-cell=1");
+  EXPECT_EQ(loose.exit_code, 0) << loose.output;
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(CliRecorder, ReplayReSliceIsBitIdenticalAtAnyBatchSize) {
+  const std::string trace = "/tmp/commscope_cli_reslice.trace";
+  const std::string ea = "/tmp/commscope_cli_reslice_a.epochs";
+  const std::string eb = "/tmp/commscope_cli_reslice_b.epochs";
+  ASSERT_EQ(run_cli("run radix --threads=4 -q --save-trace=" + trace)
+                .exit_code,
+            0);
+  ASSERT_EQ(run_cli("replay " + trace + " -q --epochs=6 --epochs-out=" + ea)
+                .exit_code,
+            0);
+  ASSERT_EQ(run_cli("replay " + trace +
+                    " -q --epochs=6 --batch=32 --epochs-out=" + eb)
+                .exit_code,
+            0);
+  std::ifstream fa(ea), fb(eb);
+  ASSERT_TRUE(fa.good() && fb.good());
+  std::stringstream sa, sb;
+  sa << fa.rdbuf();
+  sb << fb.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str())
+      << "re-sliced timeline depends on --batch; replay determinism broken";
+  const RunResult d = run_cli("diff " + ea + " " + eb);
+  EXPECT_EQ(d.exit_code, 0) << d.output;
+  std::remove(trace.c_str());
+  std::remove(ea.c_str());
+  std::remove(eb.c_str());
+}
+
+TEST(CliRecorder, CheckpointWritesEpochSidecar) {
+  const std::string ck = "/tmp/commscope_cli_sidecar.ck";
+  const RunResult r = run_cli("run fft --threads=4 -q --epoch-every=2000"
+                              " --checkpoint=" + ck);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const RunResult report = run_cli("report " + ck + ".epochs");
+  EXPECT_EQ(report.exit_code, 0)
+      << "checkpoint did not leave a loadable epoch sidecar\n" << report.output;
+  std::remove(ck.c_str());
+  std::remove((ck + ".epochs").c_str());
+}
+
+TEST(CliRecorder, BenchDiffGateCatchesInjectedRegression) {
+  const std::string base = "/tmp/commscope_cli_bench_base.json";
+  const std::string slow = "/tmp/commscope_cli_bench_slow.json";
+  {
+    std::ofstream out(base);
+    out << "{\"bench\": \"ingest_throughput\", \"sweep\": [\n"
+           "  {\"batch\": 0, \"events_per_sec\": 1e6, \"speedup\": 1},\n"
+           "  {\"batch\": 64, \"events_per_sec\": 3e6, \"speedup\": 3}\n]}\n";
+  }
+  {
+    std::ofstream out(slow);  // batch-64 throughput down 40%: past the gate
+    out << "{\"bench\": \"ingest_throughput\", \"sweep\": [\n"
+           "  {\"batch\": 0, \"events_per_sec\": 1e6, \"speedup\": 1},\n"
+           "  {\"batch\": 64, \"events_per_sec\": 1.8e6, \"speedup\": 1.8}\n]}\n";
+  }
+  const RunResult self_diff = run_cli("diff --bench " + base + " " + base);
+  EXPECT_EQ(self_diff.exit_code, 0) << self_diff.output;
+  const RunResult gate = run_cli("diff --bench " + base + " " + slow);
+  EXPECT_EQ(gate.exit_code, 3) << gate.output;
+  EXPECT_NE(gate.output.find("REGRESSED"), std::string::npos) << gate.output;
+  // A wider tolerance waves the same pair through.
+  const RunResult loose =
+      run_cli("diff --bench --threshold=0.5 " + base + " " + slow);
+  EXPECT_EQ(loose.exit_code, 0) << loose.output;
+  std::remove(base.c_str());
+  std::remove(slow.c_str());
+}
+
+TEST(CliRecorder, DiffRejectsMixedAndUnknownFormats) {
+  const std::string m = "/tmp/commscope_cli_mixed.matrix";
+  const std::string e = "/tmp/commscope_cli_mixed.epochs";
+  ASSERT_EQ(run_cli("run fft --threads=4 -q --save-matrix=" + m +
+                    " --epoch-every=2000 --epochs-out=" + e).exit_code,
+            0);
+  const RunResult mixed = run_cli("diff " + m + " " + e);
+  EXPECT_EQ(mixed.exit_code, 1) << mixed.output;
+  EXPECT_NE(mixed.output.find("cannot compare"), std::string::npos);
+  const std::string junk = "/tmp/commscope_cli_junk.txt";
+  {
+    std::ofstream out(junk);
+    out << "hello world\n";
+  }
+  const RunResult unknown = run_cli("diff " + junk + " " + junk);
+  EXPECT_EQ(unknown.exit_code, 1) << unknown.output;
+  std::remove(m.c_str());
+  std::remove(e.c_str());
+  std::remove(junk.c_str());
+}
+
 int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
   if (argc > 1) {

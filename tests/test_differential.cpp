@@ -277,6 +277,58 @@ TEST(Differential, SparseRegionMatricesBitIdentical) {
                    case_name(888, shape.threads, 64));
 }
 
+// --- flight-recorder differential (label: recorder) ------------------------
+#if !defined(COMMSCOPE_TELEMETRY_DISABLED)
+
+// The epoch timeline is a sparse re-encoding of the same dependency stream
+// the whole-program matrix accumulates: with nothing overwritten out of the
+// ring, summing every epoch's delta must reproduce the final dense matrix
+// bit for bit.
+TEST(Differential, EpochDeltasSumToFinalMatrixBitForBit) {
+  for (const std::uint64_t seed : {1111ull, 2222ull}) {
+    TraceShape shape;
+    const auto ops = make_trace(seed, shape);
+    auto o = base_options(cc::Backend::kAsymmetricSignature, shape.threads);
+    o.epoch_accesses = 256;            // many seals across the run
+    o.epoch_ring = cc::kMaxEpochRing;  // keep every epoch: exact identity
+    const auto prof = replay(ops, o);
+    ASSERT_GT(prof->stats().dependencies, 0u);
+    const cc::EpochTimeline t = prof->epoch_timeline();
+    ASSERT_GT(t.epochs.size(), 1u) << "trigger never fired; test is vacuous";
+    ASSERT_EQ(t.dropped, 0u);
+    EXPECT_TRUE(t.total().trimmed(shape.threads) ==
+                prof->communication_matrix().trimmed(shape.threads))
+        << "seed " << seed << ": epoch deltas diverged from the final matrix";
+  }
+}
+
+// Micro-batching is a pure relayout of the ingest loop; with the drain
+// points fixed by the trace, epoch boundaries — and therefore the entire
+// recorded timeline — must be identical at every batch size.
+TEST(Differential, EpochTimelineBitIdenticalAcrossBatchSizes) {
+  TraceShape shape;
+  const auto ops = make_trace(3333, shape);
+  auto base = base_options(cc::Backend::kAsymmetricSignature, shape.threads);
+  base.epoch_accesses = 257;  // prime: boundaries land mid-batch everywhere
+  base.epoch_ring = cc::kMaxEpochRing;
+  const cc::EpochTimeline want = replay(ops, base)->epoch_timeline();
+  ASSERT_GT(want.epochs.size(), 1u);
+  for (const std::uint32_t b : {1u, 7u, 64u, 256u}) {
+    auto o = base;
+    o.batch_size = b;
+    const cc::EpochTimeline got = replay(ops, o)->epoch_timeline();
+    SCOPED_TRACE(case_name(3333, shape.threads, b));
+    EXPECT_EQ(got.sealed, want.sealed);
+    EXPECT_EQ(got.dropped, want.dropped);
+    ASSERT_EQ(got.epochs.size(), want.epochs.size());
+    for (std::size_t i = 0; i < want.epochs.size(); ++i) {
+      EXPECT_EQ(got.epochs[i], want.epochs[i]) << "epoch " << i;
+    }
+  }
+}
+
+#endif  // !COMMSCOPE_TELEMETRY_DISABLED
+
 // --- FPR vs exact ----------------------------------------------------------
 
 TEST(Differential, SignatureFprVsExactStaysUnderEq2Bound) {

@@ -227,6 +227,59 @@ TEST(FlushOrdering, RegistryFlushHooksDrainActiveSink) {
   EXPECT_EQ(prof.stats().accesses, 1u);
 }
 
+#if !defined(COMMSCOPE_TELEMETRY_DISABLED)
+
+// Epoch ring under thread churn: waves of real threads hammer the profiler
+// (cross-thread RAW traffic included) with an aggressive seal trigger and a
+// tiny ring, with every thread replaced between waves. Whatever the
+// interleaving, the overwrite-and-count contract must hold exactly:
+// sealed == dropped + surviving, surviving indices consecutive and newest.
+TEST(FlushOrdering, EpochRingInvariantsHoldUnderThreadChurn) {
+  cc::ProfilerOptions po = batched_profiler_options();
+  po.epoch_accesses = 64;  // dozens of seals across the run
+  po.epoch_ring = 4;       // force overwrites
+  cc::Profiler prof(po);
+  constexpr int kLanes = 4;
+  for (int wave = 0; wave < 3; ++wave) {  // churn: fresh threads each wave
+    std::vector<std::thread> lanes;
+    for (int t = 0; t < kLanes; ++t) {
+      lanes.emplace_back([&prof, t, wave] {
+        (void)ct::ThreadRegistry::current_tid();
+        prof.on_thread_begin(t);
+        for (int i = 0; i < 400; ++i) {
+          const auto addr = 0x9000u + 8u * static_cast<unsigned>(i % 32);
+          prof.on_access(t, addr, 8,
+                         (i + t + wave) % 3 == 0 ? ci::AccessKind::kWrite
+                                                 : ci::AccessKind::kRead);
+        }
+        prof.on_drain(t);
+      });
+    }
+    for (std::thread& th : lanes) th.join();
+  }
+  prof.finalize();
+
+  const cc::EpochTimeline t = prof.epoch_timeline();
+  ASSERT_FALSE(t.epochs.empty());
+  EXPECT_EQ(t.sealed, t.dropped + t.epochs.size());
+  EXPECT_GT(t.dropped, 0u) << "ring never overwrote; trigger too lax";
+  EXPECT_LE(t.epochs.size(), 4u);
+  // Surviving epochs are the newest, consecutively numbered, oldest first.
+  EXPECT_EQ(t.epochs.back().index + 1, t.sealed);
+  for (std::size_t i = 1; i < t.epochs.size(); ++i) {
+    EXPECT_EQ(t.epochs[i].index, t.epochs[i - 1].index + 1);
+    EXPECT_GE(t.epochs[i].first_access, t.epochs[i - 1].last_access);
+  }
+  for (const cc::EpochSample& e : t.epochs) {
+    EXPECT_LE(e.first_access, e.last_access);
+    std::uint64_t cell_sum = 0;
+    for (const cc::EpochCell& c : e.cells) cell_sum += c.bytes;
+    EXPECT_EQ(cell_sum, e.bytes) << "epoch " << e.index;
+  }
+}
+
+#endif  // !COMMSCOPE_TELEMETRY_DISABLED
+
 TEST(FlushOrdering, ThreadExitDrainsOwnMicroBatch) {
   cc::Profiler prof(batched_profiler_options());
   cr::GuardedSink sink(prof, nullptr, {});

@@ -25,6 +25,22 @@
 //   commscope top <workload> [run options] [--interval=MS]
 //       Run a workload with the guarded pipeline and refresh a live view of
 //       the profiler's own activity (events/s, memory, drops) while it runs.
+//   commscope report <epochs-file> [--format=text|json|html] [--out=FILE]
+//       Render a recorded epoch timeline (--epochs-out / checkpoint sidecar)
+//       as a terminal summary, JSON document or self-contained HTML page.
+//   commscope diff <A> <B> [--threshold-l1=F --threshold-cell=F]
+//       Compare two runs: epoch files, matrix files, or (--bench) ingest
+//       bench JSON. Exits 0 when within thresholds, 3 on regression — the
+//       CI gate.
+//
+// Flight-recorder options (run/replay/top):
+//   --epoch-every=N             seal an epoch every N access events
+//   --epoch-batches=K           seal every K drained micro-batches
+//   --epoch-ms=T                seal every T milliseconds
+//   --epoch-ring=N              epoch ring capacity (default 512)
+//   --epochs-out=FILE           write the surviving timeline on exit
+//   --epochs=N                  (replay only) re-slice the trace into N
+//                               equal-access epochs
 //
 // Observability options (run/replay/stress/top):
 //   --quiet, -q                 suppress non-essential stdout (explicit
@@ -65,13 +81,17 @@
 // resilience/fault_injector.hpp).
 //
 // Exit codes: 0 success, 1 runtime failure (bad file, failed verification),
-// 2 usage error (unknown flag/command, malformed flag value), 124 watchdog
-// timeout, 128+N death by signal N (emergency snapshot written first).
+// 2 usage error (unknown flag/command, malformed flag value), 3 regression
+// detected by `commscope diff` (inputs were valid; the comparison failed its
+// thresholds), 124 watchdog timeout, 128+N death by signal N (emergency
+// snapshot written first).
 #include <atomic>
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -79,9 +99,12 @@
 #include <unistd.h>
 #endif
 
+#include "core/comm_diff.hpp"
+#include "core/epoch_io.hpp"
 #include "core/matrix_io.hpp"
 #include "core/profiler.hpp"
 #include "core/report.hpp"
+#include "core/timeline_report.hpp"
 #include "instrument/loop_registry.hpp"
 #include "instrument/trace.hpp"
 #include "mapping/mapper.hpp"
@@ -114,42 +137,93 @@ namespace cw = commscope::workloads;
 
 namespace {
 
-const std::vector<std::string> kKnownFlags = {
-    "backend",     "threads",    "scale",           "slots",
-    "fp-rate",     "classify",   "sparse",          "phases",
-    "heatmaps",    "csv",        "save-matrix",     "save-trace",
-    "pattern",     "dvfs",       "sockets",         "cores",
-    "smt",         "mem-budget", "event-budget",    "checkpoint",
-    "checkpoint-every",          "timeout",         "seed",
-    "seeds",       "steps",      "mode",            "sampling",
-    "no-churn",    "quiet",      "metrics-out",     "trace-out",
-    "trace-format",              "interval",        "batch"};
+// Flag vocabulary, grouped the way commands compose it. Every subcommand
+// accepts exactly the union of its groups; anything else is a usage error
+// (exit 2) — uniformly, so a typo'd flag never silently profiles with a
+// default.
+const std::vector<std::string> kProfileFlags = {
+    "backend", "threads", "scale",       "slots",      "fp-rate",    "classify",
+    "sparse",  "phases",  "batch",       "epoch-every", "epoch-batches",
+    "epoch-ms", "epoch-ring", "epochs-out"};
+const std::vector<std::string> kOutputFlags = {
+    "heatmaps", "csv", "save-matrix", "pattern", "dvfs"};
+const std::vector<std::string> kResilienceFlags = {
+    "mem-budget", "event-budget", "checkpoint", "checkpoint-every", "timeout"};
+const std::vector<std::string> kObservabilityFlags = {
+    "quiet", "metrics-out", "trace-out", "trace-format"};
+
+std::vector<std::string> flags_union(
+    std::initializer_list<std::vector<std::string>> groups,
+    std::initializer_list<const char*> extra = {}) {
+  std::vector<std::string> all;
+  for (const auto& g : groups) all.insert(all.end(), g.begin(), g.end());
+  for (const char* e : extra) all.emplace_back(e);
+  return all;
+}
+
+/// Per-subcommand accepted flags (the union of the groups above plus each
+/// command's own extras).
+const std::vector<std::string>& known_flags_for(const std::string& cmd) {
+  static const std::map<std::string, std::vector<std::string>> table = {
+      {"list", {}},
+      {"run",
+       flags_union({kProfileFlags, kOutputFlags, kResilienceFlags,
+                    kObservabilityFlags},
+                   {"save-trace"})},
+      {"replay",
+       flags_union({kProfileFlags, kOutputFlags, kResilienceFlags,
+                    kObservabilityFlags},
+                   {"epochs"})},
+      {"resume", {"pattern", "save-matrix", "heatmaps"}},
+      {"classify", {}},
+      {"map", {"sockets", "cores", "smt"}},
+      {"stress",
+       flags_union({kObservabilityFlags},
+                   {"seed", "seeds", "threads", "steps", "mode", "sampling",
+                    "no-churn", "batch"})},
+      {"metrics", {"metrics-out"}},
+      {"top", flags_union({kProfileFlags, kObservabilityFlags}, {"interval"})},
+      {"report", {"format", "out", "matrix", "metrics", "title"}},
+      {"diff",
+       {"bench", "threshold", "threshold-l1", "threshold-cell", "quiet"}},
+  };
+  static const std::vector<std::string> none;
+  const auto it = table.find(cmd);
+  return it == table.end() ? none : it->second;
+}
 
 const char* kCommandList =
-    "list, run, replay, resume, classify, map, stress, metrics, top";
+    "list, run, replay, resume, classify, map, stress, metrics, top, "
+    "report, diff";
 
 int usage() {
   std::cerr
-      << "usage: commscope <command> [args]   (commands: " << kCommandList
-      << ")\n"
-         "  commscope list\n"
-         "  commscope run <workload> [--backend=signature|exact] [--threads=N]\n"
-         "            [--scale=dev|small|large] [--slots=N] [--fp-rate=F]\n"
-         "            [--classify] [--sparse] [--phases=BYTES] [--heatmaps=N]\n"
-         "            [--csv=FILE] [--save-matrix=FILE] [--save-trace=FILE]\n"
-         "            [--pattern] [--mem-budget=BYTES] [--event-budget=N]\n"
-         "            [--checkpoint=FILE] [--checkpoint-every=N] [--timeout=SEC]\n"
-         "            [--quiet] [--metrics-out=FILE] [--trace-out=FILE]\n"
-         "            [--trace-format=chrome|text] [--batch=N]\n"
-         "  commscope replay <trace-file> [run options]\n"
-         "  commscope resume <snapshot-file> [--pattern] [--save-matrix=FILE]\n"
-         "  commscope classify <matrix-file>\n"
-         "  commscope map <matrix-file> [--sockets=S --cores=C --smt=T]\n"
-         "  commscope stress [--seed=N] [--seeds=K] [--threads=T]\n"
-         "            [--steps=N] [--mode=lockstep|free|both]\n"
-         "            [--sampling=RATE] [--no-churn] [--batch=N]\n"
-         "  commscope metrics <snapshot-file...> [--metrics-out=FILE]\n"
-         "  commscope top <workload> [run options] [--interval=MS]\n";
+      << "usage: commscope <command> [args]\n"
+         "\n"
+         "profile:\n"
+         "  list                      show the available workload replicas\n"
+         "  run <workload>            profile a workload, print the nested report\n"
+         "  replay <trace-file>       profile a recorded event trace (--save-trace)\n"
+         "  resume <snapshot-file>    report from a crash/periodic checkpoint\n"
+         "\n"
+         "analyze:\n"
+         "  classify <matrix-file>    classify a saved communication matrix\n"
+         "  map <matrix-file>         communication-aware thread mapping\n"
+         "  report <epochs-file>      render an epoch timeline (text/json/html)\n"
+         "  diff <A> <B>              compare two runs; exit 3 on regression\n"
+         "\n"
+         "observe & verify:\n"
+         "  stress                    schedule-fuzzing self-verification\n"
+         "  metrics <snapshot...>     merge + print telemetry snapshots\n"
+         "  top <workload>            live view of the profiler while it runs\n"
+         "\n"
+         "common run/replay/top flags: --threads=N --scale=dev|small|large\n"
+         "  --backend=signature|exact --batch=N --phases=BYTES\n"
+         "  --epoch-every=N --epoch-batches=K --epoch-ms=T --epoch-ring=N\n"
+         "  --epochs-out=FILE --quiet --metrics-out=FILE --trace-out=FILE\n"
+         "resilience (run/replay): --mem-budget=BYTES --event-budget=N\n"
+         "  --checkpoint=FILE --checkpoint-every=N --timeout=SEC\n"
+         "run `commscope <command>` with no arguments for its argument shape.\n";
   return 2;
 }
 
@@ -229,7 +303,37 @@ cc::ProfilerOptions profiler_options(const cs::ArgParser& args, int threads) {
   o.phase_window_bytes =
       static_cast<std::uint64_t>(args.get_int_strict("phases", 0));
   o.batch_size = static_cast<std::uint32_t>(args.get_int_strict("batch", 0));
+  o.epoch_accesses =
+      static_cast<std::uint64_t>(args.get_int_strict("epoch-every", 0));
+  o.epoch_batches =
+      static_cast<std::uint32_t>(args.get_int_strict("epoch-batches", 0));
+  o.epoch_millis =
+      static_cast<std::uint32_t>(args.get_int_strict("epoch-ms", 0));
+  o.epoch_ring =
+      static_cast<std::uint32_t>(args.get_int_strict("epoch-ring", 0));
   return o;
+}
+
+/// Writes the flight-recorder timeline when --epochs-out was given. Shared
+/// by run/replay/top; called after finalize so the last partial epoch has
+/// been sealed.
+int write_epochs_output(const cs::ArgParser& args, cc::Profiler& profiler,
+                        std::ostream& log) {
+  if (!args.has("epochs-out")) return 0;
+  const cc::EpochTimeline timeline = profiler.epoch_timeline();
+  std::ofstream out(args.get("epochs-out"));
+  if (!out) {
+    std::cerr << "cannot write " << args.get("epochs-out") << "\n";
+    return 1;
+  }
+  cc::write_epochs(out, timeline);
+  log << timeline.epochs.size() << " epoch(s) written to "
+      << args.get("epochs-out");
+  if (timeline.dropped > 0) {
+    log << " (" << timeline.dropped << " older epoch(s) overwritten)";
+  }
+  log << "\n";
+  return 0;
 }
 
 cs::Scale parse_scale(const std::string& s) {
@@ -435,7 +539,9 @@ int cmd_run(const cs::ArgParser& args) {
   overhead.profiler_peak_bytes = profiler->memory().peak();
   overhead.rss_peak_bytes = ctl::peak_rss_bytes();
 
-  const int rc = emit_results(args, *profiler, threads, log);
+  int rc = emit_results(args, *profiler, threads, log);
+  if (rc != 0) return rc;
+  rc = write_epochs_output(args, *profiler, log);
   if (rc != 0) return rc;
   ctl::report_self_overhead(log, overhead);
   return write_observability_outputs(args, log);
@@ -455,14 +561,37 @@ int cmd_replay(const cs::ArgParser& args) {
       args.get_int_strict("threads", std::max(2, max_tid + 1)));
   std::ostream& log = out_stream(args.has("quiet"));
   maybe_enable_trace(args);
-  auto profiler = std::make_unique<cc::Profiler>(profiler_options(args, threads));
+  cc::ProfilerOptions popts = profiler_options(args, threads);
+  // --epochs=N: re-slice the trace into N equal-access epochs. Replay is
+  // single-threaded in trace order (micro-batches drain at tid switches), so
+  // the recorder sees the identical global access/dependency order at any
+  // --batch size — the resulting timeline is byte-identical.
+  const std::int64_t slices = args.get_int_strict("epochs", 0);
+  if (slices < 0) throw std::invalid_argument("--epochs: expected N >= 1");
+  if (slices > 0) {
+    std::uint64_t accesses = 0;
+    for (const ci::TraceEvent& e : events) {
+      if (e.kind == ci::TraceEvent::Kind::kAccess) ++accesses;
+    }
+    popts.epoch_accesses = std::max<std::uint64_t>(
+        1, (accesses + static_cast<std::uint64_t>(slices) - 1) /
+               static_cast<std::uint64_t>(slices));
+    if (popts.epoch_ring == 0) {
+      popts.epoch_ring = static_cast<std::uint32_t>(std::min<std::int64_t>(
+          slices + 1, cc::kMaxEpochRing));
+    }
+    popts.epoch_replay = true;
+  }
+  auto profiler = std::make_unique<cc::Profiler>(popts);
   ResilienceStack resilience = make_resilience(args, *profiler);
   ci::AccessSink* sink = resilience.sink != nullptr
                              ? static_cast<ci::AccessSink*>(resilience.sink.get())
                              : profiler.get();
   ci::replay(events, *sink);  // replay() finalizes the sink itself
   log << "replayed " << events.size() << " events\n";
-  const int rc = emit_results(args, *profiler, threads, log);
+  int rc = emit_results(args, *profiler, threads, log);
+  if (rc != 0) return rc;
+  rc = write_epochs_output(args, *profiler, log);
   if (rc != 0) return rc;
   return write_observability_outputs(args, log);
 }
@@ -788,28 +917,208 @@ int cmd_top(const cs::ArgParser& args) {
             << stats.dependencies << " inter-thread RAW dependencies, "
             << cs::Table::bytes(profiler->communication_matrix().total())
             << " communicated\n";
+  const int rc = write_epochs_output(args, *profiler, std::cout);
+  if (rc != 0) return rc;
   return write_observability_outputs(args, std::cout);
 }
 
-int dispatch(const cs::ArgParser& args) {
-  for (const std::string& f : args.unknown_flags(kKnownFlags)) {
-    std::cerr << "unknown flag --" << f << "\n";
+// --- report / diff ----------------------------------------------------------
+
+/// Reads a whole file or fails with the standard one-line diagnostic.
+bool slurp_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot read " << path << "\n";
+    return false;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  out = os.str();
+  return true;
+}
+
+/// First whitespace-delimited token of a file — the format magic that picks
+/// the diff mode (commscope-epochs vs commscope-matrix).
+std::string sniff_magic(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  is >> magic;
+  return magic;
+}
+
+int cmd_report(const cs::ArgParser& args) {
+  if (args.positional().size() < 2) {
+    std::cerr << "report: expected an epochs file "
+                 "(write one with --epochs-out or a checkpoint sidecar)\n";
     return usage();
   }
+  const std::string fmt = args.get("format", "text");
+  if (fmt != "text" && fmt != "json" && fmt != "html") {
+    throw std::invalid_argument("--format: expected text, json or html");
+  }
+  std::ifstream in(args.positional()[1]);
+  if (!in) {
+    std::cerr << "cannot read " << args.positional()[1] << "\n";
+    return 1;
+  }
+  cc::ReportModel model;
+  model.timeline = cc::read_epochs(in);
+  model.title = args.get("title", args.positional()[1]);
+  if (args.has("matrix")) {
+    std::ifstream min(args.get("matrix"));
+    if (!min) {
+      std::cerr << "cannot read " << args.get("matrix") << "\n";
+      return 1;
+    }
+    model.program = cc::read_matrix(min);
+    model.has_program = true;
+  }
+  if (args.has("metrics")) {
+    std::ifstream sin(args.get("metrics"));
+    if (!sin) {
+      std::cerr << "cannot read " << args.get("metrics") << "\n";
+      return 1;
+    }
+    model.metrics = ctl::read_metrics(sin);
+  }
+
+  const auto render = [&](std::ostream& out) {
+    if (fmt == "json") {
+      cc::render_json(out, model);
+    } else if (fmt == "html") {
+      cc::render_html(out, model);
+    } else {
+      cc::render_text(out, model);
+    }
+  };
+  if (args.has("out")) {
+    std::ofstream out(args.get("out"));
+    if (!out) {
+      std::cerr << "cannot write " << args.get("out") << "\n";
+      return 1;
+    }
+    render(out);
+    std::cout << fmt << " report written to " << args.get("out") << "\n";
+  } else {
+    render(std::cout);
+  }
+  return 0;
+}
+
+int cmd_diff(const cs::ArgParser& args) {
+  if (args.positional().size() < 3) {
+    std::cerr << "diff: expected two files to compare "
+                 "(epochs, matrices, or --bench ingest JSON)\n";
+    return usage();
+  }
+  const std::string& path_a = args.positional()[1];
+  const std::string& path_b = args.positional()[2];
+  std::string text_a, text_b;
+  if (!slurp_file(path_a, text_a) || !slurp_file(path_b, text_b)) return 1;
+  const bool quiet = args.has("quiet");
+  std::ostream& log = out_stream(quiet);
+
+  if (args.has("bench")) {
+    const double threshold = args.get_double_strict("threshold", 0.25);
+    const cc::BenchDiff d = cc::diff_bench(text_a, text_b, threshold);
+    log << "bench diff: " << path_a << " (baseline) vs " << path_b << "\n";
+    for (const cc::BenchDelta& p : d.points) {
+      log << "  batch=" << p.batch << "  " << cs::Table::num(p.base_rate, 0)
+          << " -> " << cs::Table::num(p.fresh_rate, 0) << " events/s  ("
+          << (p.change >= 0 ? "+" : "")
+          << cs::Table::num(p.change * 100.0, 1) << "%)"
+          << (p.regressed ? "  REGRESSED" : "") << "\n";
+    }
+    // The verdict is essential output, loud even under --quiet.
+    (d.regressed ? std::cerr : static_cast<std::ostream&>(std::cout))
+        << d.verdict << "\n";
+    return d.regressed ? 3 : 0;
+  }
+
+  cc::DiffThresholds th;
+  th.norm_l1 = args.get_double_strict("threshold-l1", th.norm_l1);
+  th.norm_max_cell = args.get_double_strict("threshold-cell", th.norm_max_cell);
+
+  const std::string magic_a = sniff_magic(text_a);
+  const std::string magic_b = sniff_magic(text_b);
+  if (magic_a != magic_b) {
+    std::cerr << "diff: cannot compare a '" << magic_a << "' file with a '"
+              << magic_b << "' file\n";
+    return 1;
+  }
+
+  if (magic_a == "commscope-epochs") {
+    std::istringstream ia(text_a), ib(text_b);
+    const cc::EpochTimeline a = cc::read_epochs(ia);
+    const cc::EpochTimeline b = cc::read_epochs(ib);
+    const cc::TimelineDiff d = cc::diff_timelines(a, b, th);
+    log << "epoch diff: " << path_a << " (" << d.epochs_a << " epochs) vs "
+        << path_b << " (" << d.epochs_b << " epochs)\n";
+    log << "  total volume: normalized L1 "
+        << cs::Table::num(d.total.norm_l1 * 100.0, 2) << "%  max cell "
+        << cs::Table::num(d.total.norm_max_cell * 100.0, 2) << "%\n";
+    if (!d.epochs.empty()) {
+      log << "  worst epoch: normalized L1 "
+          << cs::Table::num(d.worst_epoch_l1 * 100.0, 2) << "%\n";
+    }
+    for (const cc::LoopDrift& l : d.loops) {
+      if (l.drift <= th.loop_drift) continue;
+      log << "  loop drift: " << l.label << "  "
+          << cs::Table::bytes(l.bytes_a) << " -> " << cs::Table::bytes(l.bytes_b)
+          << "  (" << cs::Table::num(l.drift * 100.0, 1) << "%)\n";
+    }
+    (d.regressed ? std::cerr : static_cast<std::ostream&>(std::cout))
+        << d.verdict << "\n";
+    return d.regressed ? 3 : 0;
+  }
+  if (magic_a == "commscope-matrix") {
+    std::istringstream ia(text_a), ib(text_b);
+    const cc::Matrix a = cc::read_matrix(ia);
+    const cc::Matrix b = cc::read_matrix(ib);
+    const cc::TimelineDiff d = cc::diff_matrices(a, b, th);
+    log << "matrix diff: " << path_a << " vs " << path_b << "\n";
+    log << "  normalized L1 " << cs::Table::num(d.total.norm_l1 * 100.0, 2)
+        << "%  max cell " << cs::Table::num(d.total.norm_max_cell * 100.0, 2)
+        << "%\n";
+    (d.regressed ? std::cerr : static_cast<std::ostream&>(std::cout))
+        << d.verdict << "\n";
+    return d.regressed ? 3 : 0;
+  }
+  std::cerr << "diff: unrecognized file format '" << magic_a
+            << "' (expected commscope-epochs or commscope-matrix; "
+               "use --bench for ingest bench JSON)\n";
+  return 1;
+}
+
+int dispatch(const cs::ArgParser& args) {
   if (args.positional().empty()) return usage();
   const std::string& cmd = args.positional()[0];
-  if (cmd == "list") return cmd_list();
-  if (cmd == "run") return cmd_run(args);
-  if (cmd == "replay") return cmd_replay(args);
-  if (cmd == "resume") return cmd_resume(args);
-  if (cmd == "classify") return cmd_classify(args);
-  if (cmd == "map") return cmd_map(args);
-  if (cmd == "stress") return cmd_stress(args);
-  if (cmd == "metrics") return cmd_metrics(args);
-  if (cmd == "top") return cmd_top(args);
-  std::cerr << "unknown command '" << cmd << "' (commands: " << kCommandList
-            << ")\n";
-  return usage();
+  static const std::map<std::string, int (*)(const cs::ArgParser&)> commands = {
+      {"list", [](const cs::ArgParser&) { return cmd_list(); }},
+      {"run", cmd_run},
+      {"replay", cmd_replay},
+      {"resume", cmd_resume},
+      {"classify", cmd_classify},
+      {"map", cmd_map},
+      {"stress", cmd_stress},
+      {"metrics", cmd_metrics},
+      {"top", cmd_top},
+      {"report", cmd_report},
+      {"diff", cmd_diff},
+  };
+  const auto it = commands.find(cmd);
+  if (it == commands.end()) {
+    std::cerr << "unknown command '" << cmd << "' (commands: " << kCommandList
+              << ")\n";
+    return usage();
+  }
+  // Each subcommand accepts exactly its declared vocabulary; a typo'd flag
+  // is a usage error everywhere, never a silently ignored default.
+  for (const std::string& f : args.unknown_flags(known_flags_for(cmd))) {
+    std::cerr << "unknown flag --" << f << " for '" << cmd << "'\n";
+    return usage();
+  }
+  return it->second(args);
 }
 
 }  // namespace
@@ -823,7 +1132,7 @@ int main(int argc, char** argv) {
   }
   const cs::ArgParser args(raw,
                            {"classify", "sparse", "pattern", "dvfs",
-                            "no-churn", "quiet"});
+                            "no-churn", "quiet", "bench"});
   // One-line diagnostics, contractual exit codes: malformed usage is 2,
   // runtime failure (unreadable/corrupt file, failed run) is 1. No raw
   // exception ever escapes to std::terminate.
