@@ -52,6 +52,16 @@ FaultPlan FaultInjector::parse_plan(const std::string& spec) {
       plan.truncate_write_at = parse_position(part, colon);
     } else if (name == "write-corrupt") {
       plan.corrupt_write_at = parse_position(part, colon);
+    } else if (name == "accept-fail") {
+      plan.accept_fail_at = parse_position(part, colon);
+    } else if (name == "short-read") {
+      plan.short_read_at = parse_position(part, colon);
+    } else if (name == "eagain") {
+      plan.eagain_at = parse_position(part, colon);
+    } else if (name == "eagain-len") {
+      plan.eagain_len = parse_position(part, colon);
+    } else if (name == "drop-mid-frame") {
+      plan.drop_mid_frame_at = parse_position(part, colon);
     } else if (name == "seed") {
       plan.seed = parse_position(part, colon);
     } else {

@@ -42,11 +42,18 @@ struct FaultPlan {
   std::uint64_t sleep_ms = 500;         ///< stall duration
   std::uint64_t truncate_write_at = 0;  ///< cut a written payload to K bytes
   std::uint64_t corrupt_write_at = 0;   ///< flip one bit in payload byte K
+  // Socket-layer faults for the `commscope serve` daemon and its shipper.
+  std::uint64_t accept_fail_at = 0;     ///< daemon closes the Nth accept
+  std::uint64_t short_read_at = 0;      ///< Nth daemon recv reads one byte
+  std::uint64_t eagain_at = 0;          ///< Nth daemon recv starts a storm
+  std::uint64_t eagain_len = 16;        ///< reads deferred per storm
+  std::uint64_t drop_mid_frame_at = 0;  ///< client cuts its Nth frame in half
   std::uint64_t seed = 0x5eedULL;       ///< RNG seed for bit choices
 
   [[nodiscard]] bool any() const noexcept {
     return fail_alloc_at || kill_at_event || sleep_at_event ||
-           truncate_write_at || corrupt_write_at;
+           truncate_write_at || corrupt_write_at || accept_fail_at ||
+           short_read_at || eagain_at || drop_mid_frame_at;
   }
 };
 

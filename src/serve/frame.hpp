@@ -1,0 +1,132 @@
+// Length-prefixed binary framing for the `commscope serve` wire protocol.
+//
+// A frame is a fixed 16-byte little-endian header followed by the payload:
+//
+//   u32 magic        "CSF1" (0x31465343)
+//   u8  type         FrameType below
+//   u8  reserved     must be 0
+//   u16 reserved2    must be 0
+//   u32 payload_len  bytes following the header (<= the decoder's cap)
+//   u32 payload_crc  CRC32 over the payload bytes
+//
+// Payloads are the repo's existing hostile-hardened text formats — an epoch
+// frame carries a `commscope-epochs` document (core/epoch_io), a scrape
+// reply carries a `# commscope-metrics v1` snapshot — so the daemon reuses
+// the same capped, CRC-checked readers the file loaders already trust.
+//
+// The decoder is incremental and treats the stream as hostile: the header
+// is validated the moment its 16 bytes arrive (bad magic, unknown type,
+// length-prefix lies — len > cap, len = 0 for a type that requires a
+// payload — all poison the decoder *before* any payload allocation), the
+// payload buffer reserves exactly the declared length, and a CRC mismatch
+// poisons on completion. A poisoned decoder never yields another frame; the
+// server maps the poison reason to a per-session drop with provenance.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace commscope::serve {
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,       ///< "commscope-hello 1 session <id> threads <n>"
+  kEpochs = 2,      ///< core/epoch_io text document
+  kHeartbeat = 3,   ///< empty; refreshes the session's reap deadline
+  kBye = 4,         ///< empty; graceful session close (contribution sealed)
+  kScrape = 5,      ///< empty; request a metrics snapshot
+  kScrapeReply = 6, ///< "# commscope-metrics v1" text snapshot
+  kAck = 7,         ///< "<n> accepted"; server ack for an epochs frame.
+                    ///< Clients only mark epochs shipped once acked, so an
+                    ///< accept that was closed unread (bytes buffered by the
+                    ///< kernel, discarded by the daemon) is retried, never
+                    ///< silently lost. Dedupe makes the retry exactly-once.
+};
+
+[[nodiscard]] const char* to_string(FrameType t) noexcept;
+
+inline constexpr std::uint32_t kFrameMagic = 0x31465343u;  // "CSF1" LE
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Default payload ceiling. A client that declares more is lying or
+/// misbehaving — either way the session is dropped before allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+/// Serializes one frame (header + payload) ready for the socket.
+[[nodiscard]] std::string encode_frame(FrameType type,
+                                       std::string_view payload);
+
+/// Why a decoder refused the stream (provenance for the drop counters).
+enum class FrameError : std::uint8_t {
+  kNone,
+  kBadMagic,      ///< header magic mismatch (garbage / desynced stream)
+  kBadType,       ///< unknown frame type or nonzero reserved bytes
+  kOversize,      ///< declared payload_len exceeds the decoder's cap
+  kEmptyPayload,  ///< len = 0 for a type that requires a payload
+  kBadCrc,        ///< payload CRC mismatch (bitflip / torn write)
+};
+
+[[nodiscard]] const char* to_string(FrameError e) noexcept;
+
+/// Incremental frame reassembler. feed() accepts arbitrary byte chunks
+/// (short reads, concatenated frames); next() pops completed frames in
+/// order. Any protocol violation poisons the decoder permanently — callers
+/// drop the session, they never resynchronize a hostile stream.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::uint32_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Consumes `n` bytes. Returns false (and consumes nothing further) once
+  /// the decoder is poisoned.
+  bool feed(const char* data, std::size_t n);
+
+  /// Next completed frame, oldest first.
+  [[nodiscard]] std::optional<Frame> next();
+
+  [[nodiscard]] bool poisoned() const noexcept {
+    return err_ != FrameError::kNone;
+  }
+  [[nodiscard]] FrameError error() const noexcept { return err_; }
+
+  /// True when a frame is partially assembled — EOF here means the peer
+  /// died mid-frame (a torn frame, counted by the server).
+  [[nodiscard]] bool mid_frame() const noexcept {
+    return hdr_have_ > 0 || !payload_.empty();
+  }
+
+  /// Bytes currently buffered toward the in-flight frame (queue-bound
+  /// accounting; completed-but-unpopped frames are charged separately).
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return hdr_have_ + payload_.size();
+  }
+  /// Capacity reserved for the in-flight payload — the fuzz suite asserts
+  /// this never exceeds the declared cap, whatever the header claims.
+  [[nodiscard]] std::size_t buffer_capacity() const noexcept {
+    return payload_.capacity();
+  }
+
+ private:
+  void poison(FrameError e);
+  /// Validates the completed header; reserves the payload or poisons.
+  void on_header();
+
+  std::uint32_t max_payload_;
+  unsigned char hdr_[kFrameHeaderBytes] = {};
+  std::size_t hdr_have_ = 0;
+  bool in_payload_ = false;
+  FrameType type_ = FrameType::kHeartbeat;
+  std::uint32_t need_ = 0;
+  std::uint32_t want_crc_ = 0;
+  std::string payload_;
+  std::deque<Frame> ready_;
+  FrameError err_ = FrameError::kNone;
+};
+
+}  // namespace commscope::serve

@@ -1,0 +1,143 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+
+#include "instrument/loop_registry.hpp"
+
+namespace commscope::serve {
+
+const char* to_string(SessionState s) noexcept {
+  switch (s) {
+    case SessionState::kActive: return "active";
+    case SessionState::kSealed: return "sealed";
+    case SessionState::kReaped: return "reaped";
+    case SessionState::kDropped: return "dropped";
+  }
+  return "?";
+}
+
+Aggregate::Aggregate(std::uint32_t ring_capacity,
+                     support::MemoryTracker* tracker)
+    : capacity_(std::min(std::max<std::uint32_t>(ring_capacity, 1),
+                         core::kMaxEpochRing)),
+      tracker_(tracker) {}
+
+Aggregate::~Aggregate() {
+  if (tracker_ != nullptr && charged_ > 0) tracker_->sub(charged_);
+}
+
+void Aggregate::charge(std::uint64_t bytes) {
+  charged_ += bytes;
+  if (tracker_ != nullptr) tracker_->add(bytes);
+}
+
+void Aggregate::discharge(std::uint64_t bytes) {
+  charged_ -= std::min(charged_, bytes);
+  if (tracker_ != nullptr) tracker_->sub(bytes);
+}
+
+std::uint64_t Aggregate::epoch_cost(const core::EpochSample& e) noexcept {
+  return sizeof(core::EpochSample) +
+         e.cells.size() * sizeof(core::EpochCell) +
+         e.loops.size() * sizeof(core::EpochLoopShare);
+}
+
+std::uint32_t Aggregate::label_id(const std::string& label) {
+  const auto it = label_ids_.find(label);
+  if (it != label_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(labels_.size());
+  label_ids_.emplace(label, id);
+  labels_.emplace_back(id, label);
+  label_bytes_.push_back(0);
+  charge(label.size() * 2 + sizeof(std::uint64_t) + 64);
+  return id;
+}
+
+void Aggregate::merge(const core::EpochTimeline& src,
+                      const core::EpochSample& e) {
+  // Grow the merged matrix to the widest contributor seen so far. Cells are
+  // plain uint64 sums (like EpochTimeline::total()), so the merge of N
+  // sessions is bit-identical to summing their ground-truth matrices.
+  const int want = std::max(src.threads, 1);
+  if (want > threads_) {
+    std::vector<std::uint64_t> grown(
+        static_cast<std::size_t>(want) * static_cast<std::size_t>(want), 0);
+    for (int p = 0; p < threads_; ++p) {
+      for (int c = 0; c < threads_; ++c) {
+        grown[static_cast<std::size_t>(p) * want + c] =
+            cells_[static_cast<std::size_t>(p) * threads_ + c];
+      }
+    }
+    charge((grown.size() - cells_.size()) * sizeof(std::uint64_t));
+    cells_ = std::move(grown);
+    threads_ = want;
+  }
+  for (const core::EpochCell& c : e.cells) {
+    if (c.producer < threads_ && c.consumer < threads_) {
+      cells_[static_cast<std::size_t>(c.producer) * threads_ + c.consumer] +=
+          c.bytes;
+    }
+  }
+
+  // Re-key the sender's process-local loop ids by label into the daemon's
+  // global table; the merged ring's shares all speak that one vocabulary.
+  core::EpochSample merged = e;
+  merged.index = sealed_;
+  merged.reason = e.reason;
+  for (core::EpochLoopShare& share : merged.loops) {
+    const std::uint64_t bytes = share.bytes;
+    if (share.loop != instrument::kNoLoop) {
+      share.loop = label_id(src.label_of(share.loop));
+      label_bytes_[share.loop] += bytes;
+    }
+  }
+
+  if (ring_.size() < capacity_) {
+    charge(epoch_cost(merged));
+    ring_.push_back(std::move(merged));
+    ring_head_ = ring_.size() % capacity_;
+    ++ring_kept_;
+  } else {
+    discharge(epoch_cost(ring_[ring_head_]));
+    charge(epoch_cost(merged));
+    ring_[ring_head_] = std::move(merged);
+    ring_head_ = (ring_head_ + 1) % capacity_;
+    ++dropped_;
+  }
+  ++sealed_;
+}
+
+core::Matrix Aggregate::matrix() const {
+  core::Matrix m(std::max(threads_, 1));
+  for (int p = 0; p < threads_; ++p) {
+    for (int c = 0; c < threads_; ++c) {
+      m.at(p, c) = cells_[static_cast<std::size_t>(p) * threads_ + c];
+    }
+  }
+  return m;
+}
+
+core::EpochTimeline Aggregate::timeline() const {
+  core::EpochTimeline t;
+  t.threads = std::max(threads_, 1);
+  t.sealed = sealed_;
+  t.dropped = dropped_;
+  t.loop_labels = labels_;
+  t.epochs.reserve(ring_kept_);
+  if (ring_.size() < capacity_) {
+    t.epochs = ring_;
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      t.epochs.push_back(ring_[(ring_head_ + i) % capacity_]);
+    }
+  }
+  return t;
+}
+
+std::map<std::string, std::uint64_t> Aggregate::loop_totals() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [id, label] : labels_) out[label] = label_bytes_[id];
+  return out;
+}
+
+}  // namespace commscope::serve

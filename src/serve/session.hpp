@@ -1,0 +1,121 @@
+// Per-client session state and the crash-isolated merged aggregate.
+//
+// Every client of `commscope serve` owns an isolated Session: its own frame
+// decoder, its own dedupe ledger, its own drop provenance. Nothing a client
+// sends touches the merged aggregate until it has survived frame CRC,
+// hostile-input epoch parsing, and per-epoch dedupe — so a crashed, hung or
+// malicious client can corrupt at most its own unvalidated bytes, never the
+// merge. A session is *logical*, keyed by the client-chosen session id: a
+// client that reconnects (shipper retry after a torn frame) reattaches to
+// the same ledger, which is what makes redelivery idempotent.
+//
+// The Aggregate mirrors the flight recorder's data model on the receiving
+// side: validated epochs land in a bounded overwrite-and-count ring (so an
+// always-on daemon never grows without bound), their cells sum into one
+// merged matrix, and their loop shares merge keyed by *label* (loop ids are
+// process-local; labels are the cross-process key, per ROADMAP). The merged
+// view renders through the existing `commscope report` / timeline pipeline
+// unchanged. All session and aggregate storage is charged to the daemon's
+// MemoryTracker so the overload ladder sees real memory pressure.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/flight_recorder.hpp"
+#include "serve/frame.hpp"
+#include "support/memtrack.hpp"
+
+namespace commscope::serve {
+
+/// Lifecycle of a logical session.
+enum class SessionState : std::uint8_t {
+  kActive,   ///< connected, or between connections (reattachable)
+  kSealed,   ///< graceful bye — contribution final
+  kReaped,   ///< heartbeat timeout — partial contribution sealed
+  kDropped,  ///< protocol violation — partial contribution sealed, fd cut
+};
+
+[[nodiscard]] const char* to_string(SessionState s) noexcept;
+
+/// One logical client session. Connection-scoped state (the decoder) lives
+/// with the fd in the server; this is the cross-connection ledger.
+struct Session {
+  std::uint64_t id = 0;
+  int threads = 0;          ///< advertised matrix dimension (hello)
+  SessionState state = SessionState::kActive;
+  std::string drop_reason;  ///< provenance when state is kDropped
+
+  /// Epoch indices already merged — the session-id + epoch-seq dedupe key.
+  std::unordered_set<std::uint64_t> seen;
+
+  std::uint64_t epochs_merged = 0;
+  std::uint64_t epochs_deduped = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t last_activity_ms = 0;  ///< daemon steady-clock, reap timer
+  std::uint64_t charged = 0;           ///< bytes charged to the tracker
+};
+
+/// The merged cross-process aggregate (single-writer: the server loop).
+class Aggregate {
+ public:
+  Aggregate(std::uint32_t ring_capacity, support::MemoryTracker* tracker);
+  ~Aggregate();
+
+  Aggregate(const Aggregate&) = delete;
+  Aggregate& operator=(const Aggregate&) = delete;
+
+  /// Merges one validated, deduped epoch from `src` (which supplies the
+  /// sender's loop-id -> label table). Cells sum into the merged matrix;
+  /// loop shares are re-keyed by label into the daemon's global table; the
+  /// epoch itself joins the bounded ring with a fresh global index.
+  void merge(const core::EpochTimeline& src, const core::EpochSample& e);
+
+  /// Merged matrix: sum of every merged epoch's cells, dimension = the
+  /// largest thread count any contributor advertised.
+  [[nodiscard]] core::Matrix matrix() const;
+
+  /// Merged history in the flight recorder's own shape, renderable by
+  /// `commscope report` and diffable by `commscope diff`.
+  [[nodiscard]] core::EpochTimeline timeline() const;
+
+  /// Merged per-loop byte totals keyed by label.
+  [[nodiscard]] std::map<std::string, std::uint64_t> loop_totals() const;
+
+  [[nodiscard]] std::uint64_t merged() const noexcept { return sealed_; }
+  [[nodiscard]] std::uint64_t ring_dropped() const noexcept {
+    return dropped_;
+  }
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+ private:
+  [[nodiscard]] std::uint32_t label_id(const std::string& label);
+  void charge(std::uint64_t bytes);
+  void discharge(std::uint64_t bytes);
+  [[nodiscard]] static std::uint64_t epoch_cost(
+      const core::EpochSample& e) noexcept;
+
+  std::uint32_t capacity_;
+  support::MemoryTracker* tracker_;
+  std::uint64_t charged_ = 0;
+
+  int threads_ = 0;
+  std::vector<std::uint64_t> cells_;  ///< dense threads_ x threads_ sums
+
+  /// Global label table: label -> daemon-local loop id (dense from 0).
+  std::map<std::string, std::uint32_t> label_ids_;
+  std::vector<std::pair<std::uint32_t, std::string>> labels_;
+  std::vector<std::uint64_t> label_bytes_;
+
+  std::vector<core::EpochSample> ring_;
+  std::size_t ring_head_ = 0;
+  std::size_t ring_kept_ = 0;
+  std::uint64_t sealed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace commscope::serve

@@ -1,0 +1,125 @@
+// EpochShipper — the client-side sink adapter for `commscope serve`.
+//
+// A profiled program must never pay for the daemon's problems: every path
+// here is bounded (attempts, backoff, payload size), every failure is
+// swallowed into counters, and no exception ever escapes into the host
+// program. The policy when the daemon is unreachable is *spill, don't
+// stall*: after max_attempts connect/send tries (exponential backoff with
+// deterministic jitter between them), the un-shipped epochs are written to
+// the existing `.epochs` sidecar format at spill_path — a file `commscope
+// report` can read directly — and the next flush() replays the spill
+// through the same dedupe ledger, so a daemon restart costs nothing but
+// latency. Redelivery is safe because the daemon dedupes on
+// (session id, epoch index); the shipper additionally keeps its own
+// shipped-index ledger so a replay never re-offers what already landed.
+//
+// The drop-mid-frame COMMSCOPE_FAULT point lives here: it sends half of the
+// Nth frame and cuts the connection, exercising the daemon's torn-frame
+// accounting and this class's retry path end to end.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_set>
+
+#include "core/flight_recorder.hpp"
+#include "resilience/fault_injector.hpp"
+#include "serve/frame.hpp"
+#include "support/rng.hpp"
+
+namespace commscope::serve {
+
+struct ShipperOptions {
+  std::string socket_path;
+  std::string spill_path;        ///< `.epochs` sidecar for unreachable daemon
+  std::uint64_t session_id = 0;  ///< nonzero, client-chosen (dedupe key)
+  int threads = 1;               ///< advertised matrix dimension
+  int max_attempts = 5;          ///< connect/send tries per flush
+  std::uint32_t backoff_initial_ms = 10;
+  std::uint32_t backoff_max_ms = 1000;
+  std::uint32_t connect_timeout_ms = 200;
+  std::uint32_t ack_timeout_ms = 5000;  ///< wait for the delivery receipt
+  std::uint64_t seed = 0;        ///< jitter seed; 0 derives from session_id
+  resilience::FaultInjector* injector = nullptr;  ///< drop-mid-frame fault
+};
+
+struct ShipStats {
+  std::uint64_t offered = 0;    ///< epochs accepted into the pending set
+  std::uint64_t shipped = 0;    ///< epochs acknowledged by a successful send
+  std::uint64_t skipped = 0;    ///< offered epochs already shipped (dedupe)
+  std::uint64_t flushes = 0;    ///< successful flush() calls
+  std::uint64_t retries = 0;    ///< failed connect/send attempts
+  std::uint64_t spills = 0;     ///< flushes that fell back to the sidecar
+  std::uint64_t replayed = 0;   ///< epochs re-offered from a spill file
+  std::uint64_t spill_corrupt = 0;  ///< unreadable spill files discarded
+  std::uint64_t connects = 0;   ///< successful connect+hello handshakes
+};
+
+class EpochShipper {
+ public:
+  explicit EpochShipper(ShipperOptions options);
+  ~EpochShipper();
+
+  EpochShipper(const EpochShipper&) = delete;
+  EpochShipper& operator=(const EpochShipper&) = delete;
+
+  /// Queues every epoch of `t` not already shipped or pending. Cheap, never
+  /// touches the socket.
+  void offer(const core::EpochTimeline& t);
+
+  /// Replays any spill file, then tries to deliver the pending set:
+  /// connect (with hello) -> send -> mark shipped, with bounded retries and
+  /// jittered exponential backoff between attempts. On exhaustion the
+  /// pending set is spilled to spill_path and false is returned — the
+  /// caller's run continues regardless.
+  bool flush();
+
+  /// offer() + flush().
+  bool ship(const core::EpochTimeline& t);
+
+  /// Best-effort graceful goodbye (seals the session server-side).
+  void bye();
+
+  /// Best-effort heartbeat (refreshes the server's reap deadline).
+  void heartbeat();
+
+  [[nodiscard]] const ShipStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  [[nodiscard]] bool ensure_connected();
+  void disconnect() noexcept;
+  /// Sends one encoded frame, applying the drop-mid-frame fault.
+  [[nodiscard]] bool send_frame(const std::string& bytes);
+  /// Sends the pending set as one or more epoch frames (split when a
+  /// serialized document would exceed the frame payload cap), each
+  /// confirmed by the daemon's ack before it counts as delivered.
+  [[nodiscard]] bool send_pending();
+  /// Blocks (bounded by ack_timeout_ms) for the daemon's delivery receipt.
+  [[nodiscard]] bool wait_ack();
+  void load_spill();
+  void write_spill();
+  void backoff_sleep(int attempt);
+
+  ShipperOptions options_;
+  support::SplitMix64 rng_;
+  int fd_ = -1;
+  FrameDecoder rx_;  ///< decodes inbound acks; reset per connection
+  std::uint64_t frames_sent_ = 0;  ///< 1-based, drives drop-mid-frame
+  bool spill_checked_ = false;
+
+  core::EpochTimeline pending_;
+  std::unordered_set<std::uint64_t> pending_idx_;
+  std::unordered_set<std::uint64_t> shipped_;
+  ShipStats stats_;
+};
+
+/// Connects to a daemon, requests a metrics snapshot and writes the
+/// `# commscope-metrics v1` text to `out`. False when the daemon is
+/// unreachable or replies garbage.
+[[nodiscard]] bool scrape_metrics(const std::string& socket_path,
+                                  std::ostream& out,
+                                  std::uint32_t timeout_ms = 2000);
+
+}  // namespace commscope::serve

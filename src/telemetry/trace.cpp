@@ -20,6 +20,7 @@ const char* to_string(SpanCat cat) noexcept {
     case SpanCat::kStress: return "stress";
     case SpanCat::kBatch: return "batch";
     case SpanCat::kEpoch: return "epoch";
+    case SpanCat::kServe: return "serve";
   }
   return "?";
 }

@@ -321,7 +321,8 @@ TEST(CliErrors, UnknownFlagsExitTwoAcrossAllSubcommands) {
                           "classify x --bogus", "map x --bogus",
                           "stress --bogus", "metrics x --bogus",
                           "top fft --bogus", "report x --bogus",
-                          "diff a b --bogus"}) {
+                          "diff a b --bogus",
+                          "serve --socket=/tmp/x.sock --bogus"}) {
     const RunResult r = run_cli(cmd);
     EXPECT_EQ(r.exit_code, 2) << cmd << "\n" << r.output;
     EXPECT_NE(r.output.find("unknown flag --bogus"), std::string::npos) << cmd;
@@ -490,6 +491,66 @@ TEST(CliRecorder, DiffRejectsMixedAndUnknownFormats) {
   std::remove(m.c_str());
   std::remove(e.c_str());
   std::remove(junk.c_str());
+}
+
+// --- profile-as-a-service: serve -------------------------------------------
+
+TEST(CliServe, MissingSocketIsUsageError) {
+  const RunResult r = run_cli("serve");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("--socket"), std::string::npos);
+}
+
+TEST(CliServe, UnbindableSocketPathFailsWithDiagnostic) {
+  const RunResult r =
+      run_cli("serve --socket=/nonexistent_dir_zz9/commscope.sock");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("commscope:"), std::string::npos);
+}
+
+TEST(CliServe, ScrapeAgainstDeadDaemonFails) {
+  const RunResult r =
+      run_cli("serve --socket=/tmp/commscope_cli_nobody.sock --scrape");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+}
+
+TEST(CliServe, RunShipsToDaemonAndMergedTimelineRenders) {
+  const std::string socket = "/tmp/commscope_cli_serve.sock";
+  const std::string merged = "/tmp/commscope_cli_serve.epochs";
+  const std::string metrics = "/tmp/commscope_cli_serve.metrics";
+  std::remove(socket.c_str());
+
+  // Background daemon: exits on its own once the single shipped session
+  // disconnects; --timeout is the watchdog backstop so a failure here can't
+  // hang the suite. The shipper's retry/backoff absorbs the startup race.
+  const std::string daemon_cmd =
+      g_cli + " serve --socket=" + socket + " --sessions=1 -q" +
+      " --epochs-out=" + merged + " --metrics-out=" + metrics +
+      " --timeout=30 2>/dev/null &";
+  ASSERT_EQ(std::system(daemon_cmd.c_str()), 0);
+
+  const RunResult run = run_cli("run fft --threads=4 --epoch-every=2000"
+                                " --ship-to=" + socket + " --ship-session=77");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("shipped"), std::string::npos) << run.output;
+
+  // Wait for the daemon to notice the disconnect, seal, and write outputs.
+  RunResult report;
+  for (int i = 0; i < 100; ++i) {
+    report = run_cli("report " + merged);
+    if (report.exit_code == 0) break;
+    std::system("sleep 0.1");
+  }
+  EXPECT_EQ(report.exit_code, 0) << report.output;
+  EXPECT_NE(report.output.find("surviving"), std::string::npos);
+
+  std::ifstream min(metrics);
+  ASSERT_TRUE(min.good()) << "daemon wrote no metrics snapshot";
+  std::stringstream mbuf;
+  mbuf << min.rdbuf();
+  EXPECT_NE(mbuf.str().find("serve.epochs.merged"), std::string::npos);
+  std::remove(merged.c_str());
+  std::remove(metrics.c_str());
 }
 
 int main(int argc, char** argv) {

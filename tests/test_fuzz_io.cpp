@@ -16,6 +16,7 @@
 #include "instrument/loop_registry.hpp"
 #include "instrument/trace.hpp"
 #include "resilience/checkpoint.hpp"
+#include "serve/frame.hpp"
 #include "support/rng.hpp"
 
 namespace cc = commscope::core;
@@ -138,6 +139,111 @@ TEST(FuzzIo, DamagedCheckpointFilesAlwaysThrowCleanly) {
     }
   }
   EXPECT_EQ(rejected, kIterations);
+}
+
+// --- serve wire-frame parser -----------------------------------------------
+// The daemon's FrameDecoder sits on a public socket, so its threat model is
+// harsher than the file loaders': arbitrary bytes, length-prefix lies,
+// CRC bitflips and concatenated garbage must all end in a *poisoned* decoder
+// (counted, provenance-typed) with the payload buffer never growing past the
+// declared cap — no exception, no crash, no allocation amplification.
+
+namespace {
+
+std::string valid_frame_stream() {
+  namespace sv = commscope::serve;
+  std::string s;
+  s += sv::encode_frame(sv::FrameType::kHello,
+                        "commscope-hello 1 session 99 threads 4");
+  s += sv::encode_frame(sv::FrameType::kEpochs,
+                        std::string(300, 'e') + " epoch document body");
+  s += sv::encode_frame(sv::FrameType::kHeartbeat, {});
+  return s;
+}
+
+}  // namespace
+
+TEST(FuzzIo, DamagedFrameStreamsPoisonOrTruncateNeverCrash) {
+  namespace sv = commscope::serve;
+  const std::string original = valid_frame_stream();
+  constexpr std::size_t kCap = 4096;
+  cs::SplitMix64 rng(0xf4a3eD);
+  int poisoned = 0;
+  int torn = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    const std::string text = damage(original, rng);
+    sv::FrameDecoder d(kCap);
+    const bool ok = d.feed(text.data(), text.size());
+    while (d.next().has_value()) {
+    }
+    if (!ok) {
+      // Every poisoning carries a typed reason, and a poisoned decoder
+      // stays poisoned even when fed a pristine frame afterwards.
+      ++poisoned;
+      EXPECT_NE(d.error(), sv::FrameError::kNone);
+      const std::string fresh = sv::encode_frame(sv::FrameType::kBye, {});
+      EXPECT_FALSE(d.feed(fresh.data(), fresh.size()));
+      EXPECT_FALSE(d.next().has_value());
+    } else if (d.mid_frame()) {
+      ++torn;  // truncation landed mid-frame: recoverable, not hostile
+    }
+    // The cap bounds payload allocation no matter what the header claimed.
+    EXPECT_LE(d.buffer_capacity(), kCap * 2);
+  }
+  // The seeded damage mix must actually exercise both outcomes.
+  EXPECT_GT(poisoned, 0);
+  EXPECT_GT(torn, 0);
+}
+
+TEST(FuzzIo, FrameLengthPrefixLiesNeverAllocate) {
+  namespace sv = commscope::serve;
+  constexpr std::size_t kCap = 1024;
+  cs::SplitMix64 rng(0x11e5);
+  for (int i = 0; i < kIterations; ++i) {
+    // Hand-forge a header whose length field lies: up to 4 GiB claimed
+    // against a 1 KiB cap.
+    std::string f = sv::encode_frame(sv::FrameType::kEpochs, "x");
+    const std::uint64_t lie = rng.next_below(0xffffffffull);
+    f[8] = static_cast<char>(lie & 0xff);
+    f[9] = static_cast<char>((lie >> 8) & 0xff);
+    f[10] = static_cast<char>((lie >> 16) & 0xff);
+    f[11] = static_cast<char>((lie >> 24) & 0xff);
+    sv::FrameDecoder d(kCap);
+    (void)d.feed(f.data(), f.size());
+    EXPECT_LE(d.buffer_capacity(), kCap * 2);
+    if (lie == 0 || lie > kCap) {
+      EXPECT_TRUE(d.poisoned());
+      EXPECT_TRUE(d.error() == sv::FrameError::kOversize ||
+                  d.error() == sv::FrameError::kEmptyPayload);
+    }
+  }
+}
+
+TEST(FuzzIo, PureGarbageStreamsPoisonAsBadMagic) {
+  namespace sv = commscope::serve;
+  cs::SplitMix64 rng(0xbadbeef);
+  for (int i = 0; i < 32; ++i) {
+    std::string junk;
+    const std::size_t len = 1 + rng.next_below(512);
+    for (std::size_t k = 0; k < len; ++k) {
+      junk.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    sv::FrameDecoder d(1024);
+    if (!d.feed(junk.data(), junk.size())) {
+      EXPECT_NE(d.error(), sv::FrameError::kNone);
+    }
+    EXPECT_LE(d.buffer_capacity(), std::size_t{2048});
+  }
+}
+
+TEST(FuzzIo, UndamagedFrameStreamStillDecodes) {
+  namespace sv = commscope::serve;
+  const std::string s = valid_frame_stream();
+  sv::FrameDecoder d;
+  ASSERT_TRUE(d.feed(s.data(), s.size()));
+  int frames = 0;
+  while (d.next().has_value()) ++frames;
+  EXPECT_EQ(frames, 3);
 }
 
 TEST(FuzzIo, UndamagedFilesStillParse) {

@@ -1,0 +1,599 @@
+// Profile-as-a-service suite: wire framing under hostile bytes, per-session
+// crash isolation, exactly-once delivery (retry + dedupe), heartbeat
+// reaping, the overload ladder, the scrape endpoint, spill/replay across a
+// daemon restart — and the differential soak: 8 concurrent clients shipping
+// through injected socket faults (accept failure, short read, EAGAIN storm,
+// client death mid-frame) must leave the daemon live with a merged matrix
+// bit-identical to the sum of every client's ground truth.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/epoch_io.hpp"
+#include "core/flight_recorder.hpp"
+#include "resilience/fault_injector.hpp"
+#include "serve/frame.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "serve/shipper.hpp"
+#include "support/rng.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace cc = commscope::core;
+namespace cr = commscope::resilience;
+namespace cs = commscope::support;
+namespace ctl = commscope::telemetry;
+namespace sv = commscope::serve;
+
+namespace {
+
+std::string next_socket_path() {
+  static int n = 0;
+  return "/tmp/cs_serve_" + std::to_string(::getpid()) + "_" +
+         std::to_string(++n) + ".sock";
+}
+
+bool wait_until(const std::function<bool()>& pred, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+/// Runs a ServeServer on its own thread; stop() joins.
+struct ServerHandle {
+  sv::ServeServer server;
+  std::thread th;
+
+  explicit ServerHandle(sv::ServeOptions o) : server(std::move(o)) {}
+  ~ServerHandle() { stop(); }
+
+  bool start() {
+    if (!server.open()) return false;
+    th = std::thread([this] { server.run(); });
+    return true;
+  }
+  void stop() {
+    server.stop();
+    if (th.joinable()) th.join();
+  }
+};
+
+sv::ServeOptions fast_options(const std::string& socket) {
+  sv::ServeOptions o;
+  o.socket_path = socket;
+  o.poll_ms = 5;
+  o.reap_ms = 0;  // tests that want reaping opt in explicitly
+  return o;
+}
+
+sv::ShipperOptions shipper_options(const std::string& socket,
+                                   std::uint64_t session) {
+  sv::ShipperOptions o;
+  o.socket_path = socket;
+  o.spill_path = socket + "." + std::to_string(session) + ".spill.epochs";
+  o.session_id = session;
+  o.threads = 4;
+  o.max_attempts = 8;
+  o.backoff_initial_ms = 2;
+  o.backoff_max_ms = 50;
+  o.connect_timeout_ms = 200;
+  return o;
+}
+
+/// Deterministic per-client ground truth: `epochs` epochs of a 4-thread run,
+/// with loop shares under two labels every client spells identically (the
+/// cross-process merge key).
+cc::EpochTimeline make_truth(int epochs, std::uint64_t seed,
+                             std::uint64_t first_index = 0) {
+  cs::SplitMix64 rng(seed);
+  cc::EpochTimeline t;
+  t.threads = 4;
+  t.sealed = static_cast<std::uint64_t>(epochs);
+  t.dropped = 0;
+  t.loop_labels.emplace_back(0, "soak:loop-a");
+  t.loop_labels.emplace_back(1, "soak:loop-b");
+  for (int i = 0; i < epochs; ++i) {
+    cc::EpochSample e;
+    e.index = first_index + static_cast<std::uint64_t>(i);
+    e.first_access = e.index * 100;
+    e.last_access = e.first_access + 99;
+    e.reason = cc::EpochSeal::kAccesses;
+    const int cells = 1 + static_cast<int>(rng.next_below(4));
+    for (int k = 0; k < cells; ++k) {
+      cc::EpochCell c;
+      c.producer = static_cast<std::uint16_t>(rng.next_below(4));
+      c.consumer = static_cast<std::uint16_t>(rng.next_below(4));
+      c.bytes = 1 + rng.next_below(512);
+      e.bytes += c.bytes;
+      e.cells.push_back(c);
+    }
+    e.dependencies = static_cast<std::uint64_t>(cells);
+    cc::EpochLoopShare share;
+    share.loop = static_cast<std::uint32_t>(i % 2);
+    share.bytes = e.bytes;
+    e.loops.push_back(share);
+    t.epochs.push_back(std::move(e));
+  }
+  return t;
+}
+
+int raw_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  for (int i = 0; i < 200; ++i) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      return fd;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::close(fd);
+  return -1;
+}
+
+void raw_send(int fd, const std::string& bytes) {
+  (void)::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+// --- wire framing -----------------------------------------------------------
+
+TEST(ServeFrame, RoundTripWholeAndByteAtATime) {
+  const std::string payload = "commscope payload \x01\x02\xff bytes";
+  const std::string hello = sv::encode_frame(sv::FrameType::kHello, payload);
+  const std::string beat = sv::encode_frame(sv::FrameType::kHeartbeat, {});
+
+  sv::FrameDecoder whole;
+  ASSERT_TRUE(whole.feed(hello.data(), hello.size()));
+  ASSERT_TRUE(whole.feed(beat.data(), beat.size()));
+  auto f1 = whole.next();
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_EQ(f1->type, sv::FrameType::kHello);
+  EXPECT_EQ(f1->payload, payload);
+  auto f2 = whole.next();
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f2->type, sv::FrameType::kHeartbeat);
+  EXPECT_TRUE(f2->payload.empty());
+  EXPECT_FALSE(whole.next().has_value());
+  EXPECT_FALSE(whole.mid_frame());
+
+  // One byte at a time: worst-case reassembly (short reads).
+  sv::FrameDecoder dribble;
+  const std::string stream = hello + beat + hello;
+  for (char ch : stream) ASSERT_TRUE(dribble.feed(&ch, 1));
+  int frames = 0;
+  while (dribble.next().has_value()) ++frames;
+  EXPECT_EQ(frames, 3);
+  EXPECT_FALSE(dribble.poisoned());
+}
+
+TEST(ServeFrame, MidFrameDetectsTornStreams) {
+  const std::string f = sv::encode_frame(sv::FrameType::kEpochs, "payload");
+  sv::FrameDecoder d;
+  ASSERT_TRUE(d.feed(f.data(), f.size() - 3));  // peer dies 3 bytes short
+  EXPECT_TRUE(d.mid_frame());
+  EXPECT_FALSE(d.next().has_value());
+  EXPECT_FALSE(d.poisoned());  // torn, not hostile
+}
+
+TEST(ServeFrame, GarbagePoisonsAsBadMagic) {
+  sv::FrameDecoder d;
+  const std::string junk = "this is not a commscope frame at all........";
+  EXPECT_FALSE(d.feed(junk.data(), junk.size()));
+  EXPECT_TRUE(d.poisoned());
+  EXPECT_EQ(d.error(), sv::FrameError::kBadMagic);
+  // Poisoned decoders never resynchronize, even on a now-valid frame.
+  const std::string ok = sv::encode_frame(sv::FrameType::kHeartbeat, {});
+  EXPECT_FALSE(d.feed(ok.data(), ok.size()));
+  EXPECT_FALSE(d.next().has_value());
+}
+
+TEST(ServeFrame, CrcBitflipPoisons) {
+  std::string f = sv::encode_frame(sv::FrameType::kEpochs, "epoch document");
+  f[sv::kFrameHeaderBytes + 3] ^= 0x20;  // flip one payload bit
+  sv::FrameDecoder d;
+  EXPECT_FALSE(d.feed(f.data(), f.size()));
+  EXPECT_EQ(d.error(), sv::FrameError::kBadCrc);
+}
+
+TEST(ServeFrame, LengthPrefixLiesRejectedBeforeAllocation) {
+  // Header claims 100 MiB against a 1 KiB cap: the decoder must poison on
+  // the header alone, without reserving payload storage.
+  std::string f = sv::encode_frame(sv::FrameType::kEpochs, "x");
+  f[8] = 0;  // rewrite payload_len (LE u32 at offset 8) to 100 MiB
+  f[9] = 0;
+  f[10] = 0x40;
+  f[11] = 0x06;
+  sv::FrameDecoder d(1024);
+  EXPECT_FALSE(d.feed(f.data(), f.size()));
+  EXPECT_EQ(d.error(), sv::FrameError::kOversize);
+  EXPECT_LT(d.buffer_capacity(), std::size_t{2048});
+
+  // len = 0 for a type that requires a payload is the other lie.
+  std::string zero = sv::encode_frame(sv::FrameType::kEpochs, "payload");
+  zero[8] = zero[9] = zero[10] = zero[11] = 0;
+  sv::FrameDecoder d2;
+  EXPECT_FALSE(d2.feed(zero.data(), zero.size()));
+  EXPECT_EQ(d2.error(), sv::FrameError::kEmptyPayload);
+}
+
+TEST(ServeFrame, UnknownTypeAndReservedBytesRejected) {
+  std::string f = sv::encode_frame(sv::FrameType::kHello, "hi");
+  f[4] = 42;  // unknown type
+  sv::FrameDecoder d;
+  EXPECT_FALSE(d.feed(f.data(), f.size()));
+  EXPECT_EQ(d.error(), sv::FrameError::kBadType);
+
+  std::string r = sv::encode_frame(sv::FrameType::kHello, "hi");
+  r[6] = 1;  // nonzero reserved byte
+  sv::FrameDecoder d2;
+  EXPECT_FALSE(d2.feed(r.data(), r.size()));
+  EXPECT_EQ(d2.error(), sv::FrameError::kBadType);
+}
+
+// --- merge + isolation ------------------------------------------------------
+
+TEST(Serve, TwoClientMergeEqualsSumOfGroundTruths) {
+  const std::string socket = next_socket_path();
+  ServerHandle h(fast_options(socket));
+  ASSERT_TRUE(h.start());
+
+  const cc::EpochTimeline t1 = make_truth(3, 0xAAA);
+  const cc::EpochTimeline t2 = make_truth(3, 0xBBB);
+  sv::EpochShipper s1(shipper_options(socket, 1));
+  sv::EpochShipper s2(shipper_options(socket, 2));
+  ASSERT_TRUE(s1.ship(t1));
+  ASSERT_TRUE(s2.ship(t2));
+  ASSERT_TRUE(wait_until(
+      [&] { return h.server.snapshot().epochs_merged == 6; }));
+
+  cc::Matrix expected = t1.total();
+  expected += t2.total();
+  EXPECT_TRUE(h.server.merged_matrix() == expected);
+
+  // Loop shares merged by *label*: both clients' process-local ids land in
+  // one shared vocabulary.
+  const auto loops = h.server.merged_loop_totals();
+  ASSERT_EQ(loops.size(), 2u);
+  std::uint64_t want_a = 0;
+  for (const auto& t : {t1, t2}) {
+    for (const cc::EpochSample& e : t.epochs) {
+      for (const cc::EpochLoopShare& s : e.loops) {
+        if (s.loop == 0) want_a += s.bytes;
+      }
+    }
+  }
+  EXPECT_EQ(loops.at("soak:loop-a"), want_a);
+
+  // The merged timeline is a valid epoch_io document (report-renderable).
+  std::ostringstream os;
+  cc::write_epochs(os, h.server.merged_timeline());
+  std::istringstream is(os.str());
+  EXPECT_EQ(cc::read_epochs(is).epochs.size(), 6u);
+}
+
+TEST(Serve, HostileClientDropsAloneAggregateSurvives) {
+  const std::string socket = next_socket_path();
+  ServerHandle h(fast_options(socket));
+  ASSERT_TRUE(h.start());
+
+  const cc::EpochTimeline good = make_truth(3, 0xC0FFEE);
+  sv::EpochShipper s1(shipper_options(socket, 10));
+  ASSERT_TRUE(s1.ship(good));
+  ASSERT_TRUE(wait_until(
+      [&] { return h.server.snapshot().epochs_merged == 3; }));
+
+  // Client 2: raw garbage — poisoned pre-hello, counted as bad magic.
+  int fd = raw_connect(socket);
+  ASSERT_GE(fd, 0);
+  raw_send(fd, "GARBAGE GARBAGE GARBAGE GARBAGE");
+  ::close(fd);
+
+  // Client 3: valid hello, then a frame whose payload was bit-flipped.
+  fd = raw_connect(socket);
+  ASSERT_GE(fd, 0);
+  raw_send(fd, sv::encode_frame(sv::FrameType::kHello,
+                                "commscope-hello 1 session 11 threads 4"));
+  std::string bad = sv::encode_frame(sv::FrameType::kEpochs, "not epochs");
+  bad[sv::kFrameHeaderBytes + 1] ^= 0x01;
+  raw_send(fd, bad);
+  ::close(fd);
+
+  // Client 4: frame-valid but the epoch document inside is hostile.
+  fd = raw_connect(socket);
+  ASSERT_GE(fd, 0);
+  raw_send(fd, sv::encode_frame(sv::FrameType::kHello,
+                                "commscope-hello 1 session 12 threads 4"));
+  raw_send(fd, sv::encode_frame(sv::FrameType::kEpochs, "not epochs at all"));
+  ::close(fd);
+
+  ASSERT_TRUE(wait_until([&] {
+    const sv::ServeStats s = h.server.snapshot();
+    return s.drops_bad_magic >= 1 && s.drops_bad_crc >= 1 &&
+           s.drops_bad_payload >= 1 && s.sessions_dropped >= 2;
+  }));
+
+  // The aggregate never saw a hostile byte, and the daemon still serves.
+  EXPECT_TRUE(h.server.merged_matrix() == good.total());
+  sv::EpochShipper s5(shipper_options(socket, 13));
+  EXPECT_TRUE(s5.ship(make_truth(1, 0xD00D, 100)));
+  EXPECT_TRUE(wait_until(
+      [&] { return h.server.snapshot().epochs_merged == 4; }));
+}
+
+TEST(Serve, RedeliveryDedupesBySessionAndEpochIndex) {
+  const std::string socket = next_socket_path();
+  ServerHandle h(fast_options(socket));
+  ASSERT_TRUE(h.start());
+
+  const cc::EpochTimeline t = make_truth(3, 0x5EED);
+  sv::EpochShipper first(shipper_options(socket, 42));
+  ASSERT_TRUE(first.ship(t));
+  // A second shipper presenting the same session id (a restarted client
+  // re-shipping its sidecar) redelivers everything; the ledger absorbs it.
+  sv::EpochShipper second(shipper_options(socket, 42));
+  ASSERT_TRUE(second.ship(t));
+
+  ASSERT_TRUE(wait_until(
+      [&] { return h.server.snapshot().epochs_deduped == 3; }));
+  const sv::ServeStats s = h.server.snapshot();
+  EXPECT_EQ(s.epochs_merged, 3u);
+  EXPECT_TRUE(h.server.merged_matrix() == t.total());
+}
+
+TEST(Serve, HeartbeatTimeoutReapsSealsPartialContribution) {
+  const std::string socket = next_socket_path();
+  sv::ServeOptions o = fast_options(socket);
+  o.reap_ms = 100;
+  ServerHandle h(o);
+  ASSERT_TRUE(h.start());
+
+  sv::EpochShipper s(shipper_options(socket, 7));
+  ASSERT_TRUE(s.ship(make_truth(2, 0xFEED)));
+  ASSERT_TRUE(wait_until(
+      [&] { return h.server.snapshot().epochs_merged == 2; }));
+
+  // The client goes silent (no heartbeat, no bye): reaped, contribution
+  // stays merged.
+  ASSERT_TRUE(wait_until(
+      [&] { return h.server.snapshot().sessions_reaped == 1; }));
+  EXPECT_EQ(h.server.snapshot().epochs_merged, 2u);
+
+  // A reaped session is sealed: presenting its id again is refused.
+  sv::ShipperOptions again = shipper_options(socket, 7);
+  again.max_attempts = 2;
+  sv::EpochShipper late(again);
+  EXPECT_FALSE(late.ship(make_truth(1, 0xFEED, 50)));
+  EXPECT_TRUE(wait_until(
+      [&] { return h.server.snapshot().sessions_shed >= 1; }));
+  std::remove(again.spill_path.c_str());
+}
+
+TEST(Serve, OverloadLadderDegradesInsteadOfDying) {
+  const std::string socket = next_socket_path();
+  sv::ServeOptions o = fast_options(socket);
+  o.mem_budget_bytes = 24 * 1024;
+  ServerHandle h(o);
+  ASSERT_TRUE(h.start());
+
+  // One epoch per frame so the ladder's frame-sampling is observable.
+  sv::EpochShipper s(shipper_options(socket, 3));
+  const int kFrames = 300;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(s.ship(make_truth(1, 0x1000 + i, i)))
+        << "daemon died at frame " << i;
+  }
+  ASSERT_TRUE(wait_until([&] {
+    const sv::ServeStats st = h.server.snapshot();
+    return st.epochs_merged + st.epochs_sampled_out + st.epochs_shed ==
+           kFrames;
+  }));
+  const sv::ServeStats st = h.server.snapshot();
+  // The ladder fired, shed accuracy, and every lost epoch is accounted for.
+  EXPECT_GE(st.degrade_transitions, 1u);
+  EXPECT_GT(st.epochs_sampled_out + st.epochs_shed, 0u);
+  EXPECT_LT(st.epochs_merged, static_cast<std::uint64_t>(kFrames));
+  EXPECT_GE(st.rung, 1);
+}
+
+TEST(Serve, ScrapeEndpointServesParseableMetrics) {
+  const std::string socket = next_socket_path();
+  ServerHandle h(fast_options(socket));
+  ASSERT_TRUE(h.start());
+  sv::EpochShipper s(shipper_options(socket, 5));
+  ASSERT_TRUE(s.ship(make_truth(2, 0xABC)));
+
+  std::ostringstream text;
+  ASSERT_TRUE(sv::scrape_metrics(socket, text));
+  EXPECT_NE(text.str().find("# commscope-metrics v1"), std::string::npos);
+#if !defined(COMMSCOPE_TELEMETRY_DISABLED)
+  // With telemetry compiled out the daemon still answers scrapes, but the
+  // snapshot carries only the header.
+  EXPECT_NE(text.str().find("serve.epochs.merged"), std::string::npos);
+  std::istringstream in(text.str());
+  EXPECT_FALSE(ctl::read_metrics(in).empty());
+#endif
+}
+
+// --- spill + replay ---------------------------------------------------------
+
+TEST(Serve, ShipperSpillsWhenDaemonUnreachable) {
+  const std::string socket = "/tmp/cs_serve_nobody_" +
+                             std::to_string(::getpid()) + ".sock";
+  sv::ShipperOptions o = shipper_options(socket, 9);
+  o.max_attempts = 3;
+  sv::EpochShipper s(o);
+  const cc::EpochTimeline t = make_truth(4, 0x404);
+  EXPECT_FALSE(s.ship(t));
+  EXPECT_EQ(s.stats().spills, 1u);
+
+  // The spill is a first-class .epochs sidecar: report/diff can read it.
+  std::ifstream in(o.spill_path);
+  ASSERT_TRUE(in.good());
+  const cc::EpochTimeline spilled = cc::read_epochs(in);
+  EXPECT_EQ(spilled.epochs.size(), 4u);
+  EXPECT_TRUE(spilled.total() == t.total());
+  std::remove(o.spill_path.c_str());
+}
+
+TEST(Serve, SpillReplaysExactlyOnceAcrossDaemonRestart) {
+  const std::string socket = next_socket_path();
+  auto h1 = std::make_unique<ServerHandle>(fast_options(socket));
+  ASSERT_TRUE(h1->start());
+
+  sv::ShipperOptions o = shipper_options(socket, 777);
+  o.max_attempts = 2;
+  sv::EpochShipper s1(o);
+  ASSERT_TRUE(s1.ship(make_truth(3, 0x111, 0)));  // epochs 0..2 land
+  ASSERT_TRUE(wait_until(
+      [&] { return h1->server.snapshot().epochs_merged == 3; }));
+
+  // Daemon dies mid-stream; the next flush exhausts retries and spills.
+  h1.reset();
+  s1.offer(make_truth(3, 0x222, 3));  // epochs 3..5
+  EXPECT_FALSE(s1.flush());
+  ASSERT_TRUE(file_exists(o.spill_path));
+  {
+    // Only the unshipped epochs spill — 0..2 are in the shipped ledger.
+    std::ifstream in(o.spill_path);
+    EXPECT_EQ(cc::read_epochs(in).epochs.size(), 3u);
+  }
+
+  // Daemon restarts; a fresh shipper (same session) replays the spill
+  // exactly once.
+  ServerHandle h2(fast_options(socket));
+  ASSERT_TRUE(h2.start());
+  sv::EpochShipper s2(o);
+  EXPECT_TRUE(s2.flush());
+  EXPECT_EQ(s2.stats().replayed, 3u);
+  ASSERT_TRUE(wait_until(
+      [&] { return h2.server.snapshot().epochs_merged == 3; }));
+  EXPECT_EQ(h2.server.snapshot().epochs_deduped, 0u);
+  EXPECT_FALSE(file_exists(o.spill_path));  // consumed, not re-replayable
+
+  // A second flush finds nothing pending and changes nothing.
+  EXPECT_TRUE(s2.flush());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(h2.server.snapshot().epochs_merged, 3u);
+}
+
+// --- the differential soak --------------------------------------------------
+
+TEST(ServeSoak, EightClientsThroughInjectedFaultsMergeBitIdentical) {
+  const std::string socket = next_socket_path();
+
+  // Daemon-side socket faults: the 2nd accept is closed unread, the 5th
+  // recv is cut to one byte (splits a header), the 9th recv starts an
+  // 8-read EAGAIN storm. None may lose data: the ack protocol redelivers
+  // and the dedupe ledger absorbs the overlap.
+  cr::FaultPlan server_plan;
+  server_plan.accept_fail_at = 2;
+  server_plan.short_read_at = 5;
+  server_plan.eagain_at = 9;
+  server_plan.eagain_len = 8;
+  cr::FaultInjector server_injector(server_plan, cr::KillMode::kThrow);
+
+  sv::ServeOptions o = fast_options(socket);
+  o.injector = &server_injector;
+  ServerHandle h(o);
+  ASSERT_TRUE(h.start());
+
+  // Client 2 dies mid-frame on its 2nd frame (the first epochs frame),
+  // reconnects and redelivers.
+  cr::FaultPlan client_plan;
+  client_plan.drop_mid_frame_at = 2;
+  cr::FaultInjector client_injector(client_plan, cr::KillMode::kThrow);
+
+  constexpr int kClients = 8;
+  constexpr int kEpochsPer = 25;
+  std::vector<cc::EpochTimeline> truths;
+  truths.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    truths.push_back(make_truth(kEpochsPer, 0x9000 + i));
+  }
+
+  std::vector<std::thread> clients;
+  std::vector<int> ok(kClients, 0);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      sv::ShipperOptions so = shipper_options(socket, 100 + i);
+      if (i == 2) so.injector = &client_injector;
+      sv::EpochShipper shipper(so);
+      if (shipper.ship(truths[static_cast<std::size_t>(i)])) {
+        // Client 0 "crashes" without a goodbye — its session stays active
+        // so the redelivery below reattaches it.
+        if (i != 0) shipper.bye();
+        ok[static_cast<std::size_t>(i)] = 1;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(i)], 1) << "client " << i;
+  }
+  ASSERT_TRUE(wait_until([&] {
+    return h.server.snapshot().epochs_merged ==
+           static_cast<std::uint64_t>(kClients) * kEpochsPer;
+  }));
+
+  // A crashed-and-restarted client redelivers everything it ever sealed;
+  // the (session, epoch-index) ledger must absorb the overlap without
+  // disturbing the aggregate.
+  {
+    sv::EpochShipper again(shipper_options(socket, 100));
+    ASSERT_TRUE(again.ship(truths[0]));
+    again.bye();
+  }
+  ASSERT_TRUE(wait_until([&] {
+    return h.server.snapshot().epochs_deduped ==
+           static_cast<std::uint64_t>(kEpochsPer);
+  }));
+
+  // The acceptance bar: bit-identical to the sum of all 8 ground truths.
+  cc::Matrix expected = truths[0].total();
+  for (int i = 1; i < kClients; ++i) {
+    expected += truths[static_cast<std::size_t>(i)].total();
+  }
+  EXPECT_TRUE(h.server.merged_matrix() == expected);
+
+  // Every injected fault left a provenance trail.
+  const sv::ServeStats st = h.server.snapshot();
+  EXPECT_GE(st.accept_failures, 1u) << "accept-fail fault did not fire";
+  EXPECT_GE(st.eagain_deferrals, 1u) << "eagain storm did not fire";
+  EXPECT_GE(st.frames_torn, 1u) << "drop-mid-frame fault did not fire";
+  EXPECT_EQ(st.epochs_merged,
+            static_cast<std::uint64_t>(kClients) * kEpochsPer);
+  EXPECT_EQ(st.drops_bad_crc, 0u);
+  EXPECT_EQ(st.sessions_dropped, 0u);
+
+  // Daemon metrics snapshot for the CI artifact (and a scrape-under-load
+  // check in one move).
+  std::ofstream artifact("serve_soak.metrics");
+  ASSERT_TRUE(sv::scrape_metrics(socket, artifact));
+}
+
+}  // namespace

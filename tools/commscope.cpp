@@ -32,6 +32,22 @@
 //       Compare two runs: epoch files, matrix files, or (--bench) ingest
 //       bench JSON. Exits 0 when within thresholds, 3 on regression — the
 //       CI gate.
+//   commscope serve --socket=PATH [--mem-budget=BYTES --reap-ms=T
+//                    --max-sessions=N --sessions=N --idle-exit-ms=T
+//                    --epochs-out=FILE --metrics-out=FILE --timeout=SEC]
+//       Profile-as-a-service daemon: accept epoch streams from many
+//       concurrent clients (see --ship-to below) on a Unix socket, merge
+//       them crash-isolated per session, and write the merged timeline /
+//       metrics on exit. --scrape turns the command into a client that
+//       pulls a metrics snapshot from a live daemon instead.
+//
+// Shipping options (run/replay):
+//   --ship-to=SOCKET            stream the sealed epoch timeline to a
+//                               `commscope serve` daemon after the run;
+//                               unreachable daemons cost bounded retries,
+//                               then the epochs spill to a sidecar file the
+//                               next shipment replays
+//   --ship-session=N            session id for dedupe (default: pid)
 //
 // Flight-recorder options (run/replay/top):
 //   --epoch-every=N             seal an epoch every N access events
@@ -116,6 +132,8 @@
 #include "resilience/guarded_sink.hpp"
 #include "resilience/resource_guard.hpp"
 #include "resilience/stress.hpp"
+#include "serve/server.hpp"
+#include "serve/shipper.hpp"
 #include "support/args.hpp"
 #include "support/env.hpp"
 #include "support/table.hpp"
@@ -131,6 +149,7 @@ namespace cm = commscope::mapping;
 namespace cp = commscope::patterns;
 namespace cr = commscope::resilience;
 namespace cs = commscope::support;
+namespace csv = commscope::serve;
 namespace ct = commscope::threading;
 namespace ctl = commscope::telemetry;
 namespace cw = commscope::workloads;
@@ -169,11 +188,11 @@ const std::vector<std::string>& known_flags_for(const std::string& cmd) {
       {"run",
        flags_union({kProfileFlags, kOutputFlags, kResilienceFlags,
                     kObservabilityFlags},
-                   {"save-trace"})},
+                   {"save-trace", "ship-to", "ship-session"})},
       {"replay",
        flags_union({kProfileFlags, kOutputFlags, kResilienceFlags,
                     kObservabilityFlags},
-                   {"epochs"})},
+                   {"epochs", "ship-to", "ship-session"})},
       {"resume", {"pattern", "save-matrix", "heatmaps"}},
       {"classify", {}},
       {"map", {"sockets", "cores", "smt"}},
@@ -186,6 +205,10 @@ const std::vector<std::string>& known_flags_for(const std::string& cmd) {
       {"report", {"format", "out", "matrix", "metrics", "title"}},
       {"diff",
        {"bench", "threshold", "threshold-l1", "threshold-cell", "quiet"}},
+      {"serve",
+       {"socket", "mem-budget", "reap-ms", "max-sessions", "sessions",
+        "idle-exit-ms", "epochs-out", "metrics-out", "quiet", "scrape",
+        "timeout"}},
   };
   static const std::vector<std::string> none;
   const auto it = table.find(cmd);
@@ -194,7 +217,7 @@ const std::vector<std::string>& known_flags_for(const std::string& cmd) {
 
 const char* kCommandList =
     "list, run, replay, resume, classify, map, stress, metrics, top, "
-    "report, diff";
+    "report, diff, serve";
 
 int usage() {
   std::cerr
@@ -216,6 +239,9 @@ int usage() {
          "  stress                    schedule-fuzzing self-verification\n"
          "  metrics <snapshot...>     merge + print telemetry snapshots\n"
          "  top <workload>            live view of the profiler while it runs\n"
+         "  serve --socket=PATH       multi-client epoch aggregation daemon\n"
+         "                            (--scrape pulls metrics from a live one;\n"
+         "                            clients ship with run --ship-to=PATH)\n"
          "\n"
          "common run/replay/top flags: --threads=N --scale=dev|small|large\n"
          "  --backend=signature|exact --batch=N --phases=BYTES\n"
@@ -334,6 +360,47 @@ int write_epochs_output(const cs::ArgParser& args, cc::Profiler& profiler,
   }
   log << "\n";
   return 0;
+}
+
+/// Ships the sealed epoch timeline to a `commscope serve` daemon when
+/// --ship-to was given. Shipping is strictly best-effort: an unreachable or
+/// misbehaving daemon costs bounded retries and a sidecar spill, never the
+/// run's exit code.
+void maybe_ship_epochs(const cs::ArgParser& args, cc::Profiler& profiler,
+                       int threads, std::ostream& log) {
+  if (!args.has("ship-to")) return;
+  try {
+    csv::ShipperOptions opts;
+    opts.socket_path = args.get("ship-to");
+    opts.session_id = static_cast<std::uint64_t>(
+        args.get_int_strict("ship-session", 0));
+#if defined(__unix__) || defined(__APPLE__)
+    if (opts.session_id == 0) {
+      opts.session_id = static_cast<std::uint64_t>(::getpid());
+    }
+#endif
+    if (opts.session_id == 0) opts.session_id = 1;
+    opts.threads = threads;
+    opts.spill_path = opts.socket_path + "." +
+                      std::to_string(opts.session_id) + ".spill.epochs";
+    std::unique_ptr<cr::FaultInjector> injector;
+    if (const auto plan = cr::FaultInjector::plan_from_env()) {
+      injector = std::make_unique<cr::FaultInjector>(*plan);
+      opts.injector = injector.get();
+    }
+    csv::EpochShipper shipper(opts);
+    if (shipper.ship(profiler.epoch_timeline())) {
+      shipper.bye();
+      log << "shipped " << shipper.stats().shipped << " epoch(s) to "
+          << opts.socket_path << " (session " << opts.session_id << ")\n";
+    } else {
+      log << "daemon " << opts.socket_path << " unreachable; spilled "
+          << shipper.stats().offered << " epoch(s) to " << opts.spill_path
+          << "\n";
+    }
+  } catch (const std::exception& e) {
+    log << "epoch shipping failed: " << e.what() << "\n";
+  }
 }
 
 cs::Scale parse_scale(const std::string& s) {
@@ -543,6 +610,7 @@ int cmd_run(const cs::ArgParser& args) {
   if (rc != 0) return rc;
   rc = write_epochs_output(args, *profiler, log);
   if (rc != 0) return rc;
+  maybe_ship_epochs(args, *profiler, threads, log);
   ctl::report_self_overhead(log, overhead);
   return write_observability_outputs(args, log);
 }
@@ -593,6 +661,7 @@ int cmd_replay(const cs::ArgParser& args) {
   if (rc != 0) return rc;
   rc = write_epochs_output(args, *profiler, log);
   if (rc != 0) return rc;
+  maybe_ship_epochs(args, *profiler, threads, log);
   return write_observability_outputs(args, log);
 }
 
@@ -1090,6 +1159,115 @@ int cmd_diff(const cs::ArgParser& args) {
   return 1;
 }
 
+int cmd_serve(const cs::ArgParser& args) {
+  const bool quiet = args.has("quiet");
+  std::ostream& log = out_stream(quiet);
+  const std::string socket = args.get("socket", "");
+  if (socket.empty()) {
+    throw std::invalid_argument("serve: --socket=PATH is required");
+  }
+
+  if (args.has("scrape")) {
+    // Client mode: pull a metrics snapshot from a live daemon.
+    std::ostringstream text;
+    if (!csv::scrape_metrics(socket, text)) {
+      std::cerr << "serve: cannot scrape " << socket
+                << " (is a daemon listening?)\n";
+      return 1;
+    }
+    if (args.has("metrics-out")) {
+      std::ofstream out(args.get("metrics-out"));
+      if (!out) {
+        std::cerr << "cannot write " << args.get("metrics-out") << "\n";
+        return 1;
+      }
+      out << text.str();
+      log << "metrics written to " << args.get("metrics-out") << "\n";
+    } else {
+      std::cout << text.str();
+    }
+    return 0;
+  }
+
+  csv::ServeOptions opts;
+  opts.socket_path = socket;
+  opts.mem_budget_bytes = args.get_bytes_strict("mem-budget", 0);
+  opts.reap_ms =
+      static_cast<std::uint32_t>(args.get_int_strict("reap-ms", 5000));
+  opts.max_sessions =
+      static_cast<std::uint32_t>(args.get_int_strict("max-sessions", 64));
+  opts.exit_after_connections =
+      static_cast<std::uint64_t>(args.get_int_strict("sessions", 0));
+  opts.idle_exit_ms =
+      static_cast<std::uint32_t>(args.get_int_strict("idle-exit-ms", 0));
+  opts.log = quiet ? nullptr : &std::cout;
+  std::unique_ptr<cr::FaultInjector> injector;
+  if (const auto plan = cr::FaultInjector::plan_from_env()) {
+    injector = std::make_unique<cr::FaultInjector>(*plan);
+    opts.injector = injector.get();
+  }
+
+  csv::ServeServer server(std::move(opts));
+  if (!server.open()) {
+    std::cerr << "commscope: " << server.last_error() << "\n";
+    return 1;
+  }
+
+  // Watchdog: a daemon asked to exit on its own terms (--sessions /
+  // --idle-exit-ms) that outlives --timeout is stuck; honor the CLI-wide
+  // 124 contract.
+  const double timeout = args.get_double_strict("timeout", 0.0);
+  std::atomic<bool> done{false};
+  std::atomic<bool> timed_out{false};
+  std::thread watchdog;
+  if (timeout > 0.0) {
+    watchdog = std::thread([&] {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::duration<double>(timeout);
+      while (!done.load(std::memory_order_acquire)) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+          timed_out.store(true, std::memory_order_release);
+          server.stop();
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
+  server.run();
+  done.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
+
+  const csv::ServeStats stats = server.snapshot();
+  log << "serve: " << stats.sessions_accepted << " session(s) ("
+      << stats.sessions_sealed << " sealed, " << stats.sessions_reaped
+      << " reaped, " << stats.sessions_dropped << " dropped, "
+      << stats.sessions_shed << " shed), " << stats.epochs_merged
+      << " epoch(s) merged, " << stats.epochs_deduped << " deduped\n";
+
+  if (args.has("epochs-out")) {
+    const cc::EpochTimeline merged = server.merged_timeline();
+    std::ofstream out(args.get("epochs-out"));
+    if (!out) {
+      std::cerr << "cannot write " << args.get("epochs-out") << "\n";
+      return 1;
+    }
+    cc::write_epochs(out, merged);
+    log << merged.epochs.size() << " merged epoch(s) written to "
+        << args.get("epochs-out") << "\n";
+  }
+  if (args.has("metrics-out")) {
+    std::ofstream out(args.get("metrics-out"));
+    if (!out) {
+      std::cerr << "cannot write " << args.get("metrics-out") << "\n";
+      return 1;
+    }
+    ctl::write_metrics(out);
+    log << "metrics written to " << args.get("metrics-out") << "\n";
+  }
+  return timed_out.load(std::memory_order_acquire) ? 124 : 0;
+}
+
 int dispatch(const cs::ArgParser& args) {
   if (args.positional().empty()) return usage();
   const std::string& cmd = args.positional()[0];
@@ -1105,6 +1283,7 @@ int dispatch(const cs::ArgParser& args) {
       {"top", cmd_top},
       {"report", cmd_report},
       {"diff", cmd_diff},
+      {"serve", cmd_serve},
   };
   const auto it = commands.find(cmd);
   if (it == commands.end()) {
@@ -1132,7 +1311,7 @@ int main(int argc, char** argv) {
   }
   const cs::ArgParser args(raw,
                            {"classify", "sparse", "pattern", "dvfs",
-                            "no-churn", "quiet", "bench"});
+                            "no-churn", "quiet", "bench", "scrape"});
   // One-line diagnostics, contractual exit codes: malformed usage is 2,
   // runtime failure (unreadable/corrupt file, failed run) is 1. No raw
   // exception ever escapes to std::terminate.
