@@ -68,6 +68,13 @@ void write_epochs(std::ostream& os, const EpochTimeline& t) {
 
 EpochTimeline read_epochs(std::istream& is) {
   const std::string text = support::slurp_stream(is, kMaxFileBytes, "epoch_io");
+  return read_epochs(std::string_view(text));
+}
+
+EpochTimeline read_epochs(std::string_view text) {
+  if (text.size() > kMaxFileBytes) {
+    throw std::runtime_error("epoch_io: file too large");
+  }
   const std::string_view payload =
       support::verify_crc_trailer(text, /*require=*/true, "epoch_io");
 

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <string_view>
 
 #include "core/flight_recorder.hpp"
 
@@ -33,5 +34,9 @@ void write_epochs(std::ostream& os, const EpochTimeline& t);
 /// Parses an epoch timeline; throws std::runtime_error on malformed input
 /// (bad magic/version, out-of-range counts, truncation, checksum mismatch).
 [[nodiscard]] EpochTimeline read_epochs(std::istream& is);
+
+/// In-memory overload — the serve daemon's frame and WAL-replay path, which
+/// already hold the document in a buffer. Same hostile-input contract.
+[[nodiscard]] EpochTimeline read_epochs(std::string_view text);
 
 }  // namespace commscope::core

@@ -62,6 +62,14 @@ FaultPlan FaultInjector::parse_plan(const std::string& spec) {
       plan.eagain_len = parse_position(part, colon);
     } else if (name == "drop-mid-frame") {
       plan.drop_mid_frame_at = parse_position(part, colon);
+    } else if (name == "wal-write-short") {
+      plan.wal_write_short_at = parse_position(part, colon);
+    } else if (name == "wal-fsync-fail") {
+      plan.wal_fsync_fail_at = parse_position(part, colon);
+    } else if (name == "wal-torn-tail") {
+      plan.wal_torn_tail_at = parse_position(part, colon);
+    } else if (name == "snapshot-crash-mid-write") {
+      plan.snapshot_crash_at = parse_position(part, colon);
     } else if (name == "seed") {
       plan.seed = parse_position(part, colon);
     } else {

@@ -48,12 +48,19 @@ struct FaultPlan {
   std::uint64_t eagain_at = 0;          ///< Nth daemon recv starts a storm
   std::uint64_t eagain_len = 16;        ///< reads deferred per storm
   std::uint64_t drop_mid_frame_at = 0;  ///< client cuts its Nth frame in half
+  // Durability faults for the serve daemon's WAL + snapshot layer.
+  std::uint64_t wal_write_short_at = 0;  ///< Nth WAL append short-writes
+  std::uint64_t wal_fsync_fail_at = 0;   ///< Nth WAL barrier fsync fails
+  std::uint64_t wal_torn_tail_at = 0;    ///< kill -9 mid-record on append N
+  std::uint64_t snapshot_crash_at = 0;   ///< kill -9 mid-tmp on compaction N
   std::uint64_t seed = 0x5eedULL;       ///< RNG seed for bit choices
 
   [[nodiscard]] bool any() const noexcept {
     return fail_alloc_at || kill_at_event || sleep_at_event ||
            truncate_write_at || corrupt_write_at || accept_fail_at ||
-           short_read_at || eagain_at || drop_mid_frame_at;
+           short_read_at || eagain_at || drop_mid_frame_at ||
+           wal_write_short_at || wal_fsync_fail_at || wal_torn_tail_at ||
+           snapshot_crash_at;
   }
 };
 

@@ -23,12 +23,6 @@ namespace ctl = telemetry;
 
 namespace {
 
-/// Per-connection fixed accounting charge (fd, decoder, map node).
-constexpr std::uint64_t kConnBaseCost = 4096;
-/// Per-session fixed charge plus one dedupe-ledger entry.
-constexpr std::uint64_t kSessionBaseCost = sizeof(Session) + 256;
-constexpr std::uint64_t kSeenEntryCost = 48;
-
 int make_listen_socket(const std::string& path, std::string& error) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -84,10 +78,199 @@ std::uint64_t ServeServer::now_ms() const noexcept {
 }
 
 bool ServeServer::open() {
+  // Recovery strictly precedes the socket: no client is accepted until the
+  // daemon's state is the crashed daemon's state.
+  if (!options_.state_dir.empty() && !open_journal()) return false;
   listen_fd_ = make_listen_socket(options_.socket_path, error_);
   if (listen_fd_ < 0) return false;
   log_line("listening on " + options_.socket_path);
   return true;
+}
+
+bool ServeServer::open_journal() {
+  JournalOptions jopts;
+  jopts.dir = options_.state_dir;
+  jopts.policy = options_.fsync_policy;
+  jopts.fsync_every = options_.fsync_every;
+  jopts.compact_every = options_.compact_every;
+  // One epochs frame plus its "session <id>\n" prefix.
+  jopts.max_payload = options_.frame_payload_cap + 64;
+  jopts.injector = options_.injector;
+  jopts.tracker = &tracker_;
+  journal_ = std::make_unique<Journal>(jopts);
+
+  if (options_.no_recover) {
+    journal_->discard_state();
+    log_line("journal: persisted state discarded (--no-recover)");
+  } else {
+    std::string snapshot;
+    std::vector<WalRecord> tail;
+    if (!journal_->recover(snapshot, tail, error_)) {
+      // Unreadable state is a refusal, not a silent discard: losing
+      // acknowledged data needs the operator's explicit --no-recover.
+      journal_.reset();
+      return false;
+    }
+    std::uint64_t snapshot_lsn = 0;
+    if (!snapshot.empty()) {
+      try {
+        restore_serve_state(snapshot, sessions_, *aggregate_, snapshot_lsn,
+                            &tracker_);
+      } catch (const std::runtime_error& e) {
+        error_ = std::string("serve: corrupt snapshot: ") + e.what();
+        journal_.reset();
+        return false;
+      }
+      stats_.recovered = true;
+    }
+    for (const WalRecord& r : tail) {
+      if (r.lsn <= snapshot_lsn) {
+        ++stats_.recovery_skipped;  // already inside the snapshot
+        continue;
+      }
+      apply_wal_record(r);
+      ++stats_.recovery_records;
+      stats_.recovered = true;
+    }
+    const JournalStats& js = journal_->stats();
+    stats_.recovered_torn_tail = js.torn_tail;
+    if (stats_.recovered) {
+      stats_.recovered_sessions = sessions_.size();
+      const std::uint64_t now = now_ms();
+      for (auto& [id, sess] : sessions_) {
+        // A recovered session's idle clock restarts now — the downtime was
+        // the daemon's fault, not the client's missed heartbeat.
+        sess.last_activity_ms = now;
+      }
+      log_line("recovered " + std::to_string(sessions_.size()) +
+               " session(s), " + std::to_string(stats_.recovery_records) +
+               " WAL record(s) replayed" +
+               (js.torn_tail
+                    ? std::string(", torn tail tolerated (") + js.torn_reason +
+                          ")"
+                    : std::string()));
+      ctl::Tracer::instant("serve.wal.recovered", ctl::SpanCat::kWal);
+    }
+  }
+
+  if (!journal_->open(error_)) {
+    journal_.reset();
+    return false;
+  }
+  // Seal whatever recovery produced into a fresh snapshot: persists the
+  // replayed state, truncates the WAL, and cuts off any torn tail so new
+  // appends never land after damaged bytes.
+  compact_locked();
+  return true;
+}
+
+void ServeServer::apply_wal_record(const WalRecord& r) {
+  try {
+    support::TokenScanner sc(r.payload, "serve-wal-replay");
+    if (sc.next_token() != "session") sc.fail("expected 'session'");
+    const std::uint64_t id = sc.next_uint<std::uint64_t>("session id");
+    if (id == 0) sc.fail("session id must be nonzero");
+    switch (r.type) {
+      case WalRecordType::kHello: {
+        if (sc.next_token() != "threads") sc.fail("expected 'threads'");
+        const int threads = sc.next_uint_capped<int>(
+            "threads", static_cast<int>(options_.max_threads));
+        if (threads < 1) sc.fail("threads must be >= 1");
+        if (sessions_.find(id) != sessions_.end()) break;  // replay dup
+        Session s;
+        s.id = id;
+        s.threads = threads;
+        s.charged = kSessionBaseCost;
+        tracker_.add(s.charged);
+        sessions_.emplace(id, std::move(s));
+        break;
+      }
+      case WalRecordType::kEpochs: {
+        // Payload = "session <id>\n" + verbatim commscope-epochs document;
+        // replay runs the identical validated parse + dedupe + merge path
+        // as live ingestion, which is what makes recovery deterministic.
+        const std::size_t nl = r.payload.find('\n');
+        if (nl == std::string::npos) sc.fail("missing epochs document");
+        const core::EpochTimeline src =
+            core::read_epochs(std::string_view(r.payload).substr(nl + 1));
+        const auto it = sessions_.find(id);
+        if (it == sessions_.end()) sc.fail("epochs for unknown session");
+        Session& sess = it->second;
+        for (const core::EpochSample& e : src.epochs) {
+          if (!sess.seen.insert(e.index).second) continue;
+          sess.charged += kSeenEntryCost;
+          tracker_.add(kSeenEntryCost);
+          aggregate_->merge(src, e);
+          ++sess.epochs_merged;
+          ++stats_.recovered_epochs;
+        }
+        break;
+      }
+      case WalRecordType::kSeal:
+      case WalRecordType::kReap:
+      case WalRecordType::kDrop: {
+        const auto it = sessions_.find(id);
+        if (it == sessions_.end() ||
+            it->second.state != SessionState::kActive) {
+          break;  // replay dup or transition for an unknown session
+        }
+        if (r.type == WalRecordType::kSeal) {
+          it->second.state = SessionState::kSealed;
+        } else if (r.type == WalRecordType::kReap) {
+          it->second.state = SessionState::kReaped;
+        } else {
+          it->second.state = SessionState::kDropped;
+          it->second.drop_reason = std::string(sc.rest_of_line());
+        }
+        break;
+      }
+    }
+  } catch (const std::runtime_error& e) {
+    // CRC-valid but semantically hostile record (crafted WAL): skip it,
+    // counted — a damaged log must never take recovery down.
+    ++stats_.recovery_skipped;
+    log_line(std::string("replay: skipped record: ") + e.what());
+  }
+}
+
+void ServeServer::journal_transition(WalRecordType t, std::uint64_t id,
+                                     const char* extra) {
+  if (!journal_) return;
+  std::string payload = "session " + std::to_string(id);
+  if (extra != nullptr) {
+    payload += ' ';
+    payload += extra;
+  }
+  // Lifecycle records ride the next epoch barrier; only epoch data itself
+  // gates an ack.
+  (void)journal_->append(t, payload, /*barrier=*/false);
+}
+
+void ServeServer::compact_locked() {
+  if (!journal_) return;
+  const std::string state =
+      serialize_serve_state(sessions_, *aggregate_, journal_->last_lsn());
+  if (journal_->compact(state)) {
+    log_line("journal: compacted into snapshot (" +
+             std::to_string(state.size()) + " bytes)");
+  } else {
+    log_line("journal: compaction failed; WAL retained");
+  }
+}
+
+void ServeServer::drain_locked() {
+  log_line("drain requested (signal): sealing sessions");
+  for (auto& [id, sess] : sessions_) {
+    if (sess.state != SessionState::kActive) continue;
+    sess.state = SessionState::kSealed;
+    ++stats_.sessions_sealed;
+    journal_transition(WalRecordType::kSeal, id);
+  }
+  for (auto& [fd, conn] : conns_) close_conn(conn);
+  compact_locked();
+  stats_.drained = true;
+  ctl::Tracer::instant("serve.drain", ctl::SpanCat::kServe);
+  log_line("drain complete");
 }
 
 void ServeServer::log_line(const std::string& line) {
@@ -130,6 +313,9 @@ void ServeServer::update_rung() {
     stats_.rung = want;
     ++stats_.degrade_transitions;
   }
+  // Memory pressure pushes the durability ladder too (fsync cost trades
+  // against liveness exactly like merge accuracy does).
+  if (journal_) journal_->set_pressure(stats_.rung);
 }
 
 void ServeServer::close_conn(Conn& c) {
@@ -151,6 +337,7 @@ void ServeServer::drop_session(Conn& c, const char* reason) {
       it->second.state = SessionState::kDropped;
       it->second.drop_reason = reason;
       ++stats_.sessions_dropped;
+      journal_transition(WalRecordType::kDrop, c.session, reason);
       ctl::Tracer::instant("serve.drop", ctl::SpanCat::kServe);
     }
     log_line("drop session " + std::to_string(c.session) + ": " + reason);
@@ -227,6 +414,12 @@ void ServeServer::handle_hello(Conn& c, const std::string& payload) {
   sessions_.emplace(id, std::move(s));
   c.session = id;
   ++stats_.sessions_accepted;
+  if (journal_) {
+    const std::string hello =
+        "session " + std::to_string(id) + " threads " +
+        std::to_string(threads);
+    (void)journal_->append(WalRecordType::kHello, hello, /*barrier=*/false);
+  }
   log_line("session " + std::to_string(id) + " (" + std::to_string(threads) +
            " threads) joined");
 }
@@ -264,8 +457,7 @@ void ServeServer::handle_epochs(Conn& c, const std::string& payload) {
 
   core::EpochTimeline src;
   try {
-    std::istringstream in(payload);
-    src = core::read_epochs(in);
+    src = core::read_epochs(std::string_view(payload));
   } catch (const std::runtime_error& e) {
     // The frame was well-formed but the epoch document inside is hostile
     // (the CRC protects transport, not a lying client).
@@ -279,6 +471,7 @@ void ServeServer::handle_epochs(Conn& c, const std::string& payload) {
     return;
   }
   std::uint64_t accepted = 0;
+  std::uint64_t merged_now = 0;
   for (const core::EpochSample& e : src.epochs) {
     if (!sess.seen.insert(e.index).second) {
       // Redelivery after a retry — the (session id, epoch index) ledger
@@ -293,9 +486,20 @@ void ServeServer::handle_epochs(Conn& c, const std::string& payload) {
     aggregate_->merge(src, e);
     ++stats_.epochs_merged;
     ++sess.epochs_merged;
+    ++merged_now;
     ++accepted;
   }
+  if (journal_ && merged_now > 0) {
+    // The durability contract: the verbatim validated frame is journaled —
+    // and the fsync-policy barrier runs — strictly before the ack leaves.
+    // An all-duplicate frame changes no state and is not re-journaled.
+    const std::string prefix =
+        "session " + std::to_string(c.session) + "\n";
+    (void)journal_->append(WalRecordType::kEpochs, prefix, payload,
+                           /*barrier=*/true);
+  }
   send_ack(c, accepted);
+  if (journal_ && journal_->should_compact()) compact_locked();
 }
 
 void ServeServer::handle_scrape(Conn& c) {
@@ -336,6 +540,7 @@ void ServeServer::handle_frame(Conn& c, Frame&& f) {
             it->second.state == SessionState::kActive) {
           it->second.state = SessionState::kSealed;
           ++stats_.sessions_sealed;
+          journal_transition(WalRecordType::kSeal, c.session);
           log_line("session " + std::to_string(c.session) + " sealed (bye)");
         }
       }
@@ -465,6 +670,7 @@ void ServeServer::reap_idle() {
     if (now - sess.last_activity_ms <= options_.reap_ms) continue;
     sess.state = SessionState::kReaped;
     ++stats_.sessions_reaped;
+    journal_transition(WalRecordType::kReap, id);
     ctl::Tracer::instant("serve.reap", ctl::SpanCat::kServe);
     log_line("session " + std::to_string(id) +
              " reaped (heartbeat timeout); partial contribution sealed");
@@ -517,6 +723,12 @@ void ServeServer::run() {
     if (rc < 0 && errno != EINTR) break;
 
     std::lock_guard<std::mutex> lock(mu_);
+    if (options_.drain_flag != nullptr && *options_.drain_flag != 0) {
+      // SIGTERM/SIGINT: the handler only set a flag (signal-safe); the
+      // actual drain — seal, snapshot, exit 0 — runs here, on the loop.
+      drain_locked();
+      break;
+    }
     if (fds[0].revents != 0) accept_clients();
     for (std::size_t i = 1; i < fds.size(); ++i) {
       if (fds[i].revents == 0) continue;
@@ -563,6 +775,8 @@ void ServeServer::run() {
   for (auto& [fd, conn] : conns_) close_conn(conn);
   conns_.clear();
   stats_.sessions_live = 0;
+  // Whatever exit path got here, nothing journaled is left un-snapshotted.
+  if (journal_ && journal_->dirty()) compact_locked();
   publish_metrics_locked();
 }
 
@@ -611,6 +825,28 @@ void ServeServer::publish_metrics_locked() {
   ctl::gauge("serve.degrade.rung").set(static_cast<std::uint64_t>(s.rung));
   ctl::gauge("serve.mem.bytes").set(tracker_.current());
   ctl::gauge("serve.mem.peak").set_max(tracker_.peak());
+  if (journal_) {
+    const JournalStats& j = journal_->stats();
+    pub("serve.wal.records", j.records, published_.wal_records);
+    pub("serve.wal.fsyncs", j.fsyncs, published_.wal_fsyncs);
+    pub("serve.wal.fsync_failures", j.fsync_failures,
+        published_.wal_fsync_failures);
+    pub("serve.wal.write_errors", j.write_errors,
+        published_.wal_write_errors);
+    pub("serve.wal.compactions", j.compactions, published_.wal_compactions);
+    pub("serve.wal.degrade.transitions", j.degrade_transitions,
+        published_.wal_degrade_transitions);
+    pub("serve.recovery.records", s.recovery_records,
+        published_.recovery_records);
+    pub("serve.recovery.epochs", s.recovered_epochs,
+        published_.recovered_epochs);
+    pub("serve.recovery.skipped", s.recovery_skipped,
+        published_.recovery_skipped);
+    ctl::gauge("serve.wal.rung")
+        .set(static_cast<std::uint64_t>(j.policy_rung));
+    ctl::gauge("serve.wal.failed").set(j.failed ? 1 : 0);
+    ctl::gauge("serve.recovery.torn_tail").set(s.recovered_torn_tail ? 1 : 0);
+  }
 }
 
 core::EpochTimeline ServeServer::merged_timeline() const {
@@ -630,7 +866,19 @@ std::map<std::string, std::uint64_t> ServeServer::merged_loop_totals() const {
 
 ServeStats ServeServer::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServeStats s = stats_;
+  if (journal_) {
+    const JournalStats& j = journal_->stats();
+    s.wal_records = j.records;
+    s.wal_fsyncs = j.fsyncs;
+    s.wal_fsync_failures = j.fsync_failures;
+    s.wal_write_errors = j.write_errors;
+    s.wal_compactions = j.compactions;
+    s.wal_degrade_transitions = j.degrade_transitions;
+    s.wal_rung = j.policy_rung;
+    s.wal_failed = j.failed;
+  }
+  return s;
 }
 
 }  // namespace commscope::serve

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -39,6 +40,7 @@
 #include <vector>
 
 #include "resilience/fault_injector.hpp"
+#include "serve/journal.hpp"
 #include "serve/session.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -61,6 +63,17 @@ struct ServeOptions {
   /// Exit after this long with zero live connections, once at least one
   /// client was ever seen (0 = never).
   std::uint32_t idle_exit_ms = 0;
+  // Durability (the WAL + snapshot layer). Empty state_dir = volatile
+  // daemon, exactly the pre-journal behaviour.
+  std::string state_dir;
+  FsyncPolicy fsync_policy = FsyncPolicy::kPerN;
+  std::uint32_t fsync_every = 256;     ///< records per barrier at per-n
+  std::uint64_t compact_every = 4096;  ///< appends per snapshot compaction
+  bool no_recover = false;  ///< discard persisted state instead of replaying
+  /// Signal-safe drain request: when non-null and set (by a SIGTERM/SIGINT
+  /// handler), the poll loop seals every active session, takes a final
+  /// snapshot, and run() returns — the graceful-shutdown path, exit 0.
+  const volatile std::sig_atomic_t* drain_flag = nullptr;
   resilience::FaultInjector* injector = nullptr;  ///< socket-layer faults
   std::ostream* log = nullptr;  ///< event lines (accept/drop/reap/degrade)
 };
@@ -95,6 +108,23 @@ struct ServeStats {
   int rung = 0;
   std::uint64_t degrade_transitions = 0;
   std::uint64_t sessions_live = 0;  ///< live connections right now
+  // Durability mirror (all zero when --state-dir is unset).
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_fsyncs = 0;
+  std::uint64_t wal_fsync_failures = 0;
+  std::uint64_t wal_write_errors = 0;
+  std::uint64_t wal_compactions = 0;
+  std::uint64_t wal_degrade_transitions = 0;
+  int wal_rung = 0;
+  bool wal_failed = false;          ///< journal gave up; running volatile
+  // Recovery provenance (set once, before the first accept).
+  bool recovered = false;           ///< state restored from disk
+  bool recovered_torn_tail = false;
+  std::uint64_t recovered_sessions = 0;
+  std::uint64_t recovered_epochs = 0;   ///< epochs re-merged during replay
+  std::uint64_t recovery_records = 0;   ///< WAL records replayed
+  std::uint64_t recovery_skipped = 0;   ///< stale/invalid records skipped
+  bool drained = false;             ///< graceful signal drain completed
 };
 
 class ServeServer {
@@ -154,6 +184,20 @@ class ServeServer {
   void reap_idle();
   void update_rung();
   void recharge_conn(Conn& c);
+  // --- durability (all no-ops when the journal is disabled) ---------------
+  /// Loads snapshot + WAL, rebuilds sessions_/aggregate_, opens the WAL for
+  /// appending, and seals the recovered state into a fresh snapshot. False
+  /// => error_ explains and the daemon refuses to start.
+  [[nodiscard]] bool open_journal();
+  /// Replays one recovered WAL record through the live merge path.
+  void apply_wal_record(const WalRecord& r);
+  /// Journals a session lifecycle transition (hello/seal/reap/drop).
+  void journal_transition(WalRecordType t, std::uint64_t id,
+                          const char* extra = nullptr);
+  /// Serializes current state and compacts the WAL into a snapshot.
+  void compact_locked();
+  /// Signal-requested graceful drain: seal sessions, final snapshot.
+  void drain_locked();
   /// Delta-publishes local stats into the global metrics registry.
   void publish_metrics_locked();
   [[nodiscard]] std::vector<telemetry::MetricSnapshot>
@@ -171,6 +215,7 @@ class ServeServer {
   std::map<std::uint64_t, Session> sessions_;
   support::MemoryTracker tracker_;
   std::unique_ptr<Aggregate> aggregate_;
+  std::unique_ptr<Journal> journal_;  ///< null when state_dir is empty
   ServeStats stats_;
   ServeStats published_;  ///< last values mirrored into the registry
 

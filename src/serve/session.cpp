@@ -16,6 +16,15 @@ const char* to_string(SessionState s) noexcept {
   return "?";
 }
 
+SessionState session_state_from_string(std::string_view s) {
+  if (s == "active") return SessionState::kActive;
+  if (s == "sealed") return SessionState::kSealed;
+  if (s == "reaped") return SessionState::kReaped;
+  if (s == "dropped") return SessionState::kDropped;
+  throw std::runtime_error("serve-snapshot: unknown session state '" +
+                           std::string(s) + "'");
+}
+
 Aggregate::Aggregate(std::uint32_t ring_capacity,
                      support::MemoryTracker* tracker)
     : capacity_(std::min(std::max<std::uint32_t>(ring_capacity, 1),
@@ -132,6 +141,134 @@ core::EpochTimeline Aggregate::timeline() const {
     }
   }
   return t;
+}
+
+void Aggregate::serialize(std::string& out) const {
+  out += "aggregate threads " + std::to_string(threads_) + " sealed " +
+         std::to_string(sealed_) + " dropped " + std::to_string(dropped_) +
+         " labels " + std::to_string(labels_.size()) + " ring ";
+  // Ring entries serialize oldest-first (the same order timeline() yields),
+  // so restore() rebuilds an equivalent overwrite cursor.
+  const bool wrapped = ring_.size() >= capacity_;
+  out += std::to_string(ring_.size()) + '\n';
+  out += "cells";
+  for (const std::uint64_t v : cells_) out += ' ' + std::to_string(v);
+  out += '\n';
+  for (const auto& [id, label] : labels_) {
+    out += "label " + std::to_string(id) + ' ' +
+           std::to_string(label_bytes_[id]) + ' ' + label + '\n';
+  }
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const core::EpochSample& e =
+        wrapped ? ring_[(ring_head_ + i) % capacity_] : ring_[i];
+    out += "epoch " + std::to_string(e.index) + " first " +
+           std::to_string(e.first_access) + " last " +
+           std::to_string(e.last_access) + " deps " +
+           std::to_string(e.dependencies) + " bytes " +
+           std::to_string(e.bytes) + " reason " + core::to_string(e.reason) +
+           " cells " + std::to_string(e.cells.size()) + " loops " +
+           std::to_string(e.loops.size()) + '\n';
+    for (const core::EpochCell& c : e.cells) {
+      out += std::to_string(c.producer) + ' ' + std::to_string(c.consumer) +
+             ' ' + std::to_string(c.bytes) + '\n';
+    }
+    for (const core::EpochLoopShare& s : e.loops) {
+      out += std::to_string(s.loop) + ' ' + std::to_string(s.bytes) + '\n';
+    }
+  }
+}
+
+void Aggregate::restore(support::TokenScanner& sc) {
+  // Caps mirror epoch_io's hostile-reader ceilings: nothing is allocated
+  // from a declared count before the count itself is bounded.
+  constexpr int kMaxThreads = 4096;
+  constexpr std::uint64_t kMaxLabels = 1u << 16;
+  constexpr std::size_t kMaxLabel = 512;
+
+  if (sc.next_token() != "aggregate") sc.fail("expected 'aggregate'");
+  if (sc.next_token() != "threads") sc.fail("expected 'threads'");
+  threads_ = sc.next_uint_capped<int>("aggregate threads", kMaxThreads);
+  if (threads_ < 0) sc.fail("invalid aggregate threads");
+  if (sc.next_token() != "sealed") sc.fail("expected 'sealed'");
+  sealed_ = sc.next_uint<std::uint64_t>("aggregate sealed");
+  if (sc.next_token() != "dropped") sc.fail("expected 'dropped'");
+  dropped_ = sc.next_uint<std::uint64_t>("aggregate dropped");
+  if (sc.next_token() != "labels") sc.fail("expected 'labels'");
+  const std::uint64_t labels =
+      sc.next_uint_capped<std::uint64_t>("label count", kMaxLabels);
+  if (sc.next_token() != "ring") sc.fail("expected 'ring'");
+  const std::uint64_t ring = sc.next_uint_capped<std::uint64_t>(
+      "ring count", static_cast<std::uint64_t>(capacity_));
+
+  if (sc.next_token() != "cells") sc.fail("expected 'cells'");
+  const std::size_t want_cells = static_cast<std::size_t>(threads_) *
+                                 static_cast<std::size_t>(threads_);
+  cells_.resize(want_cells, 0);
+  charge(want_cells * sizeof(std::uint64_t));
+  for (std::size_t i = 0; i < want_cells; ++i) {
+    cells_[i] = sc.next_uint<std::uint64_t>("cell sum");
+  }
+
+  for (std::uint64_t i = 0; i < labels; ++i) {
+    if (sc.next_token() != "label") sc.fail("expected 'label'");
+    const std::uint32_t id = sc.next_uint<std::uint32_t>("label id");
+    if (id != i) sc.fail("label ids must be dense from 0");
+    const std::uint64_t bytes = sc.next_uint<std::uint64_t>("label bytes");
+    const std::string_view label = sc.rest_of_line();
+    if (label.empty() || label.size() > kMaxLabel) sc.fail("invalid label");
+    label_ids_.emplace(std::string(label), id);
+    labels_.emplace_back(id, std::string(label));
+    label_bytes_.push_back(bytes);
+    charge(label.size() * 2 + sizeof(std::uint64_t) + 64);
+  }
+
+  const std::uint64_t max_cells = static_cast<std::uint64_t>(threads_) *
+                                  static_cast<std::uint64_t>(threads_);
+  ring_.reserve(ring);
+  for (std::uint64_t i = 0; i < ring; ++i) {
+    if (sc.next_token() != "epoch") sc.fail("expected 'epoch'");
+    core::EpochSample e;
+    e.index = sc.next_uint<std::uint64_t>("epoch index");
+    if (sc.next_token() != "first") sc.fail("expected 'first'");
+    e.first_access = sc.next_uint<std::uint64_t>("first access");
+    if (sc.next_token() != "last") sc.fail("expected 'last'");
+    e.last_access = sc.next_uint<std::uint64_t>("last access");
+    if (e.last_access < e.first_access) sc.fail("epoch window inverted");
+    if (sc.next_token() != "deps") sc.fail("expected 'deps'");
+    e.dependencies = sc.next_uint<std::uint64_t>("dependency count");
+    if (sc.next_token() != "bytes") sc.fail("expected 'bytes'");
+    e.bytes = sc.next_uint<std::uint64_t>("byte count");
+    if (sc.next_token() != "reason") sc.fail("expected 'reason'");
+    e.reason = core::epoch_seal_from_string(std::string(sc.next_token()));
+    if (sc.next_token() != "cells") sc.fail("expected 'cells'");
+    const std::uint64_t cells =
+        sc.next_uint_capped<std::uint64_t>("cell count", max_cells);
+    if (sc.next_token() != "loops") sc.fail("expected 'loops'");
+    const std::uint64_t loops =
+        sc.next_uint_capped<std::uint64_t>("loop-share count", kMaxLabels);
+    e.cells.reserve(cells);
+    for (std::uint64_t k = 0; k < cells; ++k) {
+      core::EpochCell c;
+      c.producer = sc.next_uint_capped<std::uint16_t>(
+          "producer", static_cast<std::uint16_t>(threads_ - 1));
+      c.consumer = sc.next_uint_capped<std::uint16_t>(
+          "consumer", static_cast<std::uint16_t>(threads_ - 1));
+      c.bytes = sc.next_uint<std::uint64_t>("cell bytes");
+      e.cells.push_back(c);
+    }
+    e.loops.reserve(loops);
+    for (std::uint64_t k = 0; k < loops; ++k) {
+      core::EpochLoopShare s;
+      s.loop = sc.next_uint<std::uint32_t>("loop id");
+      s.bytes = sc.next_uint<std::uint64_t>("loop bytes");
+      e.loops.push_back(s);
+    }
+    charge(epoch_cost(e));
+    ring_.push_back(std::move(e));
+  }
+  ring_kept_ = ring_.size();
+  ring_head_ = ring_.size() >= capacity_ ? 0 : ring_.size() % capacity_;
+  if (sealed_ < ring_.size()) sc.fail("ring exceeds sealed count");
 }
 
 std::map<std::string, std::uint64_t> Aggregate::loop_totals() const {

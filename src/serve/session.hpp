@@ -28,8 +28,16 @@
 #include "core/flight_recorder.hpp"
 #include "serve/frame.hpp"
 #include "support/memtrack.hpp"
+#include "support/textio.hpp"
 
 namespace commscope::serve {
+
+/// Fixed accounting charges, shared by the live server and snapshot
+/// recovery so a recovered daemon reports the same tracked footprint as the
+/// one that crashed.
+inline constexpr std::uint64_t kConnBaseCost = 4096;
+inline constexpr std::uint64_t kSessionBaseCost = 640;
+inline constexpr std::uint64_t kSeenEntryCost = 48;
 
 /// Lifecycle of a logical session.
 enum class SessionState : std::uint8_t {
@@ -40,6 +48,9 @@ enum class SessionState : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(SessionState s) noexcept;
+/// Inverse of to_string; throws std::runtime_error on an unknown name (the
+/// snapshot loader's hostile-input contract).
+[[nodiscard]] SessionState session_state_from_string(std::string_view s);
 
 /// One logical client session. Connection-scoped state (the decoder) lives
 /// with the fd in the server; this is the cross-connection ledger.
@@ -91,6 +102,17 @@ class Aggregate {
     return dropped_;
   }
   [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  /// Appends the aggregate's complete state (dense cell sums, label table,
+  /// merged ring, seal counters) to `out` — the snapshot's inner block.
+  /// restore() on a fresh aggregate rebuilds it bit-identically.
+  void serialize(std::string& out) const;
+
+  /// Rebuilds state from a serialize() image via `sc`. Treats the input as
+  /// hostile: every count is capped before allocation and any deviation
+  /// throws std::runtime_error. Must run on a freshly-constructed
+  /// aggregate; everything restored is charged to the tracker.
+  void restore(support::TokenScanner& sc);
 
  private:
   [[nodiscard]] std::uint32_t label_id(const std::string& label);

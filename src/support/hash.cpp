@@ -1,5 +1,6 @@
 #include "support/hash.hpp"
 
+#include <bit>
 #include <cstring>
 
 namespace commscope::support {
@@ -173,16 +174,28 @@ std::uint64_t murmur3_x64_64(const void* data, std::size_t len,
 
 namespace {
 
-// 256-entry CRC-32 table for the reflected IEEE polynomial, built once.
+// Slice-by-8 CRC-32 tables for the reflected IEEE polynomial, built once.
+// Table 0 is the classic byte-at-a-time table; table t gives the effect of
+// a byte t positions earlier in an 8-byte block, so the hot loop folds
+// eight bytes per iteration with eight independent lookups. CRC values are
+// identical to the byte-wise form — only throughput changes, which matters
+// because every serve frame, WAL record, snapshot and matrix file pays a
+// full-payload CRC (the WAL pays a second one on the ingest hot path).
 struct Crc32Table {
-  std::uint32_t entry[256];
+  std::uint32_t entry[8][256];
   constexpr Crc32Table() : entry{} {
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int bit = 0; bit < 8; ++bit) {
         c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
       }
-      entry[i] = c;
+      entry[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (int t = 1; t < 8; ++t) {
+        entry[t][i] =
+            entry[0][entry[t - 1][i] & 0xFFU] ^ (entry[t - 1][i] >> 8);
+      }
     }
   }
 };
@@ -195,8 +208,24 @@ std::uint32_t crc32(const void* data, std::size_t len,
                     std::uint32_t seed) noexcept {
   const auto* p = static_cast<const unsigned char*>(data);
   std::uint32_t c = seed ^ 0xFFFFFFFFU;
+  const auto& t = kCrcTable.entry;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len >= 8) {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = t[7][lo & 0xFFU] ^ t[6][(lo >> 8) & 0xFFU] ^
+          t[5][(lo >> 16) & 0xFFU] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFU] ^
+          t[2][(hi >> 8) & 0xFFU] ^ t[1][(hi >> 16) & 0xFFU] ^
+          t[0][hi >> 24];
+      p += 8;
+      len -= 8;
+    }
+  }
   for (std::size_t i = 0; i < len; ++i) {
-    c = kCrcTable.entry[(c ^ p[i]) & 0xFFU] ^ (c >> 8);
+    c = t[0][(c ^ p[i]) & 0xFFU] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFU;
 }

@@ -21,6 +21,7 @@ const char* to_string(SpanCat cat) noexcept {
     case SpanCat::kBatch: return "batch";
     case SpanCat::kEpoch: return "epoch";
     case SpanCat::kServe: return "serve";
+    case SpanCat::kWal: return "wal";
   }
   return "?";
 }

@@ -41,6 +41,7 @@ enum class SpanCat : std::uint8_t {
   kBatch,       ///< micro-batch drains through the detector (batch_flush)
   kEpoch,       ///< flight-recorder epoch seals (time-resolved communication)
   kServe,       ///< aggregation-daemon events (drops, reaps, ladder moves)
+  kWal,         ///< durability events (recovery, compaction, ladder moves)
 };
 
 [[nodiscard]] const char* to_string(SpanCat cat) noexcept;

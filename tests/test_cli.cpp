@@ -553,6 +553,44 @@ TEST(CliServe, RunShipsToDaemonAndMergedTimelineRenders) {
   std::remove(metrics.c_str());
 }
 
+TEST(CliServe, BogusFsyncPolicyIsUsageError) {
+  const RunResult r =
+      run_cli("serve --socket=/tmp/commscope_cli_fsync.sock --fsync=bogus");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("per-ack"), std::string::npos) << r.output;
+}
+
+TEST(CliServe, SignalDrainExitsZeroAndLeavesSnapshot) {
+  // SIGTERM and SIGINT both request a graceful drain: seal sessions, final
+  // snapshot, exit 0 — the exit-code contract systemd/K8s stop paths rely
+  // on. A non-zero exit here means the handler path regressed to the
+  // default die-by-signal disposition.
+  for (const std::string sig : {"TERM", "INT"}) {
+    const std::string socket = "/tmp/commscope_cli_drain_" + sig + ".sock";
+    const std::string state = "/tmp/commscope_cli_drain_" + sig + ".state";
+    const std::string status = state + ".exit";
+    std::remove(socket.c_str());
+    std::remove(status.c_str());
+    std::remove((state + "/wal.log").c_str());
+    std::remove((state + "/snapshot.commscope").c_str());
+    const std::string script =
+        g_cli + " serve --socket=" + socket + " --state-dir=" + state +
+        " -q 2>/dev/null & pid=$!; i=0;"
+        " while [ ! -S " + socket + " ] && [ $i -lt 50 ];"
+        " do sleep 0.1; i=$((i+1)); done;"
+        " kill -" + sig + " $pid; wait $pid; echo $? > " + status;
+    ASSERT_EQ(std::system(script.c_str()), 0);
+    std::ifstream in(status);
+    std::string code;
+    in >> code;
+    EXPECT_EQ(code, "0") << "SIG" << sig << " drain exit code";
+    std::ifstream snap(state + "/snapshot.commscope");
+    EXPECT_TRUE(snap.good()) << "drain left no final snapshot (" << sig
+                             << ")";
+    std::remove(status.c_str());
+  }
+}
+
 int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
   if (argc > 1) {

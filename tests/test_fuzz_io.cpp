@@ -7,17 +7,31 @@
 // failure replays identically.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "core/epoch_io.hpp"
+#include "core/flight_recorder.hpp"
 #include "core/matrix_io.hpp"
 #include "core/profiler.hpp"
 #include "instrument/loop_registry.hpp"
 #include "instrument/trace.hpp"
 #include "resilience/checkpoint.hpp"
 #include "serve/frame.hpp"
+#include "serve/journal.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "support/memtrack.hpp"
 #include "support/rng.hpp"
+#include "support/textio.hpp"
 
 namespace cc = commscope::core;
 namespace ci = commscope::instrument;
@@ -252,4 +266,238 @@ TEST(FuzzIo, UndamagedFilesStillParse) {
   std::stringstream t(valid_trace_file());
   EXPECT_FALSE(ci::read_trace(t).empty());
   EXPECT_EQ(cr::parse_checkpoint_text(valid_checkpoint_file()).threads, 4);
+}
+
+// --- serve WAL + snapshot (the durability layer) ----------------------------
+// The journal's threat model matches the frame decoder's: after a crash the
+// WAL and snapshot on disk are arbitrary bytes. Recovery must either yield a
+// CRC-validated prefix (WAL) or reject the whole image (snapshot) — never
+// crash, never allocate what a length prefix merely claims.
+
+namespace {
+
+namespace sv = commscope::serve;
+namespace core = commscope::core;
+
+core::EpochTimeline tiny_timeline(std::uint64_t first_index, int epochs) {
+  core::EpochTimeline t;
+  t.threads = 4;
+  for (int i = 0; i < epochs; ++i) {
+    core::EpochSample e;
+    e.index = first_index + static_cast<std::uint64_t>(i);
+    e.reason = core::EpochSeal::kAccesses;
+    core::EpochCell c;
+    c.producer = 0;
+    c.consumer = 1;
+    c.bytes = 64 + static_cast<std::uint64_t>(i);
+    e.cells.push_back(c);
+    e.bytes = c.bytes;
+    t.epochs.push_back(e);
+    ++t.sealed;
+  }
+  return t;
+}
+
+std::string epochs_payload(std::uint64_t session,
+                           const core::EpochTimeline& t) {
+  std::ostringstream os;
+  commscope::core::write_epochs(os, t);
+  return "session " + std::to_string(session) + "\n" + os.str();
+}
+
+std::vector<sv::WalRecord> valid_wal_records() {
+  std::vector<sv::WalRecord> r;
+  r.push_back({1, sv::WalRecordType::kHello, "session 7 threads 4"});
+  r.push_back({2, sv::WalRecordType::kEpochs,
+               epochs_payload(7, tiny_timeline(0, 3))});
+  r.push_back({3, sv::WalRecordType::kEpochs,
+               epochs_payload(7, tiny_timeline(3, 2))});
+  r.push_back({4, sv::WalRecordType::kSeal, "session 7"});
+  return r;
+}
+
+std::string wal_image(const std::vector<sv::WalRecord>& records) {
+  std::string image;
+  for (const sv::WalRecord& r : records) {
+    image += sv::encode_wal_record(r.type, r.lsn, r.payload);
+  }
+  return image;
+}
+
+std::string valid_snapshot() {
+  commscope::support::MemoryTracker tracker;
+  std::map<std::uint64_t, sv::Session> sessions;
+  sv::Session s;
+  s.id = 7;
+  s.threads = 4;
+  s.seen = {0, 1, 2, 3, 4};
+  s.epochs_merged = 5;
+  sessions.emplace(7, std::move(s));
+  sv::Aggregate agg(8, &tracker);
+  const core::EpochTimeline t = tiny_timeline(0, 5);
+  for (const auto& e : t.epochs) agg.merge(t, e);
+  return sv::serialize_serve_state(sessions, agg, 42);
+}
+
+/// Runs restore_serve_state on hostile text; true iff it threw cleanly.
+bool snapshot_rejected(const std::string& text) {
+  commscope::support::MemoryTracker tracker;
+  std::map<std::uint64_t, sv::Session> sessions;
+  sv::Aggregate agg(8, &tracker);
+  std::uint64_t lsn = 0;
+  try {
+    sv::restore_serve_state(text, sessions, agg, lsn, &tracker);
+  } catch (const std::runtime_error&) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(FuzzIo, DamagedWalImagesYieldValidatedPrefixNeverCrash) {
+  const std::vector<sv::WalRecord> originals = valid_wal_records();
+  const std::string image = wal_image(originals);
+  cs::SplitMix64 rng(0x5eed0a11);
+  for (int i = 0; i < kIterations; ++i) {
+    const std::string hostile = damage(image, rng);
+    sv::WalReader reader(hostile, sv::kMaxWalPayload);
+    std::vector<sv::WalRecord> got;
+    while (auto r = reader.next()) got.push_back(std::move(*r));
+    // Single-byte damage (or truncation) at byte P cannot forge a CRC, so
+    // everything the reader yields must be an exact prefix of the
+    // originals; the reader stops with provenance at the damage.
+    ASSERT_LE(got.size(), originals.size());
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      EXPECT_EQ(got[k].lsn, originals[k].lsn);
+      EXPECT_EQ(static_cast<int>(got[k].type),
+                static_cast<int>(originals[k].type));
+      EXPECT_EQ(got[k].payload, originals[k].payload);
+    }
+    if (got.size() < originals.size()) {
+      EXPECT_NE(reader.stop(), sv::WalStop::kClean);
+      EXPECT_NE(reader.stop_reason()[0], '\0');
+    }
+    EXPECT_LE(reader.consumed(), hostile.size());
+  }
+}
+
+TEST(FuzzIo, WalLengthPrefixLiesNeverOverAllocate) {
+  // A header may claim any payload length; the reader must refuse claims
+  // past its cap (and zero-length claims) *before* allocating or scanning.
+  std::string lie = sv::encode_wal_record(sv::WalRecordType::kEpochs, 1,
+                                          "short payload");
+  lie[16] = static_cast<char>(0xff);  // payload_len -> ~4 GiB
+  lie[17] = static_cast<char>(0xff);
+  lie[18] = static_cast<char>(0xff);
+  lie[19] = static_cast<char>(0x7f);
+  {
+    sv::WalReader reader(lie, 4096);
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_EQ(reader.stop(), sv::WalStop::kBad);
+  }
+  {
+    // Zero-length claim: the journal never writes empty payloads, so this
+    // is a lie by construction, not a torn tail.
+    const std::string zero =
+        sv::encode_wal_record(sv::WalRecordType::kHello, 1, "x");
+    std::string forged = zero;
+    forged[16] = 0;
+    sv::WalReader reader(forged, 4096);
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_EQ(reader.stop(), sv::WalStop::kBad);
+  }
+  {
+    // A length claim larger than the remaining bytes is indistinguishable
+    // from a kill -9 mid-write: torn, not bad — the recovered prefix
+    // before it still counts.
+    const std::string rec =
+        sv::encode_wal_record(sv::WalRecordType::kHello, 1, "session 1");
+    sv::WalReader reader(std::string_view(rec).substr(0, rec.size() - 3),
+                         4096);
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_EQ(reader.stop(), sv::WalStop::kTorn);
+  }
+}
+
+TEST(FuzzIo, DuplicatedAndReorderedWalRecordsMergeExactlyOnce) {
+  // Replay is semantic, not positional: duplicated records dedupe through
+  // the session ledger, records for sessions that never said hello are
+  // skipped with provenance, and the rebuilt aggregate matches the
+  // exactly-once merge. This is the crafted-WAL (not just torn-WAL) case.
+  namespace core = commscope::core;
+  const std::string dir = "/tmp/cs_fuzz_wal_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0777);
+  const core::EpochTimeline t1 = tiny_timeline(0, 3);
+  const core::EpochTimeline t2 = tiny_timeline(3, 2);
+  std::vector<sv::WalRecord> records;
+  records.push_back({1, sv::WalRecordType::kHello, "session 7 threads 4"});
+  records.push_back({2, sv::WalRecordType::kEpochs, epochs_payload(7, t1)});
+  records.push_back({3, sv::WalRecordType::kEpochs, epochs_payload(7, t1)});
+  records.push_back({4, sv::WalRecordType::kSeal, "session 99"});  // unknown
+  records.push_back({5, sv::WalRecordType::kEpochs, epochs_payload(42, t2)});
+  records.push_back({6, sv::WalRecordType::kEpochs, epochs_payload(7, t2)});
+  {
+    std::ofstream wal(dir + "/wal.log", std::ios::binary | std::ios::trunc);
+    const std::string image = wal_image(records);
+    wal.write(image.data(), static_cast<std::streamsize>(image.size()));
+  }
+  std::remove((dir + "/snapshot.commscope").c_str());
+
+  sv::ServeOptions o;
+  o.socket_path = dir + "/sock";
+  o.state_dir = dir;
+  sv::ServeServer server(o);
+  ASSERT_TRUE(server.open()) << server.last_error();
+  const sv::ServeStats st = server.snapshot();
+  EXPECT_EQ(st.recovery_records, 6u);
+  EXPECT_EQ(st.recovered_epochs, 5u);   // 3 + 2, duplicates absorbed
+  EXPECT_GE(st.recovery_skipped, 1u);   // session 42 never said hello
+  core::Matrix expected = t1.total();
+  expected += t2.total();
+  EXPECT_TRUE(server.merged_matrix() == expected);
+}
+
+TEST(FuzzIo, DamagedSnapshotsAlwaysThrowCleanly) {
+  const std::string original = valid_snapshot();
+  cs::SplitMix64 rng(0x5a55a55a);
+  int rejected = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    if (snapshot_rejected(damage(original, rng))) ++rejected;
+  }
+  // The CRC trailer covers the whole image: every damaged variant rejects.
+  EXPECT_EQ(rejected, kIterations);
+}
+
+TEST(FuzzIo, CrcValidButHostileSnapshotsRejectBeforeAllocation) {
+  // An attacker (or a bad disk plus luck) can produce a snapshot whose CRC
+  // is self-consistent but whose counts lie. Every cap must trip before
+  // the allocation it guards.
+  const auto forge = [](const std::string& body) {
+    return commscope::support::with_crc_trailer(std::string(body));
+  };
+  // Claims 2^20 sessions.
+  EXPECT_TRUE(snapshot_rejected(
+      forge("commscope-serve-snapshot 1\nlsn 0\nsessions 1048576\n")));
+  // One session claiming a 999-million-entry dedupe ledger.
+  EXPECT_TRUE(snapshot_rejected(forge(
+      "commscope-serve-snapshot 1\nlsn 0\nsessions 1\n"
+      "session 7 threads 4 state active merged 0 deduped 0 seen 999000000\n")));
+  // Zero threads.
+  EXPECT_TRUE(snapshot_rejected(forge(
+      "commscope-serve-snapshot 1\nlsn 0\nsessions 1\n"
+      "session 7 threads 0 state active merged 0 deduped 0 seen 0\n")));
+  // Aggregate claiming a 100k-thread dense matrix.
+  EXPECT_TRUE(snapshot_rejected(forge(
+      "commscope-serve-snapshot 1\nlsn 0\nsessions 0\n"
+      "aggregate threads 100000 sealed 0 dropped 0 labels 0 ring 0\n"
+      "cells\n")));
+  // Truncated: sessions promised but absent.
+  EXPECT_TRUE(snapshot_rejected(
+      forge("commscope-serve-snapshot 1\nlsn 0\nsessions 3\n")));
+  // Wrong version.
+  EXPECT_TRUE(snapshot_rejected(
+      forge("commscope-serve-snapshot 2\nlsn 0\nsessions 0\n")));
+  // And the control: the untampered image restores.
+  EXPECT_FALSE(snapshot_rejected(valid_snapshot()));
 }

@@ -7,12 +7,15 @@
 // bit-identical to the sum of every client's ground truth.
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -26,6 +29,7 @@
 #include "core/flight_recorder.hpp"
 #include "resilience/fault_injector.hpp"
 #include "serve/frame.hpp"
+#include "serve/journal.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
 #include "serve/shipper.hpp"
@@ -594,6 +598,430 @@ TEST(ServeSoak, EightClientsThroughInjectedFaultsMergeBitIdentical) {
   // check in one move).
   std::ofstream artifact("serve_soak.metrics");
   ASSERT_TRUE(sv::scrape_metrics(socket, artifact));
+}
+
+// --- durability: WAL + snapshot + recovery ----------------------------------
+
+std::string next_state_dir() {
+  static int n = 0;
+  const std::string dir = "/tmp/cs_serve_state_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(++n);
+  std::remove((dir + "/wal.log").c_str());
+  std::remove((dir + "/snapshot.commscope").c_str());
+  std::remove((dir + "/snapshot.commscope.tmp").c_str());
+  ::rmdir(dir.c_str());
+  return dir;
+}
+
+sv::ServeOptions durable_options(const std::string& socket,
+                                 const std::string& state_dir) {
+  sv::ServeOptions o = fast_options(socket);
+  o.state_dir = state_dir;
+  o.fsync_policy = sv::FsyncPolicy::kOnCompaction;  // tests favor speed
+  return o;
+}
+
+std::string epochs_document(const cc::EpochTimeline& t) {
+  std::ostringstream os;
+  cc::write_epochs(os, t);
+  return os.str();
+}
+
+TEST(ServeDurable, RestartRecoversLedgerAndDedupesRedelivery) {
+  const std::string socket = next_socket_path();
+  const std::string state = next_state_dir();
+  const cc::EpochTimeline truth = make_truth(6, 0xD0D0);
+
+  {
+    ServerHandle h(durable_options(socket, state));
+    ASSERT_TRUE(h.start());
+    sv::EpochShipper s(shipper_options(socket, 55));
+    ASSERT_TRUE(s.ship(truth));
+    ASSERT_TRUE(wait_until(
+        [&] { return h.server.snapshot().epochs_merged == 6; }));
+    const sv::ServeStats st = h.server.snapshot();
+    EXPECT_GE(st.wal_records, 2u);  // hello + at least one epochs record
+    EXPECT_FALSE(st.wal_failed);
+  }  // ~ServerHandle stops the daemon; exit path compacts
+
+  // Restart on the same state dir: the dedupe ledger and aggregate come
+  // back, so a client re-sending hello with the same session id and
+  // redelivering everything merges exactly once.
+  ServerHandle h2(durable_options(socket, state));
+  ASSERT_TRUE(h2.start());
+  {
+    const sv::ServeStats st = h2.server.snapshot();
+    EXPECT_TRUE(st.recovered);
+    EXPECT_EQ(st.recovered_sessions, 1u);
+  }
+  EXPECT_TRUE(h2.server.merged_matrix() == truth.total());
+
+  sv::EpochShipper again(shipper_options(socket, 55));
+  ASSERT_TRUE(again.ship(truth));
+  ASSERT_TRUE(wait_until(
+      [&] { return h2.server.snapshot().epochs_deduped == 6; }));
+  const sv::ServeStats st = h2.server.snapshot();
+  EXPECT_EQ(st.epochs_merged, 0u);  // nothing new merged this process
+  EXPECT_TRUE(h2.server.merged_matrix() == truth.total());
+}
+
+TEST(ServeDurable, TornWalTailToleratedAndQuarantined) {
+  const std::string socket = next_socket_path();
+  const std::string state = next_state_dir();
+  const cc::EpochTimeline t1 = make_truth(3, 0xE1, 0);
+  const cc::EpochTimeline t2 = make_truth(3, 0xE2, 3);
+
+  {
+    // Build a WAL by hand: hello, two epochs records, then a half-written
+    // record — exactly what a kill -9 mid-append leaves behind.
+    sv::JournalOptions jo;
+    jo.dir = state;
+    jo.policy = sv::FsyncPolicy::kOnCompaction;
+    jo.compact_every = 0;
+    sv::Journal j(jo);
+    std::string snapshot, err;
+    std::vector<sv::WalRecord> tail;
+    ASSERT_TRUE(j.recover(snapshot, tail, err)) << err;
+    ASSERT_TRUE(j.open(err)) << err;
+    ASSERT_TRUE(j.append(sv::WalRecordType::kHello, "session 77 threads 4",
+                         false));
+    ASSERT_TRUE(j.append(sv::WalRecordType::kEpochs,
+                         "session 77\n" + epochs_document(t1), true));
+    ASSERT_TRUE(j.append(sv::WalRecordType::kEpochs,
+                         "session 77\n" + epochs_document(t2), true));
+    const std::string torn = sv::encode_wal_record(
+        sv::WalRecordType::kEpochs, 99, "session 77\nnever finished");
+    std::ofstream wal(j.wal_path(), std::ios::binary | std::ios::app);
+    wal.write(torn.data(),
+              static_cast<std::streamsize>(torn.size() / 2));
+  }
+
+  ServerHandle h(durable_options(socket, state));
+  ASSERT_TRUE(h.start());
+  const sv::ServeStats st = h.server.snapshot();
+  EXPECT_TRUE(st.recovered);
+  EXPECT_TRUE(st.recovered_torn_tail);
+  EXPECT_EQ(st.recovery_records, 3u);
+  EXPECT_EQ(st.recovered_epochs, 6u);
+  cc::Matrix expected = t1.total();
+  expected += t2.total();
+  EXPECT_TRUE(h.server.merged_matrix() == expected);
+  // The post-recovery compaction quarantined the damage: the WAL was
+  // truncated, so a second recovery sees a clean (empty) log.
+  struct stat wal_st{};
+  ASSERT_EQ(::stat((state + "/wal.log").c_str(), &wal_st), 0);
+  EXPECT_EQ(wal_st.st_size, 0);
+}
+
+TEST(ServeDurable, NoRecoverDiscardsPersistedState) {
+  const std::string socket = next_socket_path();
+  const std::string state = next_state_dir();
+  const cc::EpochTimeline truth = make_truth(4, 0xDEAD);
+  {
+    ServerHandle h(durable_options(socket, state));
+    ASSERT_TRUE(h.start());
+    sv::EpochShipper s(shipper_options(socket, 88));
+    ASSERT_TRUE(s.ship(truth));
+    ASSERT_TRUE(wait_until(
+        [&] { return h.server.snapshot().epochs_merged == 4; }));
+  }
+  sv::ServeOptions o = durable_options(socket, state);
+  o.no_recover = true;
+  ServerHandle h2(o);
+  ASSERT_TRUE(h2.start());
+  EXPECT_FALSE(h2.server.snapshot().recovered);
+  EXPECT_EQ(h2.server.merged_timeline().epochs.size(), 0u);
+  // The discarded ledger means the same session id merges fresh.
+  sv::EpochShipper again(shipper_options(socket, 88));
+  ASSERT_TRUE(again.ship(truth));
+  ASSERT_TRUE(wait_until(
+      [&] { return h2.server.snapshot().epochs_merged == 4; }));
+}
+
+TEST(ServeDurable, CorruptSnapshotRefusesToStart) {
+  const std::string socket = next_socket_path();
+  const std::string state = next_state_dir();
+  {
+    ServerHandle h(durable_options(socket, state));
+    ASSERT_TRUE(h.start());
+    sv::EpochShipper s(shipper_options(socket, 99));
+    ASSERT_TRUE(s.ship(make_truth(2, 0xBAD)));
+    ASSERT_TRUE(wait_until(
+        [&] { return h.server.snapshot().epochs_merged == 2; }));
+  }
+  {
+    // Flip one byte mid-snapshot: the CRC trailer must catch it and the
+    // daemon must refuse to start (silent discard needs --no-recover).
+    std::fstream f(state + "/snapshot.commscope",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekp(40);
+    f.put('~');
+  }
+  sv::ServeServer refused(durable_options(socket, state));
+  EXPECT_FALSE(refused.open());
+  EXPECT_NE(refused.last_error().find("snapshot"), std::string::npos);
+}
+
+TEST(ServeDurable, SignalDrainSealsSessionsAndSnapshots) {
+  const std::string socket = next_socket_path();
+  const std::string state = next_state_dir();
+  static volatile std::sig_atomic_t drain = 0;
+  drain = 0;
+  sv::ServeOptions o = durable_options(socket, state);
+  o.drain_flag = &drain;
+  ServerHandle h(o);
+  ASSERT_TRUE(h.start());
+  const cc::EpochTimeline truth = make_truth(5, 0x51);
+  sv::EpochShipper s(shipper_options(socket, 61));
+  ASSERT_TRUE(s.ship(truth));
+  ASSERT_TRUE(wait_until(
+      [&] { return h.server.snapshot().epochs_merged == 5; }));
+
+  drain = 1;  // what the SIGTERM handler does
+  ASSERT_TRUE(wait_until([&] { return h.server.snapshot().drained; }));
+  h.stop();
+  const sv::ServeStats st = h.server.snapshot();
+  EXPECT_TRUE(st.drained);
+  EXPECT_EQ(st.sessions_sealed, 1u);
+
+  // The drained snapshot restores; the sealed session stays sealed, so the
+  // id is refused on reconnect.
+  ServerHandle h2(durable_options(socket, state));
+  ASSERT_TRUE(h2.start());
+  EXPECT_TRUE(h2.server.merged_matrix() == truth.total());
+  sv::ShipperOptions so = shipper_options(socket, 61);
+  so.max_attempts = 2;
+  sv::EpochShipper late(so);
+  EXPECT_FALSE(late.ship(make_truth(1, 0x52, 90)));
+  EXPECT_TRUE(wait_until(
+      [&] { return h2.server.snapshot().sessions_shed >= 1; }));
+  std::remove(so.spill_path.c_str());
+}
+
+TEST(ServeDurable, WalWriteShortFailsJournalDaemonStaysLive) {
+  const std::string socket = next_socket_path();
+  const std::string state = next_state_dir();
+  cr::FaultPlan plan;
+  plan.wal_write_short_at = 2;  // the first epochs append short-writes
+  cr::FaultInjector injector(plan, cr::KillMode::kThrow);
+  sv::ServeOptions o = durable_options(socket, state);
+  o.injector = &injector;
+  ServerHandle h(o);
+  ASSERT_TRUE(h.start());
+  const cc::EpochTimeline truth = make_truth(3, 0x77);
+  sv::EpochShipper s(shipper_options(socket, 71));
+  ASSERT_TRUE(s.ship(truth));
+  ASSERT_TRUE(wait_until(
+      [&] { return h.server.snapshot().epochs_merged == 3; }));
+  const sv::ServeStats st = h.server.snapshot();
+  // Availability first: the journal gave up (counted), the merge did not.
+  EXPECT_TRUE(st.wal_failed);
+  EXPECT_GE(st.wal_write_errors, 1u);
+  EXPECT_TRUE(h.server.merged_matrix() == truth.total());
+}
+
+TEST(ServeDurable, FsyncFailureDegradesDurabilityLadder) {
+  const std::string socket = next_socket_path();
+  const std::string state = next_state_dir();
+  cr::FaultPlan plan;
+  plan.wal_fsync_fail_at = 1;
+  cr::FaultInjector injector(plan, cr::KillMode::kThrow);
+  sv::ServeOptions o = durable_options(socket, state);
+  o.fsync_policy = sv::FsyncPolicy::kPerAck;
+  o.injector = &injector;
+  ServerHandle h(o);
+  ASSERT_TRUE(h.start());
+  sv::EpochShipper s(shipper_options(socket, 72));
+  ASSERT_TRUE(s.ship(make_truth(2, 0x88)));
+  ASSERT_TRUE(wait_until(
+      [&] { return h.server.snapshot().epochs_merged == 2; }));
+  const sv::ServeStats st = h.server.snapshot();
+  EXPECT_GE(st.wal_fsync_failures, 1u);
+  // A failed barrier walks the ladder down instead of killing the daemon.
+  EXPECT_GT(st.wal_rung, static_cast<int>(sv::FsyncPolicy::kPerAck));
+  EXPECT_FALSE(st.wal_failed);
+}
+
+TEST(ServeDurable, ReplaysTenThousandRecordWalTail) {
+  const std::string socket = next_socket_path();
+  const std::string state = next_state_dir();
+  constexpr int kRecords = 10'000;
+  {
+    sv::JournalOptions jo;
+    jo.dir = state;
+    jo.policy = sv::FsyncPolicy::kOnCompaction;
+    jo.compact_every = 0;  // never compact: everything stays in the tail
+    sv::Journal j(jo);
+    std::string snapshot, err;
+    std::vector<sv::WalRecord> tail;
+    ASSERT_TRUE(j.recover(snapshot, tail, err)) << err;
+    ASSERT_TRUE(j.open(err)) << err;
+    ASSERT_TRUE(j.append(sv::WalRecordType::kHello, "session 5 threads 4",
+                         false));
+    for (int i = 1; i < kRecords; ++i) {
+      const cc::EpochTimeline one =
+          make_truth(1, 0x4000 + static_cast<std::uint64_t>(i),
+                     static_cast<std::uint64_t>(i));
+      ASSERT_TRUE(j.append(sv::WalRecordType::kEpochs,
+                           "session 5\n" + epochs_document(one), false));
+    }
+  }
+  sv::ServeOptions o = durable_options(socket, state);
+  o.merged_ring = 64;  // the bounded ring must absorb a much longer replay
+  o.mem_budget_bytes = 32u << 20;
+  ServerHandle h(o);
+  ASSERT_TRUE(h.start());
+  const sv::ServeStats st = h.server.snapshot();
+  EXPECT_EQ(st.recovery_records, static_cast<std::uint64_t>(kRecords));
+  EXPECT_EQ(st.recovered_epochs, static_cast<std::uint64_t>(kRecords - 1));
+  const cc::EpochTimeline merged = h.server.merged_timeline();
+  EXPECT_EQ(merged.sealed, static_cast<std::uint64_t>(kRecords - 1));
+  EXPECT_EQ(merged.epochs.size(), 64u);
+}
+
+// --- the chaos harness: kill -9 across every window -------------------------
+
+pid_t spawn_daemon(const std::string& cli, const std::string& socket,
+                   const std::string& state, const char* fault,
+                   const std::string& extra = "") {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  if (fault != nullptr) {
+    ::setenv("COMMSCOPE_FAULT", fault, 1);
+  } else {
+    ::unsetenv("COMMSCOPE_FAULT");
+  }
+  std::vector<std::string> args = {cli,
+                                   "serve",
+                                   "--socket=" + socket,
+                                   "--state-dir=" + state,
+                                   "--reap-ms=0",
+                                   "--quiet"};
+  if (!extra.empty()) args.push_back(extra);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(cli.c_str(), argv.data());
+  ::_exit(127);
+}
+
+int await_exit(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return status;
+}
+
+TEST(ServeChaos, KillNineAtEveryWindowRecoversBitIdentical) {
+  const char* cli = std::getenv("COMMSCOPE_CLI");
+  if (cli == nullptr) {
+    GTEST_SKIP() << "COMMSCOPE_CLI not set (needs the commscope binary)";
+  }
+  const std::string socket = next_socket_path();
+  const std::string state = next_state_dir();
+  const cc::EpochTimeline t1 = make_truth(25, 0xC1A0);
+  const cc::EpochTimeline t2 = make_truth(25, 0xC1A1);
+  const cc::EpochTimeline t3 = make_truth(25, 0xC1A2);
+
+  const auto reship = [&](std::uint64_t session, const cc::EpochTimeline& t) {
+    // Full redelivery after every crash: the recovered dedupe ledger turns
+    // at-least-once into exactly-once.
+    sv::ShipperOptions so = shipper_options(socket, session);
+    so.max_attempts = 20;
+    sv::EpochShipper s(so);
+    s.flush();  // replay any spill from the crashed attempt
+    return s.ship(t);
+  };
+
+  // Window 1 — post-merge / pre-ack: the daemon SIGKILLs itself halfway
+  // through writing the first epochs record (wal-torn-tail). Nothing was
+  // acked, so the client's redelivery must land everything exactly once.
+  pid_t pid = spawn_daemon(cli, socket, state, "wal-torn-tail:2");
+  {
+    sv::ShipperOptions so = shipper_options(socket, 201);
+    so.max_attempts = 3;
+    sv::EpochShipper s(so);
+    (void)s.ship(t1);  // dies under us; spill or failure both fine
+  }
+  int status = await_exit(pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "wal-torn-tail fault did not SIGKILL the daemon";
+
+  pid = spawn_daemon(cli, socket, state, nullptr);
+  ASSERT_TRUE(reship(201, t1));
+
+  // Window 2 — mid-compaction / mid-snapshot: --compact-every=1 compacts
+  // after every record; the injected crash tears the snapshot tmp file.
+  // The ack for t2 was already sent, so recovery MUST reproduce it from
+  // the previous snapshot + WAL.
+  ::kill(pid, SIGKILL);
+  await_exit(pid);
+  pid = spawn_daemon(cli, socket, state, "snapshot-crash-mid-write:2",
+                     "--compact-every=1");
+  {
+    sv::ShipperOptions so = shipper_options(socket, 202);
+    so.max_attempts = 3;
+    sv::EpochShipper s(so);
+    (void)s.ship(t2);
+  }
+  status = await_exit(pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "snapshot-crash-mid-write fault did not SIGKILL the daemon";
+
+  pid = spawn_daemon(cli, socket, state, nullptr);
+  ASSERT_TRUE(reship(202, t2));
+
+  // Window 3 — randomized external kill -9 while a client streams (covers
+  // mid-frame and every point in between), repeated.
+  int rounds = 3;
+  if (const char* env = std::getenv("COMMSCOPE_CHAOS_ROUNDS")) {
+    rounds = std::max(1, std::atoi(env));
+  }
+  cs::SplitMix64 rng(0xC4A05);
+  for (int r = 0; r < rounds; ++r) {
+    std::thread client([&] {
+      sv::ShipperOptions so = shipper_options(socket, 203);
+      so.max_attempts = 2;
+      sv::EpochShipper s(so);
+      (void)s.ship(t3);
+    });
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1 + rng.next_below(40)));
+    ::kill(pid, SIGKILL);
+    await_exit(pid);
+    client.join();
+    pid = spawn_daemon(cli, socket, state, nullptr);
+  }
+  ASSERT_TRUE(reship(203, t3));
+
+  // Graceful exit: SIGTERM drains (seal + final snapshot) and exits 0.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ::kill(pid, SIGTERM);
+  status = await_exit(pid);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "SIGTERM drain did not exit 0 (status " << status << ")";
+
+  // The acceptance bar: after four crash windows and a drain, the merged
+  // matrix is bit-identical to the sum of the three ground truths.
+  ServerHandle verify(durable_options(next_socket_path(), state));
+  ASSERT_TRUE(verify.start());
+  const sv::ServeStats st = verify.server.snapshot();
+  EXPECT_TRUE(st.recovered);
+  EXPECT_EQ(st.recovered_sessions, 3u);
+  cc::Matrix expected = t1.total();
+  expected += t2.total();
+  expected += t3.total();
+  EXPECT_TRUE(verify.server.merged_matrix() == expected);
+
+  // Metrics artifact for the CI chaos job.
+  std::ofstream artifact("serve_chaos.metrics");
+  artifact << "# chaos: sessions=" << st.recovered_sessions
+           << " merged-cells-ok=1\n";
+  for (std::uint64_t sid : {201u, 202u, 203u}) {
+    std::remove((socket + "." + std::to_string(sid) + ".spill.epochs").c_str());
+  }
 }
 
 }  // namespace

@@ -103,6 +103,7 @@
 // snapshot written first).
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -208,7 +209,8 @@ const std::vector<std::string>& known_flags_for(const std::string& cmd) {
       {"serve",
        {"socket", "mem-budget", "reap-ms", "max-sessions", "sessions",
         "idle-exit-ms", "epochs-out", "metrics-out", "quiet", "scrape",
-        "timeout"}},
+        "timeout", "state-dir", "fsync", "fsync-n", "compact-every",
+        "no-recover"}},
   };
   static const std::vector<std::string> none;
   const auto it = table.find(cmd);
@@ -241,7 +243,12 @@ int usage() {
          "  top <workload>            live view of the profiler while it runs\n"
          "  serve --socket=PATH       multi-client epoch aggregation daemon\n"
          "                            (--scrape pulls metrics from a live one;\n"
-         "                            clients ship with run --ship-to=PATH)\n"
+         "                            clients ship with run --ship-to=PATH;\n"
+         "                            --state-dir=DIR makes it crash-durable:\n"
+         "                            --fsync=per-ack|per-n|on-compaction,\n"
+         "                            --fsync-n=N, --compact-every=N,\n"
+         "                            --no-recover discards persisted state;\n"
+         "                            SIGTERM/SIGINT drain gracefully, exit 0)\n"
          "\n"
          "common run/replay/top flags: --threads=N --scale=dev|small|large\n"
          "  --backend=signature|exact --batch=N --phases=BYTES\n"
@@ -1159,6 +1166,25 @@ int cmd_diff(const cs::ArgParser& args) {
   return 1;
 }
 
+/// Set (and only set) by the SIGTERM/SIGINT handlers below; the serve poll
+/// loop polls it and runs the graceful drain — seal every active session,
+/// take a final snapshot, return — so a signalled daemon exits 0 with
+/// nothing acknowledged left undurable.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+extern "C" void serve_drain_handler(int /*signo*/) { g_drain_requested = 1; }
+
+/// Installs SIGTERM/SIGINT drain handlers without SA_RESTART, so a pending
+/// poll() wakes with EINTR and the loop notices the flag immediately.
+void install_drain_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = serve_drain_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
 int cmd_serve(const cs::ArgParser& args) {
   const bool quiet = args.has("quiet");
   std::ostream& log = out_stream(quiet);
@@ -1200,6 +1226,23 @@ int cmd_serve(const cs::ArgParser& args) {
       static_cast<std::uint64_t>(args.get_int_strict("sessions", 0));
   opts.idle_exit_ms =
       static_cast<std::uint32_t>(args.get_int_strict("idle-exit-ms", 0));
+  opts.state_dir = args.get("state-dir", "");
+  if (args.has("fsync")) {
+    const std::string policy = args.get("fsync");
+    const auto parsed = csv::parse_fsync_policy(policy);
+    if (!parsed) {
+      throw std::invalid_argument(
+          "serve: --fsync: expected per-ack, per-n or on-compaction, got '" +
+          policy + "'");
+    }
+    opts.fsync_policy = *parsed;
+  }
+  opts.fsync_every =
+      static_cast<std::uint32_t>(args.get_int_strict("fsync-n", 256));
+  opts.compact_every =
+      static_cast<std::uint64_t>(args.get_int_strict("compact-every", 4096));
+  opts.no_recover = args.has("no-recover");
+  opts.drain_flag = &g_drain_requested;
   opts.log = quiet ? nullptr : &std::cout;
   std::unique_ptr<cr::FaultInjector> injector;
   if (const auto plan = cr::FaultInjector::plan_from_env()) {
@@ -1207,6 +1250,11 @@ int cmd_serve(const cs::ArgParser& args) {
     opts.injector = injector.get();
   }
 
+  // Handlers go in before open(): recovery replay + the startup compaction
+  // can take a while on a big WAL tail, and a SIGTERM landing in that
+  // window must still reach the drain path (the flag is simply observed on
+  // the first run() iteration) instead of killing the process mid-write.
+  install_drain_handlers();
   csv::ServeServer server(std::move(opts));
   if (!server.open()) {
     std::cerr << "commscope: " << server.last_error() << "\n";
@@ -1239,6 +1287,13 @@ int cmd_serve(const cs::ArgParser& args) {
   if (watchdog.joinable()) watchdog.join();
 
   const csv::ServeStats stats = server.snapshot();
+  if (stats.drained) log << "serve: drained on signal\n";
+  if (stats.recovered) {
+    log << "serve: recovered " << stats.recovered_sessions << " session(s), "
+        << stats.recovery_records << " WAL record(s) replayed ("
+        << stats.recovered_epochs << " epoch(s))"
+        << (stats.recovered_torn_tail ? ", torn tail tolerated" : "") << "\n";
+  }
   log << "serve: " << stats.sessions_accepted << " session(s) ("
       << stats.sessions_sealed << " sealed, " << stats.sessions_reaped
       << " reaped, " << stats.sessions_dropped << " dropped, "
