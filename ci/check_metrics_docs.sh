@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Fails when a runtime serve.* or self.* metric exists in the source but is
+# missing from the README "Metrics reference" table. Two sources of truth:
+#
+#   1. literal counter("...")/gauge("...")/histogram("...") registrations
+#      anywhere under src/ and tools/;
+#   2. the serve daemon's publish_metrics_locked body, which publishes the
+#      snapshot under literal names that may not all appear as direct
+#      registrations elsewhere.
+#
+# Trace span names (serve.hello, serve.frame, ...) are deliberately NOT
+# collected: they are Tracer event names, not metrics.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+names=$(
+  {
+    grep -rhoE '(counter|gauge|histogram)\("(serve|self)\.[a-z0-9._-]+"' \
+        src tools | sed -E 's/.*\("([^"]+)"\)?/\1/'
+    awk '/void ServeServer::publish_metrics_locked/,/^}/' \
+        src/serve/server.cpp |
+      grep -hoE '"(serve|self)\.[a-z0-9._-]+"' | tr -d '"'
+  } | sort -u
+)
+
+if [ -z "$names" ]; then
+  echo "check_metrics_docs: extracted no metric names — pattern rot?" >&2
+  exit 1
+fi
+
+missing=0
+for n in $names; do
+  if ! grep -q "\`$n\`" README.md; then
+    echo "README.md metrics table is missing: $n" >&2
+    missing=1
+  fi
+done
+
+count=$(echo "$names" | wc -l)
+if [ "$missing" -ne 0 ]; then
+  echo "check_metrics_docs: FAILED (of $count runtime metrics)" >&2
+  exit 1
+fi
+echo "check_metrics_docs: all $count runtime serve.*/self.* metrics documented"

@@ -36,7 +36,9 @@ enum class FrameType : std::uint8_t {
   kEpochs = 2,      ///< core/epoch_io text document
   kHeartbeat = 3,   ///< empty; refreshes the session's reap deadline
   kBye = 4,         ///< empty; graceful session close (contribution sealed)
-  kScrape = 5,      ///< empty; request a metrics snapshot
+  kScrape = 5,      ///< metrics snapshot request; empty payload = v1 text,
+                    ///< optional "prometheus" payload selects the Prometheus
+                    ///< exposition format (pre-exporter daemons ignore it)
   kScrapeReply = 6, ///< "# commscope-metrics v1" text snapshot
   kAck = 7,         ///< "<n> accepted"; server ack for an epochs frame.
                     ///< Clients only mark epochs shipped once acked, so an

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/epoch_io.hpp"
+#include "serve/wire_ctx.hpp"
 #include "support/textio.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -22,6 +23,19 @@ namespace commscope::serve {
 namespace ctl = telemetry;
 
 namespace {
+
+/// Stage-clock sample for the serve.stage.* latency histograms. Compiles to
+/// a constant when telemetry is off so the staged pipeline costs nothing.
+std::uint64_t mono_us() noexcept {
+#if defined(COMMSCOPE_TELEMETRY_DISABLED)
+  return 0;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
 
 int make_listen_socket(const std::string& path, std::string& error) {
   sockaddr_un addr{};
@@ -355,6 +369,8 @@ void ServeServer::handle_hello(Conn& c, const std::string& payload) {
   }
   std::uint64_t id = 0;
   int threads = 0;
+  std::uint64_t ctx = 0;
+  std::uint64_t tns = 0;
   try {
     support::TokenScanner scan(payload, "serve-hello");
     if (scan.next_token() != "commscope-hello") scan.fail("bad greeting");
@@ -368,10 +384,32 @@ void ServeServer::handle_hello(Conn& c, const std::string& payload) {
     threads = static_cast<int>(scan.next_uint_capped<std::uint32_t>(
         "threads", options_.max_threads));
     if (threads < 1) scan.fail("threads must be >= 1");
+    // Optional trailers from context-aware clients: "ctx <hex>" is the
+    // cross-process trace context, "tns <ns>" the client's trace-clock
+    // reading when the hello was built (the clock-offset sample `commscope
+    // trace --merge` pairs with this daemon's own receive timestamp). The
+    // trailer space stays open-ended — an unknown key ends the parse rather
+    // than failing it, mirroring how pre-context daemons ignored ours.
+    while (!scan.at_end()) {
+      const std::string_view key = scan.next_token();
+      if (key == "ctx") {
+        ctx = ctx_from_hex(scan.next_token());
+      } else if (key == "tns") {
+        tns = scan.next_uint<std::uint64_t>("tns");
+      } else {
+        break;
+      }
+    }
   } catch (const std::runtime_error&) {
     ++stats_.drops_bad_payload;
     drop_session(c, "bad-hello");
     return;
+  }
+  if (ctx != 0) {
+    ctl::counter("serve.ctx.received").add(1);
+    // The daemon-side half of the handshake clock-offset pair: args.v holds
+    // the client's clock reading, ts holds ours.
+    ctl::Tracer::instant("serve.hello", ctl::SpanCat::kServe, -1, ctx, tns);
   }
 
   const auto it = sessions_.find(id);
@@ -387,6 +425,7 @@ void ServeServer::handle_hello(Conn& c, const std::string& payload) {
     }
     c.session = id;  // reconnect: reattach to the existing dedupe ledger
     it->second.last_activity_ms = now_ms();
+    if (ctx != 0) it->second.ctx = ctx;  // re-established, never persisted
     log_line("session " + std::to_string(id) + " reattached");
     return;
   }
@@ -408,6 +447,7 @@ void ServeServer::handle_hello(Conn& c, const std::string& payload) {
   Session s;
   s.id = id;
   s.threads = threads;
+  s.ctx = ctx;
   s.last_activity_ms = now_ms();
   s.charged = kSessionBaseCost;
   tracker_.add(s.charged);
@@ -431,7 +471,18 @@ void ServeServer::send_ack(Conn& c, std::uint64_t accepted) {
   // retried and deduped instead of silently losing data. Frames the ladder
   // intentionally sampled out or shed are acked too — that loss is the
   // ladder's documented accuracy trade, not a delivery failure to retry.
-  const std::string ack = std::to_string(accepted) + " accepted";
+  //
+  // The "ctx <hex>" echo (only for sessions that announced one) is the
+  // version negotiation for trace-context propagation: pre-context clients
+  // never parsed the ack payload, context-aware clients take its absence to
+  // mean a pre-context daemon.
+  std::string ack = std::to_string(accepted) + " accepted";
+  if (c.session != 0) {
+    const auto it = sessions_.find(c.session);
+    if (it != sessions_.end() && it->second.ctx != 0) {
+      ack += " ctx " + ctx_to_hex(it->second.ctx);
+    }
+  }
   if (!send_all(c.fd, encode_frame(FrameType::kAck, ack))) close_conn(c);
 }
 
@@ -455,6 +506,8 @@ void ServeServer::handle_epochs(Conn& c, const std::string& payload) {
     return;
   }
 
+  const std::uint64_t span_t0 = ctl::Tracer::now_ns();
+  const std::uint64_t t_start = mono_us();
   core::EpochTimeline src;
   try {
     src = core::read_epochs(std::string_view(payload));
@@ -470,8 +523,16 @@ void ServeServer::handle_epochs(Conn& c, const std::string& payload) {
     drop_session(c, "threads-out-of-range");
     return;
   }
+  const std::uint64_t t_decoded = mono_us();
+
+  // Staged so every leg of the daemon pipeline (decode -> dedupe -> merge ->
+  // journal -> ack; fsync is timed inside the journal as serve.wal.fsync_us)
+  // owns a latency histogram: the dedupe pass collects fresh epochs in frame
+  // order, then the merge pass consumes them — same merge order as the old
+  // interleaved loop.
   std::uint64_t accepted = 0;
-  std::uint64_t merged_now = 0;
+  std::vector<const core::EpochSample*> fresh;
+  fresh.reserve(src.epochs.size());
   for (const core::EpochSample& e : src.epochs) {
     if (!sess.seen.insert(e.index).second) {
       // Redelivery after a retry — the (session id, epoch index) ledger
@@ -483,29 +544,63 @@ void ServeServer::handle_epochs(Conn& c, const std::string& payload) {
     }
     sess.charged += kSeenEntryCost;
     tracker_.add(kSeenEntryCost);
-    aggregate_->merge(src, e);
-    ++stats_.epochs_merged;
-    ++sess.epochs_merged;
-    ++merged_now;
+    fresh.push_back(&e);
     ++accepted;
   }
-  if (journal_ && merged_now > 0) {
+  const std::uint64_t t_deduped = mono_us();
+
+  const std::uint64_t merge_t0 = ctl::Tracer::now_ns();
+  for (const core::EpochSample* e : fresh) {
+    aggregate_->merge(src, *e);
+    ++stats_.epochs_merged;
+    ++sess.epochs_merged;
+  }
+  const std::uint64_t t_merged = mono_us();
+  if (!fresh.empty()) {
+    ctl::Tracer::complete("serve.merge", ctl::SpanCat::kServe, -1, merge_t0,
+                          ctl::Tracer::now_ns() - merge_t0, sess.ctx,
+                          fresh.size());
+  }
+
+  if (journal_ && !fresh.empty()) {
     // The durability contract: the verbatim validated frame is journaled —
     // and the fsync-policy barrier runs — strictly before the ack leaves.
     // An all-duplicate frame changes no state and is not re-journaled.
+    const std::uint64_t journal_t0 = ctl::Tracer::now_ns();
     const std::string prefix =
         "session " + std::to_string(c.session) + "\n";
     (void)journal_->append(WalRecordType::kEpochs, prefix, payload,
                            /*barrier=*/true);
+    ctl::Tracer::complete("serve.journal", ctl::SpanCat::kWal, -1,
+                          journal_t0, ctl::Tracer::now_ns() - journal_t0,
+                          sess.ctx, fresh.size());
   }
+  const std::uint64_t t_journaled = mono_us();
   send_ack(c, accepted);
+  const std::uint64_t t_acked = mono_us();
+
+  ctl::histogram("serve.stage.decode_us").record(t_decoded - t_start);
+  ctl::histogram("serve.stage.dedupe_us").record(t_deduped - t_decoded);
+  ctl::histogram("serve.stage.merge_us").record(t_merged - t_deduped);
+  ctl::histogram("serve.stage.journal_us").record(t_journaled - t_merged);
+  ctl::histogram("serve.stage.ack_us").record(t_acked - t_journaled);
+  ctl::histogram("serve.stage.e2e_us").record(t_acked - t_start);
+  ctl::Tracer::complete("serve.frame", ctl::SpanCat::kServe, -1, span_t0,
+                        ctl::Tracer::now_ns() - span_t0, sess.ctx, accepted);
   if (journal_ && journal_->should_compact()) compact_locked();
 }
 
-void ServeServer::handle_scrape(Conn& c) {
+void ServeServer::handle_scrape(Conn& c, const std::string& payload) {
   ++stats_.scrapes;
   std::ostringstream out;
-  ctl::write_metrics(out, metrics_snapshot_locked());
+  // An optional "prometheus" payload selects the exposition format; any
+  // other payload (including the historical empty one) gets v1 text, so
+  // old scrapers see exactly what they always saw.
+  if (payload == "prometheus") {
+    ctl::write_prometheus(out, metrics_snapshot_locked());
+  } else {
+    ctl::write_metrics(out, metrics_snapshot_locked());
+  }
   const std::string reply = encode_frame(FrameType::kScrapeReply, out.str());
   if (!send_all(c.fd, reply)) {
     log_line("scrape reply failed, closing connection");
@@ -547,7 +642,7 @@ void ServeServer::handle_frame(Conn& c, Frame&& f) {
       close_conn(c);
       break;
     case FrameType::kScrape:
-      handle_scrape(c);
+      handle_scrape(c, f.payload);
       break;
     case FrameType::kScrapeReply:
     case FrameType::kAck:

@@ -175,7 +175,9 @@ class ServeServer {
   void handle_frame(Conn& c, Frame&& f);
   void handle_hello(Conn& c, const std::string& payload);
   void handle_epochs(Conn& c, const std::string& payload);
-  void handle_scrape(Conn& c);
+  /// Replies with a metrics snapshot; a "prometheus" payload selects the
+  /// Prometheus text exposition format instead of v1 text.
+  void handle_scrape(Conn& c, const std::string& payload);
   /// Acknowledges an epochs frame (delivery receipt for the shipper).
   void send_ack(Conn& c, std::uint64_t accepted);
   /// Drops the connection's session with provenance (protocol violation).

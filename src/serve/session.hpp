@@ -59,6 +59,10 @@ struct Session {
   int threads = 0;          ///< advertised matrix dimension (hello)
   SessionState state = SessionState::kActive;
   std::string drop_reason;  ///< provenance when state is kDropped
+  /// Cross-process trace context from the hello trailer (0 = pre-context
+  /// client). Echoed on every ack and stamped onto daemon-side trace spans;
+  /// deliberately not persisted — a reattach hello re-establishes it.
+  std::uint64_t ctx = 0;
 
   /// Epoch indices already merged — the session-id + epoch-seq dedupe key.
   std::unordered_set<std::uint64_t> seen;

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -17,13 +18,29 @@
 
 #include "core/epoch_io.hpp"
 #include "serve/frame.hpp"
+#include "serve/wire_ctx.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace commscope::serve {
 
 namespace ctl = telemetry;
 
 namespace {
+
+/// Monotonic microseconds for stage latency histograms. Compiled to a
+/// constant in a -DCOMMSCOPE_TELEMETRY=OFF build so the no-op histogram
+/// record does not still pay for two clock reads.
+std::uint64_t mono_us() noexcept {
+#if defined(COMMSCOPE_TELEMETRY_DISABLED)
+  return 0;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
 
 /// Blocking connect with a deadline: nonblocking connect + poll(POLLOUT),
 /// then back to blocking mode (sends are simpler and the daemon drains).
@@ -94,6 +111,9 @@ EpochShipper::EpochShipper(ShipperOptions options)
       rng_(options_.seed != 0 ? options_.seed
                               : options_.session_id ^ 0x5eedULL) {
   pending_.threads = std::max(options_.threads, 1);
+  ctx_ = options_.trace_ctx != 0
+             ? options_.trace_ctx
+             : mint_ctx(options_.session_id, options_.seed);
 }
 
 EpochShipper::~EpochShipper() { disconnect(); }
@@ -109,6 +129,7 @@ void EpochShipper::disconnect() noexcept {
 void EpochShipper::offer(const core::EpochTimeline& t) {
   pending_.threads = std::max(pending_.threads, t.threads);
   if (!t.loop_labels.empty()) pending_.loop_labels = t.loop_labels;
+  const bool was_empty = pending_.epochs.empty();
   for (const core::EpochSample& e : t.epochs) {
     if (shipped_.count(e.index) != 0 || !pending_idx_.insert(e.index).second) {
       ++stats_.skipped;
@@ -117,6 +138,8 @@ void EpochShipper::offer(const core::EpochTimeline& t) {
     pending_.epochs.push_back(e);
     ++stats_.offered;
   }
+  // Stamp the oldest pending offer: offer->ack end-to-end latency anchor.
+  if (was_empty && !pending_.epochs.empty()) first_offer_us_ = mono_us();
 }
 
 void EpochShipper::load_spill() {
@@ -149,15 +172,23 @@ void EpochShipper::write_spill() {
 
 bool EpochShipper::ensure_connected() {
   if (fd_ >= 0) return true;
+  const std::uint64_t t0 = mono_us();
   fd_ = connect_unix(options_.socket_path, options_.connect_timeout_ms);
   if (fd_ < 0) return false;
+  // The ctx/tns trailer propagates this run's trace context; `tns` samples
+  // our trace clock at the same instant the hello leaves, which is what the
+  // daemon pairs with its own receive timestamp for offset estimation.
+  const std::uint64_t tns = ctl::Tracer::now_ns();
   const std::string hello =
       "commscope-hello 1 session " + std::to_string(options_.session_id) +
-      " threads " + std::to_string(std::max(options_.threads, 1));
+      " threads " + std::to_string(std::max(options_.threads, 1)) + " ctx " +
+      ctx_to_hex(ctx_) + " tns " + std::to_string(tns);
+  ctl::Tracer::instant("ship.hello", ctl::SpanCat::kServe, -1, ctx_, tns);
   if (!send_frame(encode_frame(FrameType::kHello, hello))) {
     disconnect();
     return false;
   }
+  ctl::histogram("ship.stage.connect_us").record(mono_us() - t0);
   ++stats_.connects;
   ctl::counter("ship.connects").add(1);
   return true;
@@ -203,8 +234,20 @@ bool EpochShipper::send_pending() {
     docs.push_back(std::move(doc));
   }
   for (const std::string& doc : docs) {
+    // Per-frame stage clocks: send (kernel hand-off) and ack (daemon round
+    // trip), plus one ctx-stamped span covering the frame's whole flight so
+    // the merged cross-process trace shows the client side of every ack.
+    const std::uint64_t span_t0 = ctl::Tracer::now_ns();
+    const std::uint64_t t0 = mono_us();
     if (!send_frame(encode_frame(FrameType::kEpochs, doc))) return false;
+    const std::uint64_t t1 = mono_us();
     if (!wait_ack()) return false;
+    const std::uint64_t t2 = mono_us();
+    ctl::histogram("ship.stage.send_us").record(t1 - t0);
+    ctl::histogram("ship.stage.ack_us").record(t2 - t1);
+    ctl::Tracer::complete("ship.frame", ctl::SpanCat::kServe, -1, span_t0,
+                          ctl::Tracer::now_ns() - span_t0, ctx_,
+                          frames_sent_);
   }
   return true;
 }
@@ -221,7 +264,26 @@ bool EpochShipper::wait_ack() {
       std::chrono::milliseconds(options_.ack_timeout_ms);
   for (;;) {
     if (auto f = rx_.next()) {
-      if (f->type == FrameType::kAck) return true;
+      if (f->type == FrameType::kAck) {
+        ++stats_.acks;
+        // Context-aware daemons echo "ctx <hex>" after the accepted count;
+        // the echo is the version negotiation — its absence means a
+        // pre-context daemon, which is fine, just counted once.
+        const std::size_t pos = f->payload.find(" ctx ");
+        if (pos != std::string::npos &&
+            ctx_from_hex(std::string_view(f->payload).substr(pos + 5)) ==
+                ctx_) {
+          ++stats_.acks_with_ctx;
+          if (!ctx_noted_) {
+            ctx_noted_ = true;
+            ctl::counter("ship.ctx.echoed").add(1);
+          }
+        } else if (!ctx_noted_) {
+          ctx_noted_ = true;
+          ctl::counter("ship.ctx.unsupported").add(1);
+        }
+        return true;
+      }
       disconnect();  // daemon speaking out of protocol
       return false;
     }
@@ -283,6 +345,13 @@ bool EpochShipper::flush() {
       }
       stats_.shipped += pending_.epochs.size();
       ctl::counter("ship.epochs.shipped").add(pending_.epochs.size());
+      if (first_offer_us_ != 0) {
+        // Offer-to-ack latency for the oldest epoch in this batch — the
+        // client half of the end-to-end ship pipeline.
+        ctl::histogram("ship.stage.e2e_us").record(mono_us() -
+                                                   first_offer_us_);
+        first_offer_us_ = 0;
+      }
       for (const core::EpochSample& e : pending_.epochs) {
         shipped_.insert(e.index);
       }
@@ -323,10 +392,12 @@ void EpochShipper::heartbeat() {
 }
 
 bool scrape_metrics(const std::string& socket_path, std::ostream& out,
-                    std::uint32_t timeout_ms) {
+                    std::uint32_t timeout_ms, bool prometheus) {
   const int fd = connect_unix(socket_path, timeout_ms);
   if (fd < 0) return false;
-  const std::string req = encode_frame(FrameType::kScrape, {});
+  const std::string req = encode_frame(
+      FrameType::kScrape, prometheus ? std::string_view("prometheus")
+                                     : std::string_view{});
   if (!send_all_fd(fd, req.data(), req.size())) {
     ::close(fd);
     return false;

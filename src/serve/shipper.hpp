@@ -41,6 +41,10 @@ struct ShipperOptions {
   std::uint32_t connect_timeout_ms = 200;
   std::uint32_t ack_timeout_ms = 5000;  ///< wait for the delivery receipt
   std::uint64_t seed = 0;        ///< jitter seed; 0 derives from session_id
+  /// Cross-process trace context id; 0 mints a fresh one. Sent as an
+  /// optional hello trailer ("ctx <hex> tns <ns>") that pre-context daemons
+  /// provably ignore, echoed back by context-aware daemons on every ack.
+  std::uint64_t trace_ctx = 0;
   resilience::FaultInjector* injector = nullptr;  ///< drop-mid-frame fault
 };
 
@@ -54,6 +58,8 @@ struct ShipStats {
   std::uint64_t replayed = 0;   ///< epochs re-offered from a spill file
   std::uint64_t spill_corrupt = 0;  ///< unreadable spill files discarded
   std::uint64_t connects = 0;   ///< successful connect+hello handshakes
+  std::uint64_t acks = 0;       ///< delivery receipts received
+  std::uint64_t acks_with_ctx = 0;  ///< receipts echoing our trace context
 };
 
 class EpochShipper {
@@ -86,6 +92,8 @@ class EpochShipper {
 
   [[nodiscard]] const ShipStats& stats() const noexcept { return stats_; }
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  /// The minted (or injected) cross-process trace context id.
+  [[nodiscard]] std::uint64_t trace_ctx() const noexcept { return ctx_; }
 
  private:
   [[nodiscard]] bool ensure_connected();
@@ -108,6 +116,9 @@ class EpochShipper {
   FrameDecoder rx_;  ///< decodes inbound acks; reset per connection
   std::uint64_t frames_sent_ = 0;  ///< 1-based, drives drop-mid-frame
   bool spill_checked_ = false;
+  std::uint64_t ctx_ = 0;          ///< cross-process trace context id
+  bool ctx_noted_ = false;         ///< echo/unsupported counted once
+  std::uint64_t first_offer_us_ = 0;  ///< mono clock at oldest pending offer
 
   core::EpochTimeline pending_;
   std::unordered_set<std::uint64_t> pending_idx_;
@@ -117,9 +128,14 @@ class EpochShipper {
 
 /// Connects to a daemon, requests a metrics snapshot and writes the
 /// `# commscope-metrics v1` text to `out`. False when the daemon is
-/// unreachable or replies garbage.
+/// unreachable or replies garbage. With `prometheus` the request carries a
+/// "prometheus" payload (legal on the wire since day one — scrape payloads
+/// were always optional) and a format-aware daemon replies in Prometheus
+/// text exposition format; a pre-exporter daemon ignores the payload and
+/// replies v1 text, which the caller can detect by the `#` header.
 [[nodiscard]] bool scrape_metrics(const std::string& socket_path,
                                   std::ostream& out,
-                                  std::uint32_t timeout_ms = 2000);
+                                  std::uint32_t timeout_ms = 2000,
+                                  bool prometheus = false);
 
 }  // namespace commscope::serve

@@ -18,6 +18,47 @@ const char* to_string(MetricKind kind) noexcept {
   return "?";
 }
 
+std::uint64_t histogram_quantile(const MetricSnapshot& m, double q) noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : m.buckets) total += c;
+  if (total == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // 1-based rank of the order statistic the quantile names (ceil, so q=0.5
+  // over 3 samples is the 2nd and q=1.0 is always the max).
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total) + 0.999999);
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t before = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const std::uint64_t c = m.buckets[static_cast<std::size_t>(b)];
+    if (c == 0 || before + c < rank) {
+      before += c;
+      continue;
+    }
+    if (b == 0) return 0;  // the exact-zeros bucket
+    // Interpolate linearly across the bucket's [2^(b-1), 2^b - 1] span by
+    // the rank's position inside it.
+    const double lo = static_cast<double>(histogram_bucket_floor(b));
+    const double hi = b >= 64 ? 18446744073709551615.0
+                              : static_cast<double>(
+                                    histogram_bucket_floor(b + 1)) -
+                                    1.0;
+    const double frac = c <= 1 ? 0.0
+                               : static_cast<double>(rank - before - 1) /
+                                     static_cast<double>(c - 1);
+    return static_cast<std::uint64_t>(lo + (hi - lo) * frac);
+  }
+  return 0;
+}
+
+void refresh_quantiles(MetricSnapshot& m) noexcept {
+  if (m.kind != MetricKind::kHistogram) return;
+  m.p50 = histogram_quantile(m, 0.50);
+  m.p95 = histogram_quantile(m, 0.95);
+  m.p99 = histogram_quantile(m, 0.99);
+}
+
 #if !defined(COMMSCOPE_TELEMETRY_DISABLED)
 
 namespace {
@@ -156,6 +197,7 @@ std::vector<MetricSnapshot> snapshot_all() {
         for (int b = 0; b < kHistogramBuckets; ++b) {
           m.buckets[static_cast<std::size_t>(b)] = e.histogram.bucket(b);
         }
+        refresh_quantiles(m);
         break;
     }
     out.push_back(std::move(m));
@@ -209,7 +251,13 @@ void write_metrics(std::ostream& os, const std::vector<MetricSnapshot>& ms) {
         os << "gauge " << m.name << ' ' << m.value << "\n";
         break;
       case MetricKind::kHistogram: {
+        // Quantiles are always re-derived from the buckets here, so a
+        // written line is internally consistent whatever the caller did to
+        // the snapshot fields.
+        MetricSnapshot qm = m;
+        refresh_quantiles(qm);
         os << "hist " << m.name << " count=" << m.count << " sum=" << m.sum
+           << " p50=" << qm.p50 << " p95=" << qm.p95 << " p99=" << qm.p99
            << " buckets=";
         bool first = true;
         for (int b = 0; b < kHistogramBuckets; ++b) {
@@ -288,6 +336,19 @@ std::vector<MetricSnapshot> read_metrics(std::istream& in) {
       m.kind = MetricKind::kHistogram;
       m.count = parse_u64(keyed(count_tok, "count", line), line);
       m.sum = parse_u64(keyed(sum_tok, "sum", line), line);
+      // Optional derived-quantile fields (absent in pre-quantile snapshots).
+      while (buckets_tok.rfind("p", 0) == 0) {
+        if (buckets_tok.rfind("p50=", 0) == 0) {
+          m.p50 = parse_u64(buckets_tok.substr(4), line);
+        } else if (buckets_tok.rfind("p95=", 0) == 0) {
+          m.p95 = parse_u64(buckets_tok.substr(4), line);
+        } else if (buckets_tok.rfind("p99=", 0) == 0) {
+          m.p99 = parse_u64(buckets_tok.substr(4), line);
+        } else {
+          bad_line(line);
+        }
+        if (!(ls >> buckets_tok)) bad_line(line);
+      }
       std::string list = keyed(buckets_tok, "buckets", line);
       std::size_t pos = 0;
       while (pos < list.size()) {
@@ -346,6 +407,8 @@ void merge_metrics(std::vector<MetricSnapshot>& into,
         for (std::size_t b = 0; b < it->buckets.size(); ++b) {
           it->buckets[b] = saturating_add(it->buckets[b], m.buckets[b]);
         }
+        // Quantiles do not sum; re-derive them from the merged buckets.
+        refresh_quantiles(*it);
         break;
     }
   }
@@ -366,6 +429,11 @@ void print_metrics(std::ostream& os, const std::vector<MetricSnapshot>& ms) {
       case MetricKind::kHistogram: {
         os << "count=" << m.count << " sum=" << m.sum;
         if (m.count > 0) os << " mean=" << m.sum / m.count;
+        if (m.count > 0) {
+          MetricSnapshot qm = m;
+          refresh_quantiles(qm);
+          os << " p50=" << qm.p50 << " p95=" << qm.p95 << " p99=" << qm.p99;
+        }
         // Render the occupied log2 range compactly: floor of the first and
         // last non-empty buckets.
         int lo = -1, hi = -1;
@@ -389,5 +457,59 @@ void print_metrics(std::ostream& os, const std::vector<MetricSnapshot>& ms) {
     os << "\n";
   }
 }
+
+// --- Prometheus exposition --------------------------------------------------
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "commscope_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& os,
+                      const std::vector<MetricSnapshot>& ms) {
+  for (const MetricSnapshot& m : ms) {
+    const std::string name = prometheus_name(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        os << "# TYPE " << name << "_total counter\n"
+           << name << "_total " << m.value << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << "# TYPE " << name << " gauge\n" << name << ' ' << m.value
+           << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        int hi = -1;
+        for (int b = 0; b < kHistogramBuckets; ++b) {
+          if (m.buckets[static_cast<std::size_t>(b)] != 0) hi = b;
+        }
+        std::uint64_t cum = 0;
+        for (int b = 0; b <= hi; ++b) {
+          cum += m.buckets[static_cast<std::size_t>(b)];
+          // Bucket b covers [2^(b-1), 2^b), so its exact inclusive upper
+          // bound is 2^b - 1; the zero bucket's is 0. Bucket 64's span ends
+          // at the u64 maximum, which only +Inf can name.
+          if (b >= 64) break;
+          const std::uint64_t le =
+              b == 0 ? 0 : (histogram_bucket_floor(b + 1) - 1);
+          os << name << "_bucket{le=\"" << le << "\"} " << cum << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << m.count << "\n"
+           << name << "_sum " << m.sum << "\n"
+           << name << "_count " << m.count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void write_prometheus(std::ostream& os) { write_prometheus(os, snapshot_all()); }
 
 }  // namespace commscope::telemetry

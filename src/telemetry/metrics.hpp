@@ -61,6 +61,12 @@ struct MetricSnapshot {
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
   std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  /// Derived quantile estimates (see histogram_quantile). Recomputed from
+  /// `buckets` by snapshot_all/write/merge; carried in the text format so
+  /// scrapes are self-describing without the reader re-deriving them.
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
 };
 
 /// Lower inclusive bound of histogram bucket `b` (0 for the zero bucket).
@@ -72,6 +78,16 @@ struct MetricSnapshot {
 [[nodiscard]] constexpr int histogram_bucket_of(std::uint64_t v) noexcept {
   return v == 0 ? 0 : std::bit_width(v);
 }
+
+/// Estimated value at quantile `q` (clamped into [0, 1]) of a histogram
+/// snapshot, linearly interpolated inside the log2 bucket the rank lands in
+/// — so the estimate is exact at bucket boundaries and at worst off by half
+/// a bucket width inside one. 0 for an empty histogram.
+[[nodiscard]] std::uint64_t histogram_quantile(const MetricSnapshot& m,
+                                               double q) noexcept;
+
+/// Refreshes m.p50/p95/p99 from m.buckets (no-op for non-histograms).
+void refresh_quantiles(MetricSnapshot& m) noexcept;
 
 #if !defined(COMMSCOPE_TELEMETRY_DISABLED)
 
@@ -218,7 +234,11 @@ void reset_all() noexcept;
 //   # commscope-metrics v1
 //   counter sink.reentrant_drops 12 saturated=0
 //   gauge profiler.mem_peak 1048576
-//   hist checkpoint.write_us count=3 sum=712 buckets=7:1,8:2
+//   hist checkpoint.write_us count=3 sum=712 p50=96 p95=231 p99=245 buckets=7:1,8:2
+//
+// The p50/p95/p99 fields are derived from the buckets at write time; the
+// reader accepts hist lines with or without them (pre-quantile snapshots
+// stay loadable) and recomputes them after any merge.
 
 /// Writes the live registry (header + one line per metric).
 void write_metrics(std::ostream& os);
@@ -237,5 +257,34 @@ void merge_metrics(std::vector<MetricSnapshot>& into,
 
 /// Human-readable table of a snapshot list (the `commscope metrics` view).
 void print_metrics(std::ostream& os, const std::vector<MetricSnapshot>& ms);
+
+// --- Prometheus exposition --------------------------------------------------
+//
+// The same snapshot rendered in the Prometheus text exposition format
+// (v0.0.4) so standard scrapers can ingest the daemon's endpoint directly:
+//
+//   # TYPE commscope_serve_epochs_merged_total counter
+//   commscope_serve_epochs_merged_total 42
+//   # TYPE commscope_serve_wal_fsync_us histogram
+//   commscope_serve_wal_fsync_us_bucket{le="0"} 1
+//   commscope_serve_wal_fsync_us_bucket{le="127"} 3
+//   commscope_serve_wal_fsync_us_bucket{le="+Inf"} 3
+//   commscope_serve_wal_fsync_us_sum 712
+//   commscope_serve_wal_fsync_us_count 3
+//
+// Names are prefixed `commscope_` and sanitized (every character outside
+// [a-zA-Z0-9_] becomes '_'); counters gain the conventional `_total` suffix.
+// Log2 bucket b holds [2^(b-1), 2^b), so its exact inclusive upper bound —
+// the Prometheus `le` — is 2^b - 1 (0 for the zero bucket); cumulative
+// counts are emitted for the occupied prefix plus the mandatory +Inf bound.
+
+/// `commscope_`-prefixed sanitized metric name (without any kind suffix).
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+/// Writes a snapshot list in Prometheus text exposition format.
+void write_prometheus(std::ostream& os, const std::vector<MetricSnapshot>& ms);
+
+/// Writes the live registry in Prometheus text exposition format.
+void write_prometheus(std::ostream& os);
 
 }  // namespace commscope::telemetry

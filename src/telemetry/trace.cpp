@@ -39,6 +39,8 @@ enum class EventKind : std::uint8_t { kBegin, kEnd, kInstant, kComplete };
 struct Event {
   std::uint64_t ts_ns = 0;
   std::uint64_t dur_ns = 0;          // kComplete only
+  std::uint64_t ctx = 0;             // cross-process trace context (0 = none)
+  std::uint64_t arg = 0;             // event-scoped value (args.v; 0 = none)
   const char* name = nullptr;        // static string; null -> loop_id names it
   std::uint32_t loop_id = 0;
   std::int32_t tid = -1;
@@ -48,7 +50,7 @@ struct Event {
 
 // Fixed ring pool, all static storage (trivially destructible: safe from
 // atexit hooks and thread_local teardown, and the disabled path can never
-// allocate). 80 rings x 2048 events x 48 B ~= 7.9 MiB of BSS, committed
+// allocate). 80 rings x 2048 events x 64 B = 10 MiB of BSS, committed
 // only as pages are touched.
 constexpr int kRings = 80;
 constexpr std::uint64_t kRingCap = 2048;
@@ -117,6 +119,37 @@ void escape_json(std::ostream& os, const std::string& s) {
   }
 }
 
+/// Lower-case hex rendering of a trace context id (no leading zeros —
+/// matches the wire "ctx <hex>" token the shipper sends).
+std::string ctx_hex(std::uint64_t ctx) {
+  char buf[17];
+  int i = 16;
+  buf[i] = '\0';
+  do {
+    buf[--i] = "0123456789abcdef"[ctx & 0xf];
+    ctx >>= 4;
+  } while (ctx != 0);
+  return std::string(buf + i);
+}
+
+/// Chrome `args` block for events carrying a cross-process context and/or
+/// value. The ctx is a hex *string* (64-bit ids do not survive JSON's
+/// double-precision numbers).
+void write_args_json(std::ostream& os, const Event& e) {
+  if (e.ctx == 0 && e.arg == 0) return;
+  os << ",\"args\":{";
+  bool first = true;
+  if (e.ctx != 0) {
+    os << "\"ctx\":\"" << ctx_hex(e.ctx) << "\"";
+    first = false;
+  }
+  if (e.arg != 0) {
+    if (!first) os << ',';
+    os << "\"v\":" << e.arg;
+  }
+  os << "}";
+}
+
 std::string event_name(const Event& e, const Tracer::LoopResolver& resolve) {
   if (e.name != nullptr) return e.name;
   if (resolve) return resolve(e.loop_id);
@@ -183,29 +216,32 @@ std::uint64_t Tracer::now_ns() noexcept {
 }
 
 void Tracer::begin_impl(const char* name, SpanCat cat, int tid) noexcept {
-  record({now_ns(), 0, name, 0, tid, EventKind::kBegin, cat});
+  record({now_ns(), 0, 0, 0, name, 0, tid, EventKind::kBegin, cat});
 }
 
 void Tracer::end_impl(SpanCat cat, int tid) noexcept {
-  record({now_ns(), 0, nullptr, 0xffffffffU, tid, EventKind::kEnd, cat});
+  record({now_ns(), 0, 0, 0, nullptr, 0xffffffffU, tid, EventKind::kEnd,
+          cat});
 }
 
-void Tracer::instant_impl(const char* name, SpanCat cat, int tid) noexcept {
-  record({now_ns(), 0, name, 0, tid, EventKind::kInstant, cat});
+void Tracer::instant_impl(const char* name, SpanCat cat, int tid,
+                          std::uint64_t ctx, std::uint64_t arg) noexcept {
+  record({now_ns(), 0, ctx, arg, name, 0, tid, EventKind::kInstant, cat});
 }
 
 void Tracer::complete_impl(const char* name, SpanCat cat, int tid,
-                           std::uint64_t ts_ns, std::uint64_t dur_ns) noexcept {
-  record({ts_ns, dur_ns, name, 0, tid, EventKind::kComplete, cat});
+                           std::uint64_t ts_ns, std::uint64_t dur_ns,
+                           std::uint64_t ctx, std::uint64_t arg) noexcept {
+  record({ts_ns, dur_ns, ctx, arg, name, 0, tid, EventKind::kComplete, cat});
 }
 
 void Tracer::loop_begin_impl(int tid, std::uint32_t loop_id) noexcept {
-  record({now_ns(), 0, nullptr, loop_id, tid, EventKind::kBegin,
+  record({now_ns(), 0, 0, 0, nullptr, loop_id, tid, EventKind::kBegin,
           SpanCat::kLoop});
 }
 
 void Tracer::loop_end_impl(int tid) noexcept {
-  record({now_ns(), 0, nullptr, 0xffffffffU, tid, EventKind::kEnd,
+  record({now_ns(), 0, 0, 0, nullptr, 0xffffffffU, tid, EventKind::kEnd,
           SpanCat::kLoop});
 }
 
@@ -258,12 +294,14 @@ void Tracer::write_chrome_trace(std::ostream& os,
         os << "i\",\"s\":\"t\",\"name\":\"";
         escape_json(os, event_name(e, resolve));
         os << "\"";
+        write_args_json(os, e);
         break;
       case EventKind::kComplete:
         os << "X\",\"dur\":" << e.dur_ns / 1000 << '.' << (e.dur_ns / 100) % 10
            << ",\"name\":\"";
         escape_json(os, event_name(e, resolve));
         os << "\"";
+        write_args_json(os, e);
         break;
     }
     os << "}";
@@ -289,6 +327,8 @@ void Tracer::write_text(std::ostream& os, const LoopResolver& resolve) {
            << "us";
         break;
     }
+    if (e.ctx != 0) os << " ctx=" << ctx_hex(e.ctx);
+    if (e.arg != 0) os << " v=" << e.arg;
     os << "\n";
   }
 }

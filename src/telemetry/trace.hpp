@@ -71,19 +71,30 @@ class Tracer {
   // branch. `name` must be a static string (the ring stores the pointer).
   // `tid` is the dense profiler thread id for display; -1 means "runtime
   // thread", displayed on its own lane.
+  //
+  // `ctx` is the cross-process trace context: a nonzero id (minted by the
+  // epoch shipper, carried on the wire, stamped by the daemon) exported as
+  // Chrome `args.ctx` so one epoch's journey is followable across process
+  // boundaries. `arg` is a free event-scoped value (epoch index, peer
+  // clock reading) exported as `args.v`; both are 0 (omitted) by default.
   static void begin(const char* name, SpanCat cat, int tid = -1) noexcept {
     if (enabled()) [[unlikely]] begin_impl(name, cat, tid);
   }
   static void end(SpanCat cat, int tid = -1) noexcept {
     if (enabled()) [[unlikely]] end_impl(cat, tid);
   }
-  static void instant(const char* name, SpanCat cat, int tid = -1) noexcept {
-    if (enabled()) [[unlikely]] instant_impl(name, cat, tid);
+  static void instant(const char* name, SpanCat cat, int tid = -1,
+                      std::uint64_t ctx = 0, std::uint64_t arg = 0) noexcept {
+    if (enabled()) [[unlikely]] instant_impl(name, cat, tid, ctx, arg);
   }
   /// A closed span recorded in one event (start `ts_ns`, length `dur_ns`).
   static void complete(const char* name, SpanCat cat, int tid,
-                       std::uint64_t ts_ns, std::uint64_t dur_ns) noexcept {
-    if (enabled()) [[unlikely]] complete_impl(name, cat, tid, ts_ns, dur_ns);
+                       std::uint64_t ts_ns, std::uint64_t dur_ns,
+                       std::uint64_t ctx = 0,
+                       std::uint64_t arg = 0) noexcept {
+    if (enabled()) [[unlikely]] {
+      complete_impl(name, cat, tid, ts_ns, dur_ns, ctx, arg);
+    }
   }
   /// Loop spans carry the LoopId; the exporter resolves it to a label via
   /// the caller-supplied resolver (telemetry sits below the loop registry).
@@ -111,10 +122,11 @@ class Tracer {
  private:
   static void begin_impl(const char* name, SpanCat cat, int tid) noexcept;
   static void end_impl(SpanCat cat, int tid) noexcept;
-  static void instant_impl(const char* name, SpanCat cat, int tid) noexcept;
+  static void instant_impl(const char* name, SpanCat cat, int tid,
+                           std::uint64_t ctx, std::uint64_t arg) noexcept;
   static void complete_impl(const char* name, SpanCat cat, int tid,
-                            std::uint64_t ts_ns,
-                            std::uint64_t dur_ns) noexcept;
+                            std::uint64_t ts_ns, std::uint64_t dur_ns,
+                            std::uint64_t ctx, std::uint64_t arg) noexcept;
   static void loop_begin_impl(int tid, std::uint32_t loop_id) noexcept;
   static void loop_end_impl(int tid) noexcept;
 };
@@ -155,9 +167,11 @@ class Tracer {
   [[nodiscard]] static std::uint64_t now_ns() noexcept { return 0; }
   static void begin(const char*, SpanCat, int = -1) noexcept {}
   static void end(SpanCat, int = -1) noexcept {}
-  static void instant(const char*, SpanCat, int = -1) noexcept {}
+  static void instant(const char*, SpanCat, int = -1, std::uint64_t = 0,
+                      std::uint64_t = 0) noexcept {}
   static void complete(const char*, SpanCat, int, std::uint64_t,
-                       std::uint64_t) noexcept {}
+                       std::uint64_t, std::uint64_t = 0,
+                       std::uint64_t = 0) noexcept {}
   static void loop_begin(int, std::uint32_t) noexcept {}
   static void loop_end(int) noexcept {}
   [[nodiscard]] static std::uint64_t captured() noexcept { return 0; }

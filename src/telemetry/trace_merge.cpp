@@ -1,0 +1,223 @@
+#include "telemetry/trace_merge.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "support/textio.hpp"
+
+namespace commscope::telemetry {
+
+namespace {
+
+/// One event line from an input trace, kept raw so the merge re-emits it
+/// byte-identically except for the spliced pid and ts fields.
+struct Ev {
+  std::string raw;          ///< the event object, trailing comma stripped
+  double ts_us = 0;
+  std::size_t ts_pos = 0;   ///< numeric span of the "ts" value in raw
+  std::size_t ts_len = 0;
+  std::size_t pid_pos = 0;  ///< numeric span of the "pid" value in raw
+  std::size_t pid_len = 0;
+  std::string name;
+  std::string ctx;          ///< args.ctx hex string ("" = none)
+  std::uint64_t v = 0;      ///< args.v (0 = none)
+};
+
+/// Locates `"key":<number>` in `s`; false when absent or malformed.
+bool find_number(const std::string& s, const char* key, std::size_t& pos,
+                 std::size_t& len, double& out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = s.find(needle);
+  if (at == std::string::npos) return false;
+  pos = at + needle.size();
+  std::size_t end = pos;
+  while (end < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[end])) != 0 ||
+          s[end] == '.' || s[end] == '-' || s[end] == '+' || s[end] == 'e' ||
+          s[end] == 'E')) {
+    ++end;
+  }
+  if (end == pos) return false;
+  len = end - pos;
+  const auto [ptr, ec] = std::from_chars(s.data() + pos, s.data() + end, out);
+  return ec == std::errc{} && ptr == s.data() + end;
+}
+
+/// Locates `"key":"<value>"` in `s`; "" when absent. Values here are names
+/// and hex ids from our own writer — no embedded quotes to unescape.
+std::string find_string(const std::string& s, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t at = s.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + needle.size();
+  const std::size_t end = s.find('"', start);
+  if (end == std::string::npos) return {};
+  return s.substr(start, end - start);
+}
+
+bool parse_file(const std::string& path, std::vector<Ev>& out,
+                std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = path + ": cannot open";
+    return false;
+  }
+  std::string text;
+  try {
+    text = support::slurp_stream(in, 256u << 20, "trace-merge");
+  } catch (const std::runtime_error& e) {
+    error = path + ": " + e.what();
+    return false;
+  }
+  if (text.find("\"traceEvents\"") == std::string::npos) {
+    error = path + ": not a Chrome trace (no traceEvents)";
+    return false;
+  }
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::size_t b = 0;
+    while (b < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[b])) != 0) {
+      ++b;
+    }
+    if (line.compare(b, 7, "{\"pid\":") != 0) continue;  // header/footer
+    Ev e;
+    e.raw = line.substr(b);
+    while (!e.raw.empty() &&
+           (e.raw.back() == ',' || e.raw.back() == '\r')) {
+      e.raw.pop_back();
+    }
+    double pid_val = 0;
+    if (!find_number(e.raw, "ts", e.ts_pos, e.ts_len, e.ts_us) ||
+        !find_number(e.raw, "pid", e.pid_pos, e.pid_len, pid_val)) {
+      continue;  // not an event object we understand — skip, don't fail
+    }
+    e.name = find_string(e.raw, "name");
+    e.ctx = find_string(e.raw, "ctx");
+    double v = 0;
+    std::size_t vp = 0;
+    std::size_t vl = 0;
+    if (find_number(e.raw, "v", vp, vl, v) && v >= 0) {
+      e.v = static_cast<std::uint64_t>(v);
+    }
+    out.push_back(std::move(e));
+  }
+  return true;
+}
+
+/// Splices new pid and ts values into the raw event line. The two spans
+/// never overlap (pid leads the object, ts follows cat); ts is rewritten
+/// first so the pid span's offsets stay valid.
+std::string splice(const Ev& e, int pid, double ts_us) {
+  char ts_buf[64];
+  std::snprintf(ts_buf, sizeof ts_buf, "%.1f", ts_us < 0 ? 0.0 : ts_us);
+  char pid_buf[16];
+  std::snprintf(pid_buf, sizeof pid_buf, "%d", pid);
+  std::string out = e.raw;
+  out.replace(e.ts_pos, e.ts_len, ts_buf);
+  out.replace(e.pid_pos, e.pid_len, pid_buf);
+  return out;
+}
+
+}  // namespace
+
+TraceMergeResult merge_traces(const std::vector<std::string>& paths,
+                              std::ostream& os) {
+  TraceMergeResult r;
+  r.files = paths.size();
+  if (paths.empty()) {
+    r.error = "no input traces";
+    return r;
+  }
+  std::vector<std::vector<Ev>> files(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!parse_file(paths[i], files[i], r.error)) return r;
+  }
+
+  // The reference timeline is the first file with a serve.hello — the
+  // daemon. Its hello instants index the handshake clock samples by ctx.
+  std::size_t ref = paths.size();
+  std::map<std::string, double> daemon_hello_ts;
+  for (std::size_t i = 0; i < files.size() && ref == paths.size(); ++i) {
+    for (const Ev& e : files[i]) {
+      if (e.name == "serve.hello" && !e.ctx.empty()) {
+        ref = i;
+        break;
+      }
+    }
+  }
+  if (ref != paths.size()) {
+    for (const Ev& e : files[ref]) {
+      if (e.name == "serve.hello" && !e.ctx.empty()) {
+        daemon_hello_ts.emplace(e.ctx, e.ts_us);  // first handshake wins
+      }
+    }
+  }
+
+  std::vector<double> offset_us(files.size(), 0.0);
+  std::map<std::string, bool> paired_ctx;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (i == ref) continue;
+    for (const Ev& e : files[i]) {
+      if (e.name != "ship.hello" || e.ctx.empty() || e.v == 0) continue;
+      const auto it = daemon_hello_ts.find(e.ctx);
+      if (it == daemon_hello_ts.end()) continue;
+      offset_us[i] = it->second - static_cast<double>(e.v) / 1000.0;
+      paired_ctx[e.ctx] = true;
+      ++r.files_shifted;
+      break;  // first pairable handshake fixes this file's offset
+    }
+  }
+  r.contexts_paired = paired_ctx.size();
+
+  double min_ts = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    for (const Ev& e : files[i]) {
+      min_ts = std::min(min_ts, e.ts_us + offset_us[i]);
+    }
+    r.events += files[i].size();
+  }
+  if (r.events == 0) min_ts = 0;
+
+  // Merged output is sorted by adjusted timestamp so Chrome's importer sees
+  // a monotone stream across all pid lanes.
+  struct Slot {
+    double ts;
+    std::size_t file;
+    std::size_t idx;
+  };
+  std::vector<Slot> order;
+  order.reserve(r.events);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    for (std::size_t j = 0; j < files[i].size(); ++j) {
+      order.push_back({files[i][j].ts_us + offset_us[i] - min_ts, i, j});
+    }
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Slot& a, const Slot& b) { return a.ts < b.ts; });
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Slot& s : order) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n"
+       << splice(files[s.file][s.idx], static_cast<int>(s.file), s.ts);
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"commscope\""
+     << ",\"mergedFiles\":" << r.files
+     << ",\"contextsPaired\":" << r.contexts_paired
+     << ",\"filesShifted\":" << r.files_shifted << "}}\n";
+  return r;
+}
+
+}  // namespace commscope::telemetry

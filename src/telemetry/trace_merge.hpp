@@ -1,0 +1,48 @@
+// Cross-process trace stitching for `commscope trace --merge`.
+//
+// Inputs are Chrome trace-event JSON files written by
+// Tracer::write_chrome_trace — one event object per line, with `args.ctx`
+// carrying the cross-process trace context and `args.v` the handshake clock
+// sample. The merger rewrites them into ONE Chrome trace: each input file
+// becomes its own pid lane, and every file whose `ship.hello` instant pairs
+// (by ctx) with the reference file's `serve.hello` instant is shifted onto
+// the reference timeline using the handshake-time clock-offset estimate
+//
+//   offset_us = serve_hello.ts - tns / 1000
+//
+// where `tns` (args.v on the hello instants) is the client's trace-clock
+// reading the moment the hello was built. The hello crosses a local unix
+// socket, so client-send ~= daemon-receive and the estimate's error is one
+// socket hop. The reference file is the first input containing a
+// `serve.hello` (i.e. the daemon's trace); files with no pairable hello keep
+// their own clock, unshifted. After shifting, every timestamp is rebased so
+// the earliest event sits at t=0 — Chrome renders negative timestamps
+// poorly.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace commscope::telemetry {
+
+struct TraceMergeResult {
+  std::size_t files = 0;            ///< inputs parsed
+  std::size_t events = 0;           ///< events written to the merged trace
+  std::size_t contexts_paired = 0;  ///< distinct ctx ids with a clock offset
+  std::size_t files_shifted = 0;    ///< inputs moved onto the ref timeline
+  std::string error;                ///< nonempty = merge failed, no output
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// Merges the trace files at `paths` into one Chrome trace on `os`. Inputs
+/// are treated as hostile: lines that are not recognizable event objects
+/// are skipped (counted neither as events nor errors); a file that is not a
+/// commscope Chrome trace at all fails the whole merge with a path-prefixed
+/// error and writes nothing.
+[[nodiscard]] TraceMergeResult merge_traces(
+    const std::vector<std::string>& paths, std::ostream& os);
+
+}  // namespace commscope::telemetry

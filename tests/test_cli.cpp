@@ -310,6 +310,92 @@ TEST(CliObservability, TopRunsToCompletion) {
   EXPECT_NE(r.output.find("run complete:"), std::string::npos);
 }
 
+TEST(CliObservability, TopConnectToDeadDaemonFails) {
+  const RunResult r =
+      run_cli("top --connect=/tmp/commscope_cli_no_daemon.sock"
+              " --interval=50");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+}
+
+TEST(CliObservability, MetricsPrometheusIsPureExposition) {
+  const std::string m = "/tmp/commscope_cli_prom.metrics";
+  ASSERT_EQ(run_cli("run fft --threads=4 -q --metrics-out=" + m).exit_code,
+            0);
+  const RunResult prom = run_cli("metrics --prometheus " + m);
+  EXPECT_EQ(prom.exit_code, 0) << prom.output;
+  // Machine-readable from byte 0: no banner, straight into the exposition.
+  EXPECT_EQ(prom.output.compare(0, 7, "# TYPE "), 0) << prom.output;
+  EXPECT_NE(prom.output.find("# TYPE commscope_profiler_accesses gauge"),
+            std::string::npos)
+      << prom.output;
+  std::remove(m.c_str());
+}
+
+TEST(CliObservability, TraceMergeStitchesFilesAndRejectsBadInput) {
+  // --merge is mandatory, and so is at least one input.
+  EXPECT_EQ(run_cli("trace").exit_code, 2);
+  EXPECT_EQ(run_cli("trace --merge").exit_code, 2);
+
+  const std::string tj = "/tmp/commscope_cli_tm.trace.json";
+  ASSERT_EQ(
+      run_cli("run fft --threads=4 -q --trace-out=" + tj).exit_code, 0);
+  const std::string merged = "/tmp/commscope_cli_tm.merged.json";
+  const RunResult r = run_cli("trace --merge " + tj + " --out=" + merged);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("merged 1 trace(s)"), std::string::npos)
+      << r.output;
+  std::ifstream min(merged);
+  ASSERT_TRUE(min.good());
+  std::stringstream mbuf;
+  mbuf << min.rdbuf();
+  EXPECT_NE(mbuf.str().find("\"mergedFiles\":1"), std::string::npos);
+
+  const std::string junk = "/tmp/commscope_cli_tm.junk";
+  {
+    std::ofstream out(junk);
+    out << "this is not a trace\n";
+  }
+  const RunResult bad = run_cli("trace --merge " + junk);
+  EXPECT_EQ(bad.exit_code, 1) << bad.output;
+  EXPECT_NE(bad.output.find("not a Chrome trace"), std::string::npos);
+  std::remove(tj.c_str());
+  std::remove(merged.c_str());
+  std::remove(junk.c_str());
+}
+
+TEST(CliObservability, HealthExitContractOkBreachUsageDeadSocket) {
+  EXPECT_EQ(run_cli("health").exit_code, 2);  // no inputs: usage
+
+  const std::string okf = "/tmp/commscope_cli_health_ok.metrics";
+  {
+    std::ofstream out(okf);
+    out << "# commscope-metrics v1\n"
+        << "counter serve.frames.ok 5 saturated=0\n";
+  }
+  const RunResult ok = run_cli("health " + okf);
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+  EXPECT_NE(ok.output.find("health: ok"), std::string::npos);
+
+  const std::string badf = "/tmp/commscope_cli_health_bad.metrics";
+  {
+    std::ofstream out(badf);
+    out << "# commscope-metrics v1\n"
+        << "counter serve.sessions.dropped 2 saturated=0\n"
+        << "counter serve.wal.fsync_failures 1 saturated=0\n";
+  }
+  const RunResult breach = run_cli("health " + badf);
+  EXPECT_EQ(breach.exit_code, 3) << breach.output;
+  EXPECT_NE(breach.output.find("BREACH"), std::string::npos);
+  EXPECT_NE(breach.output.find("2 SLO breach(es)"), std::string::npos)
+      << breach.output;
+
+  const RunResult dead =
+      run_cli("health --connect=/tmp/commscope_cli_no_daemon.sock");
+  EXPECT_EQ(dead.exit_code, 1) << dead.output;
+  std::remove(okf.c_str());
+  std::remove(badf.c_str());
+}
+
 // --- per-command flag vocabulary --------------------------------------------
 //
 // Unknown flags exit 2 for EVERY subcommand, and a flag that exists for one
@@ -322,7 +408,8 @@ TEST(CliErrors, UnknownFlagsExitTwoAcrossAllSubcommands) {
                           "stress --bogus", "metrics x --bogus",
                           "top fft --bogus", "report x --bogus",
                           "diff a b --bogus",
-                          "serve --socket=/tmp/x.sock --bogus"}) {
+                          "serve --socket=/tmp/x.sock --bogus",
+                          "trace x --bogus", "health x --bogus"}) {
     const RunResult r = run_cli(cmd);
     EXPECT_EQ(r.exit_code, 2) << cmd << "\n" << r.output;
     EXPECT_NE(r.output.find("unknown flag --bogus"), std::string::npos) << cmd;

@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -33,8 +34,10 @@
 #include "serve/server.hpp"
 #include "serve/session.hpp"
 #include "serve/shipper.hpp"
+#include "serve/wire_ctx.hpp"
 #include "support/rng.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace cc = commscope::core;
 namespace cr = commscope::resilience;
@@ -509,6 +512,9 @@ TEST(Serve, SpillReplaysExactlyOnceAcrossDaemonRestart) {
 
 TEST(ServeSoak, EightClientsThroughInjectedFaultsMergeBitIdentical) {
   const std::string socket = next_socket_path();
+  // Trace the whole soak: client-side ship spans and daemon-side merge
+  // spans land in one ring set, each stamped with the shipper's ctx.
+  ctl::Tracer::enable();
 
   // Daemon-side socket faults: the 2nd accept is closed unread, the 5th
   // recv is cut to one byte (splits a header), the 9th recv starts an
@@ -542,17 +548,22 @@ TEST(ServeSoak, EightClientsThroughInjectedFaultsMergeBitIdentical) {
 
   std::vector<std::thread> clients;
   std::vector<int> ok(kClients, 0);
+  std::vector<std::string> ctxs(kClients);
+  std::vector<sv::ShipStats> stats(kClients);
   for (int i = 0; i < kClients; ++i) {
     clients.emplace_back([&, i] {
       sv::ShipperOptions so = shipper_options(socket, 100 + i);
       if (i == 2) so.injector = &client_injector;
       sv::EpochShipper shipper(so);
+      ctxs[static_cast<std::size_t>(i)] =
+          sv::ctx_to_hex(shipper.trace_ctx());
       if (shipper.ship(truths[static_cast<std::size_t>(i)])) {
         // Client 0 "crashes" without a goodbye — its session stays active
         // so the redelivery below reattaches it.
         if (i != 0) shipper.bye();
         ok[static_cast<std::size_t>(i)] = 1;
       }
+      stats[static_cast<std::size_t>(i)] = shipper.stats();
     });
   }
   for (std::thread& t : clients) t.join();
@@ -594,10 +605,56 @@ TEST(ServeSoak, EightClientsThroughInjectedFaultsMergeBitIdentical) {
   EXPECT_EQ(st.drops_bad_crc, 0u);
   EXPECT_EQ(st.sessions_dropped, 0u);
 
-  // Daemon metrics snapshot for the CI artifact (and a scrape-under-load
-  // check in one move).
+  // Cross-process context propagation: the daemon echoed every client's ctx
+  // on every ack — through torn frames, EAGAIN storms and reconnects.
+  for (int i = 0; i < kClients; ++i) {
+    const sv::ShipStats& ss = stats[static_cast<std::size_t>(i)];
+    EXPECT_GT(ss.acks, 0u) << "client " << i;
+    EXPECT_EQ(ss.acks_with_ctx, ss.acks) << "client " << i;
+  }
+
+#if !defined(COMMSCOPE_TELEMETRY_DISABLED)
+  // And the trace tells the same story: every ctx appears on BOTH a
+  // client-side ship.frame span and a daemon-side serve.merge span.
+  ctl::Tracer::disable();
+  std::stringstream trace_txt;
+  ctl::Tracer::write_text(trace_txt);
+  const std::string txt = trace_txt.str();
+  const auto line_has_ctx = [](const std::string& line,
+                               const std::string& hex) {
+    const std::string tag = " ctx=" + hex;
+    const std::size_t at = line.find(tag);
+    if (at == std::string::npos) return false;
+    const std::size_t end = at + tag.size();
+    return end == line.size() || line[end] == ' ';
+  };
+  for (int i = 0; i < kClients; ++i) {
+    const std::string& hex = ctxs[static_cast<std::size_t>(i)];
+    bool ship_frame = false;
+    bool serve_merge = false;
+    std::istringstream lines(txt);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (!line_has_ctx(line, hex)) continue;
+      if (line.find("ship.frame") != std::string::npos) ship_frame = true;
+      if (line.find("serve.merge") != std::string::npos) serve_merge = true;
+    }
+    EXPECT_TRUE(ship_frame) << "client " << i << " ctx " << hex
+                            << " has no ship.frame span";
+    EXPECT_TRUE(serve_merge) << "client " << i << " ctx " << hex
+                             << " has no serve.merge span";
+  }
+
+  // CI artifacts: the soak's Chrome trace (one file, both sides of the
+  // wire) and the daemon metrics snapshot — a scrape-under-load check in
+  // one move.
+  std::ofstream trace_json("serve_soak.trace.json");
+  ctl::Tracer::write_chrome_trace(trace_json);
+#endif  // COMMSCOPE_TELEMETRY_DISABLED
   std::ofstream artifact("serve_soak.metrics");
   ASSERT_TRUE(sv::scrape_metrics(socket, artifact));
+  std::ofstream prom("serve_soak.prom");
+  ASSERT_TRUE(sv::scrape_metrics(socket, prom, 2000, true));
 }
 
 // --- durability: WAL + snapshot + recovery ----------------------------------
@@ -664,6 +721,58 @@ TEST(ServeDurable, RestartRecoversLedgerAndDedupesRedelivery) {
   const sv::ServeStats st = h2.server.snapshot();
   EXPECT_EQ(st.epochs_merged, 0u);  // nothing new merged this process
   EXPECT_TRUE(h2.server.merged_matrix() == truth.total());
+}
+
+TEST(ServeDurable, PropagatedContextStitchesClientAndDaemonSpans) {
+  const std::string socket = next_socket_path();
+  const std::string state = next_state_dir();
+  ctl::Tracer::enable();
+
+  ServerHandle h(durable_options(socket, state));
+  ASSERT_TRUE(h.start());
+
+  std::string hexes[2];
+  for (int i = 0; i < 2; ++i) {
+    sv::EpochShipper s(shipper_options(socket, 200 + i));
+    hexes[i] = sv::ctx_to_hex(s.trace_ctx());
+    ASSERT_TRUE(s.ship(make_truth(4, 0xC0DE + i)));
+    s.bye();
+    const sv::ShipStats& ss = s.stats();
+    EXPECT_GT(ss.acks, 0u);
+    EXPECT_EQ(ss.acks_with_ctx, ss.acks) << "client " << i;
+  }
+  ASSERT_TRUE(
+      wait_until([&] { return h.server.snapshot().epochs_merged == 8; }));
+  h.stop();
+  ctl::Tracer::disable();
+
+#if !defined(COMMSCOPE_TELEMETRY_DISABLED)
+  // One trace, two processes' worth of spans: for each client ctx, the
+  // client-side frame span and the daemon-side frame/merge/journal spans
+  // all carry the same propagated context id.
+  std::stringstream txt;
+  ctl::Tracer::write_text(txt);
+  const std::string trace = txt.str();
+  for (const std::string& hex : hexes) {
+    for (const char* span :
+         {"ship.frame", "serve.frame", "serve.merge", "serve.journal"}) {
+      bool found = false;
+      std::istringstream lines(trace);
+      std::string line;
+      const std::string tag = " ctx=" + hex;
+      while (std::getline(lines, line) && !found) {
+        const std::size_t at = line.find(tag);
+        if (at == std::string::npos ||
+            line.find(span) == std::string::npos) {
+          continue;
+        }
+        const std::size_t end = at + tag.size();
+        found = end == line.size() || line[end] == ' ';
+      }
+      EXPECT_TRUE(found) << span << " span missing for ctx " << hex;
+    }
+  }
+#endif  // COMMSCOPE_TELEMETRY_DISABLED
 }
 
 TEST(ServeDurable, TornWalTailToleratedAndQuarantined) {
@@ -914,6 +1023,31 @@ int await_exit(pid_t pid) {
   return status;
 }
 
+// The daemon binds its socket only after recovery replay + the startup
+// compaction, which on a loaded single-core box can outlast a client's
+// whole retry budget. The fault windows below only fire once a frame is
+// journaled, so a client that gives up before the socket exists turns the
+// await_exit into an infinite hang. Gate every post-spawn ship on the
+// socket actually accepting.
+bool wait_listening(const std::string& socket, int deadline_ms = 10000) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", socket.c_str());
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd >= 0) {
+      const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                               sizeof(addr));
+      ::close(fd);
+      if (rc == 0) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
 TEST(ServeChaos, KillNineAtEveryWindowRecoversBitIdentical) {
   const char* cli = std::getenv("COMMSCOPE_CLI");
   if (cli == nullptr) {
@@ -939,6 +1073,7 @@ TEST(ServeChaos, KillNineAtEveryWindowRecoversBitIdentical) {
   // through writing the first epochs record (wal-torn-tail). Nothing was
   // acked, so the client's redelivery must land everything exactly once.
   pid_t pid = spawn_daemon(cli, socket, state, "wal-torn-tail:2");
+  ASSERT_TRUE(wait_listening(socket)) << "window-1 daemon never bound";
   {
     sv::ShipperOptions so = shipper_options(socket, 201);
     so.max_attempts = 3;
@@ -950,6 +1085,7 @@ TEST(ServeChaos, KillNineAtEveryWindowRecoversBitIdentical) {
       << "wal-torn-tail fault did not SIGKILL the daemon";
 
   pid = spawn_daemon(cli, socket, state, nullptr);
+  ASSERT_TRUE(wait_listening(socket)) << "post-window-1 daemon never bound";
   ASSERT_TRUE(reship(201, t1));
 
   // Window 2 — mid-compaction / mid-snapshot: --compact-every=1 compacts
@@ -960,6 +1096,7 @@ TEST(ServeChaos, KillNineAtEveryWindowRecoversBitIdentical) {
   await_exit(pid);
   pid = spawn_daemon(cli, socket, state, "snapshot-crash-mid-write:2",
                      "--compact-every=1");
+  ASSERT_TRUE(wait_listening(socket)) << "window-2 daemon never bound";
   {
     sv::ShipperOptions so = shipper_options(socket, 202);
     so.max_attempts = 3;
@@ -971,6 +1108,7 @@ TEST(ServeChaos, KillNineAtEveryWindowRecoversBitIdentical) {
       << "snapshot-crash-mid-write fault did not SIGKILL the daemon";
 
   pid = spawn_daemon(cli, socket, state, nullptr);
+  ASSERT_TRUE(wait_listening(socket)) << "post-window-2 daemon never bound";
   ASSERT_TRUE(reship(202, t2));
 
   // Window 3 — randomized external kill -9 while a client streams (covers
@@ -993,6 +1131,7 @@ TEST(ServeChaos, KillNineAtEveryWindowRecoversBitIdentical) {
     await_exit(pid);
     client.join();
     pid = spawn_daemon(cli, socket, state, nullptr);
+    ASSERT_TRUE(wait_listening(socket)) << "window-3 daemon never bound";
   }
   ASSERT_TRUE(reship(203, t3));
 

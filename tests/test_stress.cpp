@@ -6,6 +6,12 @@
 // (`commscope stress`) runs the full acceptance grid.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -14,12 +20,17 @@
 #include "core/profiler.hpp"
 #include "resilience/guarded_sink.hpp"
 #include "resilience/stress.hpp"
+#include "serve/server.hpp"
+#include "serve/shipper.hpp"
 #include "threading/registry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace cc = commscope::core;
 namespace ci = commscope::instrument;
 namespace cr = commscope::resilience;
 namespace ct = commscope::threading;
+namespace ctl = commscope::telemetry;
+namespace sv = commscope::serve;
 
 namespace {
 
@@ -276,6 +287,114 @@ TEST(FlushOrdering, EpochRingInvariantsHoldUnderThreadChurn) {
     for (const cc::EpochCell& c : e.cells) cell_sum += c.bytes;
     EXPECT_EQ(cell_sum, e.bytes) << "epoch " << e.index;
   }
+}
+
+// Every trace record since enable() either occupies a ring slot, overwrote
+// one (counted in dropped), or spilled past the ring table (also counted).
+// Thread churn is the hostile case: each fresh OS thread claims a fresh
+// ring, so waves of short-lived threads spread the same event count across
+// many rings without ever breaking the accounting identity.
+TEST(TraceRing, OverwriteAndCountInvariantsHoldUnderThreadChurn) {
+  ctl::Tracer::enable();
+  constexpr int kWaves = 3;
+  constexpr int kLanes = 6;
+  constexpr int kPerThread = 3000;  // > ring capacity: forces overwrites
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::thread> lanes;
+    for (int t = 0; t < kLanes; ++t) {
+      lanes.emplace_back([t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          ctl::Tracer::instant("churn", ctl::SpanCat::kRun, t);
+        }
+      });
+    }
+    for (std::thread& th : lanes) th.join();
+  }
+  ctl::Tracer::disable();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kWaves) * kLanes * kPerThread;
+  const std::uint64_t captured = ctl::Tracer::captured();
+  const std::uint64_t dropped = ctl::Tracer::dropped();
+  EXPECT_EQ(captured + dropped, kTotal)
+      << "a record was neither kept, overwritten nor counted as spilled";
+  EXPECT_GT(dropped, 0u) << "churn never overflowed a ring; load too light";
+  // Each of the kWaves * kLanes short-lived threads burned its own ring.
+  EXPECT_LE(captured,
+            static_cast<std::uint64_t>(kWaves) * kLanes * 2048u);
+}
+
+// The reap path runs on the daemon thread while churning client threads
+// hammer the same trace rings: the daemon must reap the silent session
+// without losing its merged contribution, and the ring accounting must
+// survive the concurrent load.
+TEST(TraceRing, ServeSessionReapUnderChurnKeepsDaemonConsistent) {
+  ctl::Tracer::enable();
+  const std::string socket =
+      "/tmp/cs_stress_reap_" + std::to_string(::getpid()) + ".sock";
+  sv::ServeOptions o;
+  o.socket_path = socket;
+  o.poll_ms = 5;
+  o.reap_ms = 40;
+  sv::ServeServer server(o);
+  ASSERT_TRUE(server.open());
+  std::thread daemon([&server] { server.run(); });
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churn;
+  for (int t = 0; t < 4; ++t) {
+    churn.emplace_back([&stop, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        ctl::Tracer::instant("churn.reap", ctl::SpanCat::kRun, t);
+      }
+    });
+  }
+
+  // One client ships a single epoch and goes silent: no bye, no heartbeat.
+  cc::EpochTimeline truth;
+  truth.threads = 2;
+  truth.sealed = 1;
+  cc::EpochSample e;
+  e.index = 0;
+  e.first_access = 0;
+  e.last_access = 9;
+  cc::EpochCell cell;
+  cell.producer = 0;
+  cell.consumer = 1;
+  cell.bytes = 64;
+  e.bytes = 64;
+  e.cells.push_back(cell);
+  e.dependencies = 1;
+  truth.epochs.push_back(e);
+  sv::ShipperOptions so;
+  so.socket_path = socket;
+  so.spill_path = socket + ".spill.epochs";
+  so.session_id = 17;
+  so.threads = 2;
+  {
+    sv::EpochShipper s(so);
+    ASSERT_TRUE(s.ship(truth));
+  }  // destroyed without bye(): the heartbeat timeout must reap it
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.snapshot().sessions_reaped == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : churn) th.join();
+  server.stop();
+  daemon.join();
+  ctl::Tracer::disable();
+
+  const sv::ServeStats st = server.snapshot();
+  EXPECT_GE(st.sessions_reaped, 1u) << "silent session was never reaped";
+  EXPECT_EQ(st.epochs_merged, 1u) << "reap lost the merged contribution";
+  EXPECT_LE(ctl::Tracer::captured(), 80u * 2048u);
+  EXPECT_GT(ctl::Tracer::dropped(), 0u)
+      << "churn spun for the whole reap window yet never wrapped a ring";
+  std::remove(so.spill_path.c_str());
 }
 
 #endif  // !COMMSCOPE_TELEMETRY_DISABLED

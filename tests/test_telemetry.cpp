@@ -9,8 +9,11 @@
 
 #include <atomic>
 #include <cctype>
+#include <charconv>
 #include <cstddef>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <new>
 #include <sstream>
 #include <string>
@@ -19,6 +22,7 @@
 
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "telemetry/trace_merge.hpp"
 
 namespace ctl = commscope::telemetry;
 
@@ -185,6 +189,86 @@ TEST(Metrics, TextFormatRoundTripsAndMerges) {
   EXPECT_THROW((void)ctl::read_metrics(bad), std::invalid_argument);
 }
 
+TEST(Histogram, QuantileEstimatesAreExactAtBucketBoundaries) {
+  ctl::MetricSnapshot m;
+  m.kind = ctl::MetricKind::kHistogram;
+  // Empty histogram: every quantile is 0.
+  EXPECT_EQ(ctl::histogram_quantile(m, 0.5), 0u);
+
+  // All-zero samples land in bucket 0 and stay 0 at every quantile.
+  m.buckets[0] = 10;
+  EXPECT_EQ(ctl::histogram_quantile(m, 0.99), 0u);
+  m.buckets[0] = 0;
+
+  // A single sample in bucket 7 ([64, 127]) sits at the bucket floor.
+  m.buckets[7] = 1;
+  EXPECT_EQ(ctl::histogram_quantile(m, 0.0), 64u);
+  EXPECT_EQ(ctl::histogram_quantile(m, 1.0), 64u);
+
+  // Two samples interpolate across the bucket span: rank 1 at the floor,
+  // rank 2 at the inclusive ceiling.
+  m.buckets[7] = 2;
+  EXPECT_EQ(ctl::histogram_quantile(m, 0.5), 64u);
+  EXPECT_EQ(ctl::histogram_quantile(m, 1.0), 127u);
+  m.buckets[7] = 0;
+
+  // Bimodal: 5 fast samples (bucket 1 = exactly 1) and 5 slow (bucket 10 =
+  // [512, 1023]). The median stays fast; the tail quantiles see the slow
+  // mode — the shape the stage histograms exist to expose.
+  m.buckets[1] = 5;
+  m.buckets[10] = 5;
+  EXPECT_EQ(ctl::histogram_quantile(m, 0.50), 1u);
+  EXPECT_EQ(ctl::histogram_quantile(m, 0.95), 1023u);
+  EXPECT_EQ(ctl::histogram_quantile(m, 0.99), 1023u);
+  // Out-of-range q clamps instead of misbehaving.
+  EXPECT_EQ(ctl::histogram_quantile(m, -1.0), 1u);
+  EXPECT_EQ(ctl::histogram_quantile(m, 2.0), 1023u);
+}
+
+TEST(Metrics, QuantilesSurviveTextRoundTripAndLegacyLinesStillParse) {
+  ctl::MetricSnapshot h;
+  h.name = "rt.q";
+  h.kind = ctl::MetricKind::kHistogram;
+  h.count = 4;
+  h.sum = 4 + 7 + 32 + 63;
+  h.buckets[3] = 2;  // [4, 7]
+  h.buckets[6] = 2;  // [32, 63]
+  ctl::refresh_quantiles(h);
+  EXPECT_EQ(h.p50, 7u);
+  EXPECT_EQ(h.p95, 63u);
+  EXPECT_EQ(h.p99, 63u);
+
+  std::stringstream ss;
+  ctl::write_metrics(ss, {h});
+  EXPECT_NE(ss.str().find("p50=7 p95=63 p99=63"), std::string::npos)
+      << ss.str();
+  const std::vector<ctl::MetricSnapshot> back = ctl::read_metrics(ss);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].p50, 7u);
+  EXPECT_EQ(back[0].p95, 63u);
+  EXPECT_EQ(back[0].p99, 63u);
+  EXPECT_EQ(back[0].buckets[3], 2u);
+  EXPECT_EQ(back[0].buckets[6], 2u);
+
+  // Pre-quantile writers omitted the p-fields; the reader must still accept
+  // their lines (and leaves the estimates at 0 rather than inventing them).
+  std::stringstream legacy(
+      "# commscope-metrics v1\nhist old.h count=3 sum=712 buckets=7:1,8:2\n");
+  const std::vector<ctl::MetricSnapshot> old = ctl::read_metrics(legacy);
+  ASSERT_EQ(old.size(), 1u);
+  EXPECT_EQ(old[0].count, 3u);
+  EXPECT_EQ(old[0].buckets[8], 2u);
+  EXPECT_EQ(old[0].p50, 0u);
+
+  // Merge re-derives the quantiles from the summed buckets instead of
+  // summing the estimates.
+  std::vector<ctl::MetricSnapshot> into = {h};
+  ctl::merge_metrics(into, {h});
+  EXPECT_EQ(into[0].count, 8u);
+  EXPECT_EQ(into[0].p50, 7u);
+  EXPECT_EQ(into[0].p95, 63u);
+}
+
 // --- minimal JSON parser (validation only) ----------------------------------
 //
 // Enough JSON to structurally validate a Chrome trace: objects, arrays,
@@ -331,6 +415,38 @@ TEST(Trace, ChromeJsonRoundTripsThroughParser) {
   EXPECT_NE(txt.str().find("degradation"), std::string::npos);
 }
 
+TEST(Trace, ContextAndValueExportAsChromeArgs) {
+  ctl::Tracer::enable();
+  ctl::Tracer::instant("ctx.instant", ctl::SpanCat::kServe, -1, 0x2aULL,
+                       7ULL);
+  ctl::Tracer::complete("ctx.span", ctl::SpanCat::kServe, -1, 100, 50,
+                        0xdeadbeefULL, 0);
+  ctl::Tracer::instant("ctx.none", ctl::SpanCat::kServe);
+  ctl::Tracer::disable();
+
+  std::stringstream ss;
+  ctl::Tracer::write_chrome_trace(ss);
+  const std::string json = ss.str();
+  JsonCursor cursor(json);
+  EXPECT_TRUE(cursor.parse()) << json;
+  // ctx is a hex STRING (64-bit ids do not survive JSON doubles); arg is a
+  // plain number; zero fields are omitted entirely.
+  EXPECT_NE(json.find("\"args\":{\"ctx\":\"2a\",\"v\":7}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"args\":{\"ctx\":\"deadbeef\"}"), std::string::npos);
+  const std::size_t none_at = json.find("ctx.none");
+  ASSERT_NE(none_at, std::string::npos);
+  const std::size_t line_end = json.find('\n', none_at);
+  EXPECT_EQ(json.substr(none_at, line_end - none_at).find("args"),
+            std::string::npos)
+      << "ctx-less event grew an args block";
+
+  std::stringstream txt;
+  ctl::Tracer::write_text(txt);
+  EXPECT_NE(txt.str().find("ctx.instant ctx=2a v=7"), std::string::npos)
+      << txt.str();
+}
+
 TEST(Trace, DisabledRecordPathAllocatesNothing) {
   ctl::Tracer::disable();
   ctl::Counter& c = ctl::counter("test.noalloc");  // registered up front
@@ -370,6 +486,294 @@ TEST(Trace, RingOverwriteIsCountedNotUnbounded) {
   ctl::Tracer::disable();
   EXPECT_LE(ctl::Tracer::captured(), 4096u);  // bounded by one ring (2048)
   EXPECT_GT(ctl::Tracer::dropped(), 0u);
+}
+
+// --- Prometheus exposition conformance --------------------------------------
+//
+// A line-level validator for the text exposition format (v0.0.4): every
+// sample belongs to a family declared by a preceding `# TYPE` line, names
+// stay in the legal charset, histogram buckets are cumulative with strictly
+// increasing `le` bounds, and `+Inf` equals `_count`.
+struct PromFamily {
+  std::string type;
+  std::vector<std::pair<double, std::uint64_t>> buckets;  ///< (le, cum)
+  bool has_inf = false;
+  std::uint64_t inf_cum = 0;
+  bool has_sum = false;
+  bool has_count = false;
+  std::uint64_t count = 0;
+};
+
+bool prom_name_ok(const std::string& n) {
+  if (n.empty()) return false;
+  if (std::isalpha(static_cast<unsigned char>(n[0])) == 0 && n[0] != '_' &&
+      n[0] != ':') {
+    return false;
+  }
+  for (const char c : n) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != ':') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool prom_u64(const std::string& s, std::uint64_t& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+/// Returns "" when `text` is conformant, else a diagnostic naming the
+/// offending line or family.
+std::string prometheus_lint(const std::string& text) {
+  std::map<std::string, PromFamily> fams;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash;
+      std::string kw;
+      std::string fam;
+      std::string type;
+      ls >> hash >> kw >> fam >> type;
+      if (kw != "TYPE") continue;  // HELP and free comments are fine
+      if (!prom_name_ok(fam)) return "bad family name: " + line;
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return "bad type: " + line;
+      }
+      if (fams.count(fam) != 0) return "duplicate TYPE: " + line;
+      fams[fam].type = type;
+      continue;
+    }
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) return "no value: " + line;
+    std::uint64_t value = 0;
+    if (!prom_u64(line.substr(sp + 1), value)) return "bad value: " + line;
+    const std::size_t brace = line.find('{');
+    const std::string name =
+        line.substr(0, std::min(brace, line.find(' ')));
+    if (!prom_name_ok(name)) return "bad metric name: " + line;
+    std::string le;
+    if (brace != std::string::npos) {
+      const std::size_t q1 = line.find('"', brace);
+      const std::size_t q2 =
+          q1 == std::string::npos ? q1 : line.find('"', q1 + 1);
+      if (line.compare(brace, 5, "{le=\"") != 0 ||
+          q2 == std::string::npos) {
+        return "unexpected labels: " + line;
+      }
+      le = line.substr(q1 + 1, q2 - q1 - 1);
+    }
+    // Resolve the sample to its declared family via the suffix convention.
+    auto strip = [&name](const char* suffix) -> std::string {
+      const std::string suf(suffix);
+      if (name.size() <= suf.size() ||
+          name.compare(name.size() - suf.size(), suf.size(), suf) != 0) {
+        return {};
+      }
+      return name.substr(0, name.size() - suf.size());
+    };
+    std::string fam;
+    if (!le.empty()) {
+      fam = strip("_bucket");
+      if (fam.empty() || fams.count(fam) == 0 ||
+          fams[fam].type != "histogram") {
+        return "bucket without histogram TYPE: " + line;
+      }
+      PromFamily& f = fams[fam];
+      if (le == "+Inf") {
+        f.has_inf = true;
+        f.inf_cum = value;
+      } else {
+        double bound = 0;
+        const auto [p, ec] =
+            std::from_chars(le.data(), le.data() + le.size(), bound);
+        if (ec != std::errc{} || p != le.data() + le.size()) {
+          return "bad le: " + line;
+        }
+        if (f.has_inf) return "+Inf before finite bucket: " + line;
+        if (!f.buckets.empty()) {
+          if (bound <= f.buckets.back().first) {
+            return "le not increasing: " + line;
+          }
+          if (value < f.buckets.back().second) {
+            return "buckets not cumulative: " + line;
+          }
+        }
+        f.buckets.emplace_back(bound, value);
+      }
+      continue;
+    }
+    std::string base;
+    if (!(base = strip("_total")).empty() && fams.count(base) != 0 &&
+        fams[base].type == "counter") {
+      continue;
+    }
+    if (!(base = strip("_sum")).empty() && fams.count(base) != 0 &&
+        fams[base].type == "histogram") {
+      fams[base].has_sum = true;
+      continue;
+    }
+    if (!(base = strip("_count")).empty() && fams.count(base) != 0 &&
+        fams[base].type == "histogram") {
+      fams[base].has_count = true;
+      fams[base].count = value;
+      continue;
+    }
+    // Gauges and counters are declared under the sample's exact name (the
+    // counter family already carries its _total suffix in the TYPE line).
+    if (fams.count(name) != 0 && fams[name].type != "histogram") continue;
+    return "sample with no matching TYPE: " + line;
+  }
+  for (const auto& [fam, f] : fams) {
+    if (f.type != "histogram") continue;
+    if (!f.has_inf || !f.has_sum || !f.has_count) {
+      return fam + ": histogram missing +Inf/_sum/_count";
+    }
+    if (f.inf_cum != f.count) return fam + ": +Inf != _count";
+    if (!f.buckets.empty() && f.buckets.back().second > f.count) {
+      return fam + ": cumulative buckets exceed _count";
+    }
+  }
+  return {};
+}
+
+TEST(Metrics, PrometheusExpositionIsConformant) {
+  ctl::MetricSnapshot c;
+  c.name = "serve.frames.ok";
+  c.kind = ctl::MetricKind::kCounter;
+  c.value = 3;
+  ctl::MetricSnapshot g;
+  g.name = "serve.mem.bytes";
+  g.kind = ctl::MetricKind::kGauge;
+  g.value = 77;
+  ctl::MetricSnapshot h;
+  h.name = "rt.hi-st";  // exercises name sanitization
+  h.kind = ctl::MetricKind::kHistogram;
+  h.count = 4;
+  h.sum = 1000;
+  h.buckets[0] = 1;
+  h.buckets[3] = 2;
+  h.buckets[64] = 1;  // overflow bucket: only +Inf can name its bound
+
+  std::stringstream ss;
+  ctl::write_prometheus(ss, {c, g, h});
+  const std::string text = ss.str();
+  EXPECT_EQ(prometheus_lint(text), "") << text;
+  EXPECT_NE(text.find("# TYPE commscope_serve_frames_ok_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("commscope_serve_frames_ok_total 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE commscope_serve_mem_bytes gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("commscope_rt_hi_st_bucket{le=\"0\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("commscope_rt_hi_st_bucket{le=\"7\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("commscope_rt_hi_st_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("commscope_rt_hi_st_sum 1000"), std::string::npos);
+  // The overflow sample has no finite bound — it must appear only in +Inf.
+  EXPECT_EQ(text.find("le=\"18446744073709551615\""), std::string::npos);
+
+  // The live registry (whatever prior tests left in it) must lint too.
+  std::stringstream live;
+  ctl::write_prometheus(live);
+  EXPECT_EQ(prometheus_lint(live.str()), "")
+      << live.str().substr(0, 2000);
+}
+
+// --- cross-process trace stitching ------------------------------------------
+
+std::string write_temp_trace(const char* name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+TEST(TraceMerge, PairsContextsAndShiftsClientClocks) {
+  // Daemon trace: the reference timeline. Its serve.hello instant carries
+  // the client's handshake clock sample (args.v, ns) at its own trace time.
+  const std::string daemon = write_temp_trace(
+      "tm_daemon.json",
+      "{\"traceEvents\":[\n"
+      "{\"pid\":0,\"tid\":0,\"ph\":\"i\",\"ts\":5000.0,\"s\":\"t\","
+      "\"name\":\"serve.hello\",\"cat\":\"serve\","
+      "\"args\":{\"ctx\":\"abc\",\"v\":2000000}},\n"
+      "{\"pid\":0,\"tid\":0,\"ph\":\"X\",\"ts\":5100.0,\"dur\":40.0,"
+      "\"name\":\"serve.merge\",\"cat\":\"serve\","
+      "\"args\":{\"ctx\":\"abc\",\"v\":3}}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n");
+  // Client trace: ship.hello at local ts 2000us, clock sample 2000000ns.
+  // offset = 5000 - 2000000/1000 = +3000us.
+  const std::string client = write_temp_trace(
+      "tm_client.json",
+      "{\"traceEvents\":[\n"
+      "{\"pid\":0,\"tid\":0,\"ph\":\"i\",\"ts\":2000.0,\"s\":\"t\","
+      "\"name\":\"ship.hello\",\"cat\":\"serve\","
+      "\"args\":{\"ctx\":\"abc\",\"v\":2000000}},\n"
+      "{\"pid\":0,\"tid\":0,\"ph\":\"X\",\"ts\":2100.0,\"dur\":50.0,"
+      "\"name\":\"ship.frame\",\"cat\":\"serve\","
+      "\"args\":{\"ctx\":\"abc\",\"v\":1}}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n");
+  // A third file with no pairable handshake keeps its own clock.
+  const std::string lone = write_temp_trace(
+      "tm_lone.json",
+      "{\"traceEvents\":[\n"
+      "{\"pid\":0,\"tid\":0,\"ph\":\"i\",\"ts\":100.0,\"s\":\"t\","
+      "\"name\":\"lone\",\"cat\":\"run\"}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n");
+
+  std::ostringstream os;
+  const ctl::TraceMergeResult r =
+      ctl::merge_traces({daemon, client, lone}, os);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.files, 3u);
+  EXPECT_EQ(r.events, 5u);
+  EXPECT_EQ(r.contexts_paired, 1u);
+  EXPECT_EQ(r.files_shifted, 1u);
+
+  const std::string out = os.str();
+  JsonCursor cursor(out);
+  EXPECT_TRUE(cursor.parse()) << out;
+  // The unpaired file rebased the whole timeline: its event is earliest
+  // (100 < 5000), so it lands at t=0 in its own pid lane.
+  const std::size_t lone_at = out.find("\"name\":\"lone\"");
+  ASSERT_NE(lone_at, std::string::npos);
+  const std::size_t lone_line = out.rfind('\n', lone_at) + 1;
+  EXPECT_EQ(out.compare(lone_line, 22, "{\"pid\":2,\"tid\":0,\"ph\":"), 0)
+      << out.substr(lone_line, 80);
+  EXPECT_NE(out.find("\"ts\":0.0", lone_line), std::string::npos);
+  // Both hellos land on the same instant after the shift: 5000 - 100.
+  std::size_t hellos_at_4900 = 0;
+  for (std::size_t at = out.find("\"ts\":4900.0"); at != std::string::npos;
+       at = out.find("\"ts\":4900.0", at + 1)) {
+    ++hellos_at_4900;
+  }
+  EXPECT_EQ(hellos_at_4900, 2u) << out;
+  EXPECT_NE(out.find("\"contextsPaired\":1,\"filesShifted\":1"),
+            std::string::npos);
+}
+
+TEST(TraceMerge, RejectsNonTraceInputAndEmptyList) {
+  std::ostringstream os;
+  ctl::TraceMergeResult r = ctl::merge_traces({}, os);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, "no input traces");
+
+  const std::string garbage =
+      write_temp_trace("tm_garbage.json", "hello world\n");
+  r = ctl::merge_traces({garbage}, os);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("not a Chrome trace"), std::string::npos)
+      << r.error;
+  EXPECT_TRUE(os.str().empty()) << "failed merge must write nothing";
 }
 
 // Last: floods the fixed-capacity registry. Registrations past the cap land

@@ -39,7 +39,16 @@
 //       concurrent clients (see --ship-to below) on a Unix socket, merge
 //       them crash-isolated per session, and write the merged timeline /
 //       metrics on exit. --scrape turns the command into a client that
-//       pulls a metrics snapshot from a live daemon instead.
+//       pulls a metrics snapshot from a live daemon instead (--prometheus
+//       asks for Prometheus text exposition format).
+//   commscope trace --merge <trace.json...> [--out=FILE]
+//       Stitch per-process --trace-out files (client runs + the serve
+//       daemon) into one Chrome trace, shifting each client onto the
+//       daemon's timeline via the handshake clock-offset estimate.
+//   commscope health <snapshot-file...> | health --connect=SOCKET
+//       SLO summary over metric snapshots (or a live daemon's scrape
+//       endpoint): drop/degrade/reap/WAL-fallback counters. Exit 0 when
+//       healthy, 3 on a breach.
 //
 // Shipping options (run/replay):
 //   --ship-to=SOCKET            stream the sealed epoch timeline to a
@@ -97,10 +106,10 @@
 // resilience/fault_injector.hpp).
 //
 // Exit codes: 0 success, 1 runtime failure (bad file, failed verification),
-// 2 usage error (unknown flag/command, malformed flag value), 3 regression
-// detected by `commscope diff` (inputs were valid; the comparison failed its
-// thresholds), 124 watchdog timeout, 128+N death by signal N (emergency
-// snapshot written first).
+// 2 usage error (unknown flag/command, malformed flag value), 3 a valid
+// comparison that failed its contract — a `commscope diff` regression or a
+// `commscope health` SLO breach, 124 watchdog timeout, 128+N death by
+// signal N (emergency snapshot written first).
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -141,6 +150,7 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/self_profile.hpp"
 #include "telemetry/trace.hpp"
+#include "telemetry/trace_merge.hpp"
 #include "threading/thread_pool.hpp"
 #include "workloads/workload.hpp"
 
@@ -201,16 +211,19 @@ const std::vector<std::string>& known_flags_for(const std::string& cmd) {
        flags_union({kObservabilityFlags},
                    {"seed", "seeds", "threads", "steps", "mode", "sampling",
                     "no-churn", "batch"})},
-      {"metrics", {"metrics-out"}},
-      {"top", flags_union({kProfileFlags, kObservabilityFlags}, {"interval"})},
+      {"metrics", {"metrics-out", "prometheus"}},
+      {"top", flags_union({kProfileFlags, kObservabilityFlags},
+                          {"interval", "connect"})},
       {"report", {"format", "out", "matrix", "metrics", "title"}},
       {"diff",
        {"bench", "threshold", "threshold-l1", "threshold-cell", "quiet"}},
       {"serve",
        {"socket", "mem-budget", "reap-ms", "max-sessions", "sessions",
         "idle-exit-ms", "epochs-out", "metrics-out", "quiet", "scrape",
-        "timeout", "state-dir", "fsync", "fsync-n", "compact-every",
-        "no-recover"}},
+        "prometheus", "timeout", "state-dir", "fsync", "fsync-n",
+        "compact-every", "no-recover", "trace-out", "trace-format"}},
+      {"trace", {"merge", "out"}},
+      {"health", {"connect", "quiet"}},
   };
   static const std::vector<std::string> none;
   const auto it = table.find(cmd);
@@ -219,7 +232,7 @@ const std::vector<std::string>& known_flags_for(const std::string& cmd) {
 
 const char* kCommandList =
     "list, run, replay, resume, classify, map, stress, metrics, top, "
-    "report, diff, serve";
+    "report, diff, serve, trace, health";
 
 int usage() {
   std::cerr
@@ -240,9 +253,20 @@ int usage() {
          "observe & verify:\n"
          "  stress                    schedule-fuzzing self-verification\n"
          "  metrics <snapshot...>     merge + print telemetry snapshots\n"
+         "                            (--prometheus emits text exposition)\n"
          "  top <workload>            live view of the profiler while it runs\n"
+         "                            (--connect=SOCKET watches a serve\n"
+         "                            daemon's scrape endpoint instead)\n"
+         "  trace --merge <json...>   stitch client + daemon trace files into\n"
+         "                            one Chrome trace (clock-offset aware;\n"
+         "                            --out=FILE, default stdout)\n"
+         "  health <snapshot...>      SLO summary from drop/degrade/reap/WAL\n"
+         "                            counters (--connect=SOCKET scrapes a\n"
+         "                            live daemon); exit 0 healthy, 3 breach\n"
          "  serve --socket=PATH       multi-client epoch aggregation daemon\n"
-         "                            (--scrape pulls metrics from a live one;\n"
+         "                            (--scrape pulls metrics from a live one,\n"
+         "                            --scrape --prometheus in text exposition\n"
+         "                            format for a Prometheus scraper;\n"
          "                            clients ship with run --ship-to=PATH;\n"
          "                            --state-dir=DIR makes it crash-durable:\n"
          "                            --fsync=per-ack|per-n|on-compaction,\n"
@@ -888,7 +912,17 @@ int cmd_metrics(const cs::ArgParser& args) {
       std::cerr << "cannot write " << args.get("metrics-out") << "\n";
       return 1;
     }
-    ctl::write_metrics(out, merged);
+    if (args.has("prometheus")) {
+      ctl::write_prometheus(out, merged);
+    } else {
+      ctl::write_metrics(out, merged);
+    }
+  }
+  if (args.has("prometheus")) {
+    // Pure exposition output — no banner, so stdout pipes straight into a
+    // Prometheus textfile collector.
+    ctl::write_prometheus(std::cout, merged);
+    return 0;
   }
   std::cout << "aggregated " << (args.positional().size() - 1)
             << " snapshot(s), " << merged.size() << " metrics\n";
@@ -902,7 +936,91 @@ int cmd_metrics(const cs::ArgParser& args) {
 // event counter — forced on via count_events — the memory tracker, and the
 // telemetry registry), so the reader never races the worker threads'
 // unsynchronized per-thread counters.
+/// `top --connect=SOCKET`: the same live status block, but painted from a
+/// serve daemon's scrape endpoint instead of an in-process workload — the
+/// daemon is the workload. Exits 0 once a previously-answering daemon goes
+/// away (it drained), 1 when no daemon ever answered.
+int top_connect(const cs::ArgParser& args) {
+  const std::string socket = args.get("connect");
+  const auto interval = std::chrono::milliseconds(
+      std::max<std::int64_t>(20, args.get_int_strict("interval", 500)));
+  const auto find = [](const std::vector<ctl::MetricSnapshot>& ms,
+                       const char* name) -> std::uint64_t {
+    for (const ctl::MetricSnapshot& m : ms) {
+      if (m.name == name) return m.value;
+    }
+    return 0;
+  };
+#if defined(__unix__) || defined(__APPLE__)
+  const bool ansi = isatty(1) != 0;
+#else
+  const bool ansi = false;
+#endif
+  const auto t0 = std::chrono::steady_clock::now();
+  auto prev_time = t0;
+  std::uint64_t prev_merged = 0;
+  int painted_lines = 0;
+  bool answered = false;
+  for (;;) {
+    std::ostringstream text;
+    if (!csv::scrape_metrics(socket, text)) {
+      if (answered) {
+        std::cout << "top: daemon at " << socket << " exited\n";
+        return 0;
+      }
+      std::cerr << "top: cannot scrape " << socket
+                << " (is a daemon listening?)\n";
+      return 1;
+    }
+    std::vector<ctl::MetricSnapshot> ms;
+    try {
+      std::istringstream in(text.str());
+      ms = ctl::read_metrics(in);
+    } catch (const std::exception& e) {
+      std::cerr << "top: " << socket << ": " << e.what() << "\n";
+      return 1;
+    }
+    answered = true;
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed = std::chrono::duration<double>(now - t0).count();
+    const double window =
+        std::chrono::duration<double>(now - prev_time).count();
+    const std::uint64_t merged = find(ms, "serve.epochs.merged");
+    const double rate =
+        window > 0.0 ? static_cast<double>(merged - prev_merged) / window
+                     : 0.0;
+    prev_merged = merged;
+    prev_time = now;
+    if (ansi && painted_lines > 0) {
+      std::cout << "\x1b[" << painted_lines << "A";
+    }
+    const char* clear = ansi ? "\x1b[K" : "";
+    std::cout << clear << "commscope top — serve @ " << socket
+              << "  t=" << cs::Table::num(elapsed, 1) << "s\n"
+              << clear << "  sessions live " << find(ms, "serve.sessions.live")
+              << "  (accepted " << find(ms, "serve.sessions.accepted")
+              << ", sealed " << find(ms, "serve.sessions.sealed")
+              << ", reaped " << find(ms, "serve.sessions.reaped")
+              << ", dropped " << find(ms, "serve.sessions.dropped")
+              << ", shed " << find(ms, "serve.sessions.shed") << ")\n"
+              << clear << "  epochs merged " << merged << "  (+"
+              << cs::Table::num(rate, 0) << "/s)  deduped "
+              << find(ms, "serve.epochs.deduped") << "  frames "
+              << find(ms, "serve.frames.ok") << "  rx "
+              << cs::Table::bytes(find(ms, "serve.bytes.rx")) << "\n"
+              << clear << "  degrade rung " << find(ms, "serve.degrade.rung")
+              << "  mem " << cs::Table::bytes(find(ms, "serve.mem.bytes"))
+              << "  (peak " << cs::Table::bytes(find(ms, "serve.mem.peak"))
+              << ")  wal records " << find(ms, "serve.wal.records")
+              << "  fsyncs " << find(ms, "serve.wal.fsyncs") << "\n";
+    std::cout.flush();
+    painted_lines = 4;
+    std::this_thread::sleep_for(interval);
+  }
+}
+
 int cmd_top(const cs::ArgParser& args) {
+  if (args.has("connect")) return top_connect(args);
   if (args.positional().size() < 2) return usage();
   const cw::Workload* w = cw::find(args.positional()[1]);
   if (w == nullptr) {
@@ -1194,9 +1312,10 @@ int cmd_serve(const cs::ArgParser& args) {
   }
 
   if (args.has("scrape")) {
-    // Client mode: pull a metrics snapshot from a live daemon.
+    // Client mode: pull a metrics snapshot from a live daemon
+    // (--prometheus asks it for text exposition format instead of v1).
     std::ostringstream text;
-    if (!csv::scrape_metrics(socket, text)) {
+    if (!csv::scrape_metrics(socket, text, 2000, args.has("prometheus"))) {
       std::cerr << "serve: cannot scrape " << socket
                 << " (is a daemon listening?)\n";
       return 1;
@@ -1215,6 +1334,7 @@ int cmd_serve(const cs::ArgParser& args) {
     return 0;
   }
 
+  maybe_enable_trace(args);
   csv::ServeOptions opts;
   opts.socket_path = socket;
   opts.mem_budget_bytes = args.get_bytes_strict("mem-budget", 0);
@@ -1311,16 +1431,137 @@ int cmd_serve(const cs::ArgParser& args) {
     log << merged.epochs.size() << " merged epoch(s) written to "
         << args.get("epochs-out") << "\n";
   }
-  if (args.has("metrics-out")) {
-    std::ofstream out(args.get("metrics-out"));
+  const int orc = write_observability_outputs(args, log);
+  if (orc != 0) return orc;
+  return timed_out.load(std::memory_order_acquire) ? 124 : 0;
+}
+
+// Stitch per-process --trace-out files (client runs + the serve daemon)
+// into one Chrome trace, shifting each client onto the daemon's timeline
+// via the handshake clock-offset estimate (see telemetry/trace_merge.hpp).
+int cmd_trace(const cs::ArgParser& args) {
+  if (!args.has("merge") || args.positional().size() < 2) {
+    std::cerr << "trace: expected --merge <trace.json...> "
+                 "(Chrome traces written by --trace-out)\n";
+    return usage();
+  }
+  const std::vector<std::string> paths(args.positional().begin() + 1,
+                                       args.positional().end());
+  std::ostringstream merged;
+  const ctl::TraceMergeResult r = ctl::merge_traces(paths, merged);
+  if (!r.ok()) {
+    std::cerr << "commscope: trace: " << r.error << "\n";
+    return 1;
+  }
+  if (args.has("out")) {
+    std::ofstream out(args.get("out"));
     if (!out) {
-      std::cerr << "cannot write " << args.get("metrics-out") << "\n";
+      std::cerr << "cannot write " << args.get("out") << "\n";
       return 1;
     }
-    ctl::write_metrics(out);
-    log << "metrics written to " << args.get("metrics-out") << "\n";
+    out << merged.str();
+  } else {
+    std::cout << merged.str();
   }
-  return timed_out.load(std::memory_order_acquire) ? 124 : 0;
+  // Summary on stderr so stdout stays a loadable trace when --out is absent.
+  std::cerr << "merged " << r.files << " trace(s): " << r.events
+            << " event(s), " << r.contexts_paired
+            << " context(s) paired, " << r.files_shifted
+            << " file(s) clock-shifted\n";
+  return 0;
+}
+
+/// The health SLO: every rule names a counter whose nonzero value means the
+/// deployment degraded service somewhere — data was dropped, accuracy was
+/// traded, or durability fell back. The daemon surviving those events is
+/// the design working; the breach report is what tells an operator the
+/// capacity or client behaviour still needs attention.
+struct SloRule {
+  const char* metric;
+  const char* what;
+};
+
+constexpr SloRule kSloRules[] = {
+    {"serve.sessions.dropped", "sessions dropped (protocol violations)"},
+    {"serve.sessions.reaped", "sessions reaped (heartbeat timeouts)"},
+    {"serve.degrade.transitions", "overload-ladder transitions"},
+    {"serve.epochs.shed", "epochs shed under overload"},
+    {"serve.epochs.sampled_out", "epochs sampled out under overload"},
+    {"serve.wal.fsync_failures", "WAL fsync failures"},
+    {"serve.wal.write_errors", "WAL write errors"},
+    {"serve.wal.failed", "WAL in failed state (durability suspended)"},
+    {"ship.spills", "client flushes spilled to the sidecar"},
+    {"profiler.degradations", "profiler degradation-ladder firings"},
+};
+
+// SLO summary over metric snapshots (files, or a live daemon's scrape
+// endpoint via --connect). Exit contract: 0 = healthy, 3 = SLO breach
+// (inputs were fine; the deployment degraded), 1 = unreadable input or no
+// daemon answering, 2 = usage.
+int cmd_health(const cs::ArgParser& args) {
+  const bool quiet = args.has("quiet");
+  std::ostream& log = out_stream(quiet);
+  std::vector<ctl::MetricSnapshot> merged;
+  if (args.has("connect")) {
+    std::ostringstream text;
+    if (!csv::scrape_metrics(args.get("connect"), text)) {
+      std::cerr << "health: cannot scrape " << args.get("connect")
+                << " (is a daemon listening?)\n";
+      return 1;
+    }
+    try {
+      std::istringstream in(text.str());
+      merged = ctl::read_metrics(in);
+    } catch (const std::exception& e) {
+      std::cerr << "commscope: " << args.get("connect") << ": " << e.what()
+                << "\n";
+      return 1;
+    }
+  } else if (args.positional().size() >= 2) {
+    for (std::size_t i = 1; i < args.positional().size(); ++i) {
+      const std::string& file = args.positional()[i];
+      std::ifstream in(file);
+      if (!in) {
+        std::cerr << "cannot read " << file << "\n";
+        return 1;
+      }
+      std::vector<ctl::MetricSnapshot> ms;
+      try {
+        ms = ctl::read_metrics(in);
+      } catch (const std::exception& e) {
+        std::cerr << "commscope: " << file << ": " << e.what() << "\n";
+        return 1;
+      }
+      ctl::merge_metrics(merged, ms);
+    }
+  } else {
+    std::cerr << "health: expected snapshot files or --connect=SOCKET\n";
+    return usage();
+  }
+
+  const auto value_of = [&merged](const char* name) -> std::uint64_t {
+    for (const ctl::MetricSnapshot& m : merged) {
+      if (m.name == name) return m.value;
+    }
+    return 0;
+  };
+  int breaches = 0;
+  for (const SloRule& rule : kSloRules) {
+    const std::uint64_t v = value_of(rule.metric);
+    if (v > 0) {
+      ++breaches;
+      std::cout << "BREACH  " << rule.metric << " = " << v << "  ("
+                << rule.what << ")\n";
+    } else {
+      log << "ok      " << rule.metric << "\n";
+    }
+  }
+  if (breaches > 0) {
+    std::cout << "health: " << breaches << " SLO breach(es)\n";
+    return 3;
+  }
+  log << "health: ok\n";
+  return 0;
 }
 
 int dispatch(const cs::ArgParser& args) {
@@ -1339,6 +1580,8 @@ int dispatch(const cs::ArgParser& args) {
       {"report", cmd_report},
       {"diff", cmd_diff},
       {"serve", cmd_serve},
+      {"trace", cmd_trace},
+      {"health", cmd_health},
   };
   const auto it = commands.find(cmd);
   if (it == commands.end()) {
@@ -1366,7 +1609,8 @@ int main(int argc, char** argv) {
   }
   const cs::ArgParser args(raw,
                            {"classify", "sparse", "pattern", "dvfs",
-                            "no-churn", "quiet", "bench", "scrape"});
+                            "no-churn", "quiet", "bench", "scrape",
+                            "prometheus", "merge"});
   // One-line diagnostics, contractual exit codes: malformed usage is 2,
   // runtime failure (unreadable/corrupt file, failed run) is 1. No raw
   // exception ever escapes to std::terminate.
