@@ -22,6 +22,12 @@ std::string pct(double x) {
   return buf;
 }
 
+std::string num(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", x);
+  return buf;
+}
+
 /// Per-loop byte totals across a timeline's surviving epochs, keyed by label
 /// (labels, not ids, so two runs that registered loops in different orders
 /// still align).
@@ -196,7 +202,8 @@ std::vector<BenchPoint> parse_bench_json(const std::string& text) {
 }
 
 BenchDiff diff_bench(const std::string& baseline_json,
-                     const std::string& fresh_json, double max_regression) {
+                     const std::string& fresh_json, double max_regression,
+                     BenchFloor floor) {
   const std::vector<BenchPoint> base = parse_bench_json(baseline_json);
   const std::vector<BenchPoint> fresh = parse_bench_json(fresh_json);
   BenchDiff d;
@@ -225,6 +232,24 @@ BenchDiff diff_bench(const std::string& baseline_json,
   }
   if (d.points.empty()) {
     throw std::runtime_error("bench json: no comparable batch points");
+  }
+  if (floor.min_speedup > 0.0) {
+    const auto it =
+        std::find_if(fresh.begin(), fresh.end(),
+                     [&](const BenchPoint& f) { return f.batch == floor.batch; });
+    if (it == fresh.end()) {
+      d.regressed = true;
+      d.verdict = "FLOOR: fresh sweep has no batch " +
+                  std::to_string(floor.batch) + " point to gate";
+      return d;
+    }
+    if (it->speedup < floor.min_speedup) {
+      d.regressed = true;
+      d.verdict = "FLOOR: batch " + std::to_string(floor.batch) +
+                  " speedup " + num(it->speedup) + "x below required " +
+                  num(floor.min_speedup) + "x — batching no longer wins";
+      return d;
+    }
   }
   if (d.regressed) {
     d.verdict = "REGRESSED: batch " + std::to_string(worst_batch) +

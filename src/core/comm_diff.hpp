@@ -112,10 +112,25 @@ struct BenchDiff {
   std::string verdict;
 };
 
+/// Absolute floor on the fresh sweep's batched speedup: the point at
+/// `batch` must report `speedup >= min_speedup` regardless of how the
+/// baseline performed. The relative gate alone cannot catch a change that
+/// makes batching pointless when the baseline was *also* bad (or when the
+/// baseline file is regenerated) — the floor pins the claim "batch-64 ingest
+/// beats the inline path" itself. A `min_speedup` of 0 disables the check.
+struct BenchFloor {
+  std::uint32_t batch = 64;
+  double min_speedup = 0.0;
+};
+
 /// Compares two bench JSON payloads: a point regresses when its throughput
-/// fell more than `max_regression` (fraction, e.g. 0.25) below baseline.
+/// fell more than `max_regression` (fraction, e.g. 0.25) below baseline, or
+/// when the fresh sweep misses `floor` (see BenchFloor; a missing floor
+/// point is itself a failure — silently skipping the gate would pass a
+/// sweep that no longer measures the gated configuration).
 [[nodiscard]] BenchDiff diff_bench(const std::string& baseline_json,
                                    const std::string& fresh_json,
-                                   double max_regression = 0.25);
+                                   double max_regression = 0.25,
+                                   BenchFloor floor = {});
 
 }  // namespace commscope::core

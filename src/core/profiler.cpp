@@ -85,7 +85,11 @@ void Profiler::on_access(int tid, std::uintptr_t addr, std::uint32_t size,
   if (!admit_tid(tid)) return;
   ThreadCtx& c = ctx(tid);
   if (options_.batch_size != 0) {
-    c.batch[c.batch_count] = BatchEvent{addr, size, kind};
+    const std::uint32_t i = c.batch_count;
+    c.batch_addr[i] = addr;
+    c.batch_meta[i] = size | (kind == instrument::AccessKind::kWrite
+                                  ? AsymmetricDetector::kMetaWriteBit
+                                  : 0u);
     if (++c.batch_count == options_.batch_size) flush_batch(tid);
     return;
   }
@@ -159,50 +163,48 @@ void Profiler::flush_batch(int tid) {
   if (c.stack.empty()) c.stack.push_back(&tree_.root());
   auto* det = std::get_if<AsymmetricDetector>(&backend_);
   if (det != nullptr && !options_.classify_dependences) [[likely]] {
-    // Hash-ahead fast path: compute every event's slot pair and prefetch the
-    // first-level cells of both striped signatures, then prefetch the read
-    // slots' bloom payloads, then probe in issue order. The probes perform
-    // exactly the operations the unbatched path performs, on exactly the
-    // same slots, in the same order — only the misses overlap.
+    // Vectorized drain: the detector runs the whole block through its
+    // hash -> classify -> gather -> apply pipeline (SIMD batch hashing,
+    // slot-repeat collapsing, block-gathered signature loads) and returns
+    // the dependencies as a dense event-ordered list. Bit-identical to
+    // running Algorithm 1 per event in issue order — the property the
+    // differential suite replays.
+    static_assert(kMaxBatchSize <= AsymmetricDetector::kMaxDrainBlock);
     RegionNode* region = c.stack.back();
-    AsymmetricDetector::Slots slots[kMaxBatchSize];
-    for (std::uint32_t i = 0; i < n; ++i) {
-      slots[i] = det->slots_of(c.batch[i].addr);
-    }
-    // Software-pipelined prefetch: staggered short distances keep the set of
-    // in-flight lines within the core's miss-buffer budget (sweeping the whole
-    // block per stage drops most of the prefetches once the buffers fill).
-    // Stage spacing gives each pointer chase time to land before the next
-    // stage dereferences it: cells at i+kD1, bloom headers at i+kD2, bloom bit
-    // words at i+kD3, probe at i.
-    constexpr std::uint32_t kD1 = 16, kD2 = 8, kD3 = 4;
-    for (std::uint32_t i = 0; i < kD1 && i < n; ++i) det->prefetch(slots[i]);
-    for (std::uint32_t i = 0; i < kD2 && i < n; ++i) {
-      det->prefetch_filter(slots[i]);
-    }
-    for (std::uint32_t i = 0; i < kD3 && i < n; ++i) {
-      det->prefetch_filter_bits(slots[i]);
-    }
-    for (std::uint32_t i = 0; i < n; ++i) {
-      if (i + kD1 < n) det->prefetch(slots[i + kD1]);
-      if (i + kD2 < n) det->prefetch_filter(slots[i + kD2]);
-      if (i + kD3 < n) det->prefetch_filter_bits(slots[i + kD3]);
-      const BatchEvent& e = c.batch[i];
-      ++c.accesses;
-      phases_.count_access();
-      recorder_.count_access();
-      if (e.kind == instrument::AccessKind::kWrite) {
-        ++c.writes;
-        det->on_write_at(slots[i], tid);
-        continue;
+    std::uint16_t dep_evt[kMaxBatchSize];
+    std::int8_t dep_producer[kMaxBatchSize];
+    const AsymmetricDetector::DrainResult r = det->drain_batch(
+        c.batch_addr, c.batch_meta, n, tid, dep_evt, dep_producer);
+    c.accesses += n;
+    c.writes += r.writes;
+    c.reads += n - r.writes;
+    c.dependencies += r.deps;
+    if (phases_.enabled() || recorder_.enabled()) {
+      // Epoch seals and phase windows snapshot mid-stream, so the per-event
+      // counting must interleave with the dependency adds in issue order —
+      // exactly as the unbatched path interleaves them. Walking the sorted
+      // dependency list with a cursor reproduces that order.
+      std::uint32_t d = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        phases_.count_access();
+        recorder_.count_access();
+        if (d < r.deps && dep_evt[d] == i) {
+          const int producer = dep_producer[d];
+          const std::uint32_t bytes =
+              c.batch_meta[i] & ~AsymmetricDetector::kMetaWriteBit;
+          region->matrix().add(producer, tid, bytes);
+          phases_.add(producer, tid, bytes);
+          recorder_.add(producer, tid, bytes, region->loop());
+          ++d;
+        }
       }
-      ++c.reads;
-      const std::optional<int> producer = det->on_read_at(slots[i], tid);
-      if (producer.has_value()) {
-        ++c.dependencies;
-        region->matrix().add(*producer, tid, e.size);
-        phases_.add(*producer, tid, e.size);
-        recorder_.add(*producer, tid, e.size, region->loop());
+    } else {
+      // No mid-stream observers: only the dependencies themselves matter,
+      // and their region attribution is order-insensitive within the batch.
+      for (std::uint32_t d = 0; d < r.deps; ++d) {
+        region->matrix().add(
+            dep_producer[d], tid,
+            c.batch_meta[dep_evt[d]] & ~AsymmetricDetector::kMetaWriteBit);
       }
     }
     return;
@@ -211,8 +213,12 @@ void Profiler::flush_batch(int tid) {
   // Exact backend / classification: no slot prefetch to amortize, but the
   // drain still shares ingest_one with the unbatched path.
   for (std::uint32_t i = 0; i < n; ++i) {
-    const BatchEvent& e = c.batch[i];
-    ingest_one(tid, c, e.addr, e.size, e.kind);
+    const std::uint32_t meta = c.batch_meta[i];
+    ingest_one(tid, c, c.batch_addr[i],
+               meta & ~AsymmetricDetector::kMetaWriteBit,
+               (meta & AsymmetricDetector::kMetaWriteBit) != 0
+                   ? instrument::AccessKind::kWrite
+                   : instrument::AccessKind::kRead);
   }
 }
 

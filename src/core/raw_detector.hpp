@@ -120,6 +120,54 @@ class AsymmetricDetector {
     write_sig_.record(s.write, tid);
   }
 
+  /// Largest block drain_batch accepts per call (the profiler's micro-batch
+  /// capacity; sized so every working array lives on the stack).
+  static constexpr std::uint32_t kMaxDrainBlock = 256;
+
+  /// Bit 31 of a drain_batch meta word marks the event a write; the low 31
+  /// bits are the access byte count (unused by the detector but carried in
+  /// the same lane by the profiler's batch buffer, which packs kind and size
+  /// into one store per event).
+  static constexpr std::uint32_t kMetaWriteBit = 0x8000'0000u;
+
+  /// Result of drain_batch: event counts plus the dependencies found, as a
+  /// dense list sorted by event index (`dep_evt[i]` produced a RAW edge from
+  /// `dep_producer[i]`, arrays provided by the caller).
+  struct DrainResult {
+    std::uint32_t writes = 0;  ///< write events in the block
+    std::uint32_t deps = 0;    ///< entries filled into dep_evt/dep_producer
+  };
+
+  /// Runs Algorithm 1 over a whole micro-batch of same-thread accesses,
+  /// bit-identical (for the drain's position in the event order) to calling
+  /// on_read_at/on_write_at per event in issue order, but restructured as a
+  /// hash -> classify -> gather -> apply pipeline:
+  ///
+  ///   1. murmur_mix64_batch hashes the block (AVX2 when dispatched);
+  ///   2. a per-batch slot table collapses repeats — under the first-touch
+  ///      rule only a slot's FIRST pre-write read can yield a dependency, a
+  ///      slot's writes collapse to one clear+record, and only a read after
+  ///      the last write re-populates the reader set;
+  ///   3. gather passes load every distinct slot's write-sig cell, filter
+  ///      pointer and bloom probe words as independent loads (real
+  ///      memory-level parallelism instead of staggered prefetches);
+  ///   4. the apply pass mutates each distinct slot in its per-slot issue
+  ///      order (read-insert, then clear+record, then post-write insert).
+  ///
+  /// Distinct slots touch disjoint signature state, so cross-slot apply
+  /// order is unobservable; per-slot order is preserved, which is what the
+  /// bit-identity contract needs. Both signatures are built with the same
+  /// slot count, so one slot id indexes both (asserted).
+  ///
+  /// `meta[i] & kMetaWriteBit` marks a write. `dep_evt`/`dep_producer` must
+  /// hold n entries. Requires n <= kMaxDrainBlock and 0 <= tid < max_threads
+  /// (negative/overflow tids fall back to the per-event path internally so
+  /// the rejection contracts of the signatures are preserved).
+  DrainResult drain_batch(const std::uintptr_t* addrs,
+                          const std::uint32_t* meta, std::uint32_t n, int tid,
+                          std::uint16_t* dep_evt,
+                          std::int8_t* dep_producer) noexcept;
+
   /// Classified variants for the optional WAR/WAW/RAR extension. Bloom
   /// filters cannot enumerate members, so "other readers" is approximated:
   /// a RAR is reported when the slot already had readers and `tid` was not

@@ -99,6 +99,38 @@ class ReadSignature {
 #endif
   }
 
+  /// The slot's bloom filter, or null if none has been allocated yet. The
+  /// batched drain gathers these pointers for a whole block of slots before
+  /// touching any filter's words, turning the pointer chase into independent
+  /// loads. The pointer is stable once published (filters are recycled, never
+  /// freed, until the signature is destroyed).
+  [[nodiscard]] support::BloomFilter* filter_ptr(std::size_t slot) const
+      noexcept {
+    return cell(slot).load(std::memory_order_acquire);
+  }
+
+  /// The precomputed probe set insert(slot, tid)/contains(slot, tid) uses for
+  /// an in-range tid — shared by every filter (same BloomParams), which is
+  /// what lets the batched drain judge a whole block of gathered probe words
+  /// against one probe set. Valid only for 0 <= tid < max_threads().
+  struct ProbeSet {
+    const support::BloomFilter::Probe* probes;
+    std::uint32_t count;
+  };
+  [[nodiscard]] ProbeSet probes_of(int tid) const noexcept {
+    return ProbeSet{&probes_[static_cast<std::size_t>(tid) * probe_stride_],
+                    probe_counts_[static_cast<std::size_t>(tid)]};
+  }
+
+  /// clear_slot() that skips already-zero filter words (bit-identical end
+  /// state; see BloomFilter::clear_sparing). The batched drain's write apply
+  /// uses it so clearing the (commonly empty) read set of a write-dominated
+  /// slot does not dirty the filter's cache line.
+  void clear_slot_sparing(std::size_t slot) noexcept {
+    support::BloomFilter* bf = cell(slot).load(std::memory_order_acquire);
+    if (bf != nullptr) bf->clear_sparing();
+  }
+
   /// Inserts reader `tid` into `slot`'s bloom filter (allocating it on first
   /// use). Returns true if the tid was (apparently) already present — the
   /// "a not in read signature" test of Algorithm 1 in one atomic pass.

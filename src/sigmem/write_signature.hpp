@@ -96,6 +96,24 @@ class WriteSignature {
     return static_cast<int>(v - 1);
   }
 
+  /// The raw cell encoding: 0 = empty, else last-writer tid + 1. The batched
+  /// drain gathers these for a whole block of slots in one load pass (and
+  /// skips the record() store when the cell already holds tid + 1 — same end
+  /// state, no dirtied line).
+  [[nodiscard]] std::uint32_t raw_last_writer(std::size_t slot) const noexcept {
+    return cell(slot).load(std::memory_order_acquire);
+  }
+
+  /// The slot's backing cell. The batched drain gathers these pointers for a
+  /// whole block up front and performs both its snapshot load and the
+  /// conditional record() store through them, instead of re-deriving the
+  /// stripe indexing on every touch of the slot. The pointer is stable for
+  /// the signature's lifetime. Callers own the tid-validity contract that
+  /// record() enforces (only encode tid + 1 for tid >= 0).
+  [[nodiscard]] std::atomic<std::uint32_t>* cell_ptr(std::size_t slot) noexcept {
+    return &cell(slot);
+  }
+
   void clear() noexcept;
 
   [[nodiscard]] std::size_t slots() const noexcept { return slots_; }

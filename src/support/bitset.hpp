@@ -65,6 +65,19 @@ class AtomicBitset {
     }
   }
 
+  /// clear() that skips words already zero. Same end state; the load-first
+  /// form avoids dirtying the cache line of an already-empty filter, which is
+  /// the common case when a batched drain clears the read slots of
+  /// write-dominated regions. Races exactly like clear() (a concurrent set
+  /// may land before or after the store — both serializations are legal).
+  void clear_sparing() noexcept {
+    for (std::size_t w = 0; w < nwords_; ++w) {
+      if (words_[w].load(std::memory_order_relaxed) != 0) {
+        words_[w].store(0, std::memory_order_release);
+      }
+    }
+  }
+
   [[nodiscard]] std::size_t count() const noexcept {
     std::size_t n = 0;
     for (std::size_t w = 0; w < nwords_; ++w) {

@@ -139,6 +139,33 @@ class BloomFilter {
     return true;
   }
 
+  // --- block-gathered probes -----------------------------------------------
+  //
+  // The batched drain splits contains_probes into a load pass and a judge
+  // pass so a whole block of filters can be probed with independent loads
+  // (memory-level parallelism) before any result is consumed:
+  // gather_probe_words() per filter, then words_cover() on the snapshots.
+  // words_cover(p, gathered, n) == contains_probes(p, n) against the state
+  // the gather observed — the judge is a pure function of the snapshot.
+
+  /// Loads (acquire) the backing word of each probe group into `out`.
+  void gather_probe_words(const Probe* probes, std::uint32_t n,
+                          std::uint64_t* out) const noexcept {
+    for (std::uint32_t i = 0; i < n; ++i) out[i] = bits_.word(probes[i].word);
+  }
+
+  /// contains_probes over a gathered snapshot: true iff every probe group's
+  /// mask is fully covered by its snapshot word.
+  [[nodiscard]] static bool words_cover(const Probe* probes,
+                                        const std::uint64_t* words,
+                                        std::uint32_t n) noexcept {
+    bool all = true;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      all &= (words[i] & probes[i].mask) == probes[i].mask;
+    }
+    return all;
+  }
+
   [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
     const HashPair hp = split_hash(murmur_mix64(key));
     for (std::uint32_t i = 0; i < params_.hashes; ++i) {
@@ -148,6 +175,10 @@ class BloomFilter {
   }
 
   void clear() noexcept { bits_.clear(); }
+
+  /// clear() that skips already-zero words (see AtomicBitset::clear_sparing).
+  /// Used by the batched drain, where most cleared filters are already empty.
+  void clear_sparing() noexcept { bits_.clear_sparing(); }
 
   [[nodiscard]] std::size_t bit_count() const noexcept { return params_.bits; }
   [[nodiscard]] std::uint32_t hash_count() const noexcept {

@@ -3,7 +3,84 @@
 #include <bit>
 #include <cstring>
 
+#include "support/simd.hpp"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
+
 namespace commscope::support {
+
+namespace {
+
+void murmur_mix64_batch_scalar(const std::uint64_t* keys, std::uint64_t* out,
+                               std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = murmur_mix64(keys[i]);
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+// AVX2 has no 64x64->64 multiply, so k * C is assembled from 32x32->64
+// partial products: with k = kh:kl and C = Ch:Cl,
+//   k*C mod 2^64 = kl*Cl + ((kl*Ch + kh*Cl) << 32).
+// Every term is a _mm256_mul_epu32 (which reads the low 32 bits of each
+// 64-bit lane), so the identity holds lane-wise and the vector fmix64 is
+// bit-identical to the scalar one.
+__attribute__((target("avx2"))) inline __m256i mul64_const(
+    __m256i k, std::uint64_t c) noexcept {
+  const __m256i cl = _mm256_set1_epi64x(static_cast<long long>(c & 0xffffffffULL));
+  const __m256i ch = _mm256_set1_epi64x(static_cast<long long>(c >> 32));
+  const __m256i kh = _mm256_srli_epi64(k, 32);
+  const __m256i lo = _mm256_mul_epu32(k, cl);
+  const __m256i mid =
+      _mm256_add_epi64(_mm256_mul_epu32(k, ch), _mm256_mul_epu32(kh, cl));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(mid, 32));
+}
+
+__attribute__((target("avx2"))) inline __m256i fmix64_avx2(__m256i k) noexcept {
+  k = _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+  k = mul64_const(k, 0xff51afd7ed558ccdULL);
+  k = _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+  k = mul64_const(k, 0xc4ceb9fe1a85ec53ULL);
+  k = _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+  return k;
+}
+
+// Two vectors (8 keys) per iteration: the two chains have no dependency on
+// each other, so the multiply/shift latencies of one hide behind the other.
+__attribute__((target("avx2"))) void murmur_mix64_batch_avx2(
+    const std::uint64_t* keys, std::uint64_t* out, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i + 4));
+    a = fmix64_avx2(a);
+    b = fmix64_avx2(b);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), a);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 4), b);
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), fmix64_avx2(a));
+  }
+  for (; i < n; ++i) out[i] = murmur_mix64(keys[i]);
+}
+
+#endif  // __x86_64__ && __GNUC__
+
+}  // namespace
+
+void murmur_mix64_batch(const std::uint64_t* keys, std::uint64_t* out,
+                        std::size_t n) noexcept {
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (simd_level() == SimdLevel::kAvx2) {
+    murmur_mix64_batch_avx2(keys, out, n);
+    return;
+  }
+#endif
+  murmur_mix64_batch_scalar(keys, out, n);
+}
 
 namespace {
 

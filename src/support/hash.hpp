@@ -27,6 +27,20 @@ namespace commscope::support {
   return k;
 }
 
+/// Batched fmix64: out[i] = murmur_mix64(keys[i]) for i in [0, n). The
+/// batched ingest drain hashes a whole micro-batch of addresses through this
+/// before touching any signature memory, so slot computation pipelines ahead
+/// of the dependent loads. Runtime-dispatched (see support/simd.hpp): on
+/// x86-64 with AVX2 available an unrolled 4-lane vector kernel mixes eight
+/// keys per iteration; everywhere else (and under COMMSCOPE_NO_SIMD=1 or
+/// simd_force_scalar) a scalar loop runs. Both kernels are bit-identical to
+/// murmur_mix64 — fmix64 is xor-shifts and multiplies mod 2^64, which AVX2
+/// reproduces exactly — and tests/test_hash.cpp pins that equivalence.
+/// `keys` and `out` may alias exactly (in-place) but must not partially
+/// overlap.
+void murmur_mix64_batch(const std::uint64_t* keys, std::uint64_t* out,
+                        std::size_t n) noexcept;
+
 /// MurmurHash3 finalizer for 32-bit keys (fmix32).
 [[nodiscard]] constexpr std::uint32_t murmur_mix32(std::uint32_t k) noexcept {
   k ^= k >> 16;

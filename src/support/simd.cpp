@@ -1,0 +1,68 @@
+#include "support/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace commscope::support {
+
+namespace {
+
+#if defined(__x86_64__) && defined(__GNUC__)
+constexpr bool kAvx2Compiled = true;
+#else
+constexpr bool kAvx2Compiled = false;
+#endif
+
+[[nodiscard]] bool env_disables_simd() noexcept {
+  const char* v = std::getenv("COMMSCOPE_NO_SIMD");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+[[nodiscard]] bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+// Three-state cache: 0 = undecided, 1 = scalar, 2 = avx2. Recomputed only
+// when the force flag flips (tests) — the env/CPU half never changes within
+// a process, so per-batch reads cost one relaxed load.
+std::atomic<int> g_cached{0};
+std::atomic<bool> g_force_scalar{false};
+
+[[nodiscard]] SimdLevel decide() noexcept {
+  if (g_force_scalar.load(std::memory_order_relaxed)) return SimdLevel::kScalar;
+  if (!kAvx2Compiled || env_disables_simd() || !cpu_has_avx2()) {
+    return SimdLevel::kScalar;
+  }
+  return SimdLevel::kAvx2;
+}
+
+}  // namespace
+
+SimdLevel simd_level() noexcept {
+  int c = g_cached.load(std::memory_order_relaxed);
+  if (c == 0) {
+    c = decide() == SimdLevel::kAvx2 ? 2 : 1;
+    g_cached.store(c, std::memory_order_relaxed);
+  }
+  return c == 2 ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+}
+
+const char* simd_level_name() noexcept {
+  return simd_level() == SimdLevel::kAvx2 ? "avx2" : "scalar";
+}
+
+bool simd_compiled() noexcept { return kAvx2Compiled; }
+
+bool simd_cpu_supported() noexcept { return cpu_has_avx2(); }
+
+void simd_force_scalar(bool force) noexcept {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+  g_cached.store(0, std::memory_order_relaxed);  // re-decide on next query
+}
+
+}  // namespace commscope::support

@@ -1,0 +1,50 @@
+// Runtime SIMD capability dispatch for the batched ingest hot path.
+//
+// The batched drain hashes whole micro-batches at once (hash.hpp's
+// murmur_mix64_batch); on x86-64 an AVX2 kernel mixes four lanes per vector.
+// Every vector kernel in the tree is REQUIRED to be bit-identical to its
+// scalar form (the differential suite replays identical traces with the
+// kernel forced on and off and compares the .matrix/.epochs bytes), so
+// dispatch is purely a throughput decision, decided once per process from:
+//
+//   1. the COMMSCOPE_NO_SIMD escape hatch (any value but "" or "0" forces
+//      the scalar kernels — the knob CI's scalar-fallback job sets so that
+//      path can never rot unexercised),
+//   2. CPU capability detection (__builtin_cpu_supports on x86-64),
+//   3. whether this build compiled the vector kernels at all.
+//
+// Tests flip the decision at runtime with simd_force_scalar() to diff the
+// two kernels inside one process.
+#pragma once
+
+namespace commscope::support {
+
+/// Kernel families the dispatcher can select.
+enum class SimdLevel {
+  kScalar,  ///< portable scalar kernels (always available)
+  kAvx2,    ///< x86-64 AVX2 kernels (4 x 64-bit lanes per vector)
+};
+
+/// The level batch kernels will actually run at, after the escape hatch,
+/// CPU detection and build support are applied. Cached after the first call;
+/// cheap enough for per-batch use (one relaxed atomic load).
+[[nodiscard]] SimdLevel simd_level() noexcept;
+
+/// Human-readable name of simd_level() — "avx2" or "scalar". Stamped into
+/// bench JSON so a committed baseline records which kernel produced it.
+[[nodiscard]] const char* simd_level_name() noexcept;
+
+/// True when this binary contains the AVX2 kernels (compile-time support).
+[[nodiscard]] bool simd_compiled() noexcept;
+
+/// True when the running CPU supports AVX2 (independent of the escape
+/// hatch), false on non-x86 builds.
+[[nodiscard]] bool simd_cpu_supported() noexcept;
+
+/// Test hook: `true` pins the dispatcher to kScalar regardless of CPU or
+/// environment; `false` restores the automatic decision. Takes effect on the
+/// next simd_level() call, including in already-constructed profilers (the
+/// level is re-read per batch).
+void simd_force_scalar(bool force) noexcept;
+
+}  // namespace commscope::support

@@ -1,10 +1,14 @@
-// Bloom-filter tests: Eq. 2 sizing law, no-false-negative guarantee, and a
+// Bloom-filter tests: Eq. 2 sizing law, no-false-negative guarantee, a
 // parameterized sweep verifying the realized FPR respects the configured
-// target across (capacity, fp_rate) operating points.
+// target across (capacity, fp_rate) operating points, and the word-level
+// probe paths (probes_for / insert_probes / contains_probes / gathered
+// words) the batched ingest drain is built on.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 #include <tuple>
+#include <vector>
 
 #include "support/bloom.hpp"
 
@@ -68,6 +72,132 @@ TEST(BloomFilter, EstimatedFprGrowsWithFill) {
   for (std::uint64_t k = 0; k < 16; ++k) bf.insert(k);
   EXPECT_LT(before, bf.estimated_fpr());
   EXPECT_LE(bf.estimated_fpr(), 1.0);
+}
+
+// --- word-level probe paths -------------------------------------------------
+
+TEST(BloomProbes, ProbesForDedupesWordsAndBoundsCount) {
+  // Across many keys and parameter points: probe-group words must be unique
+  // (the dedupe insert_probes' skip test relies on), group count bounded by
+  // the hash count, and every mask nonzero and confined to in-range words.
+  for (const auto& [cap, fp] : {std::pair<std::size_t, double>{8, 0.01},
+                                {32, 0.001},
+                                {64, 0.001}}) {
+    const cs::BloomParams params = cs::bloom_params(cap, fp);
+    for (std::uint64_t key = 0; key < 200; ++key) {
+      cs::BloomFilter::Probe probes[cs::BloomFilter::kMaxProbes];
+      const std::uint32_t n = cs::BloomFilter::probes_for(params, key, probes);
+      ASSERT_GE(n, 1u);
+      ASSERT_LE(n, params.hashes);
+      std::uint32_t total_bits = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        ASSERT_NE(probes[i].mask, 0u);
+        ASSERT_LT(probes[i].word, params.bits / 64);
+        total_bits += static_cast<std::uint32_t>(
+            __builtin_popcountll(probes[i].mask));
+        for (std::uint32_t j = i + 1; j < n; ++j) {
+          ASSERT_NE(probes[i].word, probes[j].word) << "key " << key;
+        }
+      }
+      // Grouped masks hold exactly the distinct probed positions.
+      ASSERT_LE(total_bits, params.hashes);
+    }
+  }
+}
+
+TEST(BloomProbes, InsertProbesMatchesPerKeyInsertExactly) {
+  // Drive two filters with the same key sequence, one through insert(), one
+  // through the precomputed-probe path; state and return values must agree
+  // at every step (this is the bit-identity the signature fast path assumes).
+  const cs::BloomParams params = cs::bloom_params(16, 0.001);
+  cs::BloomFilter a(params);
+  cs::BloomFilter b(params);
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t key = 0; key < 16; ++key) {
+      cs::BloomFilter::Probe probes[cs::BloomFilter::kMaxProbes];
+      const std::uint32_t n = cs::BloomFilter::probes_for(params, key, probes);
+      ASSERT_EQ(a.insert(key), b.insert_probes(probes, n))
+          << "round " << round << " key " << key;
+      ASSERT_EQ(a.popcount(), b.popcount());
+      ASSERT_TRUE(b.contains_probes(probes, n));
+      ASSERT_EQ(a.contains(key), b.contains(key));
+    }
+  }
+}
+
+TEST(BloomProbes, InsertProbesSecondCallTakesLoadSkipPath) {
+  // The load-before-RMW skip: a fully-present probe set must still report
+  // "already present" and leave the filter unchanged.
+  const cs::BloomParams params = cs::bloom_params(32, 0.001);
+  cs::BloomFilter bf(params);
+  cs::BloomFilter::Probe probes[cs::BloomFilter::kMaxProbes];
+  const std::uint32_t n = cs::BloomFilter::probes_for(params, 5, probes);
+  EXPECT_FALSE(bf.insert_probes(probes, n));
+  const std::size_t pop = bf.popcount();
+  EXPECT_TRUE(bf.insert_probes(probes, n));
+  EXPECT_EQ(bf.popcount(), pop);
+}
+
+TEST(BloomProbes, GatheredWordsJudgeLikeContainsProbes) {
+  // words_cover over a gather_probe_words snapshot is contains_probes split
+  // into its load and judge halves; they must agree before and after the
+  // key is present, and a snapshot taken before an insert must still judge
+  // the old state (it is a pure function of the snapshot).
+  const cs::BloomParams params = cs::bloom_params(16, 0.001);
+  cs::BloomFilter bf(params);
+  cs::BloomFilter::Probe probes[cs::BloomFilter::kMaxProbes];
+  const std::uint32_t n = cs::BloomFilter::probes_for(params, 3, probes);
+  std::uint64_t words[cs::BloomFilter::kMaxProbes];
+  bf.gather_probe_words(probes, n, words);
+  EXPECT_FALSE(cs::BloomFilter::words_cover(probes, words, n));
+  EXPECT_EQ(cs::BloomFilter::words_cover(probes, words, n),
+            bf.contains_probes(probes, n));
+  bf.insert(3);
+  // Stale snapshot still judges the pre-insert state...
+  EXPECT_FALSE(cs::BloomFilter::words_cover(probes, words, n));
+  // ...and a fresh gather agrees with contains_probes again.
+  bf.gather_probe_words(probes, n, words);
+  EXPECT_TRUE(cs::BloomFilter::words_cover(probes, words, n));
+  EXPECT_TRUE(bf.contains_probes(probes, n));
+}
+
+TEST(BloomProbes, ClearSparingMatchesClear) {
+  const cs::BloomParams params = cs::bloom_params(64, 0.001);
+  cs::BloomFilter bf(params);
+  for (std::uint64_t k = 0; k < 64; ++k) bf.insert(k);
+  ASSERT_FALSE(bf.empty());
+  bf.clear_sparing();
+  EXPECT_TRUE(bf.empty());
+  for (std::uint64_t k = 0; k < 64; ++k) EXPECT_FALSE(bf.contains(k));
+  bf.clear_sparing();  // idempotent on an empty filter
+  EXPECT_TRUE(bf.empty());
+}
+
+TEST(BloomProbes, ConcurrentSameFilterInsertsLoseNoKey) {
+  // Concurrent insert_probes into ONE filter — the hot-slot contention shape
+  // of the signature drain; run under TSan in CI. No key may be lost, and
+  // the final state must equal the union of all probe masks.
+  const cs::BloomParams params = cs::bloom_params(64, 0.001);
+  cs::BloomFilter bf(params);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bf, &params, t] {
+      cs::BloomFilter::Probe probes[cs::BloomFilter::kMaxProbes];
+      for (int rep = 0; rep < 500; ++rep) {
+        for (std::uint64_t key = static_cast<std::uint64_t>(t); key < 64;
+             key += kThreads) {
+          const std::uint32_t n =
+              cs::BloomFilter::probes_for(params, key, probes);
+          bf.insert_probes(probes, n);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    EXPECT_TRUE(bf.contains(key)) << "lost key " << key;
+  }
 }
 
 // Parameterized sweep: fill to capacity, then measure the false-positive

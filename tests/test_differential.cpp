@@ -28,10 +28,13 @@
 #include <sstream>
 #include <vector>
 
+#include "core/epoch_io.hpp"
+#include "core/matrix_io.hpp"
 #include "core/profiler.hpp"
 #include "core/region_tree.hpp"
 #include "instrument/loop_registry.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 
 namespace cc = commscope::core;
 namespace ci = commscope::instrument;
@@ -328,6 +331,89 @@ TEST(Differential, EpochTimelineBitIdenticalAcrossBatchSizes) {
 }
 
 #endif  // !COMMSCOPE_TELEMETRY_DISABLED
+
+// --- cross-ISA determinism (label: differential) ----------------------------
+//
+// The batched drain dispatches murmur_mix64_batch to an AVX2 kernel when the
+// CPU has one. Persisted artifacts (.matrix, .epochs) must not depend on
+// that dispatch decision: a trace profiled on an AVX2 machine and the same
+// trace profiled with the scalar fallback (COMMSCOPE_NO_SIMD=1, a non-x86
+// host, or simd_force_scalar) must serialize to byte-identical files. CI
+// runs this suite twice — once dispatched, once under COMMSCOPE_NO_SIMD=1 —
+// so the scalar path cannot rot.
+
+namespace {
+
+struct SimdGuard {
+  ~SimdGuard() { cs::simd_force_scalar(false); }
+};
+
+std::string matrix_bytes(const cc::Profiler& prof) {
+  std::ostringstream os;
+  cc::write_matrix(os, prof.communication_matrix());
+  return os.str();
+}
+
+std::string epoch_bytes(const cc::Profiler& prof) {
+  std::ostringstream os;
+  cc::write_epochs(os, prof.epoch_timeline());
+  return os.str();
+}
+
+}  // namespace
+
+TEST(Differential, SimdOnOffProducesByteIdenticalMatrixAndEpochFiles) {
+  SimdGuard guard;  // never leak the forced-scalar state into other tests
+  for (const std::uint64_t seed : {4242ull, 9001ull}) {
+    TraceShape shape;
+    shape.threads = 8;
+    const auto ops = make_trace(seed, shape);
+    auto o = base_options(cc::Backend::kAsymmetricSignature, shape.threads);
+    o.batch_size = 64;
+    o.epoch_accesses = 257;
+    o.epoch_ring = cc::kMaxEpochRing;
+
+    cs::simd_force_scalar(false);
+    const auto dispatched = replay(ops, o);
+    ASSERT_GT(dispatched->stats().dependencies, 0u);
+    const std::string matrix_dispatched = matrix_bytes(*dispatched);
+    const std::string epochs_dispatched = epoch_bytes(*dispatched);
+
+    cs::simd_force_scalar(true);
+    ASSERT_EQ(cs::simd_level(), cs::SimdLevel::kScalar);
+    const auto scalar = replay(ops, o);
+    const std::string matrix_scalar = matrix_bytes(*scalar);
+    const std::string epochs_scalar = epoch_bytes(*scalar);
+    cs::simd_force_scalar(false);
+
+    EXPECT_EQ(matrix_dispatched, matrix_scalar)
+        << "seed " << seed << ": .matrix bytes depend on SIMD dispatch";
+    EXPECT_EQ(epochs_dispatched, epochs_scalar)
+        << "seed " << seed << ": .epochs bytes depend on SIMD dispatch";
+    expect_identical(*dispatched, *scalar,
+                     "simd-on vs simd-off, seed " + std::to_string(seed));
+  }
+}
+
+TEST(Differential, ScalarForcedBatchedStillMatchesUnbatchedInline) {
+  // Close the triangle: forced-scalar batched vs dispatched unbatched. Any
+  // kernel-dependence anywhere in the pipeline (hashing, probe positions,
+  // slot reduction) would break one leg of it.
+  SimdGuard guard;
+  TraceShape shape;
+  const auto ops = make_trace(6006, shape);
+  const auto o = base_options(cc::Backend::kAsymmetricSignature, shape.threads);
+  const auto inline_dispatched = replay(ops, o);
+  ASSERT_GT(inline_dispatched->stats().dependencies, 0u);
+  cs::simd_force_scalar(true);
+  auto batched = o;
+  batched.batch_size = 64;
+  const auto batched_scalar = replay(ops, batched);
+  cs::simd_force_scalar(false);
+  expect_identical(*inline_dispatched, *batched_scalar,
+                   "scalar batched vs dispatched inline");
+  EXPECT_EQ(matrix_bytes(*inline_dispatched), matrix_bytes(*batched_scalar));
+}
 
 // --- FPR vs exact ----------------------------------------------------------
 

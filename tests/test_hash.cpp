@@ -1,13 +1,17 @@
 // Hash-function unit tests: determinism, reference behaviour, avalanche,
-// slot-distribution quality (the property the paper selects MurmurHash for).
+// slot-distribution quality (the property the paper selects MurmurHash for),
+// and the known-answer + scalar-vs-SIMD pins that keep the vectorized batch
+// kernels from ever changing the signatures persisted on disk.
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cstring>
+#include <random>
 #include <set>
 #include <vector>
 
 #include "support/hash.hpp"
+#include "support/simd.hpp"
 
 namespace cs = commscope::support;
 
@@ -118,6 +122,126 @@ TEST(HashDistribution, MurmurSpreadsStridedAddressesUniformly) {
   }
   // Chi-squared with 1023 dof: mean 1023, stddev ~45. Allow 6 sigma.
   EXPECT_LT(chi2, 1023 + 6 * 45.0);
+}
+
+// --- known-answer vectors ---------------------------------------------------
+//
+// Every address-to-slot mapping, every bloom probe position, and every hash
+// stored inside a persisted .matrix/.epochs file flows through these two
+// functions. The exact outputs are pinned so a vectorized (or otherwise
+// rewritten) kernel that drifts by even one bit fails here, not as silent
+// slot reshuffling that invalidates committed baselines and saved files.
+TEST(MurmurKat, Fmix64PinnedOutputs) {
+  EXPECT_EQ(cs::murmur_mix64(0x0ULL), 0x0000000000000000ULL);
+  EXPECT_EQ(cs::murmur_mix64(0x1ULL), 0xb456bcfc34c2cb2cULL);
+  EXPECT_EQ(cs::murmur_mix64(0x2aULL), 0x810879608e4259ccULL);
+  EXPECT_EQ(cs::murmur_mix64(0xdeadbeefULL), 0xd24bd59f862a1dacULL);
+  EXPECT_EQ(cs::murmur_mix64(0xffffffffffffffffULL), 0x64b5720b4b825f21ULL);
+  EXPECT_EQ(cs::murmur_mix64(0x9e3779b97f4a7c15ULL), 0x9ca066f1a4ab2eeaULL);
+}
+
+TEST(MurmurKat, Murmur3X64PinnedOutputs) {
+  EXPECT_EQ(cs::murmur3_x64_64(nullptr, 0, 0), 0x0000000000000000ULL);
+  EXPECT_EQ(cs::murmur3_x64_64("a", 1, 0), 0x85555565f6597889ULL);
+  EXPECT_EQ(cs::murmur3_x64_64("communication pattern", 21, 7),
+            0x0be92671777ecef7ULL);
+  EXPECT_EQ(cs::murmur3_x64_64("The quick brown fox jumps over the lazy dog",
+                               43, 0),
+            0xe34bbc7bbc071b6cULL);
+  // Exactly one 16-byte block, no tail: the block path alone.
+  EXPECT_EQ(cs::murmur3_x64_64("0123456789abcdef", 16, 1234),
+            0xde7228941150ad87ULL);
+}
+
+// --- batched kernel equivalence ---------------------------------------------
+
+namespace {
+
+// Adversarial key sets for the batch kernel: the AVX2 path assembles the
+// 64-bit multiply from 32-bit partial products, so keys that stress carry
+// propagation across the 32-bit boundary matter most.
+std::vector<std::uint64_t> adversarial_keys() {
+  std::vector<std::uint64_t> keys = {
+      0x0ULL,
+      0x1ULL,
+      0xffffffffffffffffULL,
+      0xfffffffeffffffffULL,  // carries out of the low 32-bit product
+      0x00000000ffffffffULL,
+      0xffffffff00000000ULL,
+      0x8000000000000000ULL,
+      0x0000000080000000ULL,
+      0x5555555555555555ULL,
+      0xaaaaaaaaaaaaaaaaULL,
+      0x7f0000000000ULL,  // address-like
+  };
+  for (std::uint64_t i = 0; i < 64; ++i) keys.push_back(1ULL << i);  // one-hot
+  for (std::uint64_t i = 0; i < 257; ++i) {
+    keys.push_back(0x7f0000000000ULL + i * 8);  // strided address sweep
+  }
+  std::mt19937_64 rng(0xc0ffee);
+  for (int i = 0; i < 4096; ++i) keys.push_back(rng());
+  return keys;
+}
+
+}  // namespace
+
+TEST(MurmurBatch, MatchesScalarElementwise) {
+  const std::vector<std::uint64_t> keys = adversarial_keys();
+  std::vector<std::uint64_t> out(keys.size());
+  cs::murmur_mix64_batch(keys.data(), out.data(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(out[i], cs::murmur_mix64(keys[i])) << "key index " << i;
+  }
+}
+
+TEST(MurmurBatch, ForcedScalarMatchesDispatchedKernel) {
+  // The dispatch decision must be invisible in the output: run the same keys
+  // through whatever kernel the CPU dispatches and through the forced-scalar
+  // path, and require byte-identical results (this is the in-process version
+  // of the cross-ISA differential suite).
+  const std::vector<std::uint64_t> keys = adversarial_keys();
+  std::vector<std::uint64_t> dispatched(keys.size());
+  std::vector<std::uint64_t> scalar(keys.size());
+  cs::murmur_mix64_batch(keys.data(), dispatched.data(), keys.size());
+  cs::simd_force_scalar(true);
+  EXPECT_EQ(cs::simd_level(), cs::SimdLevel::kScalar);
+  cs::murmur_mix64_batch(keys.data(), scalar.data(), keys.size());
+  cs::simd_force_scalar(false);
+  EXPECT_EQ(dispatched, scalar);
+}
+
+TEST(MurmurBatch, EveryLengthIncludingTails) {
+  // The AVX2 kernel peels 8-wide, then 4-wide, then scalar tail; every
+  // length 0..33 exercises each peel combination, in place and out of place.
+  std::mt19937_64 rng(7);
+  for (std::size_t len = 0; len <= 33; ++len) {
+    std::vector<std::uint64_t> keys(len);
+    for (auto& k : keys) k = rng();
+    std::vector<std::uint64_t> out(len, 0);
+    cs::murmur_mix64_batch(keys.data(), out.data(), len);
+    std::vector<std::uint64_t> in_place = keys;
+    cs::murmur_mix64_batch(in_place.data(), in_place.data(), len);
+    for (std::size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(out[i], cs::murmur_mix64(keys[i])) << len << ":" << i;
+      ASSERT_EQ(in_place[i], out[i]) << len << ":" << i;
+    }
+  }
+}
+
+TEST(SimdDispatch, ReportsConsistentLevel) {
+  // Whatever the environment decides, the name must agree with the level and
+  // the scalar force-hook must round-trip.
+  const cs::SimdLevel initial = cs::simd_level();
+  EXPECT_STREQ(cs::simd_level_name(),
+               initial == cs::SimdLevel::kAvx2 ? "avx2" : "scalar");
+  if (initial == cs::SimdLevel::kAvx2) {
+    EXPECT_TRUE(cs::simd_compiled());
+    EXPECT_TRUE(cs::simd_cpu_supported());
+  }
+  cs::simd_force_scalar(true);
+  EXPECT_EQ(cs::simd_level(), cs::SimdLevel::kScalar);
+  cs::simd_force_scalar(false);
+  EXPECT_EQ(cs::simd_level(), initial);
 }
 
 TEST(HashDistribution, IdentityHashDegeneratesOnStridedAddresses) {

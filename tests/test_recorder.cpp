@@ -226,6 +226,44 @@ TEST(BenchDiff, ParsesOwnJsonAndFlagsRegression) {
                std::runtime_error);
 }
 
+TEST(BenchDiff, FloorGatesAbsoluteBatchSpeedup) {
+  const std::string base =
+      "{\"bench\": \"ingest_throughput\", \"sweep\": [\n"
+      "  {\"batch\": 0, \"events_per_sec\": 1000000, \"speedup\": 1},\n"
+      "  {\"batch\": 64, \"events_per_sec\": 1400000, \"speedup\": 1.4}\n]}";
+
+  // Self-diff passes a 1.0 floor: the batched point genuinely wins.
+  cc::BenchFloor floor;
+  floor.min_speedup = 1.0;
+  EXPECT_FALSE(cc::diff_bench(base, base, 0.25, floor).regressed);
+
+  // A fresh sweep whose throughput matches baseline point-for-point (so the
+  // relative gate is silent) but whose batch-64 point no longer beats the
+  // inline path must still fail: the floor is an absolute claim.
+  const std::string batching_lost =
+      "{\"bench\": \"ingest_throughput\", \"sweep\": [\n"
+      "  {\"batch\": 0, \"events_per_sec\": 1000000, \"speedup\": 1},\n"
+      "  {\"batch\": 64, \"events_per_sec\": 1400000, \"speedup\": 0.93}\n]}";
+  const cc::BenchDiff lost = cc::diff_bench(base, batching_lost, 0.25, floor);
+  EXPECT_TRUE(lost.regressed);
+  EXPECT_NE(lost.verdict.find("FLOOR"), std::string::npos) << lost.verdict;
+
+  // A sweep that dropped the gated batch size entirely cannot pass the gate
+  // by omission.
+  const std::string no_point =
+      "{\"bench\": \"ingest_throughput\", \"sweep\": [\n"
+      "  {\"batch\": 0, \"events_per_sec\": 1000000, \"speedup\": 1},\n"
+      "  {\"batch\": 128, \"events_per_sec\": 1500000, \"speedup\": 1.5}\n]}";
+  const cc::BenchDiff missing = cc::diff_bench(base, no_point, 0.25, floor);
+  EXPECT_TRUE(missing.regressed);
+  EXPECT_NE(missing.verdict.find("FLOOR"), std::string::npos)
+      << missing.verdict;
+
+  // min_speedup = 0 disables the floor (the default): the same sweeps are
+  // judged by the relative gate alone.
+  EXPECT_FALSE(cc::diff_bench(base, batching_lost, 0.25).regressed);
+}
+
 // --- report renderers (unconditional) --------------------------------------
 
 TEST(TimelineReport, RenderersEmitTheirMarkers) {

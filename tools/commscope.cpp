@@ -29,8 +29,11 @@
 //       Render a recorded epoch timeline (--epochs-out / checkpoint sidecar)
 //       as a terminal summary, JSON document or self-contained HTML page.
 //   commscope diff <A> <B> [--threshold-l1=F --threshold-cell=F]
+//                  [--bench --threshold=F --floor-speedup=F --floor-batch=N]
 //       Compare two runs: epoch files, matrix files, or (--bench) ingest
-//       bench JSON. Exits 0 when within thresholds, 3 on regression — the
+//       bench JSON. --floor-speedup additionally requires the fresh sweep's
+//       batch --floor-batch (default 64) point to report at least that
+//       speedup. Exits 0 when within thresholds, 3 on regression — the
 //       CI gate.
 //   commscope serve --socket=PATH [--mem-budget=BYTES --reap-ms=T
 //                    --max-sessions=N --sessions=N --idle-exit-ms=T
@@ -216,7 +219,8 @@ const std::vector<std::string>& known_flags_for(const std::string& cmd) {
                           {"interval", "connect"})},
       {"report", {"format", "out", "matrix", "metrics", "title"}},
       {"diff",
-       {"bench", "threshold", "threshold-l1", "threshold-cell", "quiet"}},
+       {"bench", "threshold", "floor-speedup", "floor-batch", "threshold-l1",
+        "threshold-cell", "quiet"}},
       {"serve",
        {"socket", "mem-budget", "reap-ms", "max-sessions", "sessions",
         "idle-exit-ms", "epochs-out", "metrics-out", "quiet", "scrape",
@@ -1214,7 +1218,15 @@ int cmd_diff(const cs::ArgParser& args) {
 
   if (args.has("bench")) {
     const double threshold = args.get_double_strict("threshold", 0.25);
-    const cc::BenchDiff d = cc::diff_bench(text_a, text_b, threshold);
+    // Absolute floor on the fresh sweep's batched speedup (0 = off): the
+    // relative gate tolerates a slow fresh run as long as the baseline was
+    // equally slow, but "batching still beats inline ingest" is an absolute
+    // claim — CI pins it with --floor-speedup=1.0 at the default batch 64.
+    cc::BenchFloor floor;
+    floor.min_speedup = args.get_double_strict("floor-speedup", 0.0);
+    floor.batch = static_cast<std::uint32_t>(
+        args.get_double_strict("floor-batch", floor.batch));
+    const cc::BenchDiff d = cc::diff_bench(text_a, text_b, threshold, floor);
     log << "bench diff: " << path_a << " (baseline) vs " << path_b << "\n";
     for (const cc::BenchDelta& p : d.points) {
       log << "  batch=" << p.batch << "  " << cs::Table::num(p.base_rate, 0)
