@@ -13,6 +13,7 @@
 #include "instrument/loop_registry.hpp"
 #include "support/env.hpp"
 #include "support/table.hpp"
+#include "telemetry/perf_counters.hpp"
 #include "telemetry/trace.hpp"
 #include "threading/thread_pool.hpp"
 #include "workloads/workload.hpp"
@@ -78,7 +79,39 @@ inline std::unique_ptr<core::Profiler> make_profiler(
       env != nullptr && *env != '\0') {
     o.epoch_accesses = static_cast<std::uint64_t>(std::atoll(env));
   }
+  // COMMSCOPE_PERF=1 arms the hardware-counter engine (README "Hardware
+  // counters"); on PMU-less hosts the bench runs identically, degraded.
+  if (const char* env = std::getenv("COMMSCOPE_PERF");
+      env != nullptr && *env == '1') {
+    o.perf = true;
+  }
   return std::make_unique<core::Profiler>(o);
+}
+
+/// One-paragraph hardware grounding for the figure benches: whole-run
+/// LLC-miss/HITM totals next to the communication volume they are meant to
+/// explain. Silent when the engine was not requested; one provenance line
+/// when it was requested but the host refused perf_event_open.
+inline void print_perf_grounding(const core::Profiler& profiler,
+                                 std::ostream& os) {
+  const telemetry::PerfCounters* pc = profiler.perf_counters();
+  if (pc == nullptr) return;
+  if (!pc->available()) {
+    os << "\nhardware grounding: perf_event_open unavailable on this host "
+          "(matrices unaffected)\n";
+    return;
+  }
+  const telemetry::PerfDelta d = profiler.regions().root().aggregate_perf();
+  const std::uint64_t bytes = profiler.regions().root().aggregate().total();
+  os << "\nhardware grounding (" << telemetry::to_string(pc->hitm_source())
+     << "): llc-misses=" << d.llc_misses << " hitm=" << d.hitm;
+  if (bytes > 0) {
+    os << "  (" << static_cast<double>(d.llc_misses) * 64.0 /
+                       static_cast<double>(bytes)
+       << " miss-bytes per comm-byte)";
+  }
+  if (d.multiplexed) os << "  [multiplex-scaled]";
+  os << "\n";
 }
 
 /// Standard bench banner with the effective configuration.

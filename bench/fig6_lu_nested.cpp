@@ -72,6 +72,8 @@ int main() {
   }
   table.print(os);
 
+  cb::print_perf_grounding(*profiler, std::cout);
+
   std::cout << "\nParent = sum of children across the whole region tree: "
             << (sum_property ? "HOLDS" : "VIOLATED") << "\n";
   std::cout << "Reproduced: daxpy concentrates on the panel owners, bmod is "

@@ -57,6 +57,8 @@ int main() {
             cs::Table::num(cc::load_imbalance(load), 2) + ")");
   }
 
+  cb::print_perf_grounding(*profiler, std::cout);
+
   std::cout << "Parent = sum of children: "
             << (sum_property ? "HOLDS" : "VIOLATED") << "\n";
   std::cout << "Reproduced: INTERF is the dense all-to-all force exchange; "

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Fails when a runtime serve.* or self.* metric exists in the source but is
-# missing from the README "Metrics reference" table. Two sources of truth:
+# Fails when a runtime serve.*, self.* or perf.* metric exists in the source
+# but is missing from the README "Metrics reference" table. Two sources of
+# truth:
 #
 #   1. literal counter("...")/gauge("...")/histogram("...") registrations
 #      anywhere under src/ and tools/;
@@ -15,11 +16,11 @@ cd "$(dirname "$0")/.."
 
 names=$(
   {
-    grep -rhoE '(counter|gauge|histogram)\("(serve|self)\.[a-z0-9._-]+"' \
+    grep -rhoE '(counter|gauge|histogram)\("(serve|self|perf)\.[a-z0-9._-]+"' \
         src tools | sed -E 's/.*\("([^"]+)"\)?/\1/'
     awk '/void ServeServer::publish_metrics_locked/,/^}/' \
         src/serve/server.cpp |
-      grep -hoE '"(serve|self)\.[a-z0-9._-]+"' | tr -d '"'
+      grep -hoE '"(serve|self|perf)\.[a-z0-9._-]+"' | tr -d '"'
   } | sort -u
 )
 
@@ -41,4 +42,4 @@ if [ "$missing" -ne 0 ]; then
   echo "check_metrics_docs: FAILED (of $count runtime metrics)" >&2
   exit 1
 fi
-echo "check_metrics_docs: all $count runtime serve.*/self.* metrics documented"
+echo "check_metrics_docs: all $count runtime serve.*/self.*/perf.* metrics documented"

@@ -12,7 +12,10 @@ namespace commscope::core {
 namespace {
 
 constexpr const char* kMagic = "commscope-epochs";
-constexpr int kVersion = 1;
+/// v1: counterless epochs. v2: every epoch carries its perf delta. The
+/// writer picks the lowest version that represents the data (see header).
+constexpr int kVersionCounterless = 1;
+constexpr int kVersionPerf = 2;
 /// Matrix-dimension ceiling (the profiler itself caps at 64; leave headroom
 /// for foreign producers, but never enough for a quadratic allocation bomb).
 constexpr int kMaxThreads = 4096;
@@ -27,10 +30,17 @@ constexpr std::size_t kMaxLabel = 512;
 }  // namespace
 
 void write_epochs(std::ostream& os, const EpochTimeline& t) {
+  bool any_perf = false;
+  for (const EpochSample& e : t.epochs) {
+    if (e.perf.any() || e.perf.multiplexed) {
+      any_perf = true;
+      break;
+    }
+  }
   std::string payload;
   payload += kMagic;
   payload += ' ';
-  payload += std::to_string(kVersion);
+  payload += std::to_string(any_perf ? kVersionPerf : kVersionCounterless);
   payload += '\n';
   payload += "threads " + std::to_string(t.threads) + '\n';
   payload += "sealed " + std::to_string(t.sealed) + " dropped " +
@@ -52,7 +62,16 @@ void write_epochs(std::ostream& os, const EpochTimeline& t) {
                std::to_string(e.dependencies) + " bytes " +
                std::to_string(e.bytes) + " reason " + to_string(e.reason) +
                " cells " + std::to_string(e.cells.size()) + " loops " +
-               std::to_string(e.loops.size()) + '\n';
+               std::to_string(e.loops.size());
+    if (any_perf) {
+      payload += " perf " + std::to_string(e.perf.present) + ' ' +
+                 std::to_string(e.perf.multiplexed ? 1 : 0) + ' ' +
+                 std::to_string(e.perf.cycles) + ' ' +
+                 std::to_string(e.perf.instructions) + ' ' +
+                 std::to_string(e.perf.llc_misses) + ' ' +
+                 std::to_string(e.perf.hitm);
+    }
+    payload += '\n';
     for (const EpochCell& c : e.cells) {
       payload += std::to_string(c.producer) + ' ' +
                  std::to_string(c.consumer) + ' ' + std::to_string(c.bytes) +
@@ -81,7 +100,7 @@ EpochTimeline read_epochs(std::string_view text) {
   support::TokenScanner sc(payload, "epoch_io");
   if (sc.next_token() != kMagic) sc.fail("bad magic");
   const int version = sc.next_uint<int>("version");
-  if (version != kVersion) {
+  if (version != kVersionCounterless && version != kVersionPerf) {
     sc.fail("unsupported version " + std::to_string(version));
   }
 
@@ -132,6 +151,17 @@ EpochTimeline read_epochs(std::string_view text) {
     if (sc.next_token() != "loops") sc.fail("expected 'loops'");
     const std::uint64_t loops =
         sc.next_uint_capped<std::uint64_t>("loop-share count", kMaxLoopShares);
+    if (version >= kVersionPerf) {
+      if (sc.next_token() != "perf") sc.fail("expected 'perf'");
+      e.perf.present = sc.next_uint_capped<std::uint8_t>(
+          "perf present mask", telemetry::kPerfPresentAll);
+      e.perf.multiplexed =
+          sc.next_uint_capped<std::uint8_t>("perf mux flag", 1) != 0;
+      e.perf.cycles = sc.next_uint<std::uint64_t>("perf cycles");
+      e.perf.instructions = sc.next_uint<std::uint64_t>("perf instructions");
+      e.perf.llc_misses = sc.next_uint<std::uint64_t>("perf llc misses");
+      e.perf.hitm = sc.next_uint<std::uint64_t>("perf hitm");
+    }
     e.cells.reserve(cells);
     for (std::uint64_t k = 0; k < cells; ++k) {
       EpochCell c;

@@ -1,19 +1,28 @@
 // Epoch-timeline (de)serialization — the flight recorder's on-disk form.
 //
-// Format ("commscope-epochs 1"), line-oriented like the matrix/checkpoint
+// Format ("commscope-epochs <v>"), line-oriented like the matrix/checkpoint
 // formats and protected by the same "crc32 <hex>" trailer:
 //
-//   commscope-epochs 1
+//   commscope-epochs <1|2>
 //   threads <n>
 //   sealed <total> dropped <overwritten>
 //   loops <count>
 //   <count lines: "<id> <label...>">
 //   epoch <index> first <a0> last <a1> deps <d> bytes <b> reason <r>
-//         ... cells <k> loops <m>   (one physical line)
+//         ... cells <k> loops <m>                           (version 1)
+//         ... cells <k> loops <m> perf <present> <mux>
+//             <cycles> <instructions> <llc-misses> <hitm>   (version 2)
 //   <k lines: "<producer> <consumer> <bytes>">
 //   <m lines: "<loop-id> <bytes>">
 //   ... (one block per surviving epoch, oldest first)
 //   crc32 <8 hex digits over everything above>
+//
+// Version 2 extends every epoch with its hardware counter delta: `present`
+// is the PerfDelta field bitmask (0..15), `mux` flags multiplexing-scaled
+// readings (0/1). The writer emits version 1 whenever no epoch carries a
+// counter (present == 0 and mux unset everywhere), so counterless timelines
+// stay byte-compatible with pre-counter readers; the reader accepts both
+// versions.
 //
 // The reader treats input as hostile (the loader contract shared by
 // matrix_io / trace / checkpoint): every declared count is capped before

@@ -216,6 +216,11 @@ void FlightRecorder::seal_locked(EpochSeal reason) {
   e.dependencies = window_deps_;
   e.bytes = window_bytes_;
   e.reason = reason;
+  if (options_.perf != nullptr) {
+    // One boundary read partitions the hardware counts exactly like the
+    // matrix delta: everything since the previous seal lands in this epoch.
+    e.perf = options_.perf->window_delta();
+  }
   const int n = options_.threads;
   for (int p = 0; p < n; ++p) {
     for (int c = 0; c < n; ++c) {

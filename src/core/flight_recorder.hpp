@@ -38,6 +38,7 @@
 #include "core/comm_matrix.hpp"
 #include "instrument/loop_registry.hpp"
 #include "support/memtrack.hpp"
+#include "telemetry/perf_counters.hpp"
 
 namespace commscope::core {
 
@@ -80,6 +81,11 @@ struct EpochSample {
   std::uint64_t dependencies = 0;  ///< RAW edges recorded in the window
   std::uint64_t bytes = 0;         ///< total delta volume
   EpochSeal reason = EpochSeal::kAccesses;
+  /// Hardware counter delta for this window (all-zero with present == 0
+  /// when no perf engine was attached — the epoch file then serializes in
+  /// the counterless v1 format). Carried through serve merge and WAL replay
+  /// alongside the comm-matrix delta it grounds.
+  telemetry::PerfDelta perf;
   std::vector<EpochCell> cells;        ///< sorted (producer, consumer)
   std::vector<EpochLoopShare> loops;   ///< sorted by loop id
 
@@ -119,6 +125,11 @@ struct FlightRecorderOptions {
   /// stamped kReplay so a re-sliced timeline is distinguishable from a live
   /// recording.
   bool replay = false;
+  /// Optional hardware counter engine (owned by the profiler). When set,
+  /// every seal stamps the epoch with the counter delta accumulated since
+  /// the previous boundary, so hardware counts partition exactly like the
+  /// comm-matrix deltas do.
+  telemetry::PerfCounters* perf = nullptr;
 
   [[nodiscard]] bool enabled() const noexcept {
     return every_accesses != 0 || every_batches != 0 || every_millis != 0;

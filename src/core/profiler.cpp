@@ -27,12 +27,19 @@ Profiler::Profiler(ProfilerOptions options)
       backend_(make_backend(options, &memory_)),
       tree_(options.max_threads, &memory_, options.sparse_region_matrices),
       phases_(options.max_threads, options.phase_window_bytes),
+      perf_(options.perf
+                ? std::make_unique<telemetry::PerfCounters>(
+                      telemetry::PerfCountersOptions{
+                          options.max_threads, options.perf_open_fail_from},
+                      &memory_)
+                : nullptr),
       recorder_(FlightRecorderOptions{options.max_threads,
                                       options.epoch_accesses,
                                       options.epoch_batches,
                                       options.epoch_millis,
                                       options.epoch_ring,
-                                      options.epoch_replay},
+                                      options.epoch_replay,
+                                      perf_.get()},
                 &memory_),
       contexts_(std::make_unique<ThreadCtx[]>(
           static_cast<std::size_t>(options.max_threads))) {
@@ -56,6 +63,12 @@ void Profiler::on_thread_begin(int tid) {
   ThreadCtx& c = ctx(tid);
   c.stack.clear();
   c.stack.push_back(&tree_.root());
+  if (perf_ != nullptr) {
+    // Open this thread's counter group and baseline the boundary cursor so
+    // the first loop segment does not inherit pre-registration counts.
+    perf_->attach_current_thread(tid);
+    c.perf_last = perf_->read_thread(tid);
+  }
 }
 
 void Profiler::on_loop_enter(int tid, instrument::LoopId id) {
@@ -67,6 +80,7 @@ void Profiler::on_loop_enter(int tid, instrument::LoopId id) {
   telemetry::Tracer::loop_begin(tid, id);
   ThreadCtx& c = ctx(tid);
   if (c.stack.empty()) c.stack.push_back(&tree_.root());
+  perf_boundary(tid, c);  // charge the pre-loop segment before the push
   RegionNode* node = c.stack.back()->child(id);
   node->count_entry();
   c.stack.push_back(node);
@@ -77,6 +91,7 @@ void Profiler::on_loop_exit(int tid) {
   if (options_.batch_size != 0) flush_batch(tid);
   telemetry::Tracer::loop_end(tid);
   ThreadCtx& c = ctx(tid);
+  perf_boundary(tid, c);  // charge the loop body before the pop
   if (c.stack.size() > 1) c.stack.pop_back();
 }
 
@@ -236,6 +251,15 @@ void Profiler::flush_all() {
 
 void Profiler::finalize() {
   flush_all();
+  if (perf_ != nullptr) {
+    // Charge each thread's tail segment (last boundary -> now) to its
+    // current region so region totals and the final epoch agree with total().
+    // finalize() requires quiescence, and reading another thread's perf fds
+    // is explicitly legal, so walking all contexts here is safe.
+    for (int t = 0; t < options_.max_threads; ++t) {
+      perf_boundary(t, ctx(t));
+    }
+  }
   phases_.flush();
   recorder_.flush(EpochSeal::kFinalize);
   // Stamp the run's aggregate accounting into the process-wide telemetry
@@ -254,6 +278,13 @@ void Profiler::finalize() {
       .set(static_cast<std::uint64_t>(degradations_.size()));
   telemetry::gauge("recorder.epochs_sealed").set(recorder_.epochs_sealed());
   telemetry::gauge("recorder.epochs_dropped").set(recorder_.epochs_dropped());
+  if (perf_ != nullptr) {
+    const telemetry::PerfDelta total = perf_->total();
+    telemetry::gauge("perf.cycles").set(total.cycles);
+    telemetry::gauge("perf.instructions").set(total.instructions);
+    telemetry::gauge("perf.llc_misses").set(total.llc_misses);
+    telemetry::gauge("perf.hitm").set(total.hitm);
+  }
 }
 
 void Profiler::record_degradation(DegradationEvent event) {

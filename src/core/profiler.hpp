@@ -31,6 +31,7 @@
 #include "sigmem/exact_signature.hpp"
 #include "support/memtrack.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/perf_counters.hpp"
 
 namespace commscope::core {
 
@@ -85,6 +86,16 @@ struct ProfilerOptions {
   std::uint32_t epoch_ring = 0;
   /// Stamp access-trigger epoch seals as kReplay (trace re-slice provenance).
   bool epoch_replay = false;
+  /// Hardware counter attribution (`--perf`): each profiling thread opens a
+  /// per-thread perf_event_open counter group, read at loop and epoch
+  /// boundaries so regions and epochs carry cycles/instructions/LLC-miss/
+  /// HITM deltas next to their comm-matrix deltas. Degrades gracefully
+  /// (telemetry::PerfCounters) when perf is unavailable; never affects the
+  /// matrices themselves.
+  bool perf = false;
+  /// Forwarded to PerfCountersOptions::open_fail_from (fault injection);
+  /// 0 defers to the `perf-open-fail:N` clause of $COMMSCOPE_FAULT.
+  std::uint32_t perf_open_fail_from = 0;
 };
 
 /// Upper bound on ProfilerOptions::batch_size (the per-thread ring is
@@ -187,6 +198,13 @@ class Profiler final : public instrument::AccessSink {
     return recorder_.timeline();
   }
 
+  /// The hardware counter engine, or nullptr when ProfilerOptions::perf was
+  /// off. A non-null engine may still be degraded (available() == false) —
+  /// the report renders that as provenance, never as zeros.
+  [[nodiscard]] telemetry::PerfCounters* perf_counters() const noexcept {
+    return perf_.get();
+  }
+
   [[nodiscard]] ProfileStats stats() const;
 
   /// Events dropped because their tid was outside [0, max_threads): calls
@@ -269,6 +287,11 @@ class Profiler final : public instrument::AccessSink {
   /// sizes are capped far below 2^31 by every sink caller.
   struct alignas(64) ThreadCtx {
     std::vector<RegionNode*> stack;
+    /// Cumulative (scaled) hardware counter reading at this thread's last
+    /// loop boundary; the next boundary charges `now - perf_last` to the
+    /// region that was innermost across the segment. Untouched when the
+    /// perf engine is off.
+    telemetry::PerfDelta perf_last;
     std::uint64_t accesses = 0;
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
@@ -286,6 +309,9 @@ class Profiler final : public instrument::AccessSink {
   std::variant<AsymmetricDetector, sigmem::ExactSignature> backend_;
   RegionTree tree_;
   PhaseTracker phases_;
+  // Declared before recorder_: the recorder's options capture perf_.get(),
+  // so the engine must outlive (and be constructed before) the recorder.
+  std::unique_ptr<telemetry::PerfCounters> perf_;
   FlightRecorder recorder_;
   std::unique_ptr<ThreadCtx[]> contexts_;
   std::vector<DegradationEvent> degradations_;
@@ -310,6 +336,23 @@ class Profiler final : public instrument::AccessSink {
   /// (SIMD batch hash, slot-repeat collapsing, gathered signature loads) on
   /// the signature fast path, or through ingest_one per event otherwise.
   void flush_batch(int tid);
+
+  /// Reads `tid`'s hardware counter group and charges the delta since the
+  /// thread's previous boundary to its current innermost region. Called at
+  /// every loop enter/exit BEFORE the region stack mutates, so the segment
+  /// between two boundaries lands on the region that was active during it —
+  /// the same exclusive-attribution rule the comm matrices use. A single
+  /// predicted branch when the engine is off.
+  void perf_boundary(int tid, ThreadCtx& c) noexcept {
+    if (perf_ == nullptr) [[likely]] return;
+    const telemetry::PerfDelta now = perf_->read_thread(tid);
+    telemetry::PerfDelta delta = now.since(c.perf_last);
+    // First boundary after attach: the baseline has no present bits yet, so
+    // since() would erase provenance; the full reading is the delta.
+    if (c.perf_last.present == 0) delta.present = now.present;
+    if (!c.stack.empty()) c.stack.back()->add_perf(delta);
+    c.perf_last = now;
+  }
 
   /// True when `tid` indexes a real context; otherwise counts the drop.
   [[nodiscard]] bool admit_tid(int tid) noexcept {

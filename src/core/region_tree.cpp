@@ -48,6 +48,12 @@ Matrix RegionNode::aggregate() const {
   return m;
 }
 
+telemetry::PerfDelta RegionNode::aggregate_perf() const {
+  telemetry::PerfDelta d = perf_direct();
+  for (const RegionNode* c : children()) d += c->aggregate_perf();
+  return d;
+}
+
 int RegionNode::depth() const noexcept {
   int d = 0;
   for (const RegionNode* p = parent_; p != nullptr; p = p->parent()) ++d;

@@ -13,6 +13,7 @@
 // per context); matrix accumulation is lock-free.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -23,6 +24,7 @@
 #include "core/region_matrix.hpp"
 #include "instrument/loop_registry.hpp"
 #include "support/memtrack.hpp"
+#include "telemetry/perf_counters.hpp"
 #include "threading/spinlock.hpp"
 
 namespace commscope::core {
@@ -63,6 +65,38 @@ class RegionNode {
   /// sum-of-children property).
   [[nodiscard]] Matrix aggregate() const;
 
+  /// Accumulates a hardware counter delta attributed exactly to this region
+  /// (the profiler charges the segment between two loop boundaries to the
+  /// region that was innermost during it). Lock-free, callable from any
+  /// profiling thread.
+  void add_perf(const telemetry::PerfDelta& d) noexcept {
+    if (!d.any()) return;
+    perf_cycles_.fetch_add(d.cycles, std::memory_order_relaxed);
+    perf_instructions_.fetch_add(d.instructions, std::memory_order_relaxed);
+    perf_llc_misses_.fetch_add(d.llc_misses, std::memory_order_relaxed);
+    perf_hitm_.fetch_add(d.hitm, std::memory_order_relaxed);
+    perf_present_.fetch_or(d.present, std::memory_order_relaxed);
+    if (d.multiplexed) {
+      perf_mux_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// Hardware counters charged exactly here (present == 0 when no perf
+  /// engine fed this run — mirrors direct()).
+  [[nodiscard]] telemetry::PerfDelta perf_direct() const noexcept {
+    telemetry::PerfDelta d;
+    d.cycles = perf_cycles_.load(std::memory_order_relaxed);
+    d.instructions = perf_instructions_.load(std::memory_order_relaxed);
+    d.llc_misses = perf_llc_misses_.load(std::memory_order_relaxed);
+    d.hitm = perf_hitm_.load(std::memory_order_relaxed);
+    d.present = perf_present_.load(std::memory_order_relaxed);
+    d.multiplexed = perf_mux_.load(std::memory_order_relaxed);
+    return d;
+  }
+
+  /// perf_direct() + sum over all descendants (mirrors aggregate()).
+  [[nodiscard]] telemetry::PerfDelta aggregate_perf() const;
+
   /// Converts this node's matrix (and every descendant's) to the sparse
   /// representation, and makes future children sparse too — the degradation
   /// ladder's response to a memory budget breach. Requires quiescence.
@@ -82,6 +116,14 @@ class RegionNode {
   bool sparse_;
   RegionMatrix matrix_;
   std::atomic<std::uint64_t> entries_{0};
+  // Hardware counter accumulators (see add_perf). Plain relaxed atomics:
+  // readers only run at report time, after profiling quiesced.
+  std::atomic<std::uint64_t> perf_cycles_{0};
+  std::atomic<std::uint64_t> perf_instructions_{0};
+  std::atomic<std::uint64_t> perf_llc_misses_{0};
+  std::atomic<std::uint64_t> perf_hitm_{0};
+  std::atomic<std::uint8_t> perf_present_{0};
+  std::atomic<bool> perf_mux_{false};
 
   mutable threading::Spinlock children_mu_;
   std::vector<std::unique_ptr<RegionNode>> children_;

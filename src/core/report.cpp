@@ -78,6 +78,36 @@ void print_report(std::ostream& os, const Profiler& profiler,
             "longer guaranteed\n";
     }
   }
+  if (const telemetry::PerfCounters* pc = profiler.perf_counters()) {
+    if (pc->available()) {
+      const telemetry::PerfDelta hw =
+          profiler.regions().root().aggregate_perf();
+      os << "hardware counters: cycles "
+         << ((hw.present & telemetry::kPerfCycles) != 0
+                 ? std::to_string(hw.cycles)
+                 : std::string("n/a"))
+         << ", instructions "
+         << ((hw.present & telemetry::kPerfInstructions) != 0
+                 ? std::to_string(hw.instructions)
+                 : std::string("n/a"))
+         << ", LLC load misses "
+         << ((hw.present & telemetry::kPerfLlcMisses) != 0
+                 ? std::to_string(hw.llc_misses)
+                 : std::string("n/a"))
+         << ", HITM " << ((hw.present & telemetry::kPerfHitm) != 0
+                              ? std::to_string(hw.hitm)
+                              : std::string("n/a"))
+         << " [" << to_string(pc->hitm_source()) << "]";
+      if (hw.multiplexed) {
+        os << " (multiplexing-scaled: time_enabled/time_running estimator)";
+      }
+      os << "\n";
+    } else {
+      os << "hardware counters: unavailable (perf_event_open refused — "
+            "paranoid setting, container, or injected fault; matrices "
+            "unaffected)\n";
+    }
+  }
   if (profiler.options().classify_dependences) {
     const DependenceCounts d = profiler.dependence_counts();
     os << "dependence census: RAW " << d.raw << ", WAR " << d.war << ", WAW "
@@ -99,14 +129,37 @@ void print_report(std::ostream& os, const Profiler& profiler,
   std::vector<const RegionNode*> nodes;
   collect_rows(&profiler.regions().root(), opts, rows, nodes);
 
-  support::Table t({"region", "entries", "direct", "aggregate", "imbalance",
-                    "active"});
-  for (const RegionRow& r : rows) {
-    t.add_row({std::string(static_cast<std::size_t>(r.depth) * 2, ' ') + r.label,
-               std::to_string(r.entries), support::Table::bytes(r.direct_bytes),
-               support::Table::bytes(r.aggregate_bytes),
-               support::Table::num(r.load_imbalance, 2),
-               support::Table::num(r.active_fraction, 2)});
+  // Per-region hardware columns only when the engine measured something:
+  // degraded or perf-less runs keep the exact pre-perf table shape.
+  const bool perf_cols = profiler.perf_counters() != nullptr &&
+                         profiler.perf_counters()->available();
+  std::vector<std::string> header = {"region",    "entries",   "direct",
+                                     "aggregate", "imbalance", "active"};
+  if (perf_cols) {
+    header.push_back("llc-miss");
+    header.push_back("hitm");
+  }
+  support::Table t(std::move(header));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RegionRow& r = rows[i];
+    std::vector<std::string> cells = {
+        std::string(static_cast<std::size_t>(r.depth) * 2, ' ') + r.label,
+        std::to_string(r.entries), support::Table::bytes(r.direct_bytes),
+        support::Table::bytes(r.aggregate_bytes),
+        support::Table::num(r.load_imbalance, 2),
+        support::Table::num(r.active_fraction, 2)};
+    if (perf_cols) {
+      const telemetry::PerfDelta hw = nodes[i]->aggregate_perf();
+      cells.push_back((hw.present & telemetry::kPerfLlcMisses) != 0
+                          ? std::to_string(hw.llc_misses) +
+                                (hw.multiplexed ? "~" : "")
+                          : std::string("n/a"));
+      cells.push_back((hw.present & telemetry::kPerfHitm) != 0
+                          ? std::to_string(hw.hitm) +
+                                (hw.multiplexed ? "~" : "")
+                          : std::string("n/a"));
+    }
+    t.add_row(std::move(cells));
   }
   t.print(os);
 

@@ -8,6 +8,7 @@
 
 #include "core/phase.hpp"
 #include "core/thread_load.hpp"
+#include "telemetry/perf_counters.hpp"
 
 namespace commscope::core {
 
@@ -72,10 +73,22 @@ std::vector<Phase> timeline_phases(const EpochTimeline& t) {
   return detect_phases(windows, 0.8, PhaseMetric::kOffsetCosine);
 }
 
-/// Overhead-relevant metric names for the report footer.
+/// Overhead-relevant metric names for the report footer. perf.* rides along
+/// so counter provenance (opened/unavailable/multiplexed) and run totals are
+/// visible next to the numbers they qualify.
 bool overhead_metric(const std::string& name) {
   return name.rfind("self.", 0) == 0 || name.rfind("recorder.", 0) == 0 ||
-         name == "profiler.mem_peak" || name == "profiler.dropped_events";
+         name.rfind("perf.", 0) == 0 || name == "profiler.mem_peak" ||
+         name == "profiler.dropped_events";
+}
+
+/// True when any epoch carries a hardware counter delta (drives the perf
+/// columns/strip; counterless reports render exactly as before).
+bool timeline_has_perf(const EpochTimeline& t) {
+  for (const EpochSample& e : t.epochs) {
+    if (e.perf.any() || e.perf.multiplexed) return true;
+  }
+  return false;
 }
 
 void escape_json(std::ostream& os, const std::string& s) {
@@ -145,7 +158,20 @@ void write_model_json(std::ostream& os, const ReportModel& model) {
       escape_json(os, t.label_of(e.loops[k].loop));
       os << "\"," << e.loops[k].bytes << "]";
     }
-    os << "]}";
+    os << "],\"perf\":";
+    // Explicit null (not zeros) when the epoch carries no hardware counters:
+    // "unmeasured" and "measured zero" must stay distinguishable downstream.
+    if (e.perf.any() || e.perf.multiplexed) {
+      os << "{\"present\":" << static_cast<unsigned>(e.perf.present)
+         << ",\"multiplexed\":" << (e.perf.multiplexed ? "true" : "false")
+         << ",\"cycles\":" << e.perf.cycles
+         << ",\"instructions\":" << e.perf.instructions
+         << ",\"llc_misses\":" << e.perf.llc_misses
+         << ",\"hitm\":" << e.perf.hitm << "}";
+    } else {
+      os << "null";
+    }
+    os << "}";
   }
   os << "],\"phases\":[";
   const std::vector<Phase> phases = timeline_phases(t);
@@ -200,8 +226,11 @@ void render_text(std::ostream& os, const ReportModel& model) {
     return;
   }
 
+  const bool any_perf = timeline_has_perf(t);
   os << "\n  epoch        accesses      deps        bytes  top pair"
-        "        imbalance  reason\n";
+        "        imbalance  reason";
+  if (any_perf) os << "     llcmiss/dep       hitm";
+  os << "\n";
   for (const EpochSample& e : t.epochs) {
     const Matrix dense = e.dense(t.threads);
     const std::vector<double> load = involvement_load(dense);
@@ -217,7 +246,7 @@ void render_text(std::ostream& os, const ReportModel& model) {
     }
     char line[160];
     std::snprintf(line, sizeof(line),
-                  "  %5llu  %6llu..%-6llu  %8llu  %11s  %-16s %8.2f  %s\n",
+                  "  %5llu  %6llu..%-6llu  %8llu  %11s  %-16s %8.2f  %-10s",
                   static_cast<unsigned long long>(e.index),
                   static_cast<unsigned long long>(e.first_access),
                   static_cast<unsigned long long>(e.last_access),
@@ -225,6 +254,30 @@ void render_text(std::ostream& os, const ReportModel& model) {
                   human_bytes(e.bytes).c_str(), pair, load_imbalance(load),
                   to_string(e.reason));
     os << line;
+    if (any_perf) {
+      // LLC misses per recorded comm event — the "how much real coherence
+      // traffic per inferred dependence" ratio. n/a when the slot never
+      // opened (unmeasured, not zero); '~' marks multiplexing-scaled rows.
+      char perf_cols[48];
+      if ((e.perf.present & telemetry::kPerfLlcMisses) != 0 &&
+          e.dependencies > 0) {
+        std::snprintf(perf_cols, sizeof(perf_cols), "  %12.1f",
+                      static_cast<double>(e.perf.llc_misses) /
+                          static_cast<double>(e.dependencies));
+      } else {
+        std::snprintf(perf_cols, sizeof(perf_cols), "  %12s", "n/a");
+      }
+      os << perf_cols;
+      if ((e.perf.present & telemetry::kPerfHitm) != 0) {
+        std::snprintf(perf_cols, sizeof(perf_cols), " %10llu",
+                      static_cast<unsigned long long>(e.perf.hitm));
+      } else {
+        std::snprintf(perf_cols, sizeof(perf_cols), " %10s", "n/a");
+      }
+      os << perf_cols;
+      if (e.perf.multiplexed) os << " ~";
+    }
+    os << "\n";
   }
 
   const std::vector<Phase> phases = timeline_phases(t);
@@ -287,6 +340,11 @@ void render_html(std::ostream& os, const ReportModel& model) {
         "</canvas><div class=\"sub\" id=\"legend\"></div>\n"
         "<h2>Thread load over time (Eq. 1 involvement)</h2>"
         "<canvas id=\"load\" height=\"160\"></canvas>\n"
+        "<h2 id=\"corrh\">Matrix density vs coherence traffic</h2>"
+        "<div class=\"sub\" id=\"corrsub\">bars: HITM-class events (red) / "
+        "LLC load misses (grey) per epoch; line: fraction of nonzero "
+        "producer-consumer cells</div>"
+        "<canvas id=\"corr\" height=\"160\"></canvas>\n"
         "<h2>Overhead gauges</h2><table id=\"gauges\"></table>\n"
         "<script id=\"data\" type=\"application/json\">";
   write_model_json(os, model);
@@ -332,6 +390,26 @@ void render_html(std::ostream& os, const ReportModel& model) {
         "y=cv.height-4-(e.load[t]||0)/mx*(cv.height-12);const "
         "x=i*w+w/2;if(i===0)g.moveTo(x,y);else g.lineTo(x,y);});"
         "g.stroke();}})();\n"
+        "(()=>{const cv=document.getElementById('corr');"
+        "const has=E.some(e=>e.perf);if(!has){for(const id of "
+        "['corr','corrh','corrsub'])document.getElementById(id).style."
+        "display='none';return;}cv.width=720;const g=cv.getContext('2d');"
+        "const dens=E.map(e=>{let nz=0;for(const c of "
+        "e.cells)if(c[2]>0)nz++;return nz/(N*N);});"
+        "const hitm=E.map(e=>e.perf&&(e.perf.present&8)?e.perf.hitm:0);"
+        "const llc=E.map(e=>e.perf&&(e.perf.present&4)?e.perf.llc_misses:0);"
+        "const mh=Math.max(1,...hitm),ml=Math.max(1,...llc);"
+        "const w=cv.width/Math.max(1,E.length);"
+        "llc.forEach((v,i)=>{g.fillStyle='#ccc';const "
+        "h=v/ml*(cv.height-12);g.fillRect(i*w+1,cv.height-4-h,"
+        "Math.max(1,w-2),h);});"
+        "hitm.forEach((v,i)=>{g.fillStyle='#d66';const "
+        "h=v/mh*(cv.height-12);g.fillRect(i*w+1+Math.max(1,w-2)/3,"
+        "cv.height-4-h,Math.max(1,(w-2)/3),h);});"
+        "g.strokeStyle='#36c';g.lineWidth=2;g.beginPath();"
+        "dens.forEach((v,i)=>{const y=cv.height-4-v*(cv.height-12);const "
+        "x=i*w+w/2;if(i===0)g.moveTo(x,y);else g.lineTo(x,y);});"
+        "g.stroke();})();\n"
         "(()=>{const tb=document.getElementById('gauges');for(const [k,v] of "
         "Object.entries(M.overhead)){const r=tb.insertRow();"
         "r.insertCell().textContent=k;r.insertCell().textContent=v;}})();\n"

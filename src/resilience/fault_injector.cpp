@@ -70,6 +70,8 @@ FaultPlan FaultInjector::parse_plan(const std::string& spec) {
       plan.wal_torn_tail_at = parse_position(part, colon);
     } else if (name == "snapshot-crash-mid-write") {
       plan.snapshot_crash_at = parse_position(part, colon);
+    } else if (name == "perf-open-fail") {
+      plan.perf_open_fail_at = parse_position(part, colon);
     } else if (name == "seed") {
       plan.seed = parse_position(part, colon);
     } else {

@@ -53,9 +53,18 @@ struct FaultPlan {
   std::uint64_t wal_fsync_fail_at = 0;   ///< Nth WAL barrier fsync fails
   std::uint64_t wal_torn_tail_at = 0;    ///< kill -9 mid-record on append N
   std::uint64_t snapshot_crash_at = 0;   ///< kill -9 mid-tmp on compaction N
+  /// Nth perf_event_open call (and all later ones) fails — simulates a host
+  /// with no usable PMU (N=1) or fd exhaustion mid-attach (N>1). Consumed by
+  /// telemetry::PerfCounters directly (telemetry cannot depend on this
+  /// layer); listed here so the spec parser accepts the clause.
+  std::uint64_t perf_open_fail_at = 0;
   std::uint64_t seed = 0x5eedULL;       ///< RNG seed for bit choices
 
   [[nodiscard]] bool any() const noexcept {
+    // perf_open_fail_at is deliberately absent: it is handled entirely
+    // inside the telemetry engine, and a global COMMSCOPE_FAULT of only
+    // "perf-open-fail:N" (the no-PMU CI job) must not drag the resilience
+    // stack into every run.
     return fail_alloc_at || kill_at_event || sleep_at_event ||
            truncate_write_at || corrupt_write_at || accept_fail_at ||
            short_read_at || eagain_at || drop_mid_frame_at ||

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "instrument/loop_registry.hpp"
+#include "telemetry/perf_counters.hpp"
 
 namespace commscope::serve {
 
@@ -167,7 +168,20 @@ void Aggregate::serialize(std::string& out) const {
            std::to_string(e.dependencies) + " bytes " +
            std::to_string(e.bytes) + " reason " + core::to_string(e.reason) +
            " cells " + std::to_string(e.cells.size()) + " loops " +
-           std::to_string(e.loops.size()) + '\n';
+           std::to_string(e.loops.size());
+    // Hardware counter block, emitted only when the epoch carries one —
+    // counterless snapshots stay byte-identical to the pre-perf format, and
+    // restore() below treats the block as optional, so old daemons' WALs and
+    // new ones interoperate in both directions.
+    if (e.perf.any() || e.perf.multiplexed) {
+      out += " perf " + std::to_string(e.perf.present) + ' ' +
+             std::to_string(e.perf.multiplexed ? 1 : 0) + ' ' +
+             std::to_string(e.perf.cycles) + ' ' +
+             std::to_string(e.perf.instructions) + ' ' +
+             std::to_string(e.perf.llc_misses) + ' ' +
+             std::to_string(e.perf.hitm);
+    }
+    out += '\n';
     for (const core::EpochCell& c : e.cells) {
       out += std::to_string(c.producer) + ' ' + std::to_string(c.consumer) +
              ' ' + std::to_string(c.bytes) + '\n';
@@ -246,6 +260,17 @@ void Aggregate::restore(support::TokenScanner& sc) {
     if (sc.next_token() != "loops") sc.fail("expected 'loops'");
     const std::uint64_t loops =
         sc.next_uint_capped<std::uint64_t>("loop-share count", kMaxLabels);
+    if (sc.peek_token() == "perf") {
+      (void)sc.next_token();
+      e.perf.present = sc.next_uint_capped<std::uint8_t>(
+          "perf present mask", telemetry::kPerfPresentAll);
+      e.perf.multiplexed =
+          sc.next_uint_capped<std::uint8_t>("perf mux flag", 1) != 0;
+      e.perf.cycles = sc.next_uint<std::uint64_t>("perf cycles");
+      e.perf.instructions = sc.next_uint<std::uint64_t>("perf instructions");
+      e.perf.llc_misses = sc.next_uint<std::uint64_t>("perf llc misses");
+      e.perf.hitm = sc.next_uint<std::uint64_t>("perf hitm");
+    }
     e.cells.reserve(cells);
     for (std::uint64_t k = 0; k < cells; ++k) {
       core::EpochCell c;

@@ -49,6 +49,16 @@ class TokenScanner {
     return {start, static_cast<std::size_t>(p_ - start)};
   }
 
+  /// Next token without consuming it — for optional trailing fields that a
+  /// newer writer may or may not have emitted (e.g. the per-epoch perf
+  /// block). Returns empty at end of input.
+  [[nodiscard]] std::string_view peek_token() {
+    skip_space();
+    const char* q = p_;
+    while (q != end_ && !is_space(*q)) ++q;
+    return {p_, static_cast<std::size_t>(q - p_)};
+  }
+
   /// Next token parsed as an unsigned integer of type T (base 10); throws
   /// when missing, malformed, negative, or out of range for T.
   template <typename T>

@@ -177,7 +177,7 @@ namespace {
 const std::vector<std::string> kProfileFlags = {
     "backend", "threads", "scale",       "slots",      "fp-rate",    "classify",
     "sparse",  "phases",  "batch",       "epoch-every", "epoch-batches",
-    "epoch-ms", "epoch-ring", "epochs-out"};
+    "epoch-ms", "epoch-ring", "epochs-out", "perf"};
 const std::vector<std::string> kOutputFlags = {
     "heatmaps", "csv", "save-matrix", "pattern", "dvfs"};
 const std::vector<std::string> kResilienceFlags = {
@@ -282,6 +282,9 @@ int usage() {
          "  --backend=signature|exact --batch=N --phases=BYTES\n"
          "  --epoch-every=N --epoch-batches=K --epoch-ms=T --epoch-ring=N\n"
          "  --epochs-out=FILE --quiet --metrics-out=FILE --trace-out=FILE\n"
+         "  --perf (per-thread hardware counters: cycles/instructions/\n"
+         "  LLC-misses/HITM attributed to loops and epochs; degrades to n/a\n"
+         "  where perf_event_open is unavailable)\n"
          "resilience (run/replay): --mem-budget=BYTES --event-budget=N\n"
          "  --checkpoint=FILE --checkpoint-every=N --timeout=SEC\n"
          "run `commscope <command>` with no arguments for its argument shape.\n";
@@ -372,6 +375,7 @@ cc::ProfilerOptions profiler_options(const cs::ArgParser& args, int threads) {
       static_cast<std::uint32_t>(args.get_int_strict("epoch-ms", 0));
   o.epoch_ring =
       static_cast<std::uint32_t>(args.get_int_strict("epoch-ring", 0));
+  o.perf = args.has("perf");
   return o;
 }
 
@@ -492,9 +496,12 @@ ResilienceStack make_resilience(const cs::ArgParser& args,
   const double timeout = args.get_double_strict("timeout", 0.0);
   const std::optional<cr::FaultPlan> plan = cr::FaultInjector::plan_from_env();
 
+  // plan->any() (not plan.has_value()): a COMMSCOPE_FAULT consisting only of
+  // telemetry-layer clauses (perf-open-fail — the no-PMU CI environment)
+  // must not wrap every run in the resilience stack.
   const bool wanted = gopts.mem_budget_bytes != 0 || gopts.event_budget != 0 ||
                       !sopts.checkpoint_path.empty() || timeout > 0.0 ||
-                      plan.has_value();
+                      (plan.has_value() && plan->any());
   if (!wanted) return stack;
 
   if (plan.has_value()) {
@@ -690,13 +697,25 @@ int cmd_replay(const cs::ArgParser& args) {
   ci::AccessSink* sink = resilience.sink != nullptr
                              ? static_cast<ci::AccessSink*>(resilience.sink.get())
                              : profiler.get();
+  ctl::SelfOverhead overhead;
+  const auto t0 = std::chrono::steady_clock::now();
   ci::replay(events, *sink);  // replay() finalizes the sink itself
+  overhead.instrumented_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // No native twin for a trace replay (native_seconds stays 0, so no
+  // slowdown factor is claimed), but the memory half of the self-overhead
+  // contract holds — replay-produced metrics snapshots carry the same
+  // self.* gauges run-produced ones do.
+  overhead.profiler_peak_bytes = profiler->memory().peak();
+  overhead.rss_peak_bytes = ctl::peak_rss_bytes();
   log << "replayed " << events.size() << " events\n";
   int rc = emit_results(args, *profiler, threads, log);
   if (rc != 0) return rc;
   rc = write_epochs_output(args, *profiler, log);
   if (rc != 0) return rc;
   maybe_ship_epochs(args, *profiler, threads, log);
+  ctl::report_self_overhead(log, overhead);
   return write_observability_outputs(args, log);
 }
 
@@ -984,6 +1003,11 @@ int top_connect(const cs::ArgParser& args) {
       std::cerr << "top: " << socket << ": " << e.what() << "\n";
       return 1;
     }
+    // Recompute histogram quantiles from the buckets on EVERY scrape —
+    // including the very first. The carried p50/p95/p99 fields are optional
+    // in the text format (older daemons omit them), so trusting them until a
+    // second scrape arrived painted stale or zero stage latencies.
+    for (ctl::MetricSnapshot& m : ms) ctl::refresh_quantiles(m);
     answered = true;
     const auto now = std::chrono::steady_clock::now();
     const double elapsed = std::chrono::duration<double>(now - t0).count();
@@ -1017,8 +1041,30 @@ int top_connect(const cs::ArgParser& args) {
               << "  (peak " << cs::Table::bytes(find(ms, "serve.mem.peak"))
               << ")  wal records " << find(ms, "serve.wal.records")
               << "  fsyncs " << find(ms, "serve.wal.fsyncs") << "\n";
+    const auto hist = [&ms](const char* name) -> const ctl::MetricSnapshot* {
+      for (const ctl::MetricSnapshot& m : ms) {
+        if (m.kind == ctl::MetricKind::kHistogram && m.name == name) return &m;
+      }
+      return nullptr;
+    };
+    const auto stage = [&hist](const char* label, const char* name,
+                               std::ostream& os) {
+      os << "  " << label << " ";
+      if (const ctl::MetricSnapshot* h = hist(name); h != nullptr &&
+                                                     h->count > 0) {
+        os << h->p50 << "/" << h->p95;
+      } else {
+        os << "-";
+      }
+    };
+    std::cout << clear << "  stage us (p50/p95):";
+    stage("decode", "serve.stage.decode_us", std::cout);
+    stage("merge", "serve.stage.merge_us", std::cout);
+    stage("journal", "serve.stage.journal_us", std::cout);
+    stage("e2e", "serve.stage.e2e_us", std::cout);
+    std::cout << "\n";
     std::cout.flush();
-    painted_lines = 4;
+    painted_lines = 5;
     std::this_thread::sleep_for(interval);
   }
 }
@@ -1504,6 +1550,8 @@ constexpr SloRule kSloRules[] = {
     {"serve.wal.failed", "WAL in failed state (durability suspended)"},
     {"ship.spills", "client flushes spilled to the sidecar"},
     {"profiler.degradations", "profiler degradation-ladder firings"},
+    {"perf.unavailable",
+     "perf counter engine degraded (hardware events unavailable)"},
 };
 
 // SLO summary over metric snapshots (files, or a live daemon's scrape
